@@ -1,0 +1,5 @@
+"""Benchmark suite: one module per table/figure of the paper (see DESIGN.md §4).
+
+This package marker lets the benchmark modules import the shared helpers in
+``benchmarks.conftest`` under both ``pytest`` and ``python -m pytest``.
+"""

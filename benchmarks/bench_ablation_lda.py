@@ -1,0 +1,32 @@
+"""Ablation — LDA engine: Algorithm 2 Gibbs vs vectorised CVB0.
+
+DESIGN.md calls out the CVB0 engine as a substitution for scale. The bench
+quantifies what that buys and costs: wall-clock speedup, agreement of the
+user-entropy rankings (what AC2 actually consumes), and overlap of the final
+AC2 top-10 lists under either engine.
+"""
+
+from benchmarks.conftest import bench_scale, strict_assertions
+from repro.experiments import ExperimentConfig, run_lda_engine_ablation
+
+
+def test_ablation_lda_engines(benchmark, report):
+    config = ExperimentConfig(scale=min(bench_scale(), 0.5))
+    result = benchmark.pedantic(
+        run_lda_engine_ablation, args=(config,),
+        kwargs={"n_users": 30, "gibbs_iterations": 60},
+        rounds=1, iterations=1,
+    )
+
+    report("Ablation - Gibbs vs CVB0 LDA engines", rows=result.rows(),
+           filename="ablation_lda_engines.csv")
+    speedup = result.gibbs_seconds / max(result.cvb0_seconds, 1e-9)
+    print(f"CVB0 speedup over Gibbs: {speedup:.1f}x")
+
+    if strict_assertions():
+        # The engines must agree on who the specific/general users are.
+        assert result.entropy_correlation > 0.5
+        # And produce substantially overlapping AC2 recommendations.
+        assert result.ac2_top10_overlap > 0.5
+        # CVB0 earns its keep.
+        assert result.cvb0_seconds < result.gibbs_seconds

@@ -1,0 +1,30 @@
+"""Ablation — truncation depth τ (paper §4.1, §5.2 text).
+
+The paper claims: "when we use 15 iterations, it already achieves almost the
+same results to the exact solution" (obtained by solving the linear system).
+The bench measures top-10 overlap between truncated and exact Absorbing Time
+rankings as τ grows and asserts the τ = 15 claim.
+"""
+
+from benchmarks.conftest import strict_assertions
+from repro.experiments import run_tau_convergence
+
+
+def test_ablation_tau_convergence(benchmark, config, report):
+    result = benchmark.pedantic(
+        run_tau_convergence, args=(config,),
+        kwargs={"taus": (1, 2, 5, 10, 15, 30, 60), "n_users": 30},
+        rounds=1, iterations=1,
+    )
+
+    report("Ablation - truncated-vs-exact AT top-10 overlap by tau",
+           rows=result.rows(), filename="ablation_tau.csv")
+
+    overlaps = result.mean_overlap
+    # Overlap improves with depth ...
+    assert overlaps[60] >= overlaps[1]
+    if strict_assertions():
+        # ... and the paper's tau = 15 already nearly matches exact.
+        assert overlaps[15] >= 0.85
+        # While tau = 1 (one sweep) clearly does not rank like exact.
+        assert overlaps[1] < overlaps[15]

@@ -1,0 +1,32 @@
+"""Figure 1 — long-tail shape of both catalogues (paper §1, §5.1.2).
+
+Paper shape: the niche market curve — a small head carries most ratings;
+§5.1.2 quantifies ≈66% (MovieLens) / ≈73% (Douban) of items jointly carrying
+just 20% of ratings. The bench regenerates the popularity curves and the
+Pareto statistics and asserts the 20%-tail spans over half of each catalogue.
+"""
+
+from benchmarks.conftest import strict_assertions
+from repro.experiments import run_fig1
+
+
+def test_fig1_longtail_shape(benchmark, config, report):
+    results = benchmark.pedantic(run_fig1, args=(config,), rounds=1, iterations=1)
+
+    rows = [r.row() for r in results]
+    report("Figure 1 - catalogue long-tail statistics", rows=rows,
+           filename="fig1_stats.csv")
+    curve_rows = [row for r in results for row in r.curve_rows(25)]
+    report("Figure 1 - popularity-vs-rank curve (downsampled)", rows=curve_rows,
+           filename="fig1_curves.csv")
+
+    by_name = {r.dataset: r for r in results}
+    for result in results:
+        stats = result.stats
+        assert stats.popularity_curve[0] == stats.popularity_curve.max()
+        # Pareto shape: top 20% of items carry far more than 20% of ratings.
+        assert stats.top20_share > 0.5
+    if strict_assertions():
+        # Paper: 66% (ML) / 73% (Douban) of items carry 20% of ratings.
+        assert by_name["movielens"].stats.tail_fraction_of_catalog > 0.55
+        assert by_name["douban"].stats.tail_fraction_of_catalog > 0.55

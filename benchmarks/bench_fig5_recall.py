@@ -1,0 +1,71 @@
+"""Figure 5 — Recall@N on held-out 5-star long-tail ratings (paper §5.2.1).
+
+Paper shape, both panels: the proposed graph variants dominate; AC2 leads
+(R@10 ≈ 0.12 on MovieLens); the latent-factor baselines (PureSVD, LDA) trail
+far behind on the long-tail targets; DPPR sits between. Panel (b) shows the
+same ordering on Douban.
+
+Known deviation (recorded in EXPERIMENTS.md): the paper reports *higher*
+absolute recall on Douban than MovieLens; at laptop scale the Douban
+stand-in's tiny profiles (≈12 ratings/user vs the real crawl's ≈35) weaken
+all algorithms, so our absolute Douban recall is lower. Orderings hold.
+"""
+
+from benchmarks.conftest import strict_assertions
+from repro.eval.significance import bootstrap_recall, bootstrap_recall_difference
+from repro.experiments import run_fig5
+
+
+def _run_and_report(dataset, config, report, n_cases, panel):
+    result = run_fig5(dataset, config, n_cases=n_cases, n_distractors=500,
+                      max_n=50)
+    curves = result.curves()
+    report(
+        f"Figure 5({panel}) - Recall@N on {dataset} "
+        f"({result.n_cases} cases, {result.n_distractors} distractors)",
+        series={name: curve[[0, 4, 9, 19, 29, 49]] for name, curve in curves.items()},
+        x_label="N", x_values=[1, 5, 10, 20, 30, 50],
+        filename=f"fig5{panel}_recall_{dataset}.csv",
+    )
+    ci_rows = [
+        dict(algorithm=name, **bootstrap_recall(res.ranks, 10, seed=0).row())
+        for name, res in result.results.items()
+    ]
+    report(f"Figure 5({panel}) - Recall@10 with 95% bootstrap CIs",
+           rows=ci_rows, filename=f"fig5{panel}_ci_{dataset}.csv")
+    delta, low, high = bootstrap_recall_difference(
+        result.results["AC2"].ranks, result.results["PureSVD"].ranks, 10, seed=0
+    )
+    print(f"AC2 - PureSVD Recall@10 difference: {delta:+.3f} "
+          f"(95% CI [{low:+.3f}, {high:+.3f}])")
+    return result
+
+
+def test_fig5a_recall_movielens(benchmark, config, report):
+    result = benchmark.pedantic(
+        _run_and_report, args=("movielens", config, report, 200, "a"),
+        rounds=1, iterations=1,
+    )
+    at10 = result.recall_at(10)
+    if strict_assertions():
+        best_graph = max(at10[n] for n in ("AC2", "AC1", "AT", "HT"))
+        # The proposed family clearly beats the latent-factor models ...
+        assert best_graph > 2 * max(at10["PureSVD"], at10["LDA"], 1e-9)
+        # ... and AC2 is at (or within noise of) the top of the family.
+        assert at10["AC2"] >= 0.85 * best_graph
+        # Entropy bias helps: AC2 >= AC1 discipline from the paper.
+        assert at10["AC2"] >= at10["AC1"] - 0.02
+
+
+def test_fig5b_recall_douban(benchmark, config, report):
+    result = benchmark.pedantic(
+        _run_and_report, args=("douban", config, report, 150, "b"),
+        rounds=1, iterations=1,
+    )
+    at10 = result.recall_at(10)
+    if strict_assertions():
+        best_graph = max(at10[n] for n in ("AC2", "AC1", "AT", "HT"))
+        assert best_graph > max(at10["PureSVD"], at10["LDA"])
+        assert at10["AC2"] >= 0.8 * best_graph
+        # Item-based AT beats user-based HT on the sparse catalogue (§5.2.1).
+        assert at10["AT"] >= at10["HT"] - 0.02

@@ -1,0 +1,68 @@
+"""Figure 6 — Popularity@N of the top-10 lists (paper §5.2.2).
+
+Paper shape: the graph methods (AC2/AC1/AT/HT/DPPR) recommend items an order
+of magnitude less popular than PureSVD and LDA at every rank; for the
+latent-factor models popularity *decreases* with rank (their first
+suggestions are the biggest hits).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import strict_assertions
+from repro.experiments import run_fig6
+
+GRAPH = ("AC2", "AC1", "AT", "HT", "DPPR")
+LATENT = ("PureSVD", "LDA")
+
+
+def _run_and_report(dataset, config, report, panel):
+    result = run_fig6(dataset, config, n_users=200, k=10)
+    report(
+        f"Figure 6({panel}) - mean popularity at rank N on {dataset} "
+        f"({result.n_users} users)",
+        series=result.series, x_label="N",
+        filename=f"fig6{panel}_popularity_{dataset}.csv",
+    )
+    report(
+        f"Figure 6({panel}) - mean list popularity on {dataset}",
+        rows=[{"algorithm": k, "mean_popularity": round(v, 1)}
+              for k, v in result.mean_popularity.items()],
+        filename=f"fig6{panel}_mean_{dataset}.csv",
+    )
+    return result
+
+
+def _assert_shape(result):
+    mean_pop = result.mean_popularity
+    for graph_name in GRAPH:
+        for latent_name in LATENT:
+            assert mean_pop[graph_name] < mean_pop[latent_name], (
+                f"{graph_name} should recommend less popular items than "
+                f"{latent_name}"
+            )
+    # Latent models: popularity decreases with rank (head first).
+    lda = result.series["LDA"]
+    assert lda[0] > lda[-1]
+
+
+def test_fig6a_popularity_douban(benchmark, config, report):
+    result = benchmark.pedantic(
+        _run_and_report, args=("douban", config, report, "a"),
+        rounds=1, iterations=1,
+    )
+    if strict_assertions():
+        _assert_shape(result)
+        # The paper's headline factor on Douban: latent models recommend
+        # items >= 5x more popular than the graph methods' lists.
+        graph_max = max(result.mean_popularity[n] for n in GRAPH)
+        latent_min = min(result.mean_popularity[n] for n in LATENT)
+        assert latent_min > 3 * graph_max
+
+
+def test_fig6b_popularity_movielens(benchmark, config, report):
+    result = benchmark.pedantic(
+        _run_and_report, args=("movielens", config, report, "b"),
+        rounds=1, iterations=1,
+    )
+    if strict_assertions():
+        _assert_shape(result)

@@ -1,0 +1,36 @@
+"""Table 1 — coherent topics from the rating-data LDA (paper §4.2.3).
+
+The paper prints the top-5 movies of two topics and notes they align with
+genres (Children's/Animation vs Action). The synthetic ground truth lets the
+bench *measure* that alignment: per-topic genre purity of the top items. The
+faithful Algorithm 2 Gibbs sampler is the benchmarked engine.
+"""
+
+from benchmarks.conftest import bench_scale, strict_assertions
+from repro.experiments import ExperimentConfig, run_table1
+
+
+def test_table1_topic_coherence(benchmark, report):
+    # The token-level Gibbs sampler is the cost driver; run at a reduced
+    # scale so the bench stays in seconds (coherence is scale-insensitive).
+    config = ExperimentConfig(scale=min(bench_scale(), 0.6))
+    result = benchmark.pedantic(
+        run_table1, args=(config,), kwargs={"engine": "gibbs", "n_iterations": 40},
+        rounds=1, iterations=1,
+    )
+
+    best, second = result.best_two()
+    rows = best.rows() + second.rows()
+    report("Table 1 - top-5 items of the two purest LDA topics (Gibbs)",
+           rows=rows, filename="table1_topics.csv")
+    report("Table 1 - per-topic purity",
+           rows=[{"topic": t.topic, "purity": round(t.purity, 2)}
+                 for t in result.topics],
+           filename="table1_purity.csv")
+
+    # Paper shape: the printed topics are genre-coherent. With 8 genres,
+    # random top-5 purity would be ~0.31; demand far better for the best two.
+    if strict_assertions():
+        assert best.purity >= 0.8
+        assert second.purity >= 0.6
+        assert result.mean_purity >= 0.5

@@ -1,0 +1,44 @@
+"""Table 2 — aggregate recommendation diversity, Eq. 17 (paper §5.2.3).
+
+Paper shape (both datasets): the graph family diversifies aggregate
+recommendations dramatically better than the latent-factor models; LDA is
+worst by an order of magnitude (0.035 / 0.025); PureSVD sits in between;
+diversity is lower on the denser MovieLens for every algorithm.
+
+Known deviation (EXPERIMENTS.md): in the paper the item-based variants edge
+out user-based HT; at laptop scale HT/DPPR diversify most within the graph
+family. The family-level ordering (graph > PureSVD > LDA) is asserted.
+"""
+
+from benchmarks.conftest import strict_assertions
+from repro.experiments import PAPER_DIVERSITY, run_table2
+
+GRAPH = ("AC2", "AC1", "AT", "HT", "DPPR")
+
+
+def test_table2_diversity(benchmark, config, report):
+    result = benchmark.pedantic(
+        run_table2, args=(config,), kwargs={"n_users": 200},
+        rounds=1, iterations=1,
+    )
+
+    rows = result.rows()
+    for row in rows:
+        paper_row = {"dataset": f'{row["dataset"]} (paper)'}
+        paper_row.update(PAPER_DIVERSITY[row["dataset"]])
+        rows_with_paper = [row, paper_row]
+        report(f"Table 2 - diversity on {row['dataset']} (measured vs paper)",
+               rows=rows_with_paper)
+    report("Table 2 - diversity (measured)", rows=rows,
+           filename="table2_diversity.csv")
+
+    if strict_assertions():
+        for dataset, values in result.diversity.items():
+            best_graph = max(values[n] for n in GRAPH)
+            # Graph family diversifies more than both latent models.
+            assert best_graph > values["PureSVD"], dataset
+            # LDA has the worst diversity of all algorithms (paper Table 2).
+            assert values["LDA"] == min(values.values()), dataset
+        # On the sparse catalogue LDA's diversity is near-degenerate
+        # (measured 0.03 vs the paper's 0.035).
+        assert result.diversity["douban"]["LDA"] < 0.1

@@ -1,0 +1,41 @@
+"""Table 5 — per-user online recommendation cost (paper §5.2.6).
+
+Paper (Java, 32 GB server, full Douban): LDA 0.47 s ≈ PureSVD 0.45 s ≈
+AC2-on-µ-subgraph 0.52 s ≪ DPPR-on-global-graph 13.5 s (≈ 26× slower).
+
+At laptop scale the sparse-PPR DPPR converges in milliseconds, so the
+paper's specific outlier does not re-materialise (recorded in
+EXPERIMENTS.md). The *mechanism* behind it — a per-user global graph scan
+versus a µ-local computation — is asserted directly via the extra
+``AC2-full`` row (the analogue of Table 4's 12.7 s full-graph column).
+"""
+
+from benchmarks.conftest import strict_assertions
+from repro.experiments import run_table5
+
+
+def test_table5_per_user_cost(benchmark, config, report):
+    result = benchmark.pedantic(
+        run_table5, args=(config,), kwargs={"n_users": 50},
+        rounds=1, iterations=1,
+    )
+
+    report(
+        f"Table 5 - mean per-user recommendation seconds "
+        f"(AC2 on mu={result.mu} subgraph; DPPR and AC2-full on the global graph)",
+        rows=result.rows(), filename="table5_efficiency.csv",
+    )
+    print(f"global-scan slowdown (AC2-full / AC2-mu): "
+          f"{result.slowdown_of_global_scan():.1f}x (paper: 12.7s vs 0.52s = 24x)")
+    print(f"DPPR slowdown vs fastest model-based scorer: "
+          f"{result.slowdown_of_dppr():.1f}x (paper: ~29x)")
+
+    if strict_assertions():
+        seconds = result.seconds
+        # The graph methods pay a real per-user cost over the model-based
+        # scorers (paper groups them within ~1.2x at crawl scale; the
+        # direction that matters is that none of them is free).
+        assert seconds["DPPR"] > 3 * min(seconds["LDA"], seconds["PureSVD"])
+        # The paper's scalability argument: restricting AC2 to a mu-subgraph
+        # beats scanning the whole graph per user.
+        assert result.slowdown_of_global_scan() > 1.5

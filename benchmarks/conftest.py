@@ -1,0 +1,65 @@
+"""Shared benchmark scaffolding.
+
+Every benchmark regenerates one table or figure of the paper (see DESIGN.md
+§4 for the index). Results are printed to stdout *and* written as CSV under
+``benchmarks/results/`` so the numbers survive the run.
+
+The workload scale can be lowered for quick iterations::
+
+    REPRO_BENCH_SCALE=0.3 pytest benchmarks/ --benchmark-only
+
+(The shape assertions are calibrated for the default scale 1.0; at very
+small scales some orderings become noisy, so assertions relax below 0.5.)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.reporting import format_series, format_table, results_dir, write_csv
+from repro.experiments import ExperimentConfig
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def strict_assertions() -> bool:
+    """Shape assertions are enforced only at (near-)default scale."""
+    return bench_scale() >= 0.5
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable: print a table/series and persist it to results/."""
+
+    def _report(title: str, rows=None, series=None, filename: str | None = None,
+                x_label: str = "N", x_values=None):
+        if rows is not None:
+            text = format_table(rows, title=title)
+            payload = rows
+        else:
+            text = format_series(series, title=title, x_label=x_label,
+                                 x_values=x_values)
+            length = max(len(v) for v in series.values())
+            xs = x_values if x_values is not None else range(1, length + 1)
+            payload = []
+            for idx, x in enumerate(xs):
+                row = {x_label: x}
+                for name, values in series.items():
+                    row[name] = float(values[idx]) if idx < len(values) else None
+                payload.append(row)
+        print("\n" + text + "\n")
+        if filename:
+            path = os.path.join(results_dir(), filename)
+            write_csv(payload, path)
+            print(f"[saved] {path}")
+
+    return _report

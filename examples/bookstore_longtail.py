@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Bookstore: sales diversity from the retailer's side of the counter.
+
+Run:
+    python examples/bookstore_longtail.py [--scale 0.7] [--panel 150]
+
+The paper argues (§1, §5.2.3) that mainstream recommenders *reduce* sales
+diversity — they funnel every customer to the same bestsellers — while the
+graph methods spread demand across the catalogue. This example plays an
+online bookstore on Douban-like synthetic data:
+
+1. a panel of customers each receives a top-10 shelf from three engines
+   (LDA baseline, DPPR, AC2);
+2. the shop measures, per engine: catalogue coverage (Eq. 17 diversity),
+   exposure concentration (Gini), how deep into the tail the shelves reach,
+   and taste match via the category-tree ontology (Eq. 19) — the
+   reproduction's stand-in for the dangdang book hierarchy.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    AbsorbingCostRecommender,
+    DiscountedPageRankRecommender,
+    LDARecommender,
+    TopNExperiment,
+    douban_like,
+    generate_dataset,
+    sample_test_users,
+)
+from repro.topics import fit_lda
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.7)
+    parser.add_argument("--panel", type=int, default=150,
+                        help="number of customers served")
+    args = parser.parse_args()
+
+    print("Stocking the bookstore (Douban-like long-tail catalogue) ...")
+    data = generate_dataset(douban_like(args.scale), seed=21)
+    dataset = data.dataset
+    print(f"  {dataset}")
+
+    customers = sample_test_users(dataset, n_users=args.panel, seed=4)
+    till = TopNExperiment(dataset, customers, k=10, ontology=data.ontology)
+
+    model = fit_lda(dataset, 10, seed=3)
+    engines = [
+        ("LDA", LDARecommender(model=model)),
+        ("DPPR", DiscountedPageRankRecommender()),
+        ("AC2", AbsorbingCostRecommender.topic_based(topic_model=model, seed=3)),
+    ]
+
+    print(f"\nServing {args.panel} customers a 10-book shelf each:\n")
+    header = (f"{'engine':<6} {'coverage':>9} {'gini':>6} {'tail-share':>11} "
+              f"{'taste-match':>12} {'mean #ratings':>14}")
+    print(header)
+    print("-" * len(header))
+    reports = {}
+    for name, engine in engines:
+        report = till.run(engine.fit(dataset))
+        reports[name] = report
+        print(f"{name:<6} {report.diversity:>9.1%} {report.gini:>6.2f} "
+              f"{report.tail_share:>11.0%} {report.similarity:>12.2f} "
+              f"{report.mean_popularity:>14.1f}")
+
+    lda_unique = int(reports["LDA"].diversity * dataset.n_items)
+    ac2_unique = int(reports["AC2"].diversity * dataset.n_items)
+    print(
+        f"\nThe LDA engine sold from only {lda_unique} distinct books; "
+        f"AC2 moved {ac2_unique} — and still matched tastes better than "
+        "DPPR's indiscriminate tail-diving. That coverage difference is the "
+        "paper's 'sales diversity' argument in one table."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Side-by-side comparison of every algorithm in the library.
+
+Run:
+    python examples/compare_algorithms.py [--dataset movielens|douban]
+    python examples/compare_algorithms.py --ratings path/to/ratings.dat
+
+Evaluates the full roster — the paper's four variants (HT, AT, AC1, AC2),
+its baselines (DPPR, PureSVD, LDA) and the extended references (PPR,
+MostPopular, user/item kNN, association rules, random) — on two axes:
+
+* **Recall@10** on held-out 5-star long-tail ratings (the Figure 5 protocol);
+* the top-N panel metrics of §5.2.2+: popularity, diversity, tail share.
+
+Accepts a real MovieLens ``ratings.dat`` / ``u.data`` / CSV via ``--ratings``
+and runs the identical harness on it.
+"""
+
+import argparse
+import os
+
+from repro import (
+    RecallProtocol,
+    TopNExperiment,
+    douban_like,
+    generate_dataset,
+    load_movielens_1m,
+    load_movielens_100k,
+    load_rating_csv,
+    make_recall_split,
+    movielens_like,
+    sample_test_users,
+)
+from repro.baselines import (
+    AssociationRuleRecommender,
+    ItemKNNRecommender,
+    MostPopularRecommender,
+    PersonalizedPageRankRecommender,
+    RandomRecommender,
+    UserKNNRecommender,
+)
+from repro.eval.reporting import format_table
+from repro.experiments import ExperimentConfig, make_algorithms
+
+
+def load_ratings(path: str):
+    if path.endswith(".dat"):
+        return load_movielens_1m(path)
+    if os.path.basename(path) == "u.data" or path.endswith(".tsv"):
+        return load_movielens_100k(path)
+    return load_rating_csv(path)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", choices=("movielens", "douban"),
+                        default="movielens")
+    parser.add_argument("--ratings", default=None,
+                        help="optional real rating file (overrides --dataset)")
+    parser.add_argument("--scale", type=float, default=0.6)
+    parser.add_argument("--cases", type=int, default=120,
+                        help="held-out recall test cases")
+    args = parser.parse_args()
+
+    if args.ratings:
+        print(f"Loading real ratings from {args.ratings} ...")
+        dataset = load_ratings(args.ratings)
+    else:
+        config = (movielens_like if args.dataset == "movielens" else douban_like)(
+            args.scale)
+        dataset = generate_dataset(config, seed=7).dataset
+    print(f"Dataset: {dataset}\n")
+
+    split = make_recall_split(dataset, n_cases=args.cases, seed=1)
+    experiment_config = ExperimentConfig(scale=args.scale)
+    roster = make_algorithms(experiment_config, train=split.train)
+    roster += [
+        PersonalizedPageRankRecommender(),
+        MostPopularRecommender(),
+        UserKNNRecommender(k_neighbors=30),
+        ItemKNNRecommender(k_neighbors=30),
+        AssociationRuleRecommender(min_support=2, min_confidence=0.05),
+        RandomRecommender(seed=0),
+    ]
+    for algorithm in roster:
+        algorithm.fit(split.train)
+
+    protocol = RecallProtocol(split, n_distractors=500, max_n=50, seed=0)
+    users = sample_test_users(split.train, n_users=120, seed=2)
+    panel = TopNExperiment(split.train, users, k=10)
+
+    rows = []
+    for algorithm in roster:
+        recall = protocol.evaluate(algorithm)
+        report = panel.run(algorithm)
+        rows.append({
+            "algorithm": algorithm.name,
+            "recall@10": round(recall.recall_at(10), 3),
+            "recall@50": round(recall.recall_at(50), 3),
+            "popularity": round(report.mean_popularity, 1),
+            "diversity": round(report.diversity, 3),
+            "tail_share": round(report.tail_share, 2),
+        })
+    rows.sort(key=lambda r: -r["recall@10"])
+    print(format_table(rows, title="Long-tail recommendation scoreboard"))
+    print(
+        "\nReading guide: the paper's claim is the top-left corner — graph "
+        "methods (AC2/AC1/AT/HT) should lead recall while recommending "
+        "low-popularity, high-tail-share, diverse items."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Movie night: why a long-tail recommender beats the hit list.
+
+Run:
+    python examples/movie_night.py [--scale 0.6]
+
+Recreates the paper's §1 motivation on synthetic MovieLens-like data. For a
+*taste-specific* user (one dominant genre) it compares three shelves:
+
+* **MostPopular** — the blockbuster shelf everyone gets;
+* **PureSVD** — the strong matrix-factorisation top-N baseline;
+* **AC2** — the paper's entropy-biased Absorbing Cost recommender.
+
+For each shelf it scores: how popular the suggestions are, how many sit in
+the long tail (the 20%-of-ratings rule), and how well they match the user's
+ground-truth genre. The long-tail shelf should be the only one that is both
+niche *and* on-taste — the paper's Figure 2 story at dataset scale.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    AbsorbingCostRecommender,
+    MostPopularRecommender,
+    PureSVDRecommender,
+    generate_dataset,
+    long_tail_split,
+    movielens_like,
+)
+
+
+def pick_specific_user(data) -> int:
+    """The most taste-concentrated user with a reasonable profile."""
+    theta_peak = data.user_topics.max(axis=1)
+    activity = data.dataset.user_activity()
+    eligible = np.flatnonzero(activity >= 10)
+    return int(eligible[np.argmax(theta_peak[eligible])])
+
+
+def describe(name, recommender, user, data, tail_mask):
+    dataset = data.dataset
+    popularity = dataset.item_popularity()
+    recs = recommender.recommend(user, k=10)
+    items = np.array([r.item for r in recs])
+    favourite_genre = int(np.argmax(data.user_topics[user]))
+    on_taste = np.mean(data.item_genres[items] == favourite_genre)
+    print(f"\n--- {name} ---")
+    print(f"{'item':<10} {'#ratings':>8}  genre")
+    for rec in recs[:5]:
+        print(f"{str(rec.label):<10} {popularity[rec.item]:>8}  "
+              f"genre{data.item_genres[rec.item]}")
+    print(f"mean popularity : {popularity[items].mean():7.1f} ratings")
+    print(f"long-tail share : {np.mean(tail_mask[items]):7.0%}")
+    print(f"favourite-genre share: {on_taste:.0%}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.6)
+    args = parser.parse_args()
+
+    data = generate_dataset(movielens_like(args.scale), seed=11)
+    dataset = data.dataset
+    tail_mask = long_tail_split(dataset).is_tail()
+    user = pick_specific_user(data)
+    favourite = int(np.argmax(data.user_topics[user]))
+    print(f"Dataset: {dataset}")
+    print(f"Tonight's viewer: user {user} — a genre{favourite} devotee "
+          f"({data.user_topics[user, favourite]:.0%} of their taste), "
+          f"{dataset.user_activity()[user]} movies rated.")
+
+    shelves = [
+        ("MostPopular (the hit list)", MostPopularRecommender()),
+        ("PureSVD (matrix factorisation)", PureSVDRecommender(n_factors=30, seed=1)),
+        ("AC2 (the paper's long-tail recommender)",
+         AbsorbingCostRecommender.topic_based(n_topics=data.n_genres, seed=3)),
+    ]
+    for name, recommender in shelves:
+        describe(name, recommender.fit(dataset), user, data, tail_mask)
+
+    print(
+        "\nThe hit list is popular but generic; PureSVD matches taste but "
+        "stays on the head; AC2 digs taste-matched movies out of the tail — "
+        "the 'help me find it' half of Anderson's long-tail imperative."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: generate data, fit the paper's AC2 recommender, recommend.
+
+Run:
+    python examples/quickstart.py [--scale 0.5] [--user 7]
+
+Walks through the minimal end-to-end flow:
+
+1. generate a MovieLens-like synthetic rating dataset (long-tail catalogue,
+   latent genres, taste-specific and generalist users);
+2. fit AC2 — the paper's best variant: Absorbing Cost with topic-based user
+   entropy from an LDA over the rating data;
+3. print the top-10 recommendations for one user, annotated with each item's
+   popularity (rating count) and ground-truth genre, next to the user's own
+   genre profile — so you can see both halves of the paper's promise:
+   *long-tail* and *on-taste*.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import AbsorbingCostRecommender, generate_dataset, movielens_like
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="dataset size multiplier (default 0.5)")
+    parser.add_argument("--user", type=int, default=7,
+                        help="user index to recommend for")
+    parser.add_argument("--k", type=int, default=10, help="list length")
+    args = parser.parse_args()
+
+    print("1. Generating a MovieLens-like long-tail dataset ...")
+    data = generate_dataset(movielens_like(args.scale), seed=7)
+    dataset = data.dataset
+    print(f"   {dataset}")
+
+    print("2. Fitting AC2 (Absorbing Cost, topic-based entropy) ...")
+    ac2 = AbsorbingCostRecommender.topic_based(
+        n_topics=data.n_genres, seed=3
+    ).fit(dataset)
+
+    user = args.user % dataset.n_users
+    theta = data.user_topics[user]
+    top_genres = np.argsort(-theta)[:3]
+    print(f"3. User {user}: rated {dataset.user_activity()[user]} items; "
+          "ground-truth taste profile:")
+    for genre in top_genres:
+        print(f"   genre{genre}: {theta[genre]:.0%}")
+
+    popularity = dataset.item_popularity()
+    median_popularity = float(np.median(popularity))
+    print(f"\nTop-{args.k} AC2 recommendations "
+          f"(catalogue median popularity = {median_popularity:.0f} ratings):")
+    print(f"{'rank':>4}  {'item':<10} {'#ratings':>8}  {'genre':<8} on-taste?")
+    for rank, rec in enumerate(ac2.recommend(user, k=args.k), start=1):
+        genre = data.item_genres[rec.item]
+        flag = "yes" if genre in top_genres else "-"
+        print(f"{rank:>4}  {str(rec.label):<10} {popularity[rec.item]:>8}  "
+              f"genre{genre:<3} {flag:>8}")
+
+    rec_items = [r.item for r in ac2.recommend(user, k=args.k)]
+    mean_pop = popularity[rec_items].mean()
+    print(f"\nMean popularity of the list: {mean_pop:.1f} ratings "
+          f"(long tail — well under the catalogue median of {median_popularity:.0f})")
+
+    from repro import explain_recommendation
+
+    print("\n4. Why the top pick? The path evidence through the graph:")
+    explanation = explain_recommendation(dataset, user, rec_items[0])
+    print(explanation.describe(dataset))
+
+
+if __name__ == "__main__":
+    main()

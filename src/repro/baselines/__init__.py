@@ -1,0 +1,37 @@
+"""Baseline recommenders: the paper's competitors (LDA, PureSVD, PPR/DPPR)
+plus extended references (popularity, random, kNN CF, association rules)."""
+
+from repro.baselines.association import AssociationRuleRecommender
+from repro.baselines.lda_rec import LDARecommender
+from repro.baselines.neighborhood import (
+    ItemKNNRecommender,
+    UserKNNRecommender,
+    cosine_similarity_matrix,
+)
+from repro.baselines.pagerank import (
+    DiscountedPageRankRecommender,
+    PersonalizedPageRankRecommender,
+)
+from repro.baselines.popularity import MostPopularRecommender, RandomRecommender
+from repro.baselines.puresvd import PureSVDRecommender
+from repro.baselines.walk_similarity import (
+    CommuteTimeRecommender,
+    KatzRecommender,
+    RandomWalkWithRestartRecommender,
+)
+
+__all__ = [
+    "CommuteTimeRecommender",
+    "KatzRecommender",
+    "RandomWalkWithRestartRecommender",
+    "AssociationRuleRecommender",
+    "LDARecommender",
+    "ItemKNNRecommender",
+    "UserKNNRecommender",
+    "cosine_similarity_matrix",
+    "DiscountedPageRankRecommender",
+    "PersonalizedPageRankRecommender",
+    "MostPopularRecommender",
+    "RandomRecommender",
+    "PureSVDRecommender",
+]

@@ -1,0 +1,59 @@
+"""Trivial reference recommenders: MostPopular and Random.
+
+The paper repeatedly contrasts its methods against "simply suggesting the
+most popular items" (§3.2) — MostPopular makes that comparison explicit, and
+Random provides the diversity/popularity floor/ceiling every metric can be
+sanity-checked against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Recommender
+from repro.data.dataset import RatingDataset
+from repro.utils.validation import check_random_state
+
+__all__ = ["MostPopularRecommender", "RandomRecommender"]
+
+
+class MostPopularRecommender(Recommender):
+    """Rank every item by its global rating count (ties by index).
+
+    The same list is offered to every user — the degenerate behaviour the
+    paper's diversity experiment (Table 2) penalises.
+    """
+
+    name = "MostPopular"
+
+    def __init__(self):
+        super().__init__()
+        self._scores: np.ndarray | None = None
+
+    def _fit(self, dataset: RatingDataset) -> None:
+        self._scores = dataset.item_popularity().astype(np.float64)
+
+    def _score_user(self, user: int) -> np.ndarray:
+        return self._scores.copy()
+
+
+class RandomRecommender(Recommender):
+    """Uniformly random scores, deterministic per (seed, user).
+
+    Maximises diversity and draws items uniformly from the catalogue —
+    the popularity floor. Each user's scores are drawn from a generator
+    seeded with ``(seed, user)`` so repeated calls are stable.
+    """
+
+    name = "Random"
+
+    def __init__(self, seed: int = 0):
+        super().__init__()
+        self.seed = int(seed)
+
+    def _fit(self, dataset: RatingDataset) -> None:
+        pass
+
+    def _score_user(self, user: int) -> np.ndarray:
+        rng = check_random_state(np.random.SeedSequence([self.seed, user]).generate_state(1)[0])
+        return rng.random(self.dataset.n_items)

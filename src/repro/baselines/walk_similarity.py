@@ -1,0 +1,155 @@
+"""Related-work random-walk recommenders (paper §2, §3.2).
+
+The paper's §3.2 dismisses three walk-based proximities as unsuited to the
+long tail: *random walk with restart* and *commute time* "tend to recommend
+popular items … dominated by the stationary distribution", while *Katz*
+"does not take into account the popularity of items". These classes make
+those claims testable by wrapping the :mod:`repro.graph.proximity`
+primitives in the common :class:`~repro.core.base.Recommender` interface;
+``benchmarks/bench_ablation_related_walks.py`` reproduces the §3.2 argument
+empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Recommender
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError
+from repro.graph.bipartite import UserItemGraph
+from repro.graph.proximity import katz_index, personalized_pagerank
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = ["RandomWalkWithRestartRecommender", "CommuteTimeRecommender",
+           "KatzRecommender"]
+
+
+class RandomWalkWithRestartRecommender(Recommender):
+    """RWR: personalized PageRank restarting at the *user node* itself.
+
+    This is the classic RWR recommendation setup ([23] in the paper):
+    restart at the query user (not, as in the DPPR baseline, at their item
+    set). Dominated by the stationary distribution for mid-range damping,
+    hence head-biased — the §3.2 claim.
+    """
+
+    name = "RWR"
+
+    def __init__(self, damping: float = 0.8, tol: float = 1e-10,
+                 max_iter: int = 1000):
+        super().__init__()
+        self.damping = check_fraction(damping, "damping", inclusive_low=True,
+                                      inclusive_high=False)
+        self.tol = float(tol)
+        self.max_iter = int(max_iter)
+        self.graph: UserItemGraph | None = None
+
+    def _fit(self, dataset: RatingDataset) -> None:
+        self.graph = UserItemGraph(dataset)
+
+    def _score_user(self, user: int) -> np.ndarray:
+        node = self.graph.user_node(user)
+        if self.graph.degrees[node] == 0:
+            return np.full(self.dataset.n_items, -np.inf)
+        pi = personalized_pagerank(
+            self.graph.transition_matrix(), np.array([node]),
+            damping=self.damping, tol=self.tol, max_iter=self.max_iter,
+        )
+        return pi[self.graph.item_nodes()]
+
+
+class CommuteTimeRecommender(Recommender):
+    """Rank items by ascending commute time ``C(q, i) = H(q|i) + H(i|q)``.
+
+    The symmetric round-trip variant of hitting time ([4, 8] in the paper).
+    The ``H(i|q)`` leg — reaching the *item* from the user — is governed by
+    the item's stationary mass, so commute time largely ranks like
+    popularity (§3.2); HT keeps only the popularity-discounting leg.
+
+    Dense O(n³) via the Laplacian pseudoinverse; guarded by ``max_nodes``.
+    """
+
+    name = "CommuteTime"
+
+    def __init__(self, max_nodes: int = 5000):
+        super().__init__()
+        self.max_nodes = check_positive_int(max_nodes, "max_nodes")
+        self.graph: UserItemGraph | None = None
+        self._component_cache: dict[int, np.ndarray] = {}
+
+    def _fit(self, dataset: RatingDataset) -> None:
+        self.graph = UserItemGraph(dataset)
+        self._component_cache = {}
+        if self.graph.n_nodes > self.max_nodes:
+            raise ConfigError(
+                f"CommuteTimeRecommender is dense O(n^3): graph has "
+                f"{self.graph.n_nodes} nodes > max_nodes={self.max_nodes}"
+            )
+
+    def _component_pinv(self, label: int, component: np.ndarray):
+        """Laplacian pseudoinverse of one component, cached across users."""
+        if label not in self._component_cache:
+            sub = self.graph.adjacency[component][:, component]
+            degrees = np.asarray(sub.sum(axis=1)).ravel()
+            laplacian = np.diag(degrees) - sub.toarray()
+            lplus = np.linalg.pinv(laplacian)
+            self._component_cache[label] = (lplus, float(degrees.sum()))
+        return self._component_cache[label]
+
+    def _score_user(self, user: int) -> np.ndarray:
+        graph = self.graph
+        scores = np.full(self.dataset.n_items, -np.inf)
+        node = graph.user_node(user)
+        if graph.degrees[node] == 0:
+            return scores
+        # Commute time is finite only within the user's component; the
+        # component's pseudoinverse is computed once and reused.
+        component = graph.component_of(node)
+        label = int(graph.component_labels()[node])
+        lplus, volume = self._component_pinv(label, component)
+        local = int(np.flatnonzero(component == node)[0])
+        diag = np.diag(lplus)
+        times = volume * (diag[local] + diag - 2.0 * lplus[local])
+        item_positions = np.flatnonzero(component >= graph.n_users)
+        items = component[item_positions] - graph.n_users
+        scores[items] = -times[item_positions]
+        return scores
+
+
+class KatzRecommender(Recommender):
+    """Rank items by the truncated Katz index from the query user.
+
+    Counts damped paths of every length from the user ([8] in the paper).
+    Path counts grow with item degree, so Katz, too, skews popular — but
+    unlike RWR it at least weights short taste paths heavily.
+    """
+
+    name = "Katz"
+
+    def __init__(self, beta: float | None = None, max_length: int = 8):
+        super().__init__()
+        if beta is not None and beta <= 0:
+            raise ConfigError(f"beta must be > 0; got {beta}")
+        self.beta = beta
+        self.max_length = check_positive_int(max_length, "max_length")
+        self.graph: UserItemGraph | None = None
+        self._beta_effective: float | None = None
+
+    def _fit(self, dataset: RatingDataset) -> None:
+        self.graph = UserItemGraph(dataset)
+        if self.beta is None:
+            # Keep the series contracting: safely under 1 / max degree.
+            max_degree = float(self.graph.degrees.max())
+            self._beta_effective = 0.5 / max(max_degree, 1.0)
+        else:
+            self._beta_effective = float(self.beta)
+
+    def _score_user(self, user: int) -> np.ndarray:
+        node = self.graph.user_node(user)
+        if self.graph.degrees[node] == 0:
+            return np.full(self.dataset.n_items, -np.inf)
+        scores = katz_index(self.graph.adjacency, node,
+                            beta=self._beta_effective,
+                            max_length=self.max_length)
+        return scores[self.graph.item_nodes()]

@@ -1,0 +1,134 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage (module form; also installed as the ``repro-experiments`` script)::
+
+    python -m repro.cli list
+    python -m repro.cli run fig5a [--scale 0.5] [--out results.csv]
+    python -m repro.cli run table2 --scale 0.3
+
+Each experiment name maps to the driver in :mod:`repro.experiments`; the
+output is the paper-shaped text table (and optionally a CSV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.eval.reporting import format_series, format_table, write_csv
+from repro.experiments import (
+    ExperimentConfig,
+    run_fig1,
+    run_fig2,
+    run_fig5,
+    run_fig6,
+    run_jump_cost_ablation,
+    run_lda_engine_ablation,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_tau_convergence,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig5_rows(result):
+    ns = [1, 5, 10, 20, 30, 50]
+    rows = []
+    for n in ns:
+        row = {"N": n}
+        row.update({name: round(v, 3) for name, v in result.recall_at(n).items()})
+        rows.append(row)
+    return rows
+
+
+def _fig6_rows(result):
+    return [result.row_at(rank) for rank in range(1, result.k + 1)]
+
+
+def _table1_rows(result):
+    best, second = result.best_two()
+    return best.rows() + second.rows()
+
+
+#: name -> (description, callable(config) -> rows)
+EXPERIMENTS = {
+    "fig1": ("long-tail catalogue statistics (Figure 1)",
+             lambda c: [r.row() for r in run_fig1(c)]),
+    "fig2": ("worked hitting-time example (Figure 2)",
+             lambda c: [r.row() for r in run_fig2()]),
+    "fig5a": ("Recall@N on movielens-like data (Figure 5a)",
+              lambda c: _fig5_rows(run_fig5("movielens", c))),
+    "fig5b": ("Recall@N on douban-like data (Figure 5b)",
+              lambda c: _fig5_rows(run_fig5("douban", c, n_cases=150))),
+    "fig6a": ("Popularity@N on douban-like data (Figure 6a)",
+              lambda c: _fig6_rows(run_fig6("douban", c))),
+    "fig6b": ("Popularity@N on movielens-like data (Figure 6b)",
+              lambda c: _fig6_rows(run_fig6("movielens", c))),
+    "table1": ("LDA topic listings (Table 1)",
+               lambda c: _table1_rows(run_table1(c, engine="gibbs",
+                                                 n_iterations=40))),
+    "table2": ("recommendation diversity (Table 2)",
+               lambda c: run_table2(c).rows()),
+    "table3": ("ontology similarity (Table 3)",
+               lambda c: run_table3(c).rows()),
+    "table4": ("subgraph budget sweep (Table 4)",
+               lambda c: run_table4(c).rows()),
+    "table5": ("per-user efficiency (Table 5)",
+               lambda c: run_table5(c).rows()),
+    "table6": ("simulated user study (Table 6)",
+               lambda c: run_table6(c).rows()),
+    "ablation-tau": ("truncation-depth convergence",
+                     lambda c: run_tau_convergence(c).rows()),
+    "ablation-lda": ("Gibbs vs CVB0 LDA engines",
+                     lambda c: run_lda_engine_ablation(c).rows()),
+    "ablation-jump-cost": ("Eq. 9 jump-cost sensitivity",
+                           lambda c: run_jump_cost_ablation(c)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate experiments from 'Challenging the Long Tail "
+                    "Recommendation' (VLDB 2012).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="dataset scale multiplier (default 1.0)")
+    run.add_argument("--seed", type=int, default=7, help="data seed")
+    run.add_argument("--out", default=None, help="optional CSV output path")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        rows = [{"experiment": name, "description": desc}
+                for name, (desc, _) in sorted(EXPERIMENTS.items())]
+        print(format_table(rows, title="Available experiments"))
+        return 0
+
+    description, driver = EXPERIMENTS[args.experiment]
+    config = ExperimentConfig(scale=args.scale, data_seed=args.seed)
+    print(f"Running {args.experiment}: {description} (scale {args.scale}) ...",
+          flush=True)
+    rows = driver(config)
+    print(format_table(rows, title=f"{args.experiment}: {description}"))
+    if args.out:
+        write_csv(rows, args.out)
+        print(f"[saved] {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The paper's core contribution: the Hitting Time, Absorbing Time and
+Absorbing Cost long-tail recommenders, their cost models and user-entropy
+features, and the shared recommender interface."""
+
+from repro.core.absorbing_cost import AbsorbingCostRecommender
+from repro.core.absorbing_time import AbsorbingTimeRecommender
+from repro.core.base import Recommendation, Recommender
+from repro.core.costs import CostModel, EntropyCostModel, UnitCostModel
+from repro.core.entropy import distribution_entropy, item_entropy, topic_entropy
+from repro.core.explain import Explanation, PathEvidence, explain_recommendation
+from repro.core.graph_base import RandomWalkRecommender
+from repro.core.hitting_time import HittingTimeRecommender
+
+__all__ = [
+    "AbsorbingCostRecommender",
+    "AbsorbingTimeRecommender",
+    "Recommendation",
+    "Recommender",
+    "CostModel",
+    "EntropyCostModel",
+    "UnitCostModel",
+    "distribution_entropy",
+    "Explanation",
+    "PathEvidence",
+    "explain_recommendation",
+    "item_entropy",
+    "topic_entropy",
+    "RandomWalkRecommender",
+    "HittingTimeRecommender",
+]

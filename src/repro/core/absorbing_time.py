@@ -1,0 +1,52 @@
+"""AT — the Absorbing Time recommender (paper §4.1, Algorithm 1).
+
+The item-based refinement of Hitting Time: the absorbing set is the query
+user's entire rated-item set ``S_q``, and every candidate item ``i`` is
+ranked by ``AT(S_q | i)`` — the expected steps a walker starting at ``i``
+needs before first touching *any* item the user already liked (Definition 3,
+Eq. 6). Items use far more rating information than single users (§4
+motivation), which the paper shows improves both accuracy and diversity.
+
+Scalability follows Algorithm 1 exactly: a BFS subgraph capped at µ item
+nodes is grown around ``S_q`` and the first-step recurrence is iterated a
+fixed τ times (τ = 15 suffices for a stable top-k; see the ablation bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph_base import RandomWalkRecommender
+
+__all__ = ["AbsorbingTimeRecommender"]
+
+
+class AbsorbingTimeRecommender(RandomWalkRecommender):
+    """Item-based Absorbing Time ranking (the paper's AT variant).
+
+    Parameters
+    ----------
+    method:
+        ``"truncated"`` (Algorithm 1, default) or ``"exact"``.
+    n_iterations:
+        τ, the truncation depth (paper default 15).
+    subgraph_size:
+        µ, the BFS item budget (paper default 6000); ``None`` = global graph.
+    """
+
+    name = "AT"
+
+    def __init__(self, method: str = "truncated", n_iterations: int = 15,
+                 subgraph_size: int | None = 6000):
+        super().__init__(method=method, n_iterations=n_iterations,
+                         subgraph_size=subgraph_size)
+
+    def _absorbing_nodes(self, user: int) -> np.ndarray:
+        items = self.dataset.items_of_user(user)
+        return self.graph.item_nodes(items)
+
+    def absorbing_times(self, user: int) -> np.ndarray:
+        """Raw ``AT(S_q | i)`` per item (``+inf`` where unreachable / outside
+        the subgraph, ``0`` on the user's own items)."""
+        scores = self.score_items(user)
+        return np.where(np.isfinite(scores), -scores, np.inf)

@@ -1,0 +1,142 @@
+"""The common recommender interface.
+
+Every algorithm in this library — the paper's four graph recommenders and
+all baselines — implements :class:`Recommender`:
+
+* :meth:`Recommender.fit` ingests a :class:`~repro.data.RatingDataset`;
+* :meth:`Recommender.score_items` returns a score per item for a user, where
+  **higher is better** (time/cost-ranked algorithms negate internally) and
+  ``-inf`` marks items the algorithm refuses to recommend (unreachable in the
+  graph, outside the candidate subgraph, …);
+* :meth:`Recommender.recommend` turns scores into a top-k list, excluding
+  already-rated items by default.
+
+The uniform sign convention is what lets one evaluation harness (Recall@N,
+popularity, diversity, similarity, efficiency) run every algorithm
+unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError, NotFittedError
+from repro.utils.topk import top_k_indices
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Recommendation", "Recommender"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked recommendation: item index, its label, and the score."""
+
+    item: int
+    label: object
+    score: float
+
+
+class Recommender(abc.ABC):
+    """Abstract base class for all recommendation algorithms.
+
+    Subclasses implement :meth:`_fit` (ingest the dataset, precompute
+    models) and :meth:`_score_user` (score every item for one user).
+    """
+
+    #: Short name used in experiment tables ("HT", "AT", "AC2", "PureSVD", …).
+    name: str = "recommender"
+
+    def __init__(self):
+        self.dataset: RatingDataset | None = None
+
+    # -- template methods ---------------------------------------------------
+
+    @abc.abstractmethod
+    def _fit(self, dataset: RatingDataset) -> None:
+        """Algorithm-specific fitting; ``self.dataset`` is already set."""
+
+    @abc.abstractmethod
+    def _score_user(self, user: int) -> np.ndarray:
+        """Scores for every item (length ``n_items``), higher = better."""
+
+    # -- public API --------------------------------------------------------
+
+    def fit(self, dataset: RatingDataset) -> "Recommender":
+        """Fit the recommender on a dataset and return ``self``."""
+        if not isinstance(dataset, RatingDataset):
+            raise ConfigError(
+                f"fit expects a RatingDataset; got {type(dataset).__name__}"
+            )
+        self.dataset = dataset
+        self._fit(dataset)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.dataset is not None
+
+    def _require_fitted(self) -> RatingDataset:
+        if self.dataset is None:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+        return self.dataset
+
+    def score_items(self, user: int, candidates: np.ndarray | None = None) -> np.ndarray:
+        """Score items for ``user``; higher = more recommendable.
+
+        With ``candidates`` (item indices), returns scores aligned with that
+        array; otherwise returns scores for the full catalogue. ``-inf``
+        means "cannot recommend".
+        """
+        dataset = self._require_fitted()
+        dataset._check_user(user)
+        scores = np.asarray(self._score_user(int(user)), dtype=np.float64)
+        if scores.shape != (dataset.n_items,):
+            raise ConfigError(
+                f"{type(self).__name__}._score_user returned shape {scores.shape}; "
+                f"expected ({dataset.n_items},)"
+            )
+        if candidates is None:
+            return scores
+        candidates = np.asarray(candidates, dtype=np.int64).ravel()
+        if candidates.size and (candidates.min() < 0 or candidates.max() >= dataset.n_items):
+            raise ConfigError("candidates contains out-of-range item indices")
+        return scores[candidates]
+
+    def recommend(self, user: int, k: int = 10, exclude_rated: bool = True,
+                  candidates: np.ndarray | None = None) -> list[Recommendation]:
+        """Top-``k`` recommendations for ``user``.
+
+        Items scored ``-inf`` are never returned, so the list may be shorter
+        than ``k`` (e.g. a cold-start user on a graph method).
+        """
+        dataset = self._require_fitted()
+        k = check_positive_int(k, "k")
+        scores = self.score_items(user)
+        if exclude_rated:
+            scores = scores.copy()
+            scores[dataset.items_of_user(int(user))] = -np.inf
+        if candidates is not None:
+            mask = np.full(dataset.n_items, -np.inf)
+            candidates = np.asarray(candidates, dtype=np.int64).ravel()
+            mask[candidates] = 0.0
+            scores = scores + mask
+        order = top_k_indices(scores, k)
+        return [
+            Recommendation(int(i), dataset.item_labels[int(i)], float(scores[i]))
+            for i in order
+            if np.isfinite(scores[i])
+        ]
+
+    def recommend_items(self, user: int, k: int = 10, **kwargs) -> np.ndarray:
+        """Like :meth:`recommend` but returning just the item-index array."""
+        return np.array(
+            [r.item for r in self.recommend(user, k, **kwargs)], dtype=np.int64
+        )
+
+    def __repr__(self) -> str:
+        state = "fitted" if self.is_fitted else "unfitted"
+        return f"{type(self).__name__}(name={self.name!r}, {state})"

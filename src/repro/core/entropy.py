@@ -1,0 +1,81 @@
+"""User entropy — the feature behind the Absorbing Cost models (§4.2).
+
+Two estimators, exactly as the paper proposes:
+
+* **Item-based** (Eq. 10, §4.2.2): the Shannon entropy of the user's rating
+  mass over the items they rated, ``E(u) = −Σ_{i∈S_u} p(i|u) log p(i|u)``
+  with ``p(i|u) = w(u,i)/Σ w(u,·)``. A user who rated many items with even
+  weights is "ambiguous" (high entropy); a user with few concentrated
+  ratings is "specific".
+* **Topic-based** (Eq. 11, §4.2.3): the entropy of the user's latent topic
+  mixture θ_u from the rating-data LDA model — robust to the specific user
+  who rates *many* items that all share one topic.
+
+Both return entropy in nats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError
+from repro.topics import fit_lda
+from repro.topics.model import LatentTopicModel
+
+__all__ = ["item_entropy", "topic_entropy", "distribution_entropy"]
+
+
+def distribution_entropy(weights: np.ndarray) -> float:
+    """Shannon entropy (nats) of an unnormalised non-negative weight vector.
+
+    Zero weights contribute zero; an all-zero or empty vector has entropy 0
+    (the convention for a user with no ratings — maximally "specific"
+    because there is nothing to be ambiguous about).
+    """
+    w = np.asarray(weights, dtype=np.float64).ravel()
+    if w.size == 0:
+        return 0.0
+    if np.any(w < 0) or not np.all(np.isfinite(w)):
+        raise ConfigError("weights must be finite and non-negative")
+    total = w.sum()
+    if total == 0:
+        return 0.0
+    p = w / total
+    p = p[p > 0]  # filter after normalising: tiny weights can underflow to 0
+    return float(-(p * np.log(p)).sum())
+
+
+def item_entropy(dataset: RatingDataset) -> np.ndarray:
+    """Eq. 10: per-user entropy of the rating-mass distribution over items.
+
+    Vectorised over the CSR structure; returns an array of length
+    ``n_users``.
+    """
+    csr = dataset.matrix
+    totals = np.asarray(csr.sum(axis=1)).ravel()
+    # Per-element p log p, then summed per row.
+    safe_totals = np.where(totals > 0, totals, 1.0)
+    p = csr.data / np.repeat(safe_totals, np.diff(csr.indptr))
+    plogp = p * np.log(p, where=p > 0, out=np.zeros_like(p))
+    entropy = np.zeros(dataset.n_users)
+    np.subtract.at(entropy, np.repeat(np.arange(dataset.n_users), np.diff(csr.indptr)), plogp)
+    return entropy
+
+
+def topic_entropy(dataset: RatingDataset, n_topics: int = 10,
+                  model: LatentTopicModel | None = None,
+                  method: str = "cvb0", seed=0, **lda_kwargs) -> np.ndarray:
+    """Eq. 11: per-user entropy of the latent topic mixture θ_u.
+
+    Either pass a pre-trained ``model`` (its θ is used directly) or let this
+    function fit one with :func:`repro.topics.fit_lda` (engine selected by
+    ``method``; extra keyword arguments forwarded).
+    """
+    if model is None:
+        model = fit_lda(dataset, n_topics, method=method, seed=seed, **lda_kwargs)
+    if model.n_users != dataset.n_users:
+        raise ConfigError(
+            f"model has {model.n_users} users but dataset has {dataset.n_users}"
+        )
+    return np.asarray(model.user_entropy())

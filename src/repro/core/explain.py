@@ -1,0 +1,146 @@
+"""Explanations for graph recommendations: the path evidence behind a pick.
+
+The random-walk scores of HT/AT/AC are expectations over paths (Eq. 7
+interprets Absorbing Time as probability-weighted path length), so every
+recommendation has a concrete, human-readable justification: the short
+walks connecting the recommended item to the user's rated items, and the
+raters who carry them.
+
+:func:`explain_recommendation` extracts that evidence — the highest-
+probability length-3 paths ``item → rater → rated-item`` — which is exactly
+the "because rater V, who also loved X you rated, loved this" explanation
+production recommenders show. Items further than 3 hops get the connecting
+raters' aggregate statistics instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError, UnknownItemError
+from repro.graph.bipartite import UserItemGraph
+from repro.utils.validation import check_positive_int
+
+__all__ = ["PathEvidence", "Explanation", "explain_recommendation"]
+
+
+@dataclass(frozen=True)
+class PathEvidence:
+    """One ``candidate → rater → anchor`` path.
+
+    Attributes
+    ----------
+    rater:
+        The user index connecting the candidate to the anchor.
+    anchor:
+        An item the query user rated.
+    candidate_rating, anchor_rating:
+        The rater's star values on the two items.
+    weight:
+        The walk probability of this path from the candidate
+        (``p(candidate→rater) · p(rater→anchor)``).
+    """
+
+    rater: int
+    anchor: int
+    candidate_rating: float
+    anchor_rating: float
+    weight: float
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Why an item was recommended to a user.
+
+    Attributes
+    ----------
+    item:
+        The recommended item index.
+    paths:
+        Strongest two-hop paths into the user's rated set, best first.
+    n_raters:
+        How many users rated the candidate at all (its popularity).
+    connected:
+        False when no two-hop path exists (the evidence is longer-range).
+    """
+
+    item: int
+    paths: tuple
+    n_raters: int
+    connected: bool
+
+    def describe(self, dataset: RatingDataset) -> str:
+        """Render the explanation as human-readable lines."""
+        label = dataset.item_labels[self.item]
+        lines = [f"{label!s} — rated by {self.n_raters} user(s):"]
+        if not self.connected:
+            lines.append(
+                "  no direct co-rater overlap with your items; recommended "
+                "via longer walks through the graph"
+            )
+            return "\n".join(lines)
+        for path in self.paths:
+            rater = dataset.user_labels[path.rater]
+            anchor = dataset.item_labels[path.anchor]
+            lines.append(
+                f"  {rater!s} gave it {path.candidate_rating:.0f}★ and gave "
+                f"your {anchor!s} {path.anchor_rating:.0f}★ "
+                f"(path weight {path.weight:.3f})"
+            )
+        return "\n".join(lines)
+
+
+def explain_recommendation(dataset: RatingDataset, user: int, item: int,
+                           max_paths: int = 3) -> Explanation:
+    """Collect the strongest two-hop path evidence for (user, item).
+
+    Parameters
+    ----------
+    dataset:
+        The ratings the recommender was fitted on.
+    user:
+        The query user index.
+    item:
+        The recommended item index (must not be rated by ``user`` —
+        explaining an already-rated item is a caller bug).
+    max_paths:
+        How many paths to keep (best by walk probability).
+    """
+    max_paths = check_positive_int(max_paths, "max_paths")
+    dataset._check_user(user)
+    dataset._check_item(item)
+    anchors = set(dataset.items_of_user(user).tolist())
+    if item in anchors:
+        raise ConfigError(
+            f"item {item} is already rated by user {user}; nothing to explain"
+        )
+
+    graph = UserItemGraph(dataset)
+    raters = dataset.users_of_item(item)
+    item_degree = graph.degrees[graph.item_node(item)]
+    paths: list[PathEvidence] = []
+    for rater in raters:
+        rater = int(rater)
+        rater_degree = graph.degrees[graph.user_node(rater)]
+        candidate_rating = dataset.rating(rater, item)
+        shared = anchors.intersection(dataset.items_of_user(rater).tolist())
+        for anchor in shared:
+            anchor_rating = dataset.rating(rater, anchor)
+            weight = (candidate_rating / item_degree) * (anchor_rating / rater_degree)
+            paths.append(PathEvidence(
+                rater=rater,
+                anchor=int(anchor),
+                candidate_rating=candidate_rating,
+                anchor_rating=anchor_rating,
+                weight=float(weight),
+            ))
+    paths.sort(key=lambda p: (-p.weight, p.rater, p.anchor))
+    return Explanation(
+        item=int(item),
+        paths=tuple(paths[:max_paths]),
+        n_raters=int(raters.size),
+        connected=bool(paths),
+    )

@@ -1,0 +1,55 @@
+"""Datasets and data substrates: containers, loaders, synthetic generators,
+long-tail analysis, evaluation splits, the category ontology, and toy
+fixtures (including the paper's Figure 2 graph)."""
+
+from repro.data.dataset import RatingDataset
+from repro.data.longtail import (
+    LongTailSplit,
+    LongTailStats,
+    long_tail_split,
+    long_tail_stats,
+)
+from repro.data.movielens import load_movielens_1m, load_movielens_100k, load_rating_csv
+from repro.data.ontology import CategoryTree, ItemOntology, path_prefix_similarity
+from repro.data.splits import RecallSplit, make_recall_split, sample_test_users
+from repro.data.synthetic import (
+    SyntheticConfig,
+    SyntheticData,
+    douban_like,
+    generate_dataset,
+    movielens_like,
+)
+from repro.data.toy import (
+    FIGURE2_PAPER_HITTING_TIMES,
+    FIGURE2_RATINGS,
+    chain_dataset,
+    figure2_dataset,
+    two_community_dataset,
+)
+
+__all__ = [
+    "RatingDataset",
+    "LongTailSplit",
+    "LongTailStats",
+    "long_tail_split",
+    "long_tail_stats",
+    "load_movielens_1m",
+    "load_movielens_100k",
+    "load_rating_csv",
+    "CategoryTree",
+    "ItemOntology",
+    "path_prefix_similarity",
+    "RecallSplit",
+    "make_recall_split",
+    "sample_test_users",
+    "SyntheticConfig",
+    "SyntheticData",
+    "douban_like",
+    "generate_dataset",
+    "movielens_like",
+    "FIGURE2_PAPER_HITTING_TIMES",
+    "FIGURE2_RATINGS",
+    "chain_dataset",
+    "figure2_dataset",
+    "two_community_dataset",
+]

@@ -1,0 +1,250 @@
+"""The central rating-data container used by every recommender and substrate.
+
+A :class:`RatingDataset` wraps a sparse user×item rating matrix together with
+the external user/item identifiers, and exposes the statistics the paper's
+algorithms and experiments need (per-item popularity, per-user activity,
+density, rated-item sets).
+
+The rating convention follows the paper (§3.1): a stored value ``w(u, i) > 0``
+is the strength of the user-item relation (a 1–5 star rating); absence of an
+entry means "not rated". Zero ratings are therefore not representable and are
+rejected at construction.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import DataError, UnknownItemError, UnknownUserError
+from repro.utils.validation import check_rating_matrix
+
+__all__ = ["RatingDataset"]
+
+
+def _make_labels(labels, count: int, prefix: str) -> tuple:
+    if labels is None:
+        return tuple(f"{prefix}{i}" for i in range(count))
+    labels = tuple(labels)
+    if len(labels) != count:
+        raise DataError(
+            f"{prefix!r} label count {len(labels)} != matrix dimension {count}"
+        )
+    if len(set(labels)) != len(labels):
+        raise DataError(f"duplicate {prefix} labels")
+    return labels
+
+
+class RatingDataset:
+    """Immutable container for a user×item rating matrix with id mapping.
+
+    Parameters
+    ----------
+    matrix:
+        ``(n_users, n_items)`` sparse or dense matrix of positive ratings.
+    user_labels, item_labels:
+        Optional external identifiers (any hashables); default to
+        ``"u0".."u{n-1}"`` / ``"i0".."i{m-1}"``.
+    rating_scale:
+        Inclusive ``(low, high)`` bounds ratings are expected to lie in;
+        violations raise :class:`DataError`. Default ``(1, 5)`` per the paper's
+        datasets. Pass ``None`` to skip the check (e.g. for weighted graphs
+        that are not star ratings).
+
+    Notes
+    -----
+    The underlying matrix is stored as CSR for fast per-user row access; a CSC
+    copy is materialised lazily for per-item column access.
+    """
+
+    def __init__(self, matrix, user_labels: Sequence[Hashable] | None = None,
+                 item_labels: Sequence[Hashable] | None = None,
+                 rating_scale: tuple[float, float] | None = (1.0, 5.0)):
+        self._csr = check_rating_matrix(matrix)
+        if rating_scale is not None:
+            low, high = float(rating_scale[0]), float(rating_scale[1])
+            if not low <= high:
+                raise DataError(f"invalid rating scale {rating_scale}")
+            if self._csr.nnz and (self._csr.data.min() < low or self._csr.data.max() > high):
+                raise DataError(
+                    f"ratings outside scale [{low}, {high}]: "
+                    f"found range [{self._csr.data.min()}, {self._csr.data.max()}]"
+                )
+        self.rating_scale = rating_scale
+        self.user_labels = _make_labels(user_labels, self._csr.shape[0], "u")
+        self.item_labels = _make_labels(item_labels, self._csr.shape[1], "i")
+        self._user_index: Mapping[Hashable, int] = {
+            label: i for i, label in enumerate(self.user_labels)
+        }
+        self._item_index: Mapping[Hashable, int] = {
+            label: i for i, label in enumerate(self.item_labels)
+        }
+        self._csc: sp.csc_matrix | None = None
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[tuple[Hashable, Hashable, float]],
+                     rating_scale: tuple[float, float] | None = (1.0, 5.0),
+                     ) -> "RatingDataset":
+        """Build a dataset from ``(user, item, rating)`` triples.
+
+        Users and items are indexed in first-appearance order. Duplicate
+        (user, item) pairs raise :class:`DataError` — silently summing
+        duplicate star ratings would corrupt the rating scale.
+        """
+        users: dict[Hashable, int] = {}
+        items: dict[Hashable, int] = {}
+        rows, cols, vals = [], [], []
+        seen: set[tuple[int, int]] = set()
+        for user, item, rating in triples:
+            u = users.setdefault(user, len(users))
+            i = items.setdefault(item, len(items))
+            if (u, i) in seen:
+                raise DataError(f"duplicate rating for (user={user!r}, item={item!r})")
+            seen.add((u, i))
+            rows.append(u)
+            cols.append(i)
+            vals.append(float(rating))
+        if not rows:
+            raise DataError("no rating triples supplied")
+        matrix = sp.csr_matrix(
+            (vals, (rows, cols)), shape=(len(users), len(items))
+        )
+        return cls(matrix, tuple(users), tuple(items), rating_scale=rating_scale)
+
+    # -- basic shape ------------------------------------------------------
+
+    @property
+    def matrix(self) -> sp.csr_matrix:
+        """The user×item CSR rating matrix (do not mutate)."""
+        return self._csr
+
+    @property
+    def n_users(self) -> int:
+        return self._csr.shape[0]
+
+    @property
+    def n_items(self) -> int:
+        return self._csr.shape[1]
+
+    @property
+    def n_ratings(self) -> int:
+        return self._csr.nnz
+
+    @property
+    def density(self) -> float:
+        """Fraction of filled cells (the paper reports 4.26% / 0.039%)."""
+        return self.n_ratings / (self.n_users * self.n_items)
+
+    def __repr__(self) -> str:
+        return (
+            f"RatingDataset(n_users={self.n_users}, n_items={self.n_items}, "
+            f"n_ratings={self.n_ratings}, density={self.density:.4%})"
+        )
+
+    # -- id mapping --------------------------------------------------------
+
+    def user_id(self, label: Hashable) -> int:
+        """Internal index of a user label."""
+        try:
+            return self._user_index[label]
+        except KeyError:
+            raise UnknownUserError(label) from None
+
+    def item_id(self, label: Hashable) -> int:
+        """Internal index of an item label."""
+        try:
+            return self._item_index[label]
+        except KeyError:
+            raise UnknownItemError(label) from None
+
+    # -- per-user / per-item views ------------------------------------------
+
+    def _csc_matrix(self) -> sp.csc_matrix:
+        if self._csc is None:
+            self._csc = self._csr.tocsc()
+        return self._csc
+
+    def items_of_user(self, user: int) -> np.ndarray:
+        """Item indices rated by ``user`` (the paper's set :math:`S_u`)."""
+        self._check_user(user)
+        return self._csr.indices[self._csr.indptr[user]:self._csr.indptr[user + 1]].astype(np.int64)
+
+    def ratings_of_user(self, user: int) -> np.ndarray:
+        """Rating values aligned with :meth:`items_of_user`."""
+        self._check_user(user)
+        return self._csr.data[self._csr.indptr[user]:self._csr.indptr[user + 1]].copy()
+
+    def users_of_item(self, item: int) -> np.ndarray:
+        """User indices who rated ``item``."""
+        self._check_item(item)
+        csc = self._csc_matrix()
+        return csc.indices[csc.indptr[item]:csc.indptr[item + 1]].astype(np.int64)
+
+    def rating(self, user: int, item: int) -> float:
+        """The stored rating, or 0.0 when unrated."""
+        self._check_user(user)
+        self._check_item(item)
+        return float(self._csr[user, item])
+
+    # -- aggregate statistics ------------------------------------------------
+
+    def item_popularity(self) -> np.ndarray:
+        """Number of ratings per item — the paper's popularity measure (§5.1.3)."""
+        return np.asarray((self._csr != 0).sum(axis=0)).ravel().astype(np.int64)
+
+    def item_rating_sum(self) -> np.ndarray:
+        """Sum of rating values per item (weighted popularity)."""
+        return np.asarray(self._csr.sum(axis=0)).ravel()
+
+    def user_activity(self) -> np.ndarray:
+        """Number of ratings per user."""
+        return np.diff(self._csr.indptr).astype(np.int64)
+
+    def mean_rating(self) -> float:
+        return float(self._csr.data.mean())
+
+    # -- transforms ----------------------------------------------------------
+
+    def without_ratings(self, pairs: Iterable[tuple[int, int]]) -> "RatingDataset":
+        """Return a copy with the given (user, item) index pairs removed.
+
+        Used by the evaluation splits to hold out test ratings. Removing a
+        pair that is not present raises :class:`DataError` (it would silently
+        weaken the test set).
+        """
+        lil = self._csr.tolil(copy=True)
+        for user, item in pairs:
+            self._check_user(user)
+            self._check_item(item)
+            if lil[user, item] == 0:
+                raise DataError(f"cannot remove absent rating (user={user}, item={item})")
+            lil[user, item] = 0
+        return RatingDataset(
+            lil.tocsr(), self.user_labels, self.item_labels, rating_scale=self.rating_scale
+        )
+
+    def subset_users(self, users: np.ndarray) -> "RatingDataset":
+        """Dataset restricted to the given user indices (items unchanged)."""
+        users = np.asarray(users, dtype=np.int64)
+        for user in users:
+            self._check_user(int(user))
+        return RatingDataset(
+            self._csr[users],
+            tuple(self.user_labels[u] for u in users),
+            self.item_labels,
+            rating_scale=self.rating_scale,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_user(self, user: int) -> None:
+        if not isinstance(user, (int, np.integer)) or not 0 <= user < self.n_users:
+            raise UnknownUserError(user)
+
+    def _check_item(self, item: int) -> None:
+        if not isinstance(item, (int, np.integer)) or not 0 <= item < self.n_items:
+            raise UnknownItemError(item)

@@ -1,0 +1,98 @@
+"""Loaders for real rating-data files (MovieLens formats and generic CSV).
+
+The experiments in this repository run on the synthetic stand-ins (see
+:mod:`repro.data.synthetic` and DESIGN.md §6), but the harness accepts real
+data unchanged: drop a MovieLens ``ratings.dat`` / ``u.data`` file or any
+``user,item,rating`` CSV next to the benchmarks and load it with these
+functions.
+
+Supported formats
+-----------------
+* **MovieLens 1M** ``ratings.dat``: ``UserID::MovieID::Rating::Timestamp``
+* **MovieLens 100K** ``u.data``: tab-separated ``user item rating timestamp``
+* **Generic CSV**: ``user,item,rating[,anything...]`` with optional header
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import DataFormatError
+
+__all__ = ["load_movielens_1m", "load_movielens_100k", "load_rating_csv"]
+
+
+def _parse_lines(path: str, sep: str, min_fields: int) -> Iterator[tuple[str, str, float]]:
+    if not os.path.exists(path):
+        raise DataFormatError(f"rating file not found: {path}")
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            fields = line.split(sep)
+            if len(fields) < min_fields:
+                raise DataFormatError(
+                    f"{path}:{lineno}: expected >= {min_fields} fields "
+                    f"separated by {sep!r}, got {len(fields)}"
+                )
+            try:
+                rating = float(fields[2])
+            except ValueError:
+                raise DataFormatError(
+                    f"{path}:{lineno}: rating field {fields[2]!r} is not a number"
+                ) from None
+            yield fields[0], fields[1], rating
+
+
+def load_movielens_1m(path: str) -> RatingDataset:
+    """Load a MovieLens-1M ``ratings.dat`` (``UserID::MovieID::Rating::Ts``)."""
+    triples = list(_parse_lines(path, "::", 3))
+    if not triples:
+        raise DataFormatError(f"{path}: no ratings found")
+    return RatingDataset.from_triples(triples)
+
+
+def load_movielens_100k(path: str) -> RatingDataset:
+    """Load a MovieLens-100K ``u.data`` (tab-separated)."""
+    triples = list(_parse_lines(path, "\t", 3))
+    if not triples:
+        raise DataFormatError(f"{path}: no ratings found")
+    return RatingDataset.from_triples(triples)
+
+
+def load_rating_csv(path: str, *, delimiter: str = ",",
+                    rating_scale: tuple[float, float] | None = (1.0, 5.0),
+                    ) -> RatingDataset:
+    """Load ``user,item,rating`` rows from a CSV (header auto-detected).
+
+    A first row whose third field is not numeric is treated as a header and
+    skipped; any later non-numeric rating raises :class:`DataFormatError`.
+    """
+    if not os.path.exists(path):
+        raise DataFormatError(f"rating file not found: {path}")
+    triples: list[tuple[str, str, float]] = []
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            fields = line.split(delimiter)
+            if len(fields) < 3:
+                raise DataFormatError(
+                    f"{path}:{lineno}: expected >= 3 comma-separated fields"
+                )
+            try:
+                rating = float(fields[2])
+            except ValueError:
+                if lineno == 1:
+                    continue  # header row
+                raise DataFormatError(
+                    f"{path}:{lineno}: rating field {fields[2]!r} is not a number"
+                ) from None
+            triples.append((fields[0], fields[1], rating))
+    if not triples:
+        raise DataFormatError(f"{path}: no ratings found")
+    return RatingDataset.from_triples(triples, rating_scale=rating_scale)

@@ -1,0 +1,126 @@
+"""Train/test splitting for the paper's evaluation protocols (§5.2.1–5.2.2).
+
+Two samplers live here:
+
+* :func:`make_recall_split` — the Recall@N protocol setup: hold out
+  highly-rated (default 5-star) *long-tail* ratings as test cases and remove
+  them from the training matrix (the paper holds out 4000 such ratings).
+* :func:`sample_test_users` — the 2000-user panel used for the popularity /
+  diversity / similarity / efficiency experiments (§5.2.2 ff).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.data.longtail import long_tail_split
+from repro.exceptions import DataError
+from repro.utils.validation import check_positive_int, check_random_state
+
+__all__ = ["RecallSplit", "make_recall_split", "sample_test_users"]
+
+
+@dataclass(frozen=True)
+class RecallSplit:
+    """A Recall@N evaluation split.
+
+    Attributes
+    ----------
+    train:
+        Training dataset with the test ratings removed.
+    test_cases:
+        ``(user, item)`` index pairs; each pair was rated ``min_rating`` or
+        higher in the source data and the item lies in the long tail.
+    source:
+        The unsplit dataset (used by the protocol to exclude *all* known
+        ratings when sampling distractors).
+    """
+
+    train: RatingDataset
+    test_cases: tuple[tuple[int, int], ...]
+    source: RatingDataset
+
+    @property
+    def n_cases(self) -> int:
+        return len(self.test_cases)
+
+
+def make_recall_split(dataset: RatingDataset, n_cases: int = 400,
+                      tail_ratio: float = 0.20, min_rating: float = 5.0,
+                      min_item_popularity: int = 2, min_user_activity: int = 3,
+                      seed=0) -> RecallSplit:
+    """Sample held-out favourite long-tail ratings, paper §5.2.1 style.
+
+    Eligible test ratings must satisfy: the item is in the ``tail_ratio``
+    long tail; the rating is ``>= min_rating``; the item keeps at least
+    ``min_item_popularity - 1`` other ratings (so it stays attached to the
+    training graph); the user keeps at least ``min_user_activity - 1`` other
+    ratings (so the recommenders have a profile to work from). At most one
+    test case is drawn per (user, item) pair; multiple cases per user are
+    allowed, but never so many that the user's floor is violated.
+
+    Raises :class:`DataError` if fewer than ``n_cases`` eligible ratings
+    exist — a silent shortfall would make Recall@N incomparable across runs.
+    """
+    n_cases = check_positive_int(n_cases, "n_cases")
+    rng = check_random_state(seed)
+    tail = long_tail_split(dataset, tail_ratio)
+    tail_mask = tail.is_tail()
+    popularity = dataset.item_popularity()
+    activity = dataset.user_activity()
+
+    coo = dataset.matrix.tocoo()
+    eligible = np.flatnonzero(
+        (coo.data >= min_rating)
+        & tail_mask[coo.col]
+        & (popularity[coo.col] >= min_item_popularity)
+        & (activity[coo.row] >= min_user_activity)
+    )
+    if eligible.size < n_cases:
+        raise DataError(
+            f"only {eligible.size} eligible long-tail ratings "
+            f"(needed {n_cases}); lower n_cases or min_rating"
+        )
+    order = rng.permutation(eligible)
+
+    # Greedy selection honouring the per-user and per-item floors.
+    user_budget = activity - (min_user_activity - 1)
+    item_budget = popularity - (min_item_popularity - 1)
+    chosen: list[tuple[int, int]] = []
+    for idx in order:
+        u, i = int(coo.row[idx]), int(coo.col[idx])
+        if user_budget[u] <= 0 or item_budget[i] <= 0:
+            continue
+        user_budget[u] -= 1
+        item_budget[i] -= 1
+        chosen.append((u, i))
+        if len(chosen) == n_cases:
+            break
+    if len(chosen) < n_cases:
+        raise DataError(
+            f"could only select {len(chosen)} test cases under the "
+            f"user/item floors (needed {n_cases})"
+        )
+    train = dataset.without_ratings(chosen)
+    return RecallSplit(train=train, test_cases=tuple(chosen), source=dataset)
+
+
+def sample_test_users(dataset: RatingDataset, n_users: int = 200,
+                      min_activity: int = 3, seed=0) -> np.ndarray:
+    """Sample the test-user panel for the top-N experiments.
+
+    Only users with at least ``min_activity`` ratings are eligible (a user
+    with an empty profile cannot anchor the absorbing set :math:`S_q`).
+    """
+    n_users = check_positive_int(n_users, "n_users")
+    rng = check_random_state(seed)
+    eligible = np.flatnonzero(dataset.user_activity() >= min_activity)
+    if eligible.size < n_users:
+        raise DataError(
+            f"only {eligible.size} users have >= {min_activity} ratings "
+            f"(needed {n_users})"
+        )
+    return np.sort(rng.choice(eligible, size=n_users, replace=False))

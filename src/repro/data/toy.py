@@ -1,0 +1,89 @@
+"""Small exactly-known fixtures, including the paper's Figure 2 graph.
+
+:func:`figure2_dataset` reproduces the worked example of §3.3: five users,
+six movies, ratings as in the Figure 2 table. The paper reports truncated
+hitting times ``H(U5|M4)=17.7 < H(U5|M1)=19.6 < H(U5|M5)=20.2 <
+H(U5|M6)=20.3``, which this library reproduces to two decimals (see
+``tests/core/test_fig2_golden.py``) — the fixture doubles as the library's
+convention anchor (edge weight = raw rating).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.data.dataset import RatingDataset
+
+__all__ = [
+    "figure2_dataset",
+    "FIGURE2_RATINGS",
+    "FIGURE2_PAPER_HITTING_TIMES",
+    "FIGURE2_MOVIE_TITLES",
+    "chain_dataset",
+    "two_community_dataset",
+]
+
+#: (user, movie, stars) triples exactly as printed in Figure 2 of the paper.
+FIGURE2_RATINGS: tuple[tuple[str, str, int], ...] = (
+    ("U1", "M1", 5), ("U1", "M2", 3), ("U1", "M5", 3), ("U1", "M6", 5),
+    ("U2", "M1", 5), ("U2", "M2", 4), ("U2", "M3", 5), ("U2", "M5", 4), ("U2", "M6", 5),
+    ("U3", "M1", 4), ("U3", "M2", 5), ("U3", "M3", 4),
+    ("U4", "M3", 5), ("U4", "M4", 5),
+    ("U5", "M2", 4), ("U5", "M3", 5),
+)
+
+#: Truncated hitting times to U5 reported in §3.3 of the paper.
+FIGURE2_PAPER_HITTING_TIMES: dict[str, float] = {
+    "M4": 17.7,
+    "M1": 19.6,
+    "M5": 20.2,
+    "M6": 20.3,
+}
+
+#: Movie titles printed in Figure 2 (M1–M3 Action, M4–M6 per figure labels).
+FIGURE2_MOVIE_TITLES: dict[str, str] = {
+    "M1": "Patton (1970)",
+    "M2": "Gandhi (1982)",
+    "M3": "First Blood (1982)",
+    "M4": "Highlander (1986)",
+    "M5": "Ben-Hur (1959)",
+    "M6": "The Seventh Scroll (1999)",
+}
+
+
+def figure2_dataset() -> RatingDataset:
+    """The 5-user × 6-movie rating matrix of the paper's Figure 2."""
+    return RatingDataset.from_triples(FIGURE2_RATINGS)
+
+
+def chain_dataset(n_links: int = 3) -> RatingDataset:
+    """A path-shaped bipartite graph: u0–i0–u1–i1–…
+
+    Every user rates the items adjacent to it in the chain with rating 1.
+    Useful for closed-form expectations: on a path the hitting times of a
+    simple random walk are exactly computable.
+    """
+    triples = []
+    for k in range(n_links):
+        triples.append((f"u{k}", f"i{k}", 1.0))
+        triples.append((f"u{k + 1}", f"i{k}", 1.0))
+    return RatingDataset.from_triples(triples, rating_scale=None)
+
+
+def two_community_dataset(bridge: bool = True) -> RatingDataset:
+    """Two dense user-item blocks, optionally joined by one bridge rating.
+
+    With ``bridge=False`` the graph is disconnected — the fixture for the
+    disconnectivity error paths.
+    """
+    triples = []
+    for u in range(3):
+        for i in range(3):
+            triples.append((f"a_u{u}", f"a_i{i}", 4.0))
+    for u in range(3):
+        for i in range(3):
+            triples.append((f"b_u{u}", f"b_i{i}", 4.0))
+    if bridge:
+        triples.append((f"a_u0", f"b_i0", 3.0))
+    return RatingDataset.from_triples(triples)

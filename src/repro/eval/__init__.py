@@ -1,0 +1,43 @@
+"""Evaluation: the paper's metrics (§5.1.3), the Recall@N protocol (§5.2.1),
+the top-N experiment harness (§5.2.2–5.2.6), the simulated user study
+(§5.2.7), and text/CSV reporting."""
+
+from repro.eval.harness import TopNExperiment, TopNReport
+from repro.eval.metrics import (
+    diversity,
+    list_similarity,
+    mean_popularity,
+    popularity_at_rank,
+    recall_at,
+    recall_curve,
+    recommendation_gini,
+    tail_share,
+)
+from repro.eval.protocol import RecallProtocol, RecallResult
+from repro.eval.reporting import format_series, format_table, results_dir, write_csv
+from repro.eval.significance import RecallInterval, bootstrap_recall, bootstrap_recall_difference
+from repro.eval.user_study import SimulatedPanel, StudyReport
+
+__all__ = [
+    "TopNExperiment",
+    "TopNReport",
+    "diversity",
+    "list_similarity",
+    "mean_popularity",
+    "popularity_at_rank",
+    "recall_at",
+    "recall_curve",
+    "recommendation_gini",
+    "tail_share",
+    "RecallProtocol",
+    "RecallResult",
+    "RecallInterval",
+    "bootstrap_recall",
+    "bootstrap_recall_difference",
+    "format_series",
+    "format_table",
+    "results_dir",
+    "write_csv",
+    "SimulatedPanel",
+    "StudyReport",
+]

@@ -1,0 +1,152 @@
+"""Top-N experiment harness (paper §5.2.2–5.2.6).
+
+Given a fitted recommender and a panel of test users, collects top-k lists
+and measures everything the paper's Tables 2–5 and Figure 6 report:
+
+* Popularity@N series and mean popularity (Figure 6, Table 4 row 1);
+* Diversity — Eq. 17 (Table 2, Table 4 row 3);
+* Ontology similarity — Eq. 19 (Table 3, Table 4 row 2), when an ontology
+  is supplied;
+* per-user recommendation wall-clock (Table 5, Table 4 row 4);
+* extended: tail share and recommendation Gini.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import Recommender
+from repro.data.dataset import RatingDataset
+from repro.data.longtail import long_tail_split
+from repro.data.ontology import ItemOntology
+from repro.eval.metrics import (
+    diversity,
+    list_similarity,
+    mean_popularity,
+    popularity_at_rank,
+    recommendation_gini,
+    tail_share,
+)
+from repro.exceptions import ConfigError, NotFittedError
+from repro.utils.timer import StopwatchStats
+from repro.utils.validation import check_positive_int
+
+__all__ = ["TopNExperiment", "TopNReport"]
+
+
+@dataclass(frozen=True)
+class TopNReport:
+    """All §5.2.2+ measurements for one recommender over one user panel."""
+
+    name: str
+    k: int
+    n_users: int
+    lists: dict = field(repr=False)
+    popularity_at_n: np.ndarray
+    mean_popularity: float
+    diversity: float
+    similarity: float | None
+    tail_share: float
+    gini: float
+    mean_seconds_per_user: float
+    total_seconds: float
+
+    def row(self) -> dict:
+        """Flat dict for table assembly (similarity omitted when absent)."""
+        out = {
+            "algorithm": self.name,
+            "popularity": round(self.mean_popularity, 1),
+            "diversity": round(self.diversity, 3),
+            "tail_share": round(self.tail_share, 3),
+            "gini": round(self.gini, 3),
+            "sec_per_user": round(self.mean_seconds_per_user, 4),
+        }
+        if self.similarity is not None:
+            out["similarity"] = round(self.similarity, 3)
+        return out
+
+
+class TopNExperiment:
+    """Collects top-k lists for a user panel and derives the paper's metrics.
+
+    Parameters
+    ----------
+    dataset:
+        The training dataset (used for rated-set exclusion, popularity and
+        the tail split).
+    test_users:
+        User indices forming the evaluation panel (paper: 2000 sampled
+        users).
+    k:
+        List length (paper: 10).
+    ontology:
+        Optional :class:`ItemOntology` enabling the similarity metric.
+    tail_ratio:
+        The r% rule for the tail share metric.
+    """
+
+    def __init__(self, dataset: RatingDataset, test_users: np.ndarray, k: int = 10,
+                 ontology: ItemOntology | None = None, tail_ratio: float = 0.20):
+        if not isinstance(dataset, RatingDataset):
+            raise ConfigError("dataset must be a RatingDataset")
+        self.dataset = dataset
+        self.test_users = np.asarray(test_users, dtype=np.int64).ravel()
+        if self.test_users.size == 0:
+            raise ConfigError("test_users is empty")
+        if self.test_users.min() < 0 or self.test_users.max() >= dataset.n_users:
+            raise ConfigError("test_users contains out-of-range indices")
+        self.k = check_positive_int(k, "k")
+        if ontology is not None and ontology.n_items != dataset.n_items:
+            raise ConfigError(
+                f"ontology covers {ontology.n_items} items but dataset has "
+                f"{dataset.n_items}"
+            )
+        self.ontology = ontology
+        self._popularity = dataset.item_popularity()
+        self._tail_mask = long_tail_split(dataset, tail_ratio).is_tail()
+
+    def run(self, recommender: Recommender) -> TopNReport:
+        """Generate lists for the panel and compute every metric."""
+        if not recommender.is_fitted:
+            raise NotFittedError(
+                f"{type(recommender).__name__} must be fitted before run()"
+            )
+        watch = StopwatchStats()
+        lists: dict[int, np.ndarray] = {}
+        for user in self.test_users:
+            with watch.time():
+                items = recommender.recommend_items(int(user), self.k)
+            lists[int(user)] = items
+
+        non_empty = [l for l in lists.values() if len(l)]
+        if not non_empty:
+            raise ConfigError(
+                f"{recommender.name} produced no recommendations for any panel user"
+            )
+        similarity = None
+        if self.ontology is not None:
+            similarity = list_similarity(lists, self.dataset, self.ontology)
+        return TopNReport(
+            name=recommender.name,
+            k=self.k,
+            n_users=self.test_users.size,
+            lists=lists,
+            popularity_at_n=popularity_at_rank(non_empty, self._popularity, self.k),
+            mean_popularity=mean_popularity(non_empty, self._popularity),
+            diversity=diversity(non_empty, self.dataset.n_items),
+            similarity=similarity,
+            tail_share=tail_share(non_empty, self._tail_mask),
+            gini=recommendation_gini(non_empty, self.dataset.n_items),
+            mean_seconds_per_user=watch.mean,
+            total_seconds=watch.total,
+        )
+
+    def run_all(self, recommenders) -> dict[str, TopNReport]:
+        """Run the panel for several fitted recommenders."""
+        reports: dict[str, TopNReport] = {}
+        for recommender in recommenders:
+            report = self.run(recommender)
+            reports[report.name] = report
+        return reports

@@ -1,0 +1,144 @@
+"""Evaluation metrics (paper §5.1.3).
+
+* **Recall@N** (Eq. 16): fraction of held-out favourites ranked in the
+  top-N among 1000 distractors — computed here from raw ranks so one pass
+  yields the whole recall curve of Figure 5.
+* **Popularity@N**: mean rating-count of the item recommended at each rank
+  (Figure 6's series).
+* **Diversity** (Eq. 17): unique items recommended across the test panel
+  over catalogue size (Table 2).
+* **Similarity** (Eq. 19, via the ontology): taste match of recommendation
+  lists (Table 3).
+* Extended metrics the paper discusses qualitatively: aggregate-diversity
+  Gini, catalogue coverage, and mean tail share of the lists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.data.ontology import ItemOntology
+from repro.exceptions import ConfigError
+
+__all__ = [
+    "recall_curve",
+    "recall_at",
+    "popularity_at_rank",
+    "mean_popularity",
+    "diversity",
+    "list_similarity",
+    "tail_share",
+    "recommendation_gini",
+]
+
+
+def recall_curve(ranks: Sequence[int], max_n: int = 50) -> np.ndarray:
+    """Recall@N for N = 1..max_n from the held-out items' zero-based ranks.
+
+    ``recall_curve(ranks)[n-1]`` is Eq. 16's Recall@N: the fraction of test
+    cases whose target ranked strictly inside the top N.
+    """
+    ranks = np.asarray(ranks, dtype=np.int64).ravel()
+    if ranks.size == 0:
+        raise ConfigError("no ranks supplied")
+    if np.any(ranks < 0):
+        raise ConfigError("ranks must be non-negative (zero-based)")
+    thresholds = np.arange(1, max_n + 1)
+    return (ranks[None, :] < thresholds[:, None]).mean(axis=1)
+
+
+def recall_at(ranks: Sequence[int], n: int) -> float:
+    """Recall@N for a single N."""
+    if n < 1:
+        raise ConfigError(f"N must be >= 1; got {n}")
+    return float(recall_curve(ranks, max_n=n)[n - 1])
+
+
+def popularity_at_rank(lists: Iterable[Sequence[int]], popularity: np.ndarray,
+                       k: int = 10) -> np.ndarray:
+    """Figure 6's series: mean item popularity at each list position 1..k.
+
+    Lists shorter than ``k`` simply contribute to the positions they fill;
+    positions no list fills are NaN.
+    """
+    popularity = np.asarray(popularity, dtype=np.float64).ravel()
+    sums = np.zeros(k)
+    counts = np.zeros(k)
+    for rec_list in lists:
+        for pos, item in enumerate(list(rec_list)[:k]):
+            sums[pos] += popularity[int(item)]
+            counts[pos] += 1
+    with np.errstate(invalid="ignore"):
+        return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+
+
+def mean_popularity(lists: Iterable[Sequence[int]], popularity: np.ndarray) -> float:
+    """Average popularity over every recommended item in every list."""
+    popularity = np.asarray(popularity, dtype=np.float64).ravel()
+    values = [popularity[int(i)] for rec_list in lists for i in rec_list]
+    if not values:
+        raise ConfigError("no recommendations supplied")
+    return float(np.mean(values))
+
+
+def diversity(lists: Iterable[Sequence[int]], n_items: int) -> float:
+    """Eq. 17: ``|∪_u R_u| / |I|`` — unique recommended items over catalogue."""
+    if n_items <= 0:
+        raise ConfigError(f"n_items must be > 0; got {n_items}")
+    unique: set[int] = set()
+    for rec_list in lists:
+        unique.update(int(i) for i in rec_list)
+    return len(unique) / n_items
+
+
+def list_similarity(lists: Mapping[int, Sequence[int]], dataset: RatingDataset,
+                    ontology: ItemOntology) -> float:
+    """Mean Eq. 19 similarity of recommended items to each user's profile.
+
+    ``lists`` maps user index → recommended item indices; the user's rated
+    set :math:`S_u` comes from ``dataset``. Returns the grand mean over all
+    recommended items of all users (users with empty lists are skipped).
+    """
+    values: list[float] = []
+    for user, rec_list in lists.items():
+        rated = dataset.items_of_user(int(user))
+        for item in rec_list:
+            values.append(ontology.user_item_similarity(rated, int(item)))
+    if not values:
+        raise ConfigError("no recommendations supplied")
+    return float(np.mean(values))
+
+
+def tail_share(lists: Iterable[Sequence[int]], tail_mask: np.ndarray) -> float:
+    """Fraction of all recommended items that lie in the long tail."""
+    tail_mask = np.asarray(tail_mask, dtype=bool).ravel()
+    flags = [bool(tail_mask[int(i)]) for rec_list in lists for i in rec_list]
+    if not flags:
+        raise ConfigError("no recommendations supplied")
+    return float(np.mean(flags))
+
+
+def recommendation_gini(lists: Iterable[Sequence[int]], n_items: int) -> float:
+    """Gini coefficient of how recommendations concentrate on items.
+
+    0 = perfectly even exposure across the catalogue, → 1 = everything
+    concentrated on a few items (the "rich-get-richer" effect of §1).
+    """
+    if n_items <= 0:
+        raise ConfigError(f"n_items must be > 0; got {n_items}")
+    counts = np.zeros(n_items)
+    total = 0
+    for rec_list in lists:
+        for item in rec_list:
+            counts[int(item)] += 1
+            total += 1
+    if total == 0:
+        raise ConfigError("no recommendations supplied")
+    sorted_counts = np.sort(counts)
+    n = n_items
+    ranks = np.arange(1, n + 1)
+    return float((2 * np.sum(ranks * sorted_counts) / (n * sorted_counts.sum()))
+                 - (n + 1) / n)

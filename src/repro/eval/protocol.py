@@ -1,0 +1,150 @@
+"""The Recall@N ranking protocol (paper §5.2.1).
+
+For every held-out (user, favourite-long-tail-item) pair the protocol:
+
+1. samples ``n_distractors`` (paper: 1000) items the user never rated;
+2. asks the recommender to score the target among the distractors;
+3. records the target's rank in that 1001-item list.
+
+Recall@N is then the fraction of test cases ranked inside the top N
+(Eq. 16). Distractor draws are seeded per test case, so every algorithm is
+evaluated against the *identical* candidate sets — the paper's "fair to all
+competitors" setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import Recommender
+from repro.data.splits import RecallSplit
+from repro.eval.metrics import recall_curve
+from repro.exceptions import ConfigError, NotFittedError
+from repro.utils.sampling import sample_without_replacement
+from repro.utils.topk import rank_of
+from repro.utils.validation import check_positive_int, check_random_state
+
+__all__ = ["RecallProtocol", "RecallResult"]
+
+
+@dataclass(frozen=True)
+class RecallResult:
+    """Per-algorithm protocol output.
+
+    Attributes
+    ----------
+    name:
+        The recommender's reported name.
+    ranks:
+        Zero-based rank of the target in its 1001-candidate list, one per
+        test case.
+    max_n:
+        Largest N the recall curve was computed for.
+    """
+
+    name: str
+    ranks: np.ndarray
+    max_n: int
+
+    @property
+    def recall(self) -> np.ndarray:
+        """Recall@N for N = 1..max_n (Figure 5's series)."""
+        return recall_curve(self.ranks, self.max_n)
+
+    def recall_at(self, n: int) -> float:
+        if not 1 <= n <= self.max_n:
+            raise ConfigError(f"N must be in [1, {self.max_n}]; got {n}")
+        return float(self.recall[n - 1])
+
+
+class RecallProtocol:
+    """Runs the 1001-item ranking protocol for any number of recommenders.
+
+    Parameters
+    ----------
+    split:
+        A :class:`~repro.data.splits.RecallSplit`; recommenders must be
+        fitted on ``split.train``.
+    n_distractors:
+        Unrated items sampled per test case (paper: 1000).
+    max_n:
+        Largest N of the recall curve (paper plots 1..50).
+    seed:
+        Base seed; case ``c`` draws its distractors from ``(seed, c)`` so
+        candidate sets are identical across algorithms.
+    """
+
+    def __init__(self, split: RecallSplit, n_distractors: int = 1000,
+                 max_n: int = 50, seed=0):
+        if not isinstance(split, RecallSplit):
+            raise ConfigError("split must be a RecallSplit")
+        self.split = split
+        self.n_distractors = check_positive_int(n_distractors, "n_distractors")
+        self.max_n = check_positive_int(max_n, "max_n")
+        self.seed = seed
+        self._candidate_cache: list[tuple[int, np.ndarray]] | None = None
+
+    # -- candidate sets -------------------------------------------------------
+
+    def _candidates(self) -> list[tuple[int, np.ndarray]]:
+        """Per test case: (user, candidate item array with target first)."""
+        if self._candidate_cache is not None:
+            return self._candidate_cache
+        source = self.split.source
+        cache = []
+        for case_index, (user, target) in enumerate(self.split.test_cases):
+            rng = check_random_state(
+                np.random.SeedSequence(
+                    [int(np.abs(hash(self.seed)) % (2**31)), case_index]
+                ).generate_state(1)[0]
+            )
+            # Exclude everything the user ever rated (source data), plus the
+            # target itself. On catalogues smaller than the requested
+            # distractor count the draw is capped at the available pool
+            # (the paper's 1000 assumes a several-thousand-item catalogue).
+            exclude = np.append(source.items_of_user(user), target)
+            available = source.n_items - np.unique(exclude).size
+            n_draw = min(self.n_distractors, available)
+            if n_draw <= 0:
+                raise ConfigError(
+                    f"user {user} has rated the whole catalogue; no distractors left"
+                )
+            distractors = sample_without_replacement(
+                source.n_items, n_draw, rng, exclude=exclude
+            )
+            candidates = np.concatenate(([target], distractors)).astype(np.int64)
+            cache.append((user, candidates))
+        self._candidate_cache = cache
+        return cache
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self, recommender: Recommender) -> RecallResult:
+        """Rank every test case's target with ``recommender``.
+
+        The recommender must already be fitted on ``split.train``; scoring a
+        candidate set uses :meth:`Recommender.score_items` so the exact same
+        code path as production recommendation is measured.
+        """
+        if not recommender.is_fitted:
+            raise NotFittedError(
+                f"{type(recommender).__name__} must be fitted on split.train "
+                "before evaluation"
+            )
+        ranks = np.empty(self.split.n_cases, dtype=np.int64)
+        for case_index, (user, candidates) in enumerate(self._candidates()):
+            scores = recommender.score_items(user, candidates=candidates)
+            # -inf scores (unreachable items) are legal; rank_of places the
+            # target after every finite-scored candidate in that case.
+            ranks[case_index] = rank_of(scores, 0)
+        return RecallResult(name=recommender.name, ranks=ranks, max_n=self.max_n)
+
+    def evaluate_all(self, recommenders) -> dict[str, RecallResult]:
+        """Evaluate several fitted recommenders on identical candidates."""
+        results: dict[str, RecallResult] = {}
+        for recommender in recommenders:
+            result = self.evaluate(recommender)
+            results[result.name] = result
+        return results

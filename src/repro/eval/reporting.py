@@ -1,0 +1,96 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The benchmark suite has no plotting dependency, so every table/figure is
+emitted as (a) an aligned text table or series printed to stdout and (b) a
+CSV file under ``benchmarks/results/`` for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+
+__all__ = ["format_table", "format_series", "write_csv", "results_dir"]
+
+
+def format_table(rows: Sequence[Mapping], title: str | None = None,
+                 float_format: str = "{:.3f}") -> str:
+    """Render dict-rows as an aligned monospace table.
+
+    Column order follows the first row's key order; missing cells render
+    as ``-``.
+    """
+    rows = list(rows)
+    if not rows:
+        raise ConfigError("no rows to format")
+    columns = list(rows[0].keys())
+
+    def render(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[render(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(line[i]) for line in table))
+        for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for line in table:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, np.ndarray], x_label: str = "N",
+                  title: str | None = None, x_values: Sequence | None = None,
+                  float_format: str = "{:.3f}") -> str:
+    """Render named 1-D series (e.g. recall curves) side-by-side by index."""
+    series = {k: np.asarray(v).ravel() for k, v in series.items()}
+    if not series:
+        raise ConfigError("no series to format")
+    length = max(v.size for v in series.values())
+    if x_values is None:
+        x_values = list(range(1, length + 1))
+    rows = []
+    for idx in range(length):
+        row = {x_label: x_values[idx]}
+        for name, values in series.items():
+            row[name] = float(values[idx]) if idx < values.size else None
+        rows.append(row)
+    return format_table(rows, title=title, float_format=float_format)
+
+
+def results_dir() -> str:
+    """``benchmarks/results`` relative to the repository root (created)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_csv(rows: Sequence[Mapping], path: str) -> str:
+    """Write dict-rows to ``path`` as CSV (columns from the first row)."""
+    rows = list(rows)
+    if not rows:
+        raise ConfigError("no rows to write")
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    columns = list(rows[0].keys())
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k) for k in columns})
+    return path

@@ -1,0 +1,199 @@
+"""Simulated user study (paper §5.2.7, Table 6).
+
+The paper hires 50 movie-lovers, shows each 10 recommendations, and collects
+four judgments per movie: Preference (1–5), Novelty (did you already know
+it?), Serendipity (1–5), and an overall Score (1–5). Humans are not
+available to a reproduction, so this module simulates the panel with the
+synthetic ground truth (see DESIGN.md §6). The judgment model encodes three
+regularities the paper's own survey surfaced:
+
+* **Knownness grows with popularity, but saturates well below 1** — the
+  paper's evaluators knew "more than one-third" of the head recommendations
+  (PureSVD novelty 0.64), not all of them. ``max_knownness`` caps the curve.
+* **Hits have broad appeal** — evaluators scored popular on-taste *and*
+  popular off-taste movies highly (LDA preference 4.12 despite zero
+  personalisation of the head). ``hit_appeal`` gives high-popularity items a
+  floor affinity.
+* **Serendipity is novelty-gated taste match** — known items surprise
+  nobody; unknown items delight exactly when they match the evaluator's own
+  niche (AC2 serendipity 4.78 vs PureSVD 2.12).
+
+The *shape* this reproduces (and the Table 6 bench asserts): graph methods
+win novelty and serendipity by a wide margin; latent-factor baselines win
+raw preference slightly; DPPR is novel but mismatched, dragging its score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import Recommender
+from repro.data.synthetic import SyntheticData
+from repro.exceptions import ConfigError, NotFittedError
+from repro.utils.validation import check_fraction, check_positive_int, check_random_state
+
+__all__ = ["SimulatedPanel", "StudyReport"]
+
+
+@dataclass(frozen=True)
+class StudyReport:
+    """Mean panel answers for one algorithm (one Table 6 row)."""
+
+    name: str
+    preference: float
+    novelty: float
+    serendipity: float
+    score: float
+    n_judgments: int
+
+    def row(self) -> dict:
+        return {
+            "algorithm": self.name,
+            "preference": round(self.preference, 2),
+            "novelty": round(self.novelty, 2),
+            "serendipity": round(self.serendipity, 2),
+            "score": round(self.score, 2),
+        }
+
+
+class SimulatedPanel:
+    """A panel of synthetic evaluators with known ground-truth tastes.
+
+    Parameters
+    ----------
+    data:
+        The :class:`SyntheticData` the recommenders were trained on — its
+        ``user_topics`` and ``item_genres`` ground truth drives the
+        judgments.
+    n_evaluators:
+        Panel size (paper: 50).
+    knownness_quantile, knownness_exponent, max_knownness:
+        Popularity model of "I already knew this item": knownness rises
+        polynomially with popularity up to the ``knownness_quantile``
+        pivot and saturates at ``max_knownness`` (≈ the paper's "more than
+        one-third known" for head recommendations).
+    hit_appeal:
+        Affinity floor for the most popular items (broad appeal of hits);
+        scaled by the squared popularity percentile.
+    preference_curvature:
+        Exponent (< 1 = concave) mapping affinity to the 1–5 scale — humans
+        rate mild matches generously.
+    preference_noise:
+        Std-dev of the Gaussian judgment noise on the 1–5 scales.
+    score_blend:
+        Weight of preference (vs serendipity) in the overall score.
+    seed:
+        Seed for evaluator sampling.
+    """
+
+    def __init__(self, data: SyntheticData, n_evaluators: int = 50,
+                 knownness_quantile: float = 0.9, knownness_exponent: float = 1.5,
+                 max_knownness: float = 0.45, hit_appeal: float = 0.65,
+                 preference_curvature: float = 0.5,
+                 preference_noise: float = 0.25, score_blend: float = 0.8,
+                 seed=0):
+        if not isinstance(data, SyntheticData):
+            raise ConfigError("data must be SyntheticData (ground truth is required)")
+        self.data = data
+        n_evaluators = check_positive_int(n_evaluators, "n_evaluators")
+        self.max_knownness = check_fraction(max_knownness, "max_knownness")
+        self.hit_appeal = check_fraction(hit_appeal, "hit_appeal", inclusive_low=True)
+        self.preference_curvature = float(preference_curvature)
+        if self.preference_curvature <= 0:
+            raise ConfigError("preference_curvature must be > 0")
+        self.score_blend = check_fraction(score_blend, "score_blend", inclusive_low=True)
+        self.preference_noise = float(preference_noise)
+        rng = check_random_state(seed)
+        self._rng = rng
+
+        dataset = data.dataset
+        eligible = np.flatnonzero(dataset.user_activity() >= 3)
+        if eligible.size < n_evaluators:
+            raise ConfigError(
+                f"only {eligible.size} users with >= 3 ratings; "
+                f"cannot seat a panel of {n_evaluators}"
+            )
+        self.evaluators = np.sort(rng.choice(eligible, size=n_evaluators, replace=False))
+
+        popularity = dataset.item_popularity().astype(np.float64)
+        pivot = max(np.quantile(popularity, knownness_quantile), 1.0)
+        self.p_known = self.max_knownness * np.minimum(
+            popularity / pivot, 1.0
+        ) ** knownness_exponent
+        # Popularity percentile drives the broad-appeal floor of hits.
+        order = np.argsort(np.argsort(popularity))
+        self.popularity_percentile = order / max(popularity.size - 1, 1)
+
+    # -- judgment model ------------------------------------------------------
+
+    def taste_affinity(self, user: int, item: int) -> float:
+        """Ground-truth taste match in [0, 1] (relative to the user's peak)."""
+        theta = self.data.user_topics[user]
+        return float(theta[self.data.item_genres[item]] / max(theta.max(), 1e-12))
+
+    def _scale(self, affinity: float, rng) -> float:
+        """Map affinity to the 1–5 judgment scale (concave + noise)."""
+        value = 1.0 + 4.0 * affinity ** self.preference_curvature
+        return float(np.clip(value + rng.normal(0.0, self.preference_noise), 1.0, 5.0))
+
+    def judge(self, user: int, item: int, rng=None) -> dict:
+        """One evaluator's answers for one recommended item."""
+        rng = self._rng if rng is None else rng
+        taste = self.taste_affinity(user, item)
+        appeal = self.hit_appeal * self.popularity_percentile[item] ** 2
+        preference = self._scale(max(taste, appeal), rng)
+        known = rng.random() < self.p_known[item]
+        novelty = 0.0 if known else 1.0
+        if known:
+            # Familiar items surprise nobody; a sliver of variance remains.
+            serendipity = float(np.clip(1.0 + rng.normal(0.6, 0.3), 1.0, 5.0))
+        else:
+            serendipity = self._scale(taste, rng)
+        score = float(np.clip(
+            self.score_blend * preference + (1 - self.score_blend) * serendipity,
+            1.0, 5.0,
+        ))
+        return {
+            "preference": preference,
+            "novelty": novelty,
+            "serendipity": serendipity,
+            "score": score,
+        }
+
+    # -- panel evaluation -----------------------------------------------------
+
+    def evaluate(self, recommender: Recommender, k: int = 10, seed=1) -> StudyReport:
+        """Run the whole panel against one fitted recommender.
+
+        Judgment draws are seeded per (seed, evaluator), so different
+        algorithms face identical evaluator behaviour.
+        """
+        if not recommender.is_fitted:
+            raise NotFittedError(
+                f"{type(recommender).__name__} must be fitted before the study"
+            )
+        k = check_positive_int(k, "k")
+        answers: dict[str, list[float]] = {
+            "preference": [], "novelty": [], "serendipity": [], "score": [],
+        }
+        for evaluator in self.evaluators:
+            rng = check_random_state(
+                np.random.SeedSequence([int(seed), int(evaluator)]).generate_state(1)[0]
+            )
+            for item in recommender.recommend_items(int(evaluator), k):
+                judgment = self.judge(int(evaluator), int(item), rng)
+                for key, value in judgment.items():
+                    answers[key].append(value)
+        n = len(answers["score"])
+        if n == 0:
+            raise ConfigError(f"{recommender.name} recommended nothing to the panel")
+        return StudyReport(
+            name=recommender.name,
+            preference=float(np.mean(answers["preference"])),
+            novelty=float(np.mean(answers["novelty"])),
+            serendipity=float(np.mean(answers["serendipity"])),
+            score=float(np.mean(answers["score"])),
+            n_judgments=n,
+        )

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so callers
+can catch a single base class at API boundaries while tests can assert on the
+precise subtype.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class DataError(ReproError):
+    """Invalid or inconsistent rating data (bad shapes, ids, values)."""
+
+
+class DataFormatError(DataError):
+    """A data file could not be parsed (malformed MovieLens/CSV input)."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or an operation unsupported on the graph."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation that requires connectivity was run on a disconnected
+    graph (e.g. exact hitting times to an unreachable node)."""
+
+
+class NotFittedError(ReproError):
+    """A model method that requires :meth:`fit` was called before fitting."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration or parameter value supplied by the caller."""
+
+
+class UnknownUserError(ReproError):
+    """A user id was not found in the dataset.
+
+    Attributes
+    ----------
+    user:
+        The offending user identifier.
+    """
+
+    def __init__(self, user: object):
+        super().__init__(f"unknown user: {user!r}")
+        self.user = user
+
+
+class UnknownItemError(ReproError):
+    """An item id was not found in the dataset.
+
+    Attributes
+    ----------
+    item:
+        The offending item identifier.
+    """
+
+    def __init__(self, item: object):
+        super().__init__(f"unknown item: {item!r}")
+        self.item = item

@@ -1,0 +1,67 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation
+(§5), shared by the benchmark suite and the integration tests. See DESIGN.md
+for the experiment index and EXPERIMENTS.md for paper-vs-measured records."""
+
+from repro.experiments.ablations import (
+    LdaEngineResult,
+    TauConvergenceResult,
+    run_jump_cost_ablation,
+    run_lda_engine_ablation,
+    run_tau_convergence,
+)
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.fig2 import FIGURE2_MATCH_TAU, Fig2Result, run_fig2
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.fig6 import Fig6Result, run_fig6
+from repro.experiments.suite import (
+    PAPER_ORDER,
+    ExperimentConfig,
+    fit_all,
+    make_algorithms,
+    make_data,
+)
+from repro.experiments.table1 import Table1Result, TopicSummary, run_table1
+from repro.experiments.table2 import PAPER_DIVERSITY, Table2Result, run_table2
+from repro.experiments.table3 import PAPER_SIMILARITY, Table3Result, run_table3
+from repro.experiments.table4 import Table4Result, run_table4
+from repro.experiments.table5 import PAPER_SECONDS, Table5Result, run_table5
+from repro.experiments.table6 import PAPER_STUDY, Table6Result, run_table6
+
+__all__ = [
+    "LdaEngineResult",
+    "TauConvergenceResult",
+    "run_jump_cost_ablation",
+    "run_lda_engine_ablation",
+    "run_tau_convergence",
+    "Fig1Result",
+    "run_fig1",
+    "FIGURE2_MATCH_TAU",
+    "Fig2Result",
+    "run_fig2",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Result",
+    "run_fig6",
+    "PAPER_ORDER",
+    "ExperimentConfig",
+    "fit_all",
+    "make_algorithms",
+    "make_data",
+    "Table1Result",
+    "TopicSummary",
+    "run_table1",
+    "PAPER_DIVERSITY",
+    "Table2Result",
+    "run_table2",
+    "PAPER_SIMILARITY",
+    "Table3Result",
+    "run_table3",
+    "Table4Result",
+    "run_table4",
+    "PAPER_SECONDS",
+    "Table5Result",
+    "run_table5",
+    "PAPER_STUDY",
+    "Table6Result",
+    "run_table6",
+]

@@ -1,0 +1,155 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+* **τ convergence** (§4.1's claim "when we use 15 iterations, it already
+  achieves almost the same results to the exact solution"): top-k overlap of
+  the truncated Absorbing Time ranking against the exact solve as τ grows.
+* **LDA engine** (Gibbs vs CVB0): downstream agreement of topic entropy and
+  of the AC2 ranking when swapping the sampler for the variational engine.
+* **Cost constant C** (Eq. 9's tuning parameter): sensitivity of AC2's
+  popularity/diversity metrics to the user→item jump cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import AbsorbingCostRecommender, AbsorbingTimeRecommender, EntropyCostModel
+from repro.data.splits import sample_test_users
+from repro.eval.harness import TopNExperiment
+from repro.experiments.suite import ExperimentConfig, make_data
+from repro.topics import fit_lda_cvb0, fit_lda_gibbs
+
+__all__ = [
+    "TauConvergenceResult",
+    "run_tau_convergence",
+    "LdaEngineResult",
+    "run_lda_engine_ablation",
+    "run_jump_cost_ablation",
+]
+
+
+@dataclass(frozen=True)
+class TauConvergenceResult:
+    """Top-k overlap of the truncated vs exact AT ranking at each τ."""
+
+    taus: tuple
+    mean_overlap: dict  # tau -> float in [0, 1]
+    k: int
+
+    def rows(self) -> list[dict]:
+        return [
+            {"tau": tau, f"top{self.k}_overlap_with_exact": round(self.mean_overlap[tau], 3)}
+            for tau in self.taus
+        ]
+
+
+def run_tau_convergence(config: ExperimentConfig = ExperimentConfig(),
+                        taus: tuple[int, ...] = (1, 2, 5, 10, 15, 30, 60),
+                        n_users: int = 30, k: int = 10) -> TauConvergenceResult:
+    """Measure how fast the truncated AT top-k matches the exact ranking."""
+    data = make_data("movielens", config)
+    train = data.dataset
+    users = sample_test_users(train, n_users=n_users, seed=config.eval_seed + 3)
+
+    exact = AbsorbingTimeRecommender(method="exact", subgraph_size=None).fit(train)
+    exact_lists = {int(u): set(exact.recommend_items(int(u), k).tolist()) for u in users}
+
+    overlaps: dict[int, float] = {}
+    for tau in taus:
+        truncated = AbsorbingTimeRecommender(
+            method="truncated", n_iterations=tau, subgraph_size=None
+        ).fit(train)
+        per_user = []
+        for u in users:
+            approx = set(truncated.recommend_items(int(u), k).tolist())
+            reference = exact_lists[int(u)]
+            if reference:
+                per_user.append(len(approx & reference) / len(reference))
+        overlaps[tau] = float(np.mean(per_user))
+    return TauConvergenceResult(taus=tuple(taus), mean_overlap=overlaps, k=k)
+
+
+@dataclass(frozen=True)
+class LdaEngineResult:
+    """Agreement between the Gibbs and CVB0 LDA engines."""
+
+    entropy_correlation: float
+    ac2_top10_overlap: float
+    gibbs_seconds: float
+    cvb0_seconds: float
+
+    def rows(self) -> list[dict]:
+        return [{
+            "entropy_spearman": round(self.entropy_correlation, 3),
+            "ac2_top10_overlap": round(self.ac2_top10_overlap, 3),
+            "gibbs_seconds": round(self.gibbs_seconds, 2),
+            "cvb0_seconds": round(self.cvb0_seconds, 2),
+        }]
+
+
+def run_lda_engine_ablation(config: ExperimentConfig = ExperimentConfig(),
+                            n_users: int = 30,
+                            gibbs_iterations: int = 60) -> LdaEngineResult:
+    """Swap the LDA engine under AC2 and measure downstream agreement."""
+    from scipy.stats import spearmanr
+
+    from repro.utils.timer import Timer
+
+    data = make_data("movielens", config)
+    train = data.dataset
+    with Timer() as t_gibbs:
+        gibbs = fit_lda_gibbs(train, config.n_topics, n_iterations=gibbs_iterations,
+                              seed=config.algo_seed)
+    with Timer() as t_cvb0:
+        cvb0 = fit_lda_cvb0(train, config.n_topics, seed=config.algo_seed)
+
+    corr = float(spearmanr(gibbs.user_entropy(), cvb0.user_entropy()).statistic)
+
+    users = sample_test_users(train, n_users=n_users, seed=config.eval_seed + 4)
+    overlaps = []
+    ac2_gibbs = AbsorbingCostRecommender.topic_based(
+        topic_model=gibbs, subgraph_size=config.subgraph_size,
+        n_iterations=config.n_iterations).fit(train)
+    ac2_cvb0 = AbsorbingCostRecommender.topic_based(
+        topic_model=cvb0, subgraph_size=config.subgraph_size,
+        n_iterations=config.n_iterations).fit(train)
+    for u in users:
+        a = set(ac2_gibbs.recommend_items(int(u), 10).tolist())
+        b = set(ac2_cvb0.recommend_items(int(u), 10).tolist())
+        if a:
+            overlaps.append(len(a & b) / len(a))
+    return LdaEngineResult(
+        entropy_correlation=corr,
+        ac2_top10_overlap=float(np.mean(overlaps)),
+        gibbs_seconds=t_gibbs.elapsed,
+        cvb0_seconds=t_cvb0.elapsed,
+    )
+
+
+def run_jump_cost_ablation(config: ExperimentConfig = ExperimentConfig(),
+                           jump_costs: tuple = ("mean-entropy", 0.25, 1.0, 4.0),
+                           n_users: int = 60, k: int = 10) -> list[dict]:
+    """Sweep the Eq. 9 constant C and report AC2's panel metrics per value."""
+    data = make_data("movielens", config)
+    train = data.dataset
+    users = sample_test_users(train, n_users=n_users, seed=config.eval_seed + 2)
+    experiment = TopNExperiment(train, users, k=k, ontology=data.ontology)
+    from repro.topics import fit_lda
+
+    model = fit_lda(train, config.n_topics, method="cvb0", seed=config.algo_seed)
+    rows = []
+    for jump_cost in jump_costs:
+        recommender = AbsorbingCostRecommender.topic_based(
+            topic_model=model, cost_model=EntropyCostModel(jump_cost=jump_cost),
+            subgraph_size=config.subgraph_size, n_iterations=config.n_iterations,
+        ).fit(train)
+        report = experiment.run(recommender)
+        rows.append({
+            "jump_cost_C": jump_cost,
+            "popularity": round(report.mean_popularity, 1),
+            "similarity": round(report.similarity, 3),
+            "diversity": round(report.diversity, 3),
+        })
+    return rows

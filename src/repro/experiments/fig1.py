@@ -1,0 +1,59 @@
+"""Figure 1 — the long-tail shape of the catalogues (paper §1, §5.1.2).
+
+The paper's Figure 1 contrasts the hits market with the niche market; its
+§5.1.2 quantifies both datasets: "about 66% hard-to-find movies generate 20%
+ratings … and 73% least-rating books generate 20% book ratings". This driver
+computes the popularity curve and the Pareto statistics for both synthetic
+stand-ins so the bench can assert those shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.longtail import LongTailStats, long_tail_stats
+from repro.experiments.suite import ExperimentConfig, make_data
+
+__all__ = ["Fig1Result", "run_fig1"]
+
+#: Catalogue tail shares reported in §5.1.2.
+PAPER_TAIL_FRACTIONS = {"movielens": 0.66, "douban": 0.73}
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Long-tail statistics for one dataset."""
+
+    dataset: str
+    stats: LongTailStats
+
+    def row(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "n_items": self.stats.n_items,
+            "n_ratings": self.stats.n_ratings,
+            "tail_frac_of_catalog": round(self.stats.tail_fraction_of_catalog, 3),
+            "paper_tail_frac": PAPER_TAIL_FRACTIONS[self.dataset],
+            "top20_share_of_ratings": round(self.stats.top20_share, 3),
+            "gini": round(self.stats.gini, 3),
+        }
+
+    def curve_rows(self, n_points: int = 20) -> list[dict]:
+        """Down-sampled popularity-vs-rank curve (the Figure 1 line)."""
+        curve = self.stats.popularity_curve
+        idx = np.unique(np.linspace(0, curve.size - 1, n_points, dtype=np.int64))
+        return [
+            {"dataset": self.dataset, "rank": int(i) + 1, "ratings": int(curve[i])}
+            for i in idx
+        ]
+
+
+def run_fig1(config: ExperimentConfig = ExperimentConfig()) -> list[Fig1Result]:
+    """Compute Figure 1 statistics for both stand-in datasets."""
+    results = []
+    for kind in ("movielens", "douban"):
+        data = make_data(kind, config)
+        results.append(Fig1Result(dataset=kind, stats=long_tail_stats(data.dataset)))
+    return results

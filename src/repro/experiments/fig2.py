@@ -1,0 +1,67 @@
+"""Figure 2 — the paper's worked Hitting Time example (§3.3).
+
+Reproduces ``H(U5|M4)=17.7 < H(U5|M1)=19.6 < H(U5|M5)=20.2 < H(U5|M6)=20.3``
+on the exact 5-user × 6-movie graph of Figure 2, demonstrating that the
+niche Action movie M4 (rated once, taste-aligned) beats the locally popular
+M1 a classic CF method would pick. Both the truncated values (matching the
+published numbers at τ=59) and the exact linear-solve values are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hitting_time import HittingTimeRecommender
+from repro.data.toy import FIGURE2_PAPER_HITTING_TIMES, figure2_dataset
+
+__all__ = ["Fig2Result", "run_fig2", "FIGURE2_MATCH_TAU"]
+
+#: Truncation depth at which the published Figure 2 values are matched.
+FIGURE2_MATCH_TAU = 59
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Computed vs published hitting times for one movie."""
+
+    movie: str
+    paper_value: float
+    truncated_value: float
+    exact_value: float
+
+    def row(self) -> dict:
+        return {
+            "movie": self.movie,
+            "paper_H(U5|m)": self.paper_value,
+            "truncated_tau59": round(self.truncated_value, 2),
+            "exact": round(self.exact_value, 2),
+        }
+
+
+def run_fig2() -> list[Fig2Result]:
+    """Compute the Figure 2 hitting times with both solvers.
+
+    Returned in the paper's order (ascending hitting time: M4 first).
+    """
+    dataset = figure2_dataset()
+    user = dataset.user_id("U5")
+
+    truncated = HittingTimeRecommender(
+        method="truncated", n_iterations=FIGURE2_MATCH_TAU
+    ).fit(dataset)
+    exact = HittingTimeRecommender(method="exact").fit(dataset)
+    times_truncated = truncated.hitting_times(user)
+    times_exact = exact.hitting_times(user)
+
+    results = []
+    for movie, paper_value in sorted(
+        FIGURE2_PAPER_HITTING_TIMES.items(), key=lambda kv: kv[1]
+    ):
+        item = dataset.item_id(movie)
+        results.append(Fig2Result(
+            movie=movie,
+            paper_value=paper_value,
+            truncated_value=float(times_truncated[item]),
+            exact_value=float(times_exact[item]),
+        ))
+    return results

@@ -1,0 +1,108 @@
+"""Table 5 — per-user online recommendation cost (paper §5.2.6).
+
+The paper times one top-10 recommendation per user on Douban: LDA 0.47 s ≈
+PureSVD 0.45 s ≈ AC2-on-subgraph 0.52 s ≪ DPPR-on-global-graph 13.5 s.
+Absolute numbers on a Python laptop stack differ; the *relationships* this
+driver reproduces are (1) AC2 restricted to a µ-subgraph is in the same
+league as the model-based scorers, and (2) the global-graph power-iteration
+DPPR is an order of magnitude slower.
+
+Offline training (LDA fitting, SVD factorisation) is excluded, exactly as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import (
+    DiscountedPageRankRecommender,
+    LDARecommender,
+    PureSVDRecommender,
+)
+from repro.core import AbsorbingCostRecommender
+from repro.data.splits import sample_test_users
+from repro.eval.harness import TopNExperiment
+from repro.experiments.suite import ExperimentConfig, make_data
+from repro.topics import fit_lda
+
+__all__ = ["Table5Result", "run_table5", "PAPER_SECONDS"]
+
+#: Published Table 5 (Java, 32 GB server, full-size Douban), for reference.
+PAPER_SECONDS = {"LDA": 0.47, "PureSVD": 0.45, "AC2": 0.52, "DPPR": 13.5}
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    """Mean per-user seconds per algorithm.
+
+    ``AC2-full`` is AC2 run on the whole graph instead of the µ-subgraph —
+    the analogue of the paper's Table 4 "µ = 89908" column (12.7 s), included
+    here because at laptop scale the sparse-PPR DPPR is no longer the slow
+    outlier the paper measured at crawl scale (see EXPERIMENTS.md).
+    """
+
+    seconds: dict
+    mu: int
+    n_users: int
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "algorithm": name,
+                "sec_per_user": round(value, 4),
+                "paper_sec_per_user": PAPER_SECONDS.get(name),
+            }
+            for name, value in self.seconds.items()
+        ]
+
+    def slowdown_of_global_scan(self) -> float:
+        """Full-graph AC2 over subgraph AC2 (the paper's 12.7 s vs 0.52 s)."""
+        return self.seconds["AC2-full"] / max(self.seconds["AC2"], 1e-12)
+
+    def slowdown_of_dppr(self) -> float:
+        """DPPR time over the fastest model-based scorer (paper: ≈26–30×)."""
+        others = [v for k, v in self.seconds.items()
+                  if k in ("LDA", "PureSVD", "AC2")]
+        return self.seconds["DPPR"] / max(min(others), 1e-12)
+
+
+def run_table5(config: ExperimentConfig = ExperimentConfig(),
+               mu_fraction: float = 0.15, n_users: int = 50,
+               k: int = 10) -> Table5Result:
+    """Time per-user recommendation for LDA, PureSVD, AC2(µ) and DPPR.
+
+    ``mu_fraction`` sets AC2's subgraph budget relative to the catalogue
+    (the paper's 6000 of 89908 ≈ 6.7%; the default 15% is conservative for
+    the smaller stand-in where profiles cover more of the graph).
+    """
+    data = make_data("douban", config)
+    train = data.dataset
+    users = sample_test_users(train, n_users=n_users, seed=config.eval_seed + 2)
+    experiment = TopNExperiment(train, users, k=k)
+
+    model = fit_lda(train, config.n_topics, method="cvb0", seed=config.algo_seed)
+    mu = max(10, int(round(mu_fraction * train.n_items)))
+    # "Full graph" means Algorithm 1 with mu = |I| — the same BFS + induced
+    # subgraph pipeline covering everything, exactly the paper's Table 4
+    # last column (mu = 89908), not a code path that skips extraction.
+    ac2_full = AbsorbingCostRecommender.topic_based(
+        n_topics=config.n_topics, topic_model=model, subgraph_size=train.n_items,
+        n_iterations=config.n_iterations, seed=config.algo_seed,
+    )
+    ac2_full.name = "AC2-full"
+    algorithms = [
+        LDARecommender(n_topics=config.n_topics, model=model).fit(train),
+        PureSVDRecommender(n_factors=config.n_factors, seed=config.algo_seed).fit(train),
+        AbsorbingCostRecommender.topic_based(
+            n_topics=config.n_topics, topic_model=model, subgraph_size=mu,
+            n_iterations=config.n_iterations, seed=config.algo_seed,
+        ).fit(train),
+        DiscountedPageRankRecommender().fit(train),
+        ac2_full.fit(train),
+    ]
+    seconds = {}
+    for algorithm in algorithms:
+        report = experiment.run(algorithm)
+        seconds[algorithm.name] = report.mean_seconds_per_user
+    return Table5Result(seconds=seconds, mu=mu, n_users=users.size)

@@ -1,0 +1,156 @@
+"""The undirected edge-weighted user-item graph of the paper (§3.1).
+
+Users and items become nodes of one graph; a rating ``w(u, i)`` becomes an
+undirected edge whose weight is the raw star value. Node indexing convention
+(used everywhere downstream):
+
+* user ``u``  → node ``u``                       (``0 <= u < n_users``)
+* item ``i``  → node ``n_users + i``             (``0 <= i < n_items``)
+
+:class:`UserItemGraph` caches the degree vector, the row-stochastic
+transition matrix (Eq. 1) and the stationary distribution (Eq. 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import GraphError
+from repro.utils.sparse import bipartite_adjacency, degree_vector, row_normalize
+
+__all__ = ["UserItemGraph"]
+
+
+class UserItemGraph:
+    """Weighted bipartite user-item graph with random-walk structure.
+
+    Parameters
+    ----------
+    dataset:
+        Source ratings. Users or items without any rating become isolated
+        nodes; they are tolerated (recommenders must handle the cold-start
+        case) but excluded from walk computations by the solvers.
+
+    Notes
+    -----
+    The graph is immutable; all derived matrices are computed once and
+    cached.
+    """
+
+    def __init__(self, dataset: RatingDataset):
+        if not isinstance(dataset, RatingDataset):
+            raise GraphError(
+                f"UserItemGraph requires a RatingDataset; got {type(dataset).__name__}"
+            )
+        self.dataset = dataset
+        self.n_users = dataset.n_users
+        self.n_items = dataset.n_items
+        self.adjacency: sp.csr_matrix = bipartite_adjacency(dataset.matrix)
+        self.degrees: np.ndarray = degree_vector(self.adjacency)
+        self._transition: sp.csr_matrix | None = None
+        self._components: tuple[int, np.ndarray] | None = None
+
+    # -- node indexing ------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_users + self.n_items
+
+    def user_node(self, user: int) -> int:
+        """Graph node index of a user."""
+        self.dataset._check_user(user)
+        return int(user)
+
+    def item_node(self, item: int) -> int:
+        """Graph node index of an item."""
+        self.dataset._check_item(item)
+        return self.n_users + int(item)
+
+    def item_nodes(self, items=None) -> np.ndarray:
+        """Node indices of ``items`` (default: every item)."""
+        if items is None:
+            return np.arange(self.n_users, self.n_nodes, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64).ravel()
+        if items.size and (items.min() < 0 or items.max() >= self.n_items):
+            raise GraphError("item indices out of range")
+        return self.n_users + items
+
+    def is_item_node(self, node: int) -> bool:
+        return self.n_users <= node < self.n_nodes
+
+    def is_user_node(self, node: int) -> bool:
+        return 0 <= node < self.n_users
+
+    def item_of_node(self, node: int) -> int:
+        """Inverse of :meth:`item_node`."""
+        if not self.is_item_node(node):
+            raise GraphError(f"node {node} is not an item node")
+        return int(node) - self.n_users
+
+    def user_of_node(self, node: int) -> int:
+        """Inverse of :meth:`user_node`."""
+        if not self.is_user_node(node):
+            raise GraphError(f"node {node} is not a user node")
+        return int(node)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Adjacent node indices (sorted ascending)."""
+        if not 0 <= node < self.n_nodes:
+            raise GraphError(f"node {node} out of range")
+        a = self.adjacency
+        return a.indices[a.indptr[node]:a.indptr[node + 1]].astype(np.int64)
+
+    # -- random-walk structure ---------------------------------------------
+
+    def transition_matrix(self) -> sp.csr_matrix:
+        """Row-stochastic single-step transition matrix ``P`` (Eq. 1).
+
+        Isolated nodes (degree 0) keep an all-zero row; the absorbing-chain
+        solvers treat them as unreachable.
+        """
+        if self._transition is None:
+            self._transition = row_normalize(self.adjacency, allow_zero_rows=True)
+        return self._transition
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary probabilities ``π_i = d_i / Σd`` (Eq. 2)."""
+        total = self.degrees.sum()
+        if total == 0:
+            raise GraphError("graph has no edges; stationary distribution undefined")
+        return self.degrees / total
+
+    # -- connectivity ----------------------------------------------------------
+
+    def _component_info(self) -> tuple[int, np.ndarray]:
+        if self._components is None:
+            count, labels = connected_components(self.adjacency, directed=False)
+            self._components = (int(count), labels)
+        return self._components
+
+    @property
+    def n_components(self) -> int:
+        """Number of connected components (isolated nodes count as their own)."""
+        return self._component_info()[0]
+
+    def component_labels(self) -> np.ndarray:
+        """Component id per node."""
+        return self._component_info()[1]
+
+    def is_connected(self) -> bool:
+        return self.n_components == 1
+
+    def component_of(self, node: int) -> np.ndarray:
+        """All node indices in the same component as ``node``."""
+        if not 0 <= node < self.n_nodes:
+            raise GraphError(f"node {node} out of range")
+        labels = self.component_labels()
+        return np.flatnonzero(labels == labels[node]).astype(np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"UserItemGraph(n_users={self.n_users}, n_items={self.n_items}, "
+            f"n_edges={self.adjacency.nnz // 2}, components={self.n_components})"
+        )

@@ -1,0 +1,116 @@
+"""Random-walk primitives on weighted graphs (paper §3.2).
+
+Free functions over sparse adjacency matrices: the transition matrix
+(Eq. 1), the stationary distribution (Eq. 2), the time-reversibility identity
+``π_i p_ij = π_j p_ji`` the Hitting Time derivation rests on (§3.3), and a
+Monte-Carlo walker used by the tests to validate the analytic solvers against
+simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.utils.sparse import degree_vector, row_normalize
+from repro.utils.validation import check_non_negative_int, check_positive_int, check_random_state
+
+__all__ = [
+    "transition_matrix",
+    "stationary_distribution",
+    "reversibility_gap",
+    "simulate_walk",
+    "monte_carlo_absorbing_time",
+]
+
+
+def transition_matrix(adjacency: sp.spmatrix, *, allow_isolated: bool = False) -> sp.csr_matrix:
+    """Row-stochastic ``P`` with ``p_ij = a_ij / d_i`` (Eq. 1)."""
+    return row_normalize(adjacency, allow_zero_rows=allow_isolated)
+
+
+def stationary_distribution(adjacency: sp.spmatrix) -> np.ndarray:
+    """``π_i = d_i / Σ_jk a_jk`` (Eq. 2) for an undirected weighted graph."""
+    degrees = degree_vector(adjacency)
+    total = degrees.sum()
+    if total == 0:
+        raise GraphError("graph has no edges; stationary distribution undefined")
+    return degrees / total
+
+
+def reversibility_gap(adjacency: sp.spmatrix) -> float:
+    """Max absolute violation of ``π_i p_ij = π_j p_ji`` over all edges.
+
+    Zero (up to float error) for any symmetric adjacency — the property the
+    paper's Eq. 3/4 popularity analysis relies on. Useful as a diagnostic for
+    accidentally asymmetric inputs.
+    """
+    adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
+    pi = stationary_distribution(adjacency)
+    p = transition_matrix(adjacency, allow_isolated=True)
+    flow = sp.diags(pi) @ p
+    gap = flow - flow.T
+    return float(np.abs(gap.data).max()) if gap.nnz else 0.0
+
+
+def simulate_walk(adjacency: sp.spmatrix, start: int, n_steps: int, rng=None) -> np.ndarray:
+    """Simulate a single random-walk trajectory of ``n_steps`` transitions.
+
+    Returns the visited node sequence including the start (length
+    ``n_steps + 1``). Raises :class:`GraphError` if the walk reaches an
+    isolated node (undefined transition).
+    """
+    rng = check_random_state(rng)
+    n_steps = check_non_negative_int(n_steps, "n_steps")
+    p = sp.csr_matrix(adjacency, dtype=np.float64)
+    n = p.shape[0]
+    if not 0 <= start < n:
+        raise GraphError(f"start node {start} out of range")
+    path = np.empty(n_steps + 1, dtype=np.int64)
+    path[0] = start
+    node = start
+    for step in range(1, n_steps + 1):
+        lo, hi = p.indptr[node], p.indptr[node + 1]
+        if lo == hi:
+            raise GraphError(f"walk reached isolated node {node}")
+        weights = p.data[lo:hi]
+        probs = weights / weights.sum()
+        node = int(p.indices[lo:hi][rng.choice(len(probs), p=probs)])
+        path[step] = node
+    return path
+
+
+def monte_carlo_absorbing_time(adjacency: sp.spmatrix, start: int,
+                               absorbing: set[int] | np.ndarray,
+                               n_walks: int = 500, max_steps: int = 10_000,
+                               rng=None) -> float:
+    """Estimate the absorbing time ``AT(S|start)`` by simulation.
+
+    Walks that fail to reach ``S`` within ``max_steps`` contribute
+    ``max_steps`` (a lower bound), so the estimate is slightly biased low on
+    slow-mixing graphs; the tests use generous ``max_steps``. Intended for
+    validating the analytic solvers, not for production use.
+    """
+    rng = check_random_state(rng)
+    n_walks = check_positive_int(n_walks, "n_walks")
+    absorbing = set(int(a) for a in np.asarray(list(absorbing)).ravel())
+    if not absorbing:
+        raise GraphError("absorbing set is empty")
+    if start in absorbing:
+        return 0.0
+    p = sp.csr_matrix(adjacency, dtype=np.float64)
+    total = 0.0
+    for _ in range(n_walks):
+        node = start
+        for step in range(1, max_steps + 1):
+            lo, hi = p.indptr[node], p.indptr[node + 1]
+            if lo == hi:
+                step = max_steps
+                break
+            weights = p.data[lo:hi]
+            node = int(p.indices[lo:hi][rng.choice(hi - lo, p=weights / weights.sum())])
+            if node in absorbing:
+                break
+        total += step
+    return total / n_walks

@@ -1,0 +1,30 @@
+"""Latent topic models over rating data: the paper's collapsed Gibbs LDA
+(Algorithm 2) plus a fast CVB0 engine, behind one fitted-model container."""
+
+from repro.topics.lda_cvb0 import fit_lda_cvb0
+from repro.topics.lda_gibbs import GibbsState, fit_lda_gibbs
+from repro.topics.model import LatentTopicModel, default_alpha
+
+__all__ = [
+    "fit_lda_cvb0",
+    "GibbsState",
+    "fit_lda_gibbs",
+    "LatentTopicModel",
+    "default_alpha",
+    "fit_lda",
+]
+
+
+def fit_lda(dataset, n_topics, method: str = "cvb0", **kwargs) -> LatentTopicModel:
+    """Train LDA with the chosen engine (``"cvb0"`` default, or ``"gibbs"``).
+
+    Thin dispatcher over :func:`fit_lda_cvb0` / :func:`fit_lda_gibbs`;
+    keyword arguments are forwarded to the engine.
+    """
+    from repro.exceptions import ConfigError
+
+    if method == "cvb0":
+        return fit_lda_cvb0(dataset, n_topics, **kwargs)
+    if method == "gibbs":
+        return fit_lda_gibbs(dataset, n_topics, **kwargs)
+    raise ConfigError(f"unknown LDA method {method!r}; expected 'cvb0' or 'gibbs'")

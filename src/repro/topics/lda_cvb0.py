@@ -1,0 +1,91 @@
+"""CVB0 — collapsed variational Bayes (zeroth order) LDA over rating data.
+
+The paper trains its topic model with collapsed Gibbs sampling (Algorithm 2);
+CVB0 (Asuncion et al., *On smoothing and inference for topic models*, UAI
+2009) optimises the same collapsed objective with deterministic updates.
+Instead of a hard topic per token, each (user, item) rating pair keeps a
+responsibility vector γ over topics; counts are expectations::
+
+    γ_ui,z ∝ (N_iz − γ + β) / (N_z − γ + N_I β) · (N_uz − γ + α)
+
+where all counts weight each pair by ``w(u, i)``. The updates are fully
+vectorisable over the nonzeros of the rating matrix, giving a ~50× speedup
+over the token-level sampler at indistinguishable downstream quality (see
+``benchmarks/bench_ablation_lda.py``). This engine is the default for the
+big experiment sweeps; the Gibbs engine remains the faithful reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError
+from repro.topics.model import LatentTopicModel, default_alpha
+from repro.utils.validation import check_positive_int, check_random_state
+
+__all__ = ["fit_lda_cvb0"]
+
+
+def fit_lda_cvb0(dataset: RatingDataset, n_topics: int, n_iterations: int = 60,
+                 alpha: float | None = None, beta: float = 0.1,
+                 tol: float = 1e-5, seed=0) -> LatentTopicModel:
+    """Train LDA with CVB0 updates.
+
+    Parameters mirror :func:`repro.topics.lda_gibbs.fit_lda_gibbs`; ``tol``
+    stops early when the mean absolute change of γ drops below it.
+    """
+    n_topics = check_positive_int(n_topics, "n_topics")
+    n_iterations = check_positive_int(n_iterations, "n_iterations")
+    if alpha is None:
+        alpha = default_alpha(n_topics)
+    if alpha <= 0 or beta <= 0:
+        raise ConfigError(f"alpha and beta must be > 0; got alpha={alpha}, beta={beta}")
+    rng = check_random_state(seed)
+
+    coo = dataset.matrix.tocoo()
+    users = coo.row.astype(np.int64)
+    items = coo.col.astype(np.int64)
+    weights = coo.data.astype(np.float64)
+    nnz = users.size
+    n_users, n_items = dataset.n_users, dataset.n_items
+
+    # Sparse indicator matrices: aggregate pair responsibilities to counts.
+    user_agg = sp.csr_matrix(
+        (np.ones(nnz), (users, np.arange(nnz))), shape=(n_users, nnz)
+    )
+    item_agg = sp.csr_matrix(
+        (np.ones(nnz), (items, np.arange(nnz))), shape=(n_items, nnz)
+    )
+
+    gamma = rng.dirichlet(np.ones(n_topics), size=nnz)
+    weighted = gamma * weights[:, None]
+    user_topic = user_agg @ weighted          # N_uz
+    item_topic = item_agg @ weighted          # N_iz
+    topic_totals = weighted.sum(axis=0)       # N_z
+
+    n_items_beta = n_items * beta
+    for _ in range(n_iterations):
+        # Subtract one token's worth of own responsibility (CVB0 correction).
+        item_term = item_topic[items] - gamma + beta
+        user_term = user_topic[users] - gamma + alpha
+        total_term = topic_totals[None, :] - gamma + n_items_beta
+        new_gamma = item_term * user_term / total_term
+        new_gamma = np.maximum(new_gamma, 1e-300)
+        new_gamma /= new_gamma.sum(axis=1, keepdims=True)
+
+        delta = float(np.abs(new_gamma - gamma).mean())
+        gamma = new_gamma
+        weighted = gamma * weights[:, None]
+        user_topic = user_agg @ weighted
+        item_topic = item_agg @ weighted
+        topic_totals = weighted.sum(axis=0)
+        if delta < tol:
+            break
+
+    theta = user_topic + alpha
+    theta /= theta.sum(axis=1, keepdims=True)
+    phi = item_topic.T + beta
+    phi /= phi.sum(axis=1, keepdims=True)
+    return LatentTopicModel(theta, phi, alpha=alpha, beta=beta)

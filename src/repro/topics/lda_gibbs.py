@@ -1,0 +1,157 @@
+"""Collapsed Gibbs sampling for LDA over rating data — the paper's Algorithm 2.
+
+A user ``u`` is a document whose "words" are the items they rated, each
+repeated ``w(u, i)`` times (the star value). Topic assignments are updated
+token-by-token with the collapsed conditional of Eq. 12::
+
+    P(z_token = z | rest) ∝ (n_item,z + β) / (n_·,z + N_I β)
+                          · (n_u,z + α) / (n_u,· + N_T α)
+
+and the point estimates of Eq. 13/14 produce φ and θ. The per-user
+normaliser ``n_u,· + N_T α`` is constant across z and therefore dropped.
+
+This sampler is the *faithful* engine (it is what the paper describes);
+:mod:`repro.topics.lda_cvb0` provides a deterministic vectorised alternative
+that is ~50× faster and converges to comparable solutions — the default for
+the large experiment sweeps, with an ablation bench comparing the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError
+from repro.topics.model import LatentTopicModel, default_alpha
+from repro.utils.validation import check_positive_int, check_random_state
+
+__all__ = ["fit_lda_gibbs", "GibbsState"]
+
+
+class GibbsState:
+    """Mutable sampler state: token arrays and topic-count matrices.
+
+    Exposed for tests (the count invariants are property-tested) and for
+    callers that want to resume sampling.
+    """
+
+    def __init__(self, dataset: RatingDataset, n_topics: int, rng,
+                 max_token_weight: int | None = None):
+        coo = dataset.matrix.tocoo()
+        weights = np.rint(coo.data).astype(np.int64)
+        weights = np.maximum(weights, 1)
+        if max_token_weight is not None:
+            weights = np.minimum(weights, int(max_token_weight))
+        self.token_users = np.repeat(coo.row.astype(np.int64), weights)
+        self.token_items = np.repeat(coo.col.astype(np.int64), weights)
+        self.n_tokens = self.token_users.size
+        self.n_topics = n_topics
+        self.n_users = dataset.n_users
+        self.n_items = dataset.n_items
+
+        self.assignments = rng.integers(0, n_topics, size=self.n_tokens)
+        self.user_topic = np.zeros((self.n_users, n_topics), dtype=np.int64)
+        self.item_topic = np.zeros((self.n_items, n_topics), dtype=np.int64)
+        self.topic_totals = np.zeros(n_topics, dtype=np.int64)
+        np.add.at(self.user_topic, (self.token_users, self.assignments), 1)
+        np.add.at(self.item_topic, (self.token_items, self.assignments), 1)
+        np.add.at(self.topic_totals, self.assignments, 1)
+
+    def sweep(self, alpha: float, beta: float, rng) -> None:
+        """One full Gibbs sweep over all tokens (Algorithm 2's inner loops)."""
+        n_items_beta = self.n_items * beta
+        uniforms = rng.random(self.n_tokens)
+        for t in range(self.n_tokens):
+            u = self.token_users[t]
+            i = self.token_items[t]
+            z = self.assignments[t]
+            # Remove the token from the counts (Algorithm 2 line 8).
+            self.user_topic[u, z] -= 1
+            self.item_topic[i, z] -= 1
+            self.topic_totals[z] -= 1
+            # Collapsed conditional (Eq. 12; per-user normaliser dropped).
+            probs = (
+                (self.item_topic[i] + beta)
+                / (self.topic_totals + n_items_beta)
+                * (self.user_topic[u] + alpha)
+            )
+            cumulative = np.cumsum(probs)
+            z = int(np.searchsorted(cumulative, uniforms[t] * cumulative[-1]))
+            z = min(z, self.n_topics - 1)
+            # Reinsert with the new assignment (Algorithm 2 line 14).
+            self.assignments[t] = z
+            self.user_topic[u, z] += 1
+            self.item_topic[i, z] += 1
+            self.topic_totals[z] += 1
+
+    def estimates(self, alpha: float, beta: float) -> tuple[np.ndarray, np.ndarray]:
+        """Point estimates θ̂ (Eq. 14) and φ̂ (Eq. 13) from current counts."""
+        theta = (self.user_topic + alpha).astype(np.float64)
+        theta /= theta.sum(axis=1, keepdims=True)
+        phi = (self.item_topic.T + beta).astype(np.float64)
+        phi /= phi.sum(axis=1, keepdims=True)
+        return theta, phi
+
+
+def fit_lda_gibbs(dataset: RatingDataset, n_topics: int, n_iterations: int = 100,
+                  alpha: float | None = None, beta: float = 0.1,
+                  burn_in_fraction: float = 0.5, n_samples: int = 5,
+                  max_token_weight: int | None = None,
+                  seed=0) -> LatentTopicModel:
+    """Train LDA on rating data by collapsed Gibbs sampling (Algorithm 2).
+
+    Parameters
+    ----------
+    dataset:
+        Ratings; values are rounded to integers and used as token counts
+        (``w(u, i)`` in the paper).
+    n_topics:
+        K, the topic count.
+    n_iterations:
+        Total Gibbs sweeps.
+    alpha, beta:
+        Dirichlet priors; defaults are the paper's α = 50/K and β = 0.1.
+    burn_in_fraction:
+        Fraction of sweeps discarded before averaging estimates.
+    n_samples:
+        Number of evenly spaced post-burn-in states averaged into the final
+        θ/φ (averaging tames Gibbs noise).
+    max_token_weight:
+        Optional cap on per-rating multiplicity — trades fidelity for speed
+        on huge datasets.
+    seed:
+        Random seed or generator.
+    """
+    n_topics = check_positive_int(n_topics, "n_topics")
+    n_iterations = check_positive_int(n_iterations, "n_iterations")
+    n_samples = check_positive_int(n_samples, "n_samples")
+    if alpha is None:
+        alpha = default_alpha(n_topics)
+    if alpha <= 0 or beta <= 0:
+        raise ConfigError(f"alpha and beta must be > 0; got alpha={alpha}, beta={beta}")
+    if not 0.0 <= burn_in_fraction < 1.0:
+        raise ConfigError(f"burn_in_fraction must be in [0, 1); got {burn_in_fraction}")
+    rng = check_random_state(seed)
+
+    state = GibbsState(dataset, n_topics, rng, max_token_weight=max_token_weight)
+    burn_in = int(n_iterations * burn_in_fraction)
+    sample_iters = np.unique(
+        np.linspace(burn_in, n_iterations - 1, num=min(n_samples, n_iterations - burn_in),
+                    dtype=np.int64)
+    )
+    theta_acc = np.zeros((dataset.n_users, n_topics))
+    phi_acc = np.zeros((n_topics, dataset.n_items))
+    taken = 0
+    for iteration in range(n_iterations):
+        state.sweep(alpha, beta, rng)
+        if iteration in sample_iters:
+            theta, phi = state.estimates(alpha, beta)
+            theta_acc += theta
+            phi_acc += phi
+            taken += 1
+    theta_acc /= taken
+    phi_acc /= taken
+    # Averaging preserves row-stochasticity, but renormalise against drift.
+    theta_acc /= theta_acc.sum(axis=1, keepdims=True)
+    phi_acc /= phi_acc.sum(axis=1, keepdims=True)
+    return LatentTopicModel(theta_acc, phi_acc, alpha=alpha, beta=beta)

@@ -1,0 +1,131 @@
+"""Fitted latent-topic model over user-item rating data (paper §4.2.3).
+
+The paper trains an LDA model where a user is a "document" and each rated
+item appears ``w(u, i)`` times (the rating value) as a "word". The fitted
+model yields the per-user topic distribution θ (Eq. 14) — the input to
+topic-based user entropy (Eq. 11) — and the per-topic item distribution φ
+(Eq. 13) — which also powers the LDA recommendation baseline (§5.1.1) and
+the Table 1 topic listings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError, DataError
+from repro.utils.topk import top_k_indices
+from repro.utils.validation import check_positive_int
+
+__all__ = ["LatentTopicModel", "default_alpha"]
+
+
+def default_alpha(n_topics: int) -> float:
+    """The paper's default Dirichlet prior on θ: ``α = 50 / K`` (§5.2)."""
+    return 50.0 / check_positive_int(n_topics, "n_topics")
+
+
+class LatentTopicModel:
+    """Container for a fitted LDA model.
+
+    Parameters
+    ----------
+    user_topics:
+        θ, shape ``(n_users, n_topics)``; rows are probability vectors.
+    topic_items:
+        φ, shape ``(n_topics, n_items)``; rows are probability vectors.
+    alpha, beta:
+        The Dirichlet hyper-parameters the model was trained with.
+
+    Notes
+    -----
+    Validation is strict (rows must sum to 1 within tolerance); both matrices
+    are copied and set read-only.
+    """
+
+    def __init__(self, user_topics: np.ndarray, topic_items: np.ndarray,
+                 alpha: float, beta: float):
+        theta = np.array(user_topics, dtype=np.float64, copy=True)
+        phi = np.array(topic_items, dtype=np.float64, copy=True)
+        if theta.ndim != 2 or phi.ndim != 2:
+            raise DataError("user_topics and topic_items must be 2-D")
+        if theta.shape[1] != phi.shape[0]:
+            raise DataError(
+                f"topic count mismatch: theta has {theta.shape[1]}, phi has {phi.shape[0]}"
+            )
+        for name, m in (("user_topics", theta), ("topic_items", phi)):
+            if np.any(m < 0) or not np.all(np.isfinite(m)):
+                raise DataError(f"{name} must be finite and non-negative")
+            sums = m.sum(axis=1)
+            if not np.allclose(sums, 1.0, atol=1e-6):
+                raise DataError(f"{name} rows must sum to 1 (max dev {np.abs(sums - 1).max():.2e})")
+        theta.flags.writeable = False
+        phi.flags.writeable = False
+        self.user_topics = theta
+        self.topic_items = phi
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+
+    @property
+    def n_users(self) -> int:
+        return self.user_topics.shape[0]
+
+    @property
+    def n_topics(self) -> int:
+        return self.user_topics.shape[1]
+
+    @property
+    def n_items(self) -> int:
+        return self.topic_items.shape[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"LatentTopicModel(n_users={self.n_users}, n_topics={self.n_topics}, "
+            f"n_items={self.n_items}, alpha={self.alpha:.3f}, beta={self.beta:.3f})"
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def top_items(self, topic: int, n: int = 5) -> np.ndarray:
+        """The ``n`` highest-probability items of a topic (Table 1 rows)."""
+        if not 0 <= topic < self.n_topics:
+            raise ConfigError(f"topic {topic} out of range [0, {self.n_topics})")
+        return top_k_indices(self.topic_items[topic], n)
+
+    def user_entropy(self, user: int | None = None) -> np.ndarray | float:
+        """Shannon entropy of θ rows (Eq. 11), in nats.
+
+        With ``user=None`` returns the entropy of every user as an array.
+        """
+        theta = self.user_topics if user is None else self.user_topics[[user]]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            terms = np.where(theta > 0, theta * np.log(theta), 0.0)
+        entropy = -terms.sum(axis=1)
+        return entropy if user is None else float(entropy[0])
+
+    def score_items(self, user: int) -> np.ndarray:
+        """Predicted preference ``p(i|u) = Σ_z θ_uz φ_zi`` for every item."""
+        if not 0 <= user < self.n_users:
+            raise ConfigError(f"user {user} out of range [0, {self.n_users})")
+        return self.user_topics[user] @ self.topic_items
+
+    def perplexity(self, dataset: RatingDataset) -> float:
+        """Weighted per-token perplexity of the dataset under the model.
+
+        Tokens are item occurrences with multiplicity ``w(u, i)``; lower is
+        better. Used by the convergence tests (perplexity must not increase
+        over training) and by model-selection ablations.
+        """
+        if dataset.n_users != self.n_users or dataset.n_items != self.n_items:
+            raise DataError(
+                f"dataset shape ({dataset.n_users}, {dataset.n_items}) does not "
+                f"match model ({self.n_users}, {self.n_items})"
+            )
+        coo = dataset.matrix.tocoo()
+        probs = np.einsum(
+            "nk,nk->n", self.user_topics[coo.row], self.topic_items[:, coo.col].T
+        )
+        probs = np.maximum(probs, 1e-300)
+        total_weight = coo.data.sum()
+        log_likelihood = float(np.sum(coo.data * np.log(probs)))
+        return float(np.exp(-log_likelihood / total_weight))

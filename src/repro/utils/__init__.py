@@ -1,0 +1,48 @@
+"""Shared low-level utilities: validation, sparse helpers, sampling, timing."""
+
+from repro.utils.sampling import AliasSampler, sample_without_replacement, zipf_weights
+from repro.utils.sparse import (
+    binarize,
+    bipartite_adjacency,
+    degree_vector,
+    row_normalize,
+    safe_divide_rows,
+    submatrix,
+)
+from repro.utils.timer import StopwatchStats, Timer
+from repro.utils.topk import bottom_k_indices, rank_of, top_k_indices
+from repro.utils.validation import (
+    as_index_array,
+    check_fraction,
+    check_in_options,
+    check_non_negative_int,
+    check_positive_float,
+    check_positive_int,
+    check_random_state,
+    check_rating_matrix,
+)
+
+__all__ = [
+    "AliasSampler",
+    "sample_without_replacement",
+    "zipf_weights",
+    "binarize",
+    "bipartite_adjacency",
+    "degree_vector",
+    "row_normalize",
+    "safe_divide_rows",
+    "submatrix",
+    "StopwatchStats",
+    "Timer",
+    "bottom_k_indices",
+    "rank_of",
+    "top_k_indices",
+    "as_index_array",
+    "check_fraction",
+    "check_in_options",
+    "check_non_negative_int",
+    "check_positive_float",
+    "check_positive_int",
+    "check_random_state",
+    "check_rating_matrix",
+]

@@ -1,0 +1,99 @@
+"""Sparse-matrix helpers used throughout the graph and recommender code.
+
+Everything in the library standardises on CSR float64 matrices; these helpers
+keep the normalisation and slicing idioms in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+
+__all__ = [
+    "row_normalize",
+    "degree_vector",
+    "bipartite_adjacency",
+    "submatrix",
+    "binarize",
+    "safe_divide_rows",
+]
+
+
+def degree_vector(adjacency: sp.spmatrix) -> np.ndarray:
+    """Return the weighted degree (row sum) of each node as a 1-D array."""
+    return np.asarray(adjacency.sum(axis=1)).ravel()
+
+
+def row_normalize(matrix: sp.spmatrix, *, allow_zero_rows: bool = False) -> sp.csr_matrix:
+    """Normalise each row of ``matrix`` to sum to one.
+
+    Parameters
+    ----------
+    matrix:
+        Non-negative sparse matrix.
+    allow_zero_rows:
+        If ``False`` (default), a row whose sum is zero raises
+        :class:`GraphError` — for a random-walk transition matrix a zero row
+        is a dangling node the caller must handle explicitly. If ``True``,
+        zero rows are left as all-zero.
+    """
+    csr = sp.csr_matrix(matrix, dtype=np.float64)
+    sums = degree_vector(csr)
+    zero = sums == 0
+    if zero.any() and not allow_zero_rows:
+        raise GraphError(
+            f"{int(zero.sum())} rows have zero sum; the walk is undefined on "
+            "isolated nodes (pass allow_zero_rows=True to keep them as sinks)"
+        )
+    inv = np.zeros_like(sums)
+    nonzero = ~zero
+    inv[nonzero] = 1.0 / sums[nonzero]
+    return sp.csr_matrix(sp.diags(inv) @ csr)
+
+
+def safe_divide_rows(matrix: sp.spmatrix, divisors: np.ndarray) -> sp.csr_matrix:
+    """Divide each row ``i`` of ``matrix`` by ``divisors[i]``, mapping 0/0 to 0."""
+    divisors = np.asarray(divisors, dtype=np.float64).ravel()
+    if divisors.shape[0] != matrix.shape[0]:
+        raise GraphError(
+            f"divisors length {divisors.shape[0]} != row count {matrix.shape[0]}"
+        )
+    inv = np.zeros_like(divisors)
+    nonzero = divisors != 0
+    inv[nonzero] = 1.0 / divisors[nonzero]
+    return sp.csr_matrix(sp.diags(inv) @ sp.csr_matrix(matrix, dtype=np.float64))
+
+
+def bipartite_adjacency(ratings: sp.spmatrix) -> sp.csr_matrix:
+    """Build the symmetric bipartite adjacency from a user×item rating matrix.
+
+    Users occupy node indices ``[0, n_users)`` and items
+    ``[n_users, n_users + n_items)``; the adjacency is::
+
+        [[0,   R],
+         [R.T, 0]]
+
+    matching the paper's undirected edge-weighted user-item graph where the
+    edge weight is the rating (§3.1).
+    """
+    r = sp.csr_matrix(ratings, dtype=np.float64)
+    return sp.bmat(
+        [[None, r], [r.T.tocsr(), None]], format="csr", dtype=np.float64
+    )
+
+
+def submatrix(matrix: sp.spmatrix, rows: np.ndarray, cols: np.ndarray | None = None) -> sp.csr_matrix:
+    """Extract the (rows × cols) submatrix as CSR (cols defaults to rows)."""
+    if cols is None:
+        cols = rows
+    csr = sp.csr_matrix(matrix)
+    return csr[rows][:, cols]
+
+
+def binarize(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Return a copy of ``matrix`` with every stored entry replaced by 1.0."""
+    csr = sp.csr_matrix(matrix, dtype=np.float64, copy=True)
+    csr.data = np.ones_like(csr.data)
+    return csr

@@ -1,0 +1,74 @@
+"""Lightweight timing helpers for the efficiency experiments (Table 4/5)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "StopwatchStats"]
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class StopwatchStats:
+    """Accumulates repeated timings and reports summary statistics.
+
+    Used by the per-user efficiency measurements, which time one
+    recommendation call per test user and report the mean (paper Table 5
+    reports per-user online time).
+    """
+
+    samples: list = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        self.samples.append(float(seconds))
+
+    def time(self) -> Timer:
+        """Return a context manager whose elapsed time is recorded on exit."""
+        stats = self
+
+        class _Recorder(Timer):
+            def __exit__(self, *exc):
+                super().__exit__(*exc)
+                stats.add(self.elapsed)
+
+        return _Recorder()
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.samples))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0

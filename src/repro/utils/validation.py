@@ -1,0 +1,149 @@
+"""Input validation helpers shared across the library.
+
+These helpers centralise the boring-but-important argument checks so that
+every public entry point fails fast with a :class:`~repro.exceptions.ConfigError`
+or :class:`~repro.exceptions.DataError` carrying an actionable message.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigError, DataError
+
+__all__ = [
+    "check_random_state",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_positive_float",
+    "check_fraction",
+    "check_in_options",
+    "check_rating_matrix",
+    "as_index_array",
+]
+
+
+def check_random_state(seed) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None`` (fresh entropy), an ``int`` seed, an existing
+    ``Generator`` (returned unchanged), or a legacy ``RandomState`` (its
+    bit generator is wrapped). Anything else raises :class:`ConfigError`.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    if isinstance(seed, np.random.RandomState):
+        return np.random.default_rng(seed.randint(0, 2**31 - 1))
+    raise ConfigError(
+        f"seed must be None, an int, or a numpy Generator; got {type(seed).__name__}"
+    )
+
+
+def check_positive_int(value, name: str) -> int:
+    """Validate that ``value`` is an integer strictly greater than zero."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigError(f"{name} must be a positive int; got {value!r}")
+    if value <= 0:
+        raise ConfigError(f"{name} must be > 0; got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value, name: str) -> int:
+    """Validate that ``value`` is an integer greater than or equal to zero."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigError(f"{name} must be a non-negative int; got {value!r}")
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0; got {value}")
+    return int(value)
+
+
+def check_positive_float(value, name: str) -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.floating, np.integer)):
+        raise ConfigError(f"{name} must be a positive number; got {value!r}")
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ConfigError(f"{name} must be a finite number > 0; got {value}")
+    return value
+
+
+def check_fraction(value, name: str, *, inclusive_low: bool = False,
+                   inclusive_high: bool = True) -> float:
+    """Validate that ``value`` lies in the unit interval.
+
+    Bounds are exclusive/inclusive according to ``inclusive_low`` /
+    ``inclusive_high`` (defaults match the common "(0, 1]" case).
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.floating, np.integer)):
+        raise ConfigError(f"{name} must be a number in the unit interval; got {value!r}")
+    value = float(value)
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    high_ok = value <= 1.0 if inclusive_high else value < 1.0
+    if not (np.isfinite(value) and low_ok and high_ok):
+        low = "[0" if inclusive_low else "(0"
+        high = "1]" if inclusive_high else "1)"
+        raise ConfigError(f"{name} must be in {low}, {high}; got {value}")
+    return value
+
+
+def check_in_options(value, name: str, options: Iterable) -> object:
+    """Validate that ``value`` is one of ``options``."""
+    options = tuple(options)
+    if value not in options:
+        raise ConfigError(f"{name} must be one of {options}; got {value!r}")
+    return value
+
+
+def check_rating_matrix(matrix) -> sp.csr_matrix:
+    """Validate and canonicalise a user-item rating matrix.
+
+    Accepts any scipy sparse matrix or a dense 2-D array; returns CSR with
+    float64 data, duplicate entries summed and explicit zeros removed. All
+    stored ratings must be finite and strictly positive (a rating of zero is
+    indistinguishable from "not rated" in the sparse encoding the paper uses).
+    """
+    if sp.issparse(matrix):
+        csr = sp.csr_matrix(matrix, dtype=np.float64, copy=True)
+    else:
+        arr = np.asarray(matrix, dtype=np.float64)
+        if arr.ndim != 2:
+            raise DataError(f"rating matrix must be 2-D; got ndim={arr.ndim}")
+        csr = sp.csr_matrix(arr)
+    if csr.shape[0] == 0 or csr.shape[1] == 0:
+        raise DataError(f"rating matrix must be non-empty; got shape {csr.shape}")
+    csr.sum_duplicates()
+    csr.eliminate_zeros()
+    if csr.nnz == 0:
+        raise DataError("rating matrix has no stored ratings")
+    if not np.all(np.isfinite(csr.data)):
+        raise DataError("rating matrix contains non-finite values")
+    if np.any(csr.data < 0):
+        raise DataError("ratings must be positive; found negative entries")
+    return csr
+
+
+def as_index_array(indices: Sequence[int] | np.ndarray, size: int, name: str) -> np.ndarray:
+    """Convert ``indices`` to a validated int64 array of indices into ``[0, size)``."""
+    arr = np.asarray(indices)
+    if arr.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ConfigError(f"{name} must be 1-D; got ndim={arr.ndim}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if np.issubdtype(arr.dtype, np.floating) and np.all(arr == arr.astype(np.int64)):
+            arr = arr.astype(np.int64)
+        else:
+            raise ConfigError(f"{name} must contain integers; got dtype {arr.dtype}")
+    arr = arr.astype(np.int64)
+    if arr.min() < 0 or arr.max() >= size:
+        raise ConfigError(
+            f"{name} contains out-of-range indices (valid range [0, {size}))"
+        )
+    return arr

@@ -1,0 +1,82 @@
+"""Unit tests for the association-rule recommender."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.association import AssociationRuleRecommender
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError
+
+
+@pytest.fixture()
+def basket():
+    """4 users always pair items 0+1; item 2 rated once alongside 0."""
+    m = np.array([
+        [5.0, 4.0, 0.0],
+        [3.0, 5.0, 0.0],
+        [4.0, 4.0, 0.0],
+        [5.0, 3.0, 2.0],
+    ])
+    return RatingDataset(m)
+
+
+class TestMining:
+    def test_rule_confidence(self, basket):
+        rec = AssociationRuleRecommender(min_support=2, min_confidence=0.1).fit(basket)
+        rules = dict(rec.rules_from(0))
+        assert rules[1] == pytest.approx(1.0)  # 0 -> 1 holds for all 4 users
+
+    def test_min_support_filters(self, basket):
+        rec = AssociationRuleRecommender(min_support=2, min_confidence=0.0001).fit(basket)
+        # 0 -> 2 co-occurs once only: below support 2.
+        assert 2 not in dict(rec.rules_from(0))
+
+    def test_min_confidence_filters(self, basket):
+        strict = AssociationRuleRecommender(min_support=1, min_confidence=0.9).fit(basket)
+        # 2 -> 0 has confidence 1.0 (kept); 0 -> 2 has 0.25 (dropped).
+        assert 0 in dict(strict.rules_from(2))
+        assert 2 not in dict(strict.rules_from(0))
+
+    def test_no_self_rules(self, basket):
+        rec = AssociationRuleRecommender(min_support=1, min_confidence=0.01).fit(basket)
+        assert 0 not in dict(rec.rules_from(0))
+
+    def test_n_rules_counts(self, basket):
+        rec = AssociationRuleRecommender(min_support=2, min_confidence=0.1).fit(basket)
+        assert rec.n_rules() == 2  # 0 -> 1 and 1 -> 0
+
+    def test_no_rules_when_thresholds_too_high(self, basket):
+        rec = AssociationRuleRecommender(min_support=50, min_confidence=0.99).fit(basket)
+        assert rec.n_rules() == 0
+        np.testing.assert_array_equal(rec.score_items(0), 0.0)
+
+
+class TestScoring:
+    def test_score_is_best_rule_confidence(self, basket):
+        rec = AssociationRuleRecommender(min_support=1, min_confidence=0.01).fit(basket)
+        user = 0  # rated 0 and 1
+        scores = rec.score_items(user)
+        assert scores[2] == pytest.approx(0.25)  # max(conf 0->2, conf 1->2)
+
+    def test_cold_user_scores_zero(self):
+        ds = RatingDataset(np.array([[5.0, 2.0], [0.0, 0.0]]))
+        rec = AssociationRuleRecommender(min_support=1).fit(ds)
+        np.testing.assert_array_equal(rec.score_items(1), 0.0)
+
+    def test_generic_recommendations_are_popular(self, medium_synth):
+        """The paper's §1 claim: association rules push head items."""
+        ds = medium_synth.dataset
+        rec = AssociationRuleRecommender(min_support=3, min_confidence=0.2).fit(ds)
+        pop = ds.item_popularity()
+        rec_pop = []
+        for user in range(25):
+            items = rec.recommend_items(user, 5)
+            if items.size:
+                rec_pop.append(pop[items].mean())
+        assert np.mean(rec_pop) > np.median(pop)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            AssociationRuleRecommender(min_support=0)
+        with pytest.raises(ConfigError):
+            AssociationRuleRecommender(min_confidence=2.0)

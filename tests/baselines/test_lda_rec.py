@@ -1,0 +1,58 @@
+"""Unit tests for the LDA recommendation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lda_rec import LDARecommender
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError
+from repro.topics import fit_lda_cvb0
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    rows = []
+    for u in range(8):
+        for i in range(4):
+            rows.append((f"a{u}", f"left{i}", 5.0))
+    for u in range(8):
+        for i in range(4):
+            rows.append((f"b{u}", f"right{i}", 5.0))
+    # One held-out-ish sparse user in block a.
+    rows.append(("a_new", "left0", 5.0))
+    return RatingDataset.from_triples(rows)
+
+
+class TestLDARecommender:
+    def test_recommends_within_block(self, blocks):
+        rec = LDARecommender(n_topics=2, seed=0).fit(blocks)
+        items = rec.recommend_items(blocks.user_id("a_new"), 3)
+        labels = {blocks.item_labels[i] for i in items}
+        assert all(l.startswith("left") for l in labels)
+
+    def test_model_reuse(self, blocks):
+        model = fit_lda_cvb0(blocks, 2, seed=1)
+        rec = LDARecommender(model=model).fit(blocks)
+        scores = rec.score_items(0)
+        np.testing.assert_allclose(scores, model.score_items(0))
+
+    def test_model_shape_mismatch_rejected(self, blocks, tiny_dataset):
+        model = fit_lda_cvb0(blocks, 2, seed=1)
+        rec = LDARecommender(model=model)
+        with pytest.raises(ConfigError, match="shape"):
+            rec.fit(tiny_dataset)
+
+    def test_scores_are_probabilities(self, blocks):
+        rec = LDARecommender(n_topics=2, seed=0).fit(blocks)
+        scores = rec.score_items(0)
+        assert np.all(scores >= 0)
+        assert scores.sum() == pytest.approx(1.0)
+
+    def test_gibbs_engine_selectable(self, tiny_dataset):
+        rec = LDARecommender(n_topics=2, method="gibbs",
+                             lda_kwargs={"n_iterations": 5}, seed=0).fit(tiny_dataset)
+        assert rec.score_items(0).shape == (4,)
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ConfigError):
+            LDARecommender(method="nope")

@@ -1,0 +1,94 @@
+"""Unit tests for user-kNN and item-kNN collaborative filtering."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.neighborhood import (
+    ItemKNNRecommender,
+    UserKNNRecommender,
+    cosine_similarity_matrix,
+)
+from repro.data.dataset import RatingDataset
+
+
+class TestCosineSimilarity:
+    def test_identical_rows_similarity_one(self):
+        m = np.array([[1.0, 2.0], [1.0, 2.0], [2.0, 0.0]])
+        sim = cosine_similarity_matrix(m)
+        assert sim[0, 1] == pytest.approx(1.0)
+
+    def test_orthogonal_rows_zero(self):
+        m = np.array([[1.0, 0.0], [0.0, 1.0]])
+        sim = cosine_similarity_matrix(m)
+        assert sim[0, 1] == pytest.approx(0.0)
+
+    def test_zero_rows_no_nan(self):
+        m = np.array([[1.0, 0.0], [0.0, 0.0]])
+        sim = cosine_similarity_matrix(m)
+        assert not np.any(np.isnan(sim))
+        assert sim[1, 1] == 0.0
+
+    def test_symmetric(self, medium_synth):
+        sim = cosine_similarity_matrix(medium_synth.dataset.matrix)
+        np.testing.assert_allclose(sim, sim.T, atol=1e-12)
+
+
+class TestUserKNN:
+    def test_scores_follow_neighbors(self):
+        # u0 and u1 are near-identical; u1 also rated item 2 highly.
+        m = np.array([
+            [5.0, 4.0, 0.0, 0.0],
+            [5.0, 4.0, 5.0, 0.0],
+            [0.0, 0.0, 0.0, 5.0],
+        ])
+        ds = RatingDataset(m)
+        rec = UserKNNRecommender(k_neighbors=1).fit(ds)
+        top = rec.recommend_items(0, 1)
+        assert top[0] == 2
+
+    def test_local_popularity_bias_on_fig2(self, fig2):
+        """The Figure 2 narrative: CF picks the locally popular M1 for U5."""
+        rec = UserKNNRecommender(k_neighbors=2).fit(fig2)
+        assert rec.recommend(fig2.user_id("U5"), 1)[0].label == "M1"
+
+    def test_isolated_user_scores_zero(self):
+        ds = RatingDataset(np.array([[5.0, 0.0], [0.0, 0.0], [3.0, 1.0]]))
+        rec = UserKNNRecommender().fit(ds)
+        np.testing.assert_array_equal(rec.score_items(1), 0.0)
+
+    def test_deterministic(self, medium_synth):
+        a = UserKNNRecommender(k_neighbors=5).fit(medium_synth.dataset)
+        b = UserKNNRecommender(k_neighbors=5).fit(medium_synth.dataset)
+        np.testing.assert_allclose(a.score_items(4), b.score_items(4))
+
+
+class TestItemKNN:
+    def test_similar_item_scored_high(self):
+        # Items 0 and 1 co-rated by everyone; user 2 rated 0 only.
+        m = np.array([
+            [5.0, 5.0, 0.0],
+            [4.0, 4.0, 0.0],
+            [5.0, 0.0, 1.0],
+        ])
+        ds = RatingDataset(m)
+        rec = ItemKNNRecommender(k_neighbors=2).fit(ds)
+        scores = rec.score_items(2)
+        assert scores[1] > 0
+        top = rec.recommend_items(2, 1)
+        assert top[0] == 1
+
+    def test_cold_user_scores_zero(self):
+        ds = RatingDataset(np.array([[5.0, 2.0], [0.0, 0.0]]))
+        rec = ItemKNNRecommender().fit(ds)
+        np.testing.assert_array_equal(rec.score_items(1), 0.0)
+
+    def test_neighborhood_truncation(self, medium_synth):
+        """Each item keeps at most k similarity entries after fitting."""
+        rec = ItemKNNRecommender(k_neighbors=3).fit(medium_synth.dataset)
+        nonzero_per_row = (rec._similarity > 0).sum(axis=1)
+        assert nonzero_per_row.max() <= 3
+
+    def test_deterministic(self, medium_synth):
+        a = ItemKNNRecommender(k_neighbors=5).fit(medium_synth.dataset)
+        b = ItemKNNRecommender(k_neighbors=5).fit(medium_synth.dataset)
+        np.testing.assert_allclose(a.score_items(4), b.score_items(4))

@@ -1,0 +1,78 @@
+"""Unit tests for the PPR and DPPR baselines (Eq. 15)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pagerank import (
+    DiscountedPageRankRecommender,
+    PersonalizedPageRankRecommender,
+)
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError
+
+
+class TestPPR:
+    def test_scores_are_probability_mass(self, fig2):
+        rec = PersonalizedPageRankRecommender().fit(fig2)
+        scores = rec.score_items(fig2.user_id("U5"))
+        assert np.all(scores >= 0)
+        assert scores.sum() <= 1.0
+
+    def test_restarts_at_rated_items(self, fig2):
+        """With damping 0 all mass sits on the user's rated items."""
+        rec = PersonalizedPageRankRecommender(damping=0.0).fit(fig2)
+        u5 = fig2.user_id("U5")
+        scores = rec.score_items(u5)
+        rated = fig2.items_of_user(u5)
+        np.testing.assert_allclose(scores[rated], 0.5)
+        unrated = np.setdiff1d(np.arange(fig2.n_items), rated)
+        np.testing.assert_allclose(scores[unrated], 0.0)
+
+    def test_popular_bias(self, fig2):
+        """PPR prefers the locally popular M1 over the niche M4 for U5 —
+        the behaviour the paper criticises (§5.1.1)."""
+        rec = PersonalizedPageRankRecommender(damping=0.5).fit(fig2)
+        u5 = fig2.user_id("U5")
+        scores = rec.score_items(u5)
+        assert scores[fig2.item_id("M1")] > scores[fig2.item_id("M4")]
+
+    def test_cold_start_all_blocked(self):
+        ds = RatingDataset(np.array([[5.0, 3.0], [0.0, 0.0]]))
+        rec = PersonalizedPageRankRecommender().fit(ds)
+        assert rec.recommend(1, k=2) == []
+
+    def test_invalid_damping_rejected(self):
+        with pytest.raises(ConfigError):
+            PersonalizedPageRankRecommender(damping=1.0)
+
+
+class TestDPPR:
+    def test_discounts_by_popularity(self, fig2):
+        ppr = PersonalizedPageRankRecommender(damping=0.5).fit(fig2)
+        dppr = DiscountedPageRankRecommender(damping=0.5).fit(fig2)
+        u5 = fig2.user_id("U5")
+        pop = np.maximum(fig2.item_popularity(), 1)
+        np.testing.assert_allclose(
+            dppr.score_items(u5), ppr.score_items(u5) / pop
+        )
+
+    def test_flips_fig2_preference_to_niche(self, fig2):
+        """Discounting makes DPPR prefer the niche M4 where PPR chose M1."""
+        dppr = DiscountedPageRankRecommender(damping=0.5).fit(fig2)
+        u5 = fig2.user_id("U5")
+        scores = dppr.score_items(u5)
+        assert scores[fig2.item_id("M4")] > scores[fig2.item_id("M1")]
+
+    def test_recommends_less_popular_than_ppr(self, medium_synth):
+        ds = medium_synth.dataset
+        ppr = PersonalizedPageRankRecommender().fit(ds)
+        dppr = DiscountedPageRankRecommender().fit(ds)
+        pop = ds.item_popularity()
+        ppr_pop = np.mean([pop[ppr.recommend_items(u, 5)].mean() for u in range(20)])
+        dppr_pop = np.mean([pop[dppr.recommend_items(u, 5)].mean() for u in range(20)])
+        assert dppr_pop < ppr_pop
+
+    def test_cold_start(self):
+        ds = RatingDataset(np.array([[5.0, 3.0], [0.0, 0.0]]))
+        rec = DiscountedPageRankRecommender().fit(ds)
+        assert rec.recommend(1, k=2) == []

@@ -1,0 +1,46 @@
+"""Unit tests for the MostPopular and Random reference recommenders."""
+
+import numpy as np
+
+from repro.baselines.popularity import MostPopularRecommender, RandomRecommender
+
+
+class TestMostPopular:
+    def test_ranks_by_rating_count(self, tiny_dataset):
+        rec = MostPopularRecommender().fit(tiny_dataset)
+        scores = rec.score_items(0)
+        np.testing.assert_array_equal(scores, tiny_dataset.item_popularity())
+
+    def test_same_list_for_everyone(self, medium_synth):
+        rec = MostPopularRecommender().fit(medium_synth.dataset)
+        a = rec.recommend_items(0, 10, exclude_rated=False)
+        b = rec.recommend_items(1, 10, exclude_rated=False)
+        np.testing.assert_array_equal(a, b)
+
+    def test_top_item_is_most_popular(self, medium_synth):
+        rec = MostPopularRecommender().fit(medium_synth.dataset)
+        top = rec.recommend_items(0, 1, exclude_rated=False)[0]
+        pop = medium_synth.dataset.item_popularity()
+        assert pop[top] == pop.max()
+
+
+class TestRandom:
+    def test_deterministic_per_user(self, tiny_dataset):
+        rec = RandomRecommender(seed=3).fit(tiny_dataset)
+        np.testing.assert_array_equal(rec.score_items(0), rec.score_items(0))
+
+    def test_users_get_different_lists(self, medium_synth):
+        rec = RandomRecommender(seed=3).fit(medium_synth.dataset)
+        assert not np.array_equal(rec.score_items(0), rec.score_items(1))
+
+    def test_seed_changes_scores(self, tiny_dataset):
+        a = RandomRecommender(seed=1).fit(tiny_dataset).score_items(0)
+        b = RandomRecommender(seed=2).fit(tiny_dataset).score_items(0)
+        assert not np.array_equal(a, b)
+
+    def test_high_aggregate_diversity(self, medium_synth):
+        rec = RandomRecommender(seed=0).fit(medium_synth.dataset)
+        seen = set()
+        for user in range(60):
+            seen.update(rec.recommend_items(user, 10).tolist())
+        assert len(seen) > medium_synth.dataset.n_items * 0.6

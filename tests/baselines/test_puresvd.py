@@ -1,0 +1,59 @@
+"""Unit tests for the PureSVD baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.puresvd import PureSVDRecommender
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError
+
+
+class TestPureSVD:
+    def test_rank1_matrix_reconstructed_exactly(self):
+        """A rank-1 rating matrix is reproduced exactly by one factor."""
+        u = np.array([1.0, 2.0, 3.0])
+        v = np.array([2.0, 1.0, 0.5, 1.5])
+        matrix = np.outer(u, v)
+        ds = RatingDataset(matrix, rating_scale=None)
+        rec = PureSVDRecommender(n_factors=1).fit(ds)
+        for user in range(3):
+            np.testing.assert_allclose(rec.score_items(user), matrix[user],
+                                       atol=1e-8)
+
+    def test_rank_capped_to_matrix_size(self, tiny_dataset):
+        rec = PureSVDRecommender(n_factors=50).fit(tiny_dataset)
+        assert rec.effective_rank <= min(tiny_dataset.n_users,
+                                         tiny_dataset.n_items) - 1
+
+    def test_deterministic_given_seed(self, medium_synth):
+        a = PureSVDRecommender(n_factors=8, seed=1).fit(medium_synth.dataset)
+        b = PureSVDRecommender(n_factors=8, seed=1).fit(medium_synth.dataset)
+        np.testing.assert_allclose(a.score_items(0), b.score_items(0), atol=1e-9)
+
+    def test_scores_high_for_held_out_block_item(self):
+        """Block-structured ratings: users prefer their own block's items."""
+        block = np.zeros((8, 8))
+        block[:4, :4] = 4.0
+        block[4:, 4:] = 4.0
+        block[0, 3] = 0.0  # hold out one in-block cell
+        ds = RatingDataset(block, rating_scale=None)
+        rec = PureSVDRecommender(n_factors=2).fit(ds)
+        scores = rec.score_items(0)
+        assert scores[3] > scores[4:].max()
+
+    def test_head_bias(self, medium_synth):
+        """PureSVD's top recommendations skew popular (the paper's critique)."""
+        ds = medium_synth.dataset
+        rec = PureSVDRecommender(n_factors=10, seed=0).fit(ds)
+        pop = ds.item_popularity()
+        rec_pop = [pop[rec.recommend_items(u, 5)].mean() for u in range(30)]
+        assert np.mean(rec_pop) > np.median(pop)
+
+    def test_too_small_matrix_rejected(self):
+        ds = RatingDataset(np.array([[1.0]]))
+        with pytest.raises(ConfigError, match="2x2"):
+            PureSVDRecommender().fit(ds)
+
+    def test_invalid_factors_rejected(self):
+        with pytest.raises(ConfigError):
+            PureSVDRecommender(n_factors=0)

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (synthetic datasets, fitted topic models) are
+session-scoped; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import RatingDataset
+from repro.data.synthetic import SyntheticConfig, generate_dataset
+from repro.data.toy import chain_dataset, figure2_dataset, two_community_dataset
+
+
+@pytest.fixture(scope="session")
+def fig2():
+    """The paper's Figure 2 rating matrix."""
+    return figure2_dataset()
+
+
+@pytest.fixture(scope="session")
+def small_synth():
+    """A small but realistic synthetic dataset (fast to generate)."""
+    config = SyntheticConfig(
+        n_users=120, n_items=90, n_genres=4, target_density=0.08,
+        activity_min=4, activity_max=30, name="test-small",
+    )
+    return generate_dataset(config, seed=11)
+
+
+@pytest.fixture(scope="session")
+def medium_synth():
+    """A medium synthetic dataset for integration-level checks."""
+    config = SyntheticConfig(
+        n_users=260, n_items=200, n_genres=6, target_density=0.06,
+        activity_min=5, activity_max=60, name="test-medium",
+    )
+    return generate_dataset(config, seed=13)
+
+
+@pytest.fixture()
+def tiny_dataset():
+    """A 3-user × 4-item hand-written matrix (mutable per test)."""
+    return RatingDataset.from_triples([
+        ("a", "w", 5.0), ("a", "x", 3.0),
+        ("b", "x", 4.0), ("b", "y", 2.0),
+        ("c", "y", 5.0), ("c", "z", 1.0), ("c", "w", 2.0),
+    ])
+
+
+@pytest.fixture()
+def chain():
+    """u0 - i0 - u1 - i1 - u2 - i2 - u3 path graph."""
+    return chain_dataset(3)
+
+
+@pytest.fixture()
+def disconnected():
+    """Two communities with no bridge."""
+    return two_community_dataset(bridge=False)
+
+
+@pytest.fixture()
+def bridged():
+    """Two communities joined by a single rating."""
+    return two_community_dataset(bridge=True)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

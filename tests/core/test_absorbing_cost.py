@@ -1,0 +1,115 @@
+"""Unit tests for the Absorbing Cost recommenders (AC1/AC2, Eq. 8–9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.absorbing_cost import AbsorbingCostRecommender
+from repro.core.absorbing_time import AbsorbingTimeRecommender
+from repro.core.costs import UnitCostModel
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError
+from repro.topics import fit_lda_cvb0
+
+
+class TestFactories:
+    def test_item_based_is_ac1(self):
+        assert AbsorbingCostRecommender.item_based().name == "AC1"
+
+    def test_topic_based_is_ac2(self):
+        assert AbsorbingCostRecommender.topic_based().name == "AC2"
+
+    def test_precomputed_is_ac(self):
+        rec = AbsorbingCostRecommender(entropy=np.array([1.0, 2.0]))
+        assert rec.name == "AC"
+
+    def test_invalid_entropy_source(self):
+        with pytest.raises(ConfigError):
+            AbsorbingCostRecommender(entropy="vibes")
+
+    def test_negative_precomputed_rejected(self):
+        with pytest.raises(ConfigError):
+            AbsorbingCostRecommender(entropy=np.array([-1.0]))
+
+    def test_bad_cost_model_rejected(self):
+        with pytest.raises(ConfigError, match="CostModel"):
+            AbsorbingCostRecommender(cost_model="not-a-model")
+
+
+class TestEquivalences:
+    def test_unit_cost_equals_absorbing_time(self, fig2):
+        """Eq. 8 with c == 1 must reduce exactly to Absorbing Time."""
+        at = AbsorbingTimeRecommender(method="exact", subgraph_size=None).fit(fig2)
+        ac = AbsorbingCostRecommender(
+            entropy="item", cost_model=UnitCostModel(),
+            method="exact", subgraph_size=None,
+        ).fit(fig2)
+        u5 = fig2.user_id("U5")
+        np.testing.assert_allclose(ac.absorbing_costs(u5), at.absorbing_times(u5))
+
+    def test_uniform_entropy_preserves_at_ranking(self, fig2):
+        """With identical user entropies the AC *ranking* matches AT."""
+        entropies = np.full(fig2.n_users, 2.0)
+        ac = AbsorbingCostRecommender(
+            entropy=entropies, method="exact", subgraph_size=None
+        ).fit(fig2)
+        at = AbsorbingTimeRecommender(method="exact", subgraph_size=None).fit(fig2)
+        u5 = fig2.user_id("U5")
+        assert ac.recommend_items(u5, 4).tolist() == at.recommend_items(u5, 4).tolist()
+
+
+class TestEntropyBias:
+    def test_specific_rater_path_is_cheaper(self):
+        """Two candidate items reachable only via one user each; the item
+        whose user is taste-specific (low entropy) must rank first."""
+        triples = [("q", "anchor", 5.0)]
+        # Specialist rated anchor + nicheA; generalist rated anchor + nicheB
+        # plus a spread of filler items (raising their entropy).
+        triples += [("specialist", "anchor", 5.0), ("specialist", "nicheA", 5.0)]
+        triples += [("generalist", "anchor", 5.0), ("generalist", "nicheB", 5.0)]
+        for j in range(8):
+            triples.append(("generalist", f"filler{j}", 5.0))
+            triples.append((f"pad{j}", f"filler{j}", 5.0))
+        ds = RatingDataset.from_triples(triples)
+        ac1 = AbsorbingCostRecommender.item_based(
+            method="exact", subgraph_size=None).fit(ds)
+        q = ds.user_id("q")
+        costs = ac1.absorbing_costs(q)
+        assert costs[ds.item_id("nicheA")] < costs[ds.item_id("nicheB")]
+
+    def test_fitted_entropies_exposed(self, medium_synth):
+        ac1 = AbsorbingCostRecommender.item_based().fit(medium_synth.dataset)
+        entropies = ac1.user_entropies()
+        assert entropies.shape == (medium_synth.dataset.n_users,)
+        assert np.all(entropies >= 0)
+
+    def test_topic_model_reuse(self, medium_synth):
+        model = fit_lda_cvb0(medium_synth.dataset, 4, seed=0)
+        ac2 = AbsorbingCostRecommender.topic_based(
+            topic_model=model, subgraph_size=None).fit(medium_synth.dataset)
+        np.testing.assert_allclose(ac2.user_entropies(), model.user_entropy())
+
+    def test_precomputed_length_checked(self, fig2):
+        rec = AbsorbingCostRecommender(entropy=np.array([1.0, 2.0]))
+        with pytest.raises(ConfigError, match="n_users"):
+            rec.fit(fig2)
+
+
+class TestEndToEnd:
+    def test_ac2_runs_and_ranks(self, medium_synth):
+        ac2 = AbsorbingCostRecommender.topic_based(
+            n_topics=4, subgraph_size=60, seed=0).fit(medium_synth.dataset)
+        recs = ac2.recommend(0, k=5)
+        assert 0 < len(recs) <= 5
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic(self, medium_synth):
+        kwargs = dict(n_topics=4, subgraph_size=60, seed=9)
+        a = AbsorbingCostRecommender.topic_based(**kwargs).fit(medium_synth.dataset)
+        b = AbsorbingCostRecommender.topic_based(**kwargs).fit(medium_synth.dataset)
+        np.testing.assert_allclose(a.score_items(2), b.score_items(2))
+
+    def test_cold_start(self):
+        ds = RatingDataset(np.array([[5.0, 3.0], [0.0, 0.0]]))
+        ac1 = AbsorbingCostRecommender.item_based().fit(ds)
+        assert ac1.recommend(1, k=2) == []

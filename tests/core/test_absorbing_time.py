@@ -1,0 +1,72 @@
+"""Unit tests for the Absorbing Time recommender (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.absorbing_time import AbsorbingTimeRecommender
+from repro.core.hitting_time import HittingTimeRecommender
+from repro.data.dataset import RatingDataset
+
+
+class TestAbsorbingTime:
+    def test_rated_items_are_absorbing(self, fig2):
+        rec = AbsorbingTimeRecommender(subgraph_size=None).fit(fig2)
+        u5 = fig2.user_id("U5")
+        times = rec.absorbing_times(u5)
+        for label in ("M2", "M3"):
+            assert times[fig2.item_id(label)] == 0.0
+
+    def test_fig2_ranking_prefers_niche_m4(self, fig2):
+        rec = AbsorbingTimeRecommender(subgraph_size=None).fit(fig2)
+        top = rec.recommend(fig2.user_id("U5"), k=1)
+        assert top[0].label == "M4"
+
+    def test_times_bounded_by_hitting_time(self, fig2):
+        """AT to the item set is at most the exact HT to the user.
+
+        Every path into S_q via q itself... more precisely absorbing on a
+        *superset*-like structure absorbs faster; verify empirically that the
+        item-set absorbing times are below hitting times to the single user
+        node for the same walker starts.
+        """
+        u5 = fig2.user_id("U5")
+        at = AbsorbingTimeRecommender(method="exact", subgraph_size=None).fit(fig2)
+        ht = HittingTimeRecommender(method="exact").fit(fig2)
+        at_times = at.absorbing_times(u5)
+        ht_times = ht.hitting_times(u5)
+        candidates = [fig2.item_id(m) for m in ("M1", "M4", "M5", "M6")]
+        # A walk must pass a rated item of U5 before reaching U5 itself
+        # (U5 has no other edges), so AT(S_q|i) < H(U5|i).
+        for item in candidates:
+            assert at_times[item] < ht_times[item]
+
+    def test_exact_and_truncated_rankings_agree(self, medium_synth):
+        exact = AbsorbingTimeRecommender(method="exact", subgraph_size=None)
+        approx = AbsorbingTimeRecommender(method="truncated", n_iterations=15,
+                                          subgraph_size=None)
+        exact.fit(medium_synth.dataset)
+        approx.fit(medium_synth.dataset)
+        users = [0, 5, 9]
+        for user in users:
+            a = set(exact.recommend_items(user, 10).tolist())
+            b = set(approx.recommend_items(user, 10).tolist())
+            assert len(a & b) >= 7
+
+    def test_subgraph_restricts_candidates(self, medium_synth):
+        rec = AbsorbingTimeRecommender(subgraph_size=15).fit(medium_synth.dataset)
+        user = 0
+        scores = rec.score_items(user)
+        finite = np.isfinite(scores).sum()
+        rated = medium_synth.dataset.items_of_user(user).size
+        # Only items inside the small subgraph (incl. rated seeds) are scored.
+        assert finite <= 15 + rated + 1
+
+    def test_cold_start_user(self):
+        ds = RatingDataset(np.array([[5.0, 3.0], [0.0, 0.0]]))
+        rec = AbsorbingTimeRecommender().fit(ds)
+        assert rec.recommend(1, k=3) == []
+
+    def test_scores_deterministic(self, medium_synth):
+        a = AbsorbingTimeRecommender(subgraph_size=50).fit(medium_synth.dataset)
+        b = AbsorbingTimeRecommender(subgraph_size=50).fit(medium_synth.dataset)
+        np.testing.assert_allclose(a.score_items(3), b.score_items(3))

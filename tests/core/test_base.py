@@ -1,0 +1,123 @@
+"""Unit tests for the Recommender base class."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import Recommendation, Recommender
+from repro.exceptions import ConfigError, NotFittedError
+
+
+class ScoreByIndex(Recommender):
+    """Deterministic toy recommender: score(i) = i."""
+
+    name = "toy"
+
+    def _fit(self, dataset):
+        pass
+
+    def _score_user(self, user):
+        return np.arange(self.dataset.n_items, dtype=np.float64)
+
+
+class WrongShape(Recommender):
+    name = "broken"
+
+    def _fit(self, dataset):
+        pass
+
+    def _score_user(self, user):
+        return np.zeros(2)
+
+
+class TestFitContract:
+    def test_fit_returns_self(self, tiny_dataset):
+        rec = ScoreByIndex()
+        assert rec.fit(tiny_dataset) is rec
+        assert rec.is_fitted
+
+    def test_unfitted_raises(self):
+        rec = ScoreByIndex()
+        with pytest.raises(NotFittedError):
+            rec.score_items(0)
+        with pytest.raises(NotFittedError):
+            rec.recommend(0)
+
+    def test_fit_rejects_non_dataset(self):
+        with pytest.raises(ConfigError, match="RatingDataset"):
+            ScoreByIndex().fit([[1, 2]])
+
+    def test_shape_contract_enforced(self, tiny_dataset):
+        rec = WrongShape().fit(tiny_dataset)
+        with pytest.raises(ConfigError, match="expected"):
+            rec.score_items(0)
+
+
+class TestScoreItems:
+    def test_full_catalogue_scores(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        np.testing.assert_array_equal(rec.score_items(0), [0, 1, 2, 3])
+
+    def test_candidate_alignment(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        np.testing.assert_array_equal(
+            rec.score_items(0, candidates=np.array([3, 1])), [3, 1]
+        )
+
+    def test_bad_candidates_rejected(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        with pytest.raises(ConfigError, match="out-of-range"):
+            rec.score_items(0, candidates=np.array([99]))
+
+    def test_bad_user_rejected(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        with pytest.raises(Exception):
+            rec.score_items(42)
+
+
+class TestRecommend:
+    def test_exclude_rated_default(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        user_a = 0  # rated w (0) and x (1)
+        items = rec.recommend_items(user_a, k=4)
+        assert set(items.tolist()).isdisjoint(
+            set(tiny_dataset.items_of_user(user_a).tolist())
+        )
+
+    def test_include_rated_when_disabled(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        items = rec.recommend_items(0, k=4, exclude_rated=False)
+        np.testing.assert_array_equal(items, [3, 2, 1, 0])
+
+    def test_candidates_filter(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        items = rec.recommend_items(2, k=4, candidates=np.array([1]))
+        np.testing.assert_array_equal(items, [1])
+
+    def test_recommendation_objects(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        out = rec.recommend(0, k=1)
+        assert isinstance(out[0], Recommendation)
+        assert out[0].label == tiny_dataset.item_labels[out[0].item]
+        assert out[0].score == float(out[0].item)
+
+    def test_infinite_scores_dropped(self, tiny_dataset):
+        class MostlyBlocked(ScoreByIndex):
+            def _score_user(self, user):
+                scores = np.full(self.dataset.n_items, -np.inf)
+                scores[2] = 1.0
+                return scores
+
+        rec = MostlyBlocked().fit(tiny_dataset)
+        out = rec.recommend(0, k=4)
+        assert len(out) == 1 and out[0].item == 2
+
+    def test_invalid_k(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        with pytest.raises(ConfigError):
+            rec.recommend(0, k=0)
+
+    def test_repr_shows_state(self, tiny_dataset):
+        rec = ScoreByIndex()
+        assert "unfitted" in repr(rec)
+        rec.fit(tiny_dataset)
+        assert "fitted" in repr(rec)

@@ -1,0 +1,79 @@
+"""Unit tests for the transition-cost models (Eq. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import EntropyCostModel, UnitCostModel
+from repro.exceptions import ConfigError
+from repro.graph.bipartite import UserItemGraph
+
+
+@pytest.fixture()
+def fig2_parts(fig2):
+    graph = UserItemGraph(fig2)
+    transition = graph.transition_matrix()
+    user_mask = np.zeros(graph.n_nodes, dtype=bool)
+    user_mask[:graph.n_users] = True
+    entropy = np.zeros(graph.n_nodes)
+    entropy[:graph.n_users] = np.array([1.0, 2.0, 0.5, 0.1, 0.8])
+    return graph, transition, user_mask, entropy
+
+
+class TestUnitCostModel:
+    def test_all_ones(self, fig2_parts):
+        _, transition, user_mask, entropy = fig2_parts
+        costs = UnitCostModel().local_costs(transition, user_mask, entropy)
+        np.testing.assert_array_equal(costs, np.ones(transition.shape[0]))
+
+
+class TestEntropyCostModel:
+    def test_user_nodes_get_constant(self, fig2_parts):
+        _, transition, user_mask, entropy = fig2_parts
+        costs = EntropyCostModel(jump_cost=3.0).local_costs(
+            transition, user_mask, entropy
+        )
+        np.testing.assert_array_equal(costs[user_mask], 3.0)
+
+    def test_item_nodes_get_expected_entropy(self, fig2, fig2_parts):
+        graph, transition, user_mask, entropy = fig2_parts
+        costs = EntropyCostModel(jump_cost=1.0).local_costs(
+            transition, user_mask, entropy
+        )
+        # M4 is rated only by U4, so its local cost is exactly E(U4).
+        m4 = graph.item_node(fig2.item_id("M4"))
+        u4 = fig2.user_id("U4")
+        assert costs[m4] == pytest.approx(entropy[u4])
+
+    def test_item_cost_is_weighted_mixture(self, fig2, fig2_parts):
+        graph, transition, user_mask, entropy = fig2_parts
+        costs = EntropyCostModel(jump_cost=1.0).local_costs(
+            transition, user_mask, entropy
+        )
+        m1 = graph.item_node(fig2.item_id("M1"))  # rated by U1 (5), U2 (5), U3 (4)
+        total = 5 + 5 + 4
+        expected = (5 * entropy[0] + 5 * entropy[1] + 4 * entropy[2]) / total
+        assert costs[m1] == pytest.approx(expected)
+
+    def test_mean_entropy_default(self, fig2_parts):
+        _, transition, user_mask, entropy = fig2_parts
+        costs = EntropyCostModel().local_costs(transition, user_mask, entropy)
+        np.testing.assert_allclose(costs[user_mask], entropy[user_mask].mean())
+
+    def test_all_zero_entropy_falls_back_to_one(self, fig2_parts):
+        _, transition, user_mask, _ = fig2_parts
+        zeros = np.zeros(transition.shape[0])
+        costs = EntropyCostModel().local_costs(transition, user_mask, zeros)
+        np.testing.assert_allclose(costs[user_mask], 1.0)
+        # Item nodes fall back to the constant as well (no zero-cost cycles).
+        assert np.all(costs > 0)
+
+    def test_invalid_jump_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            EntropyCostModel(jump_cost=0.0)
+        with pytest.raises(ConfigError):
+            EntropyCostModel(jump_cost="median-entropy")
+
+    def test_length_mismatch_rejected(self, fig2_parts):
+        _, transition, user_mask, entropy = fig2_parts
+        with pytest.raises(ConfigError, match="length"):
+            EntropyCostModel().local_costs(transition, user_mask[:-1], entropy)

@@ -1,0 +1,105 @@
+"""Unit and property tests for user entropy (Eq. 10 / Eq. 11)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entropy import distribution_entropy, item_entropy, topic_entropy
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError
+from repro.topics import fit_lda_cvb0
+
+
+class TestDistributionEntropy:
+    def test_uniform_is_log_n(self):
+        assert distribution_entropy(np.ones(8)) == pytest.approx(np.log(8))
+
+    def test_degenerate_is_zero(self):
+        assert distribution_entropy(np.array([5.0])) == 0.0
+        assert distribution_entropy(np.array([0.0, 3.0, 0.0])) == 0.0
+
+    def test_empty_and_all_zero(self):
+        assert distribution_entropy(np.array([])) == 0.0
+        assert distribution_entropy(np.zeros(4)) == 0.0
+
+    def test_unnormalised_invariance(self):
+        a = distribution_entropy(np.array([1.0, 2.0, 3.0]))
+        b = distribution_entropy(np.array([10.0, 20.0, 30.0]))
+        assert a == pytest.approx(b)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            distribution_entropy(np.array([1.0, -1.0]))
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
+                    max_size=40).filter(lambda xs: sum(xs) > 0))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, weights):
+        """0 <= E <= log(#positive-weight entries)."""
+        entropy = distribution_entropy(np.array(weights))
+        positive = sum(1 for w in weights if w > 0)
+        assert -1e-9 <= entropy <= np.log(positive) + 1e-9
+
+
+class TestItemEntropy:
+    def test_matches_eq10_by_hand(self):
+        # User rated two items 1 and 3 stars: p = (0.25, 0.75).
+        ds = RatingDataset(np.array([[1.0, 3.0]]))
+        expected = -(0.25 * np.log(0.25) + 0.75 * np.log(0.75))
+        assert item_entropy(ds)[0] == pytest.approx(expected)
+
+    def test_equal_ratings_give_log_count(self):
+        ds = RatingDataset(np.array([[2.0, 2.0, 2.0, 2.0]]))
+        assert item_entropy(ds)[0] == pytest.approx(np.log(4))
+
+    def test_single_item_user_zero(self):
+        ds = RatingDataset(np.array([[5.0, 0.0], [1.0, 1.0]]))
+        entropy = item_entropy(ds)
+        assert entropy[0] == pytest.approx(0.0)
+        assert entropy[1] > 0
+
+    def test_more_items_generally_more_entropy(self, medium_synth):
+        """The paper's Eq. 10 premise holds on the synthetic data."""
+        entropy = item_entropy(medium_synth.dataset)
+        activity = medium_synth.dataset.user_activity()
+        heavy = entropy[activity >= np.quantile(activity, 0.8)].mean()
+        light = entropy[activity <= np.quantile(activity, 0.2)].mean()
+        assert heavy > light
+
+    def test_vector_matches_scalar_definition(self, tiny_dataset):
+        entropy = item_entropy(tiny_dataset)
+        for user in range(tiny_dataset.n_users):
+            expected = distribution_entropy(tiny_dataset.ratings_of_user(user))
+            assert entropy[user] == pytest.approx(expected), user
+
+
+class TestTopicEntropy:
+    def test_from_pretrained_model(self, medium_synth):
+        model = fit_lda_cvb0(medium_synth.dataset, 4, seed=1)
+        entropy = topic_entropy(medium_synth.dataset, model=model)
+        np.testing.assert_allclose(entropy, model.user_entropy())
+
+    def test_fits_model_when_absent(self, tiny_dataset):
+        entropy = topic_entropy(tiny_dataset, n_topics=2, seed=0)
+        assert entropy.shape == (3,)
+        assert np.all(entropy >= 0)
+        assert np.all(entropy <= np.log(2) + 1e-9)
+
+    def test_model_shape_mismatch_rejected(self, tiny_dataset, medium_synth):
+        model = fit_lda_cvb0(medium_synth.dataset, 4, seed=1)
+        with pytest.raises(ConfigError, match="users"):
+            topic_entropy(tiny_dataset, model=model)
+
+    def test_specific_users_have_lower_topic_entropy(self, medium_synth):
+        """Ground-truth taste-specific users score lower Eq. 11 entropy."""
+        data = medium_synth
+        theta_true = data.user_topics
+        true_entropy = -np.sum(
+            np.maximum(theta_true, 1e-300) * np.log(np.maximum(theta_true, 1e-300)),
+            axis=1,
+        )
+        estimated = topic_entropy(data.dataset, n_topics=data.n_genres, seed=2)
+        specific = true_entropy < np.quantile(true_entropy, 0.25)
+        general = true_entropy > np.quantile(true_entropy, 0.75)
+        assert estimated[specific].mean() < estimated[general].mean()

@@ -1,0 +1,75 @@
+"""Unit tests for recommendation explanations."""
+
+import numpy as np
+import pytest
+
+from repro.core.explain import explain_recommendation
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError
+
+
+class TestExplainRecommendation:
+    def test_fig2_m4_explained_via_u4(self, fig2):
+        """The paper's own example: M4 reaches U5 through U4 and M3."""
+        u5 = fig2.user_id("U5")
+        explanation = explain_recommendation(fig2, u5, fig2.item_id("M4"))
+        assert explanation.connected
+        assert explanation.n_raters == 1
+        best = explanation.paths[0]
+        assert best.rater == fig2.user_id("U4")
+        assert best.anchor == fig2.item_id("M3")
+        assert best.candidate_rating == 5.0
+        assert best.anchor_rating == 5.0
+
+    def test_path_weight_formula(self, fig2):
+        """weight = (r(c)/deg(item)) * (r(a)/deg(rater)) on the toy graph."""
+        u5 = fig2.user_id("U5")
+        explanation = explain_recommendation(fig2, u5, fig2.item_id("M4"))
+        # M4 degree = 5 (one 5-star rating); U4 degree = 10 (two 5-stars).
+        expected = (5.0 / 5.0) * (5.0 / 10.0)
+        assert explanation.paths[0].weight == pytest.approx(expected)
+
+    def test_paths_sorted_by_weight(self, fig2):
+        u5 = fig2.user_id("U5")
+        explanation = explain_recommendation(fig2, u5, fig2.item_id("M1"),
+                                             max_paths=10)
+        weights = [p.weight for p in explanation.paths]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_max_paths_truncates(self, fig2):
+        u5 = fig2.user_id("U5")
+        explanation = explain_recommendation(fig2, u5, fig2.item_id("M1"),
+                                             max_paths=1)
+        assert len(explanation.paths) == 1
+
+    def test_disconnected_item_not_connected(self, disconnected):
+        user = 0  # a_u0
+        far_item = disconnected.item_id("b_i1")
+        explanation = explain_recommendation(disconnected, user, far_item)
+        assert not explanation.connected
+        assert explanation.paths == ()
+
+    def test_already_rated_rejected(self, fig2):
+        u5 = fig2.user_id("U5")
+        with pytest.raises(ConfigError, match="already rated"):
+            explain_recommendation(fig2, u5, fig2.item_id("M2"))
+
+    def test_describe_renders_labels(self, fig2):
+        u5 = fig2.user_id("U5")
+        text = explain_recommendation(fig2, u5, fig2.item_id("M4")).describe(fig2)
+        assert "M4" in text and "U4" in text and "M3" in text
+
+    def test_describe_disconnected(self, disconnected):
+        explanation = explain_recommendation(
+            disconnected, 0, disconnected.item_id("b_i1"))
+        text = explanation.describe(disconnected)
+        assert "longer walks" in text
+
+    def test_every_rater_of_popular_item_considered(self, medium_synth):
+        ds = medium_synth.dataset
+        user = 0
+        unrated = np.setdiff1d(np.arange(ds.n_items), ds.items_of_user(user))
+        pop = ds.item_popularity()
+        item = int(unrated[np.argmax(pop[unrated])])
+        explanation = explain_recommendation(ds, user, item, max_paths=50)
+        assert explanation.n_raters == pop[item]

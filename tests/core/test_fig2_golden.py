@@ -1,0 +1,80 @@
+"""Golden tests against the paper's published Figure 2 numbers (§3.3).
+
+The paper reports, on the worked 5-user × 6-movie example:
+
+    H(U5|M4) = 17.7 < H(U5|M1) = 19.6 < H(U5|M5) = 20.2 < H(U5|M6) = 20.3
+
+These tests pin the library's graph convention (edge weight = raw rating,
+p_ij = a_ij / d_i) by reproducing those values to two decimals with the
+truncated solver, and the published *ranking* with every solver.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hitting_time import HittingTimeRecommender
+from repro.data.toy import FIGURE2_PAPER_HITTING_TIMES
+from repro.experiments.fig2 import FIGURE2_MATCH_TAU, run_fig2
+
+
+class TestGoldenValues:
+    def test_truncated_values_match_paper_within_0_05(self, fig2):
+        recommender = HittingTimeRecommender(
+            method="truncated", n_iterations=FIGURE2_MATCH_TAU
+        ).fit(fig2)
+        times = recommender.hitting_times(fig2.user_id("U5"))
+        for movie, published in FIGURE2_PAPER_HITTING_TIMES.items():
+            computed = times[fig2.item_id(movie)]
+            assert computed == pytest.approx(published, abs=0.05), movie
+
+    def test_exact_values_close_to_paper(self, fig2):
+        """The exact solve sits ~0.7 above the truncated published values
+        (the walk's tail) but within 1.2 of them, same ordering."""
+        recommender = HittingTimeRecommender(method="exact").fit(fig2)
+        times = recommender.hitting_times(fig2.user_id("U5"))
+        for movie, published in FIGURE2_PAPER_HITTING_TIMES.items():
+            computed = times[fig2.item_id(movie)]
+            assert published < computed < published + 1.2, movie
+
+    @pytest.mark.parametrize("method,tau", [("truncated", 15), ("truncated", 59),
+                                            ("exact", None)])
+    def test_ranking_matches_paper(self, fig2, method, tau):
+        """M4 < M1 < M5 < M6 regardless of solver or truncation depth."""
+        kwargs = {"method": method}
+        if tau is not None:
+            kwargs["n_iterations"] = tau
+        recommender = HittingTimeRecommender(**kwargs).fit(fig2)
+        times = recommender.hitting_times(fig2.user_id("U5"))
+        ordered = sorted(
+            FIGURE2_PAPER_HITTING_TIMES, key=lambda m: times[fig2.item_id(m)]
+        )
+        assert ordered == ["M4", "M1", "M5", "M6"]
+
+    def test_niche_movie_recommended_first(self, fig2):
+        """The paper's headline: HT suggests the niche M4, not popular M1."""
+        recommender = HittingTimeRecommender(n_iterations=30).fit(fig2)
+        top = recommender.recommend(fig2.user_id("U5"), k=1)
+        assert top[0].label == "M4"
+
+    def test_rated_movies_excluded(self, fig2):
+        recommender = HittingTimeRecommender(n_iterations=30).fit(fig2)
+        labels = [r.label for r in recommender.recommend(fig2.user_id("U5"), k=6)]
+        assert "M2" not in labels and "M3" not in labels
+
+
+class TestFig2Driver:
+    def test_driver_rows_ordered_by_paper_value(self):
+        results = run_fig2()
+        assert [r.movie for r in results] == ["M4", "M1", "M5", "M6"]
+
+    def test_driver_truncated_matches(self):
+        for result in run_fig2():
+            assert result.truncated_value == pytest.approx(result.paper_value, abs=0.05)
+
+    def test_cf_contrast_m1_is_locally_popular(self, fig2):
+        """Figure 2's foil: classic user-CF suggests the popular M1 for U5."""
+        from repro.baselines.neighborhood import UserKNNRecommender
+
+        cf = UserKNNRecommender(k_neighbors=2).fit(fig2)
+        top = cf.recommend(fig2.user_id("U5"), k=1)
+        assert top[0].label == "M1"

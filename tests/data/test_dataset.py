@@ -1,0 +1,151 @@
+"""Unit tests for repro.data.dataset."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import DataError, UnknownItemError, UnknownUserError
+
+
+class TestConstruction:
+    def test_shape_properties(self, tiny_dataset):
+        assert tiny_dataset.n_users == 3
+        assert tiny_dataset.n_items == 4
+        assert tiny_dataset.n_ratings == 7
+
+    def test_density(self, tiny_dataset):
+        assert tiny_dataset.density == pytest.approx(7 / 12)
+
+    def test_default_labels(self):
+        ds = RatingDataset(np.array([[1.0, 2.0]]))
+        assert ds.user_labels == ("u0",)
+        assert ds.item_labels == ("i0", "i1")
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(DataError, match="label count"):
+            RatingDataset(np.array([[1.0, 2.0]]), user_labels=("a", "b"))
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(DataError, match="duplicate"):
+            RatingDataset(np.array([[1.0], [2.0]]), user_labels=("a", "a"))
+
+    def test_rating_scale_enforced(self):
+        with pytest.raises(DataError, match="outside scale"):
+            RatingDataset(np.array([[7.0]]))
+
+    def test_rating_scale_none_disables_check(self):
+        ds = RatingDataset(np.array([[7.0]]), rating_scale=None)
+        assert ds.n_ratings == 1
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DataError, match="invalid rating scale"):
+            RatingDataset(np.array([[1.0]]), rating_scale=(5.0, 1.0))
+
+    def test_repr_mentions_shape(self, tiny_dataset):
+        assert "n_users=3" in repr(tiny_dataset)
+
+
+class TestFromTriples:
+    def test_first_appearance_order(self):
+        ds = RatingDataset.from_triples([("b", "y", 1.0), ("a", "x", 2.0)])
+        assert ds.user_labels == ("b", "a")
+        assert ds.item_labels == ("y", "x")
+
+    def test_duplicate_pair_rejected(self):
+        with pytest.raises(DataError, match="duplicate rating"):
+            RatingDataset.from_triples([("a", "x", 1.0), ("a", "x", 2.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError, match="no rating triples"):
+            RatingDataset.from_triples([])
+
+
+class TestIdMapping:
+    def test_round_trip(self, tiny_dataset):
+        assert tiny_dataset.user_id("b") == 1
+        assert tiny_dataset.item_id("z") == 3
+
+    def test_unknown_user(self, tiny_dataset):
+        with pytest.raises(UnknownUserError):
+            tiny_dataset.user_id("nope")
+
+    def test_unknown_item(self, tiny_dataset):
+        with pytest.raises(UnknownItemError):
+            tiny_dataset.item_id("nope")
+
+
+class TestPerUserViews:
+    def test_items_of_user(self, tiny_dataset):
+        c = tiny_dataset.user_id("c")
+        items = tiny_dataset.items_of_user(c)
+        labels = {tiny_dataset.item_labels[i] for i in items}
+        assert labels == {"w", "y", "z"}
+
+    def test_ratings_align_with_items(self, tiny_dataset):
+        a = tiny_dataset.user_id("a")
+        items = tiny_dataset.items_of_user(a)
+        ratings = tiny_dataset.ratings_of_user(a)
+        lookup = dict(zip(items.tolist(), ratings.tolist()))
+        assert lookup[tiny_dataset.item_id("w")] == 5.0
+        assert lookup[tiny_dataset.item_id("x")] == 3.0
+
+    def test_users_of_item(self, tiny_dataset):
+        x = tiny_dataset.item_id("x")
+        users = {tiny_dataset.user_labels[u] for u in tiny_dataset.users_of_item(x)}
+        assert users == {"a", "b"}
+
+    def test_rating_lookup(self, tiny_dataset):
+        assert tiny_dataset.rating(0, tiny_dataset.item_id("w")) == 5.0
+        assert tiny_dataset.rating(0, tiny_dataset.item_id("z")) == 0.0
+
+    def test_bad_indices_raise(self, tiny_dataset):
+        with pytest.raises(UnknownUserError):
+            tiny_dataset.items_of_user(99)
+        with pytest.raises(UnknownItemError):
+            tiny_dataset.users_of_item(-1)
+
+
+class TestStatistics:
+    def test_item_popularity(self, tiny_dataset):
+        pop = tiny_dataset.item_popularity()
+        assert pop[tiny_dataset.item_id("w")] == 2
+        assert pop[tiny_dataset.item_id("z")] == 1
+
+    def test_user_activity(self, tiny_dataset):
+        np.testing.assert_array_equal(tiny_dataset.user_activity(), [2, 2, 3])
+
+    def test_item_rating_sum(self, tiny_dataset):
+        assert tiny_dataset.item_rating_sum()[tiny_dataset.item_id("w")] == 7.0
+
+    def test_mean_rating(self, tiny_dataset):
+        assert tiny_dataset.mean_rating() == pytest.approx((5 + 3 + 4 + 2 + 5 + 1 + 2) / 7)
+
+
+class TestTransforms:
+    def test_without_ratings_removes(self, tiny_dataset):
+        out = tiny_dataset.without_ratings([(0, tiny_dataset.item_id("w"))])
+        assert out.n_ratings == 6
+        assert out.rating(0, tiny_dataset.item_id("w")) == 0.0
+
+    def test_without_ratings_keeps_original(self, tiny_dataset):
+        tiny_dataset.without_ratings([(0, tiny_dataset.item_id("w"))])
+        assert tiny_dataset.n_ratings == 7
+
+    def test_without_absent_rating_raises(self, tiny_dataset):
+        with pytest.raises(DataError, match="absent"):
+            tiny_dataset.without_ratings([(0, tiny_dataset.item_id("z"))])
+
+    def test_subset_users(self, tiny_dataset):
+        out = tiny_dataset.subset_users(np.array([2, 0]))
+        assert out.n_users == 2
+        assert out.user_labels == ("c", "a")
+        assert out.n_items == tiny_dataset.n_items
+
+    def test_csr_matrix_duplicates_summed_on_init(self):
+        rows = [0, 0]
+        cols = [0, 0]
+        vals = [2.0, 3.0]
+        m = sp.csr_matrix((vals, (rows, cols)), shape=(1, 2))
+        ds = RatingDataset(m)
+        assert ds.rating(0, 0) == 5.0

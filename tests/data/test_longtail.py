@@ -1,0 +1,98 @@
+"""Unit and property tests for repro.data.longtail."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.longtail import long_tail_split, long_tail_stats
+from repro.exceptions import DataError
+
+
+class TestLongTailSplit:
+    def test_partition_is_complete(self, tiny_dataset):
+        split = long_tail_split(tiny_dataset)
+        together = np.sort(np.concatenate([split.tail_items, split.head_items]))
+        np.testing.assert_array_equal(together, np.arange(tiny_dataset.n_items))
+
+    def test_tail_carries_at_most_ratio(self):
+        popularity = np.array([100, 50, 10, 5, 3, 2, 1])
+        split = long_tail_split(popularity, ratio=0.2)
+        total = popularity.sum()
+        assert popularity[split.tail_items].sum() <= 0.2 * total
+
+    def test_tail_is_maximal_prefix(self):
+        popularity = np.array([100, 50, 10, 5, 3, 2, 1])
+        split = long_tail_split(popularity, ratio=0.2)
+        # Adding the next-least-popular head item must overflow the budget.
+        next_pop = popularity[split.head_items].min()
+        assert popularity[split.tail_items].sum() + next_pop > 0.2 * popularity.sum()
+
+    def test_tail_members_least_popular(self):
+        popularity = np.array([9, 1, 8, 1, 7, 1])
+        split = long_tail_split(popularity, ratio=0.2)
+        assert popularity[split.tail_items].max() <= popularity[split.head_items].min()
+
+    def test_zero_rated_items_in_tail_first(self):
+        popularity = np.array([0, 100, 0, 50])
+        split = long_tail_split(popularity, ratio=0.2)
+        assert 0 in split.tail_items and 2 in split.tail_items
+
+    def test_is_tail_mask(self):
+        popularity = np.array([10, 1, 1])
+        split = long_tail_split(popularity, ratio=0.2)
+        mask = split.is_tail()
+        assert mask.sum() == split.tail_items.size
+        assert np.all(mask[split.tail_items])
+
+    def test_no_ratings_rejected(self):
+        with pytest.raises(DataError, match="no ratings"):
+            long_tail_split(np.zeros(5, dtype=int))
+
+    def test_negative_popularity_rejected(self):
+        with pytest.raises(DataError):
+            long_tail_split(np.array([1, -1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            long_tail_split(np.array([], dtype=int))
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=2, max_size=60)
+           .filter(lambda xs: sum(xs) > 0),
+           st.floats(min_value=0.05, max_value=0.8))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_properties_hold(self, popularity, ratio):
+        popularity = np.array(popularity)
+        split = long_tail_split(popularity, ratio)
+        assert split.tail_items.size + split.head_items.size == popularity.size
+        assert popularity[split.tail_items].sum() <= ratio * popularity.sum() + 1e-9
+        assert 0.0 <= split.tail_fraction_of_ratings <= ratio + 1e-9
+
+
+class TestLongTailStats:
+    def test_popularity_curve_descending(self, small_synth):
+        stats = long_tail_stats(small_synth.dataset)
+        assert np.all(np.diff(stats.popularity_curve.astype(int)) <= 0)
+
+    def test_top20_share_bounds(self, small_synth):
+        stats = long_tail_stats(small_synth.dataset)
+        assert 0.2 <= stats.top20_share <= 1.0
+
+    def test_gini_bounds(self, small_synth):
+        stats = long_tail_stats(small_synth.dataset)
+        assert 0.0 <= stats.gini < 1.0
+
+    def test_uniform_popularity_gini_zero(self):
+        stats = long_tail_stats(np.full(10, 7))
+        assert stats.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_popularity_high_gini(self):
+        popularity = np.zeros(100, dtype=int)
+        popularity[0] = 1000
+        stats = long_tail_stats(popularity)
+        assert stats.gini > 0.95
+
+    def test_counts_consistent(self, small_synth):
+        stats = long_tail_stats(small_synth.dataset)
+        assert stats.n_items == small_synth.dataset.n_items
+        assert stats.n_ratings == small_synth.dataset.n_ratings

@@ -1,0 +1,105 @@
+"""Unit tests for the real-data loaders (format parsing, failure injection)."""
+
+import pytest
+
+from repro.data.movielens import load_movielens_1m, load_movielens_100k, load_rating_csv
+from repro.exceptions import DataFormatError
+
+
+@pytest.fixture()
+def ml1m_file(tmp_path):
+    path = tmp_path / "ratings.dat"
+    path.write_text(
+        "1::10::5::978300760\n"
+        "1::20::3::978302109\n"
+        "2::10::4::978301968\n"
+    )
+    return str(path)
+
+
+@pytest.fixture()
+def ml100k_file(tmp_path):
+    path = tmp_path / "u.data"
+    path.write_text("1\t10\t5\t881250949\n2\t10\t3\t891717742\n")
+    return str(path)
+
+
+class TestMovieLens1M:
+    def test_loads_triples(self, ml1m_file):
+        ds = load_movielens_1m(ml1m_file)
+        assert ds.n_users == 2
+        assert ds.n_items == 2
+        assert ds.n_ratings == 3
+        assert ds.rating(ds.user_id("1"), ds.item_id("10")) == 5.0
+
+    def test_missing_file(self):
+        with pytest.raises(DataFormatError, match="not found"):
+            load_movielens_1m("/nonexistent/ratings.dat")
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.dat"
+        path.write_text("1::10::5::0\n1::20\n")
+        with pytest.raises(DataFormatError, match="bad.dat:2"):
+            load_movielens_1m(str(path))
+
+    def test_non_numeric_rating(self, tmp_path):
+        path = tmp_path / "bad.dat"
+        path.write_text("1::10::five::0\n")
+        with pytest.raises(DataFormatError, match="not a number"):
+            load_movielens_1m(str(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.dat"
+        path.write_text("")
+        with pytest.raises(DataFormatError, match="no ratings"):
+            load_movielens_1m(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.dat"
+        path.write_text("1::10::5::0\n\n2::10::4::0\n")
+        assert load_movielens_1m(str(path)).n_ratings == 2
+
+
+class TestMovieLens100K:
+    def test_loads_tab_separated(self, ml100k_file):
+        ds = load_movielens_100k(ml100k_file)
+        assert ds.n_ratings == 2
+        assert ds.n_items == 1
+
+
+class TestRatingCsv:
+    def test_plain_rows(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("u1,i1,4\nu2,i1,5\n")
+        ds = load_rating_csv(str(path))
+        assert ds.n_ratings == 2
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("user,item,rating\nu1,i1,4\n")
+        ds = load_rating_csv(str(path))
+        assert ds.n_ratings == 1
+
+    def test_bad_rating_after_header_rejected(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("u1,i1,4\nu2,i2,oops\n")
+        with pytest.raises(DataFormatError, match="not a number"):
+            load_rating_csv(str(path))
+
+    def test_too_few_fields(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("u1,i1\n")
+        with pytest.raises(DataFormatError, match=">= 3"):
+            load_rating_csv(str(path))
+
+    def test_custom_scale(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("u1,i1,9.5\n")
+        ds = load_rating_csv(str(path), rating_scale=(0.0, 10.0))
+        assert ds.n_ratings == 1
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "r.tsv"
+        path.write_text("u1;i1;3\n")
+        ds = load_rating_csv(str(path), delimiter=";")
+        assert ds.n_ratings == 1

@@ -1,0 +1,137 @@
+"""Unit tests for the category ontology and Eq. 18/19 similarity."""
+
+import numpy as np
+import pytest
+
+from repro.data.ontology import CategoryTree, ItemOntology, path_prefix_similarity
+from repro.exceptions import ConfigError, DataError
+
+
+class TestPathPrefixSimilarity:
+    def test_paper_example_two_fourths(self):
+        """The dangdang example from §5.2.4: shared prefix 2 of depth 4."""
+        a = ("computer", "database", "data-mining", "intro-dm")
+        b = ("computer", "database", "data-management", "storage")
+        assert path_prefix_similarity(a, b) == pytest.approx(2 / 4)
+
+    def test_identical_paths(self):
+        assert path_prefix_similarity(("a", "b"), ("a", "b")) == 1.0
+
+    def test_disjoint_paths(self):
+        assert path_prefix_similarity(("a",), ("b",)) == 0.0
+
+    def test_nested_paths(self):
+        assert path_prefix_similarity(("a",), ("a", "b")) == pytest.approx(0.5)
+
+    def test_empty_paths(self):
+        assert path_prefix_similarity((), ()) == 1.0
+        assert path_prefix_similarity((), ("a",)) == 0.0
+
+    def test_symmetry(self):
+        a, b = ("x", "y", "z"), ("x", "q")
+        assert path_prefix_similarity(a, b) == path_prefix_similarity(b, a)
+
+
+class TestCategoryTree:
+    def test_add_and_query(self):
+        tree = CategoryTree("books")
+        fiction = tree.add_node(0, "fiction")
+        scifi = tree.add_node(fiction, "sci-fi")
+        assert tree.parent(scifi) == fiction
+        assert tree.children(fiction) == (scifi,)
+        assert tree.depth(scifi) == 2
+        assert tree.path(scifi) == (fiction, scifi)
+
+    def test_root_excluded_from_path(self):
+        tree = CategoryTree()
+        child = tree.add_node(0, "c")
+        assert 0 not in tree.path(child)
+
+    def test_named_path(self):
+        tree = CategoryTree()
+        a = tree.add_node(0, "a")
+        b = tree.add_node(a, "b")
+        assert tree.named_path(b) == "a : b"
+
+    def test_build_balanced_counts(self):
+        tree = CategoryTree.build_balanced([3, 2])
+        assert len(tree) == 1 + 3 + 6
+        assert tree.leaves().size == 6
+
+    def test_top_level_siblings_have_zero_similarity(self):
+        tree = CategoryTree.build_balanced([2, 2])
+        leaves = tree.leaves()
+        # Leaves under different top-level genres share no prefix.
+        assert tree.similarity(int(leaves[0]), int(leaves[-1])) == 0.0
+
+    def test_same_subtree_similarity(self):
+        tree = CategoryTree.build_balanced([2, 2])
+        leaves = tree.leaves()
+        assert tree.similarity(int(leaves[0]), int(leaves[1])) == pytest.approx(0.5)
+
+    def test_self_similarity_is_one(self):
+        tree = CategoryTree.build_balanced([2, 2])
+        leaf = int(tree.leaves()[0])
+        assert tree.similarity(leaf, leaf) == 1.0
+
+    def test_invalid_parent_rejected(self):
+        tree = CategoryTree()
+        with pytest.raises(ConfigError):
+            tree.add_node(99, "x")
+
+    def test_invalid_branching_rejected(self):
+        with pytest.raises(ConfigError):
+            CategoryTree.build_balanced([])
+        with pytest.raises(ConfigError):
+            CategoryTree.build_balanced([0])
+
+    def test_unknown_node_rejected(self):
+        tree = CategoryTree()
+        with pytest.raises(ConfigError):
+            tree.path(5)
+
+
+class TestItemOntology:
+    @pytest.fixture()
+    def ontology(self):
+        tree = CategoryTree.build_balanced([2, 2])
+        leaves = tree.leaves()
+        # items 0,1 share a leaf; item 2 same genre different subgenre;
+        # item 3 under the other genre.
+        cats = [leaves[0], leaves[0], leaves[1], leaves[3]]
+        return ItemOntology(tree, cats)
+
+    def test_item_similarity_levels(self, ontology):
+        assert ontology.item_similarity(0, 1) == 1.0
+        assert ontology.item_similarity(0, 2) == pytest.approx(0.5)
+        assert ontology.item_similarity(0, 3) == 0.0
+
+    def test_user_item_similarity_is_max(self, ontology):
+        rated = np.array([2, 3])
+        assert ontology.user_item_similarity(rated, 0) == pytest.approx(0.5)
+
+    def test_empty_profile_scores_zero(self, ontology):
+        assert ontology.user_item_similarity(np.array([], dtype=int), 0) == 0.0
+
+    def test_list_similarity_vectorised(self, ontology):
+        rated = np.array([0])
+        out = ontology.list_similarity(rated, [1, 2, 3])
+        np.testing.assert_allclose(out, [1.0, 0.5, 0.0])
+
+    def test_out_of_range_item_rejected(self, ontology):
+        with pytest.raises(DataError):
+            ontology.item_similarity(0, 99)
+
+    def test_out_of_range_profile_rejected(self, ontology):
+        with pytest.raises(DataError):
+            ontology.user_item_similarity(np.array([99]), 0)
+
+    def test_root_as_category_rejected(self):
+        tree = CategoryTree.build_balanced([2])
+        with pytest.raises(DataError):
+            ItemOntology(tree, [0])
+
+    def test_empty_items_rejected(self):
+        tree = CategoryTree.build_balanced([2])
+        with pytest.raises(DataError):
+            ItemOntology(tree, [])

@@ -1,0 +1,78 @@
+"""Unit tests for the evaluation splits (Recall@N setup, test panels)."""
+
+import numpy as np
+import pytest
+
+from repro.data.longtail import long_tail_split
+from repro.data.splits import make_recall_split, sample_test_users
+from repro.exceptions import DataError
+
+
+class TestMakeRecallSplit:
+    def test_cases_removed_from_train(self, medium_synth):
+        split = make_recall_split(medium_synth.dataset, n_cases=20, seed=0)
+        assert split.train.n_ratings == medium_synth.dataset.n_ratings - 20
+        for user, item in split.test_cases:
+            assert split.train.rating(user, item) == 0.0
+            assert split.source.rating(user, item) >= 5.0
+
+    def test_targets_in_long_tail(self, medium_synth):
+        split = make_recall_split(medium_synth.dataset, n_cases=20, seed=0)
+        tail = long_tail_split(medium_synth.dataset).is_tail()
+        for _, item in split.test_cases:
+            assert tail[item]
+
+    def test_items_keep_training_presence(self, medium_synth):
+        split = make_recall_split(
+            medium_synth.dataset, n_cases=20, min_item_popularity=2, seed=0
+        )
+        train_pop = split.train.item_popularity()
+        for _, item in split.test_cases:
+            assert train_pop[item] >= 1
+
+    def test_users_keep_training_profile(self, medium_synth):
+        split = make_recall_split(
+            medium_synth.dataset, n_cases=20, min_user_activity=3, seed=0
+        )
+        activity = split.train.user_activity()
+        for user, _ in split.test_cases:
+            assert activity[user] >= 2
+
+    def test_no_duplicate_cases(self, medium_synth):
+        split = make_recall_split(medium_synth.dataset, n_cases=30, seed=0)
+        assert len(set(split.test_cases)) == 30
+
+    def test_deterministic(self, medium_synth):
+        a = make_recall_split(medium_synth.dataset, n_cases=15, seed=4)
+        b = make_recall_split(medium_synth.dataset, n_cases=15, seed=4)
+        assert a.test_cases == b.test_cases
+
+    def test_seed_changes_selection(self, medium_synth):
+        a = make_recall_split(medium_synth.dataset, n_cases=15, seed=4)
+        b = make_recall_split(medium_synth.dataset, n_cases=15, seed=5)
+        assert a.test_cases != b.test_cases
+
+    def test_too_many_cases_rejected(self, tiny_dataset):
+        with pytest.raises(DataError, match="eligible"):
+            make_recall_split(tiny_dataset, n_cases=100)
+
+
+class TestSampleTestUsers:
+    def test_size_and_eligibility(self, medium_synth):
+        users = sample_test_users(medium_synth.dataset, n_users=30, min_activity=5, seed=1)
+        assert users.size == 30
+        activity = medium_synth.dataset.user_activity()
+        assert np.all(activity[users] >= 5)
+
+    def test_sorted_unique(self, medium_synth):
+        users = sample_test_users(medium_synth.dataset, n_users=30, seed=1)
+        assert np.all(np.diff(users) > 0)
+
+    def test_deterministic(self, medium_synth):
+        a = sample_test_users(medium_synth.dataset, n_users=10, seed=2)
+        b = sample_test_users(medium_synth.dataset, n_users=10, seed=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_too_many_requested(self, tiny_dataset):
+        with pytest.raises(DataError, match="users have"):
+            sample_test_users(tiny_dataset, n_users=10)

@@ -1,0 +1,142 @@
+"""Unit tests for the synthetic long-tail generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.longtail import long_tail_stats
+from repro.data.synthetic import (
+    SyntheticConfig,
+    douban_like,
+    generate_dataset,
+    movielens_like,
+)
+from repro.exceptions import ConfigError
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SyntheticConfig()
+
+    def test_activity_bounds_checked(self):
+        with pytest.raises(ConfigError, match="activity_min"):
+            SyntheticConfig(activity_min=50, activity_max=40)
+
+    def test_activity_cannot_exceed_items(self):
+        with pytest.raises(ConfigError, match="exceeds n_items"):
+            SyntheticConfig(n_items=30, activity_min=5, activity_max=50)
+
+    def test_density_fraction_checked(self):
+        with pytest.raises(ConfigError):
+            SyntheticConfig(target_density=1.5)
+
+    def test_scaled_preserves_density(self):
+        base = movielens_like(1.0)
+        small = base.scaled(0.5)
+        assert small.target_density == base.target_density
+        assert small.n_users < base.n_users
+
+    def test_scaled_keeps_activity_feasible(self):
+        small = movielens_like(0.1)
+        assert small.activity_max <= small.n_items
+        assert small.activity_min < small.activity_max
+
+    def test_mean_log_targets_density(self):
+        config = SyntheticConfig(n_users=100, n_items=200, target_density=0.05,
+                                 activity_min=3, activity_max=100)
+        expected_mean = 0.05 * 200
+        # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) == expected_mean
+        assert np.exp(config.activity_mean_log + config.activity_sigma_log ** 2 / 2) == \
+            pytest.approx(expected_mean)
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        config = SyntheticConfig(n_users=40, n_items=60, activity_min=3,
+                                 activity_max=20, name="t")
+        a = generate_dataset(config, seed=5)
+        b = generate_dataset(config, seed=5)
+        assert (a.dataset.matrix != b.dataset.matrix).nnz == 0
+
+    def test_different_seeds_differ(self):
+        config = SyntheticConfig(n_users=40, n_items=60, activity_min=3,
+                                 activity_max=20, name="t")
+        a = generate_dataset(config, seed=5)
+        b = generate_dataset(config, seed=6)
+        assert (a.dataset.matrix != b.dataset.matrix).nnz > 0
+
+    def test_ratings_in_scale(self, small_synth):
+        data = small_synth.dataset.matrix.data
+        assert data.min() >= 1.0 and data.max() <= 5.0
+        np.testing.assert_array_equal(data, np.rint(data))
+
+    def test_activity_bounds_respected(self, small_synth):
+        activity = small_synth.dataset.user_activity()
+        config = small_synth.config
+        assert activity.min() >= config.activity_min
+        assert activity.max() <= config.activity_max
+
+    def test_ground_truth_shapes(self, small_synth):
+        assert small_synth.user_topics.shape == (
+            small_synth.dataset.n_users, small_synth.config.n_genres
+        )
+        assert small_synth.item_genres.shape == (small_synth.dataset.n_items,)
+        assert small_synth.ontology.n_items == small_synth.dataset.n_items
+
+    def test_user_topics_are_distributions(self, small_synth):
+        sums = small_synth.user_topics.sum(axis=1)
+        np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+
+    def test_prune_drops_unrated(self):
+        config = SyntheticConfig(n_users=20, n_items=200, target_density=0.02,
+                                 activity_min=3, activity_max=10, name="sparse")
+        data = generate_dataset(config, seed=0)
+        assert np.all(data.dataset.item_popularity() > 0)
+        assert data.dataset.n_items <= 200
+
+    def test_prune_disabled_keeps_catalogue(self):
+        config = SyntheticConfig(n_users=20, n_items=200, target_density=0.02,
+                                 activity_min=3, activity_max=10,
+                                 prune_unrated=False, name="sparse")
+        data = generate_dataset(config, seed=0)
+        assert data.dataset.n_items == 200
+
+    def test_invalid_config_type_rejected(self):
+        with pytest.raises(ConfigError, match="SyntheticConfig"):
+            generate_dataset({"n_users": 5})
+
+    def test_ratings_follow_taste(self, medium_synth):
+        """High-affinity items receive higher mean stars than low-affinity."""
+        data = medium_synth
+        coo = data.dataset.matrix.tocoo()
+        affinity = data.user_topics[coo.row, data.item_genres[coo.col]]
+        peak = data.user_topics.max(axis=1)[coo.row]
+        rel = affinity / peak
+        high = coo.data[rel > 0.8].mean()
+        low = coo.data[rel < 0.2].mean()
+        assert high > low + 0.5
+
+
+class TestPresets:
+    def test_movielens_like_calibration(self):
+        data = generate_dataset(movielens_like(1.0), seed=7)
+        stats = long_tail_stats(data.dataset)
+        # Paper: 4.26% density, ~66% of movies carry 20% of ratings.
+        assert 0.03 <= data.dataset.density <= 0.07
+        assert 0.55 <= stats.tail_fraction_of_catalog <= 0.8
+
+    def test_douban_like_sparser_with_deeper_tail(self):
+        ml = generate_dataset(movielens_like(1.0), seed=7)
+        db = generate_dataset(douban_like(1.0), seed=7)
+        assert db.dataset.density < ml.dataset.density / 3
+        stats = long_tail_stats(db.dataset)
+        assert stats.tail_fraction_of_catalog >= 0.6
+
+    def test_breadth_correlates_with_activity(self):
+        """The Eq. 10 regularity: heavier raters have broader tastes."""
+        data = generate_dataset(movielens_like(1.0), seed=7)
+        theta = np.maximum(data.user_topics, 1e-300)
+        entropy = -np.sum(theta * np.log(theta), axis=1)
+        activity = data.dataset.user_activity()
+        heavy = entropy[activity > np.quantile(activity, 0.75)].mean()
+        light = entropy[activity < np.quantile(activity, 0.25)].mean()
+        assert heavy > light

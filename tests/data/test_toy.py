@@ -1,0 +1,62 @@
+"""Unit tests for the toy fixtures (Figure 2 and friends)."""
+
+import numpy as np
+
+from repro.data.toy import (
+    FIGURE2_RATINGS,
+    chain_dataset,
+    figure2_dataset,
+    two_community_dataset,
+)
+from repro.graph.bipartite import UserItemGraph
+
+
+class TestFigure2:
+    def test_dimensions_match_paper(self, fig2):
+        assert fig2.n_users == 5
+        assert fig2.n_items == 6
+        assert fig2.n_ratings == len(FIGURE2_RATINGS) == 16
+
+    def test_ratings_match_figure(self, fig2):
+        # Spot-check the printed matrix of Figure 2.
+        assert fig2.rating(fig2.user_id("U1"), fig2.item_id("M1")) == 5.0
+        assert fig2.rating(fig2.user_id("U3"), fig2.item_id("M2")) == 5.0
+        assert fig2.rating(fig2.user_id("U4"), fig2.item_id("M4")) == 5.0
+        assert fig2.rating(fig2.user_id("U5"), fig2.item_id("M1")) == 0.0
+
+    def test_m4_rated_by_single_user(self, fig2):
+        users = fig2.users_of_item(fig2.item_id("M4"))
+        assert users.size == 1
+        assert fig2.user_labels[users[0]] == "U4"
+
+    def test_graph_connected(self, fig2):
+        assert UserItemGraph(fig2).is_connected()
+
+
+class TestChain:
+    def test_path_structure(self):
+        ds = chain_dataset(3)
+        graph = UserItemGraph(ds)
+        degrees = graph.degrees
+        # Endpoints have degree 1, inner nodes degree 2.
+        assert int((degrees == 1).sum()) == 2
+        assert int((degrees == 2).sum()) == graph.n_nodes - 2
+
+    def test_connected(self):
+        assert UserItemGraph(chain_dataset(5)).is_connected()
+
+
+class TestTwoCommunities:
+    def test_bridge_connects(self):
+        assert UserItemGraph(two_community_dataset(bridge=True)).is_connected()
+
+    def test_no_bridge_two_components(self):
+        graph = UserItemGraph(two_community_dataset(bridge=False))
+        assert graph.n_components == 2
+
+    def test_components_split_users(self):
+        graph = UserItemGraph(two_community_dataset(bridge=False))
+        labels = graph.component_labels()
+        assert labels[0] != labels[3]  # a_u0 vs b_u0
+        sizes = np.bincount(labels)
+        assert sizes.tolist() == [6, 6]

@@ -1,0 +1,71 @@
+"""Unit tests for the top-N experiment harness (§5.2.2–5.2.6)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.popularity import MostPopularRecommender, RandomRecommender
+from repro.eval.harness import TopNExperiment
+from repro.exceptions import ConfigError, NotFittedError
+
+
+@pytest.fixture()
+def experiment(medium_synth):
+    users = np.arange(40)
+    return TopNExperiment(medium_synth.dataset, users, k=10,
+                          ontology=medium_synth.ontology)
+
+
+class TestTopNExperiment:
+    def test_report_fields(self, experiment, medium_synth):
+        rec = MostPopularRecommender().fit(medium_synth.dataset)
+        report = experiment.run(rec)
+        assert report.name == "MostPopular"
+        assert report.n_users == 40
+        assert report.popularity_at_n.shape == (10,)
+        assert 0 < report.diversity <= 1
+        assert report.similarity is not None
+        assert report.mean_seconds_per_user >= 0
+
+    def test_most_popular_has_low_diversity_high_popularity(self, experiment,
+                                                            medium_synth):
+        ds = medium_synth.dataset
+        popular = experiment.run(MostPopularRecommender().fit(ds))
+        random_rec = experiment.run(RandomRecommender(seed=0).fit(ds))
+        assert popular.diversity < random_rec.diversity
+        assert popular.mean_popularity > random_rec.mean_popularity
+        assert popular.tail_share < random_rec.tail_share
+        assert popular.gini > random_rec.gini
+
+    def test_run_all(self, experiment, medium_synth):
+        ds = medium_synth.dataset
+        reports = experiment.run_all([
+            MostPopularRecommender().fit(ds), RandomRecommender().fit(ds),
+        ])
+        assert set(reports) == {"MostPopular", "Random"}
+
+    def test_row_format(self, experiment, medium_synth):
+        report = experiment.run(MostPopularRecommender().fit(medium_synth.dataset))
+        row = report.row()
+        assert row["algorithm"] == "MostPopular"
+        assert "similarity" in row
+
+    def test_unfitted_rejected(self, experiment):
+        with pytest.raises(NotFittedError):
+            experiment.run(MostPopularRecommender())
+
+    def test_ontology_optional(self, medium_synth):
+        experiment = TopNExperiment(medium_synth.dataset, np.arange(10), k=5)
+        report = experiment.run(MostPopularRecommender().fit(medium_synth.dataset))
+        assert report.similarity is None
+        assert "similarity" not in report.row()
+
+    def test_bad_users_rejected(self, medium_synth):
+        with pytest.raises(ConfigError):
+            TopNExperiment(medium_synth.dataset, np.array([10**6]))
+        with pytest.raises(ConfigError):
+            TopNExperiment(medium_synth.dataset, np.array([], dtype=int))
+
+    def test_ontology_shape_checked(self, medium_synth, small_synth):
+        with pytest.raises(ConfigError, match="ontology"):
+            TopNExperiment(medium_synth.dataset, np.arange(5),
+                           ontology=small_synth.ontology)

@@ -1,0 +1,133 @@
+"""Unit and property tests for the evaluation metrics (§5.1.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.ontology import CategoryTree, ItemOntology
+from repro.eval.metrics import (
+    diversity,
+    list_similarity,
+    mean_popularity,
+    popularity_at_rank,
+    recall_at,
+    recall_curve,
+    recommendation_gini,
+    tail_share,
+)
+from repro.exceptions import ConfigError
+
+
+class TestRecallCurve:
+    def test_eq16_by_hand(self):
+        # Ranks 0, 4, 60 of three cases: R@1=1/3, R@5=2/3, R@50=2/3.
+        curve = recall_curve([0, 4, 60], max_n=50)
+        assert curve[0] == pytest.approx(1 / 3)
+        assert curve[4] == pytest.approx(2 / 3)
+        assert curve[49] == pytest.approx(2 / 3)
+
+    def test_monotone_non_decreasing(self):
+        curve = recall_curve([3, 7, 2, 40, 11], max_n=50)
+        assert np.all(np.diff(curve) >= 0)
+
+    def test_recall_at_matches_curve(self):
+        ranks = [1, 9, 30]
+        assert recall_at(ranks, 10) == pytest.approx(recall_curve(ranks, 10)[9])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            recall_curve([])
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ConfigError):
+            recall_curve([-1])
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigError):
+            recall_at([1], 0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_and_monotonicity(self, ranks):
+        curve = recall_curve(ranks, max_n=60)
+        assert np.all(curve >= 0) and np.all(curve <= 1)
+        assert np.all(np.diff(curve) >= -1e-12)
+
+
+class TestPopularityMetrics:
+    def test_popularity_at_rank(self):
+        pop = np.array([10.0, 20.0, 30.0])
+        lists = [[0, 1], [2, 1]]
+        series = popularity_at_rank(lists, pop, k=3)
+        assert series[0] == pytest.approx(20.0)   # (10 + 30) / 2
+        assert series[1] == pytest.approx(20.0)   # (20 + 20) / 2
+        assert np.isnan(series[2])                # nobody filled rank 3
+
+    def test_mean_popularity(self):
+        pop = np.array([10.0, 20.0])
+        assert mean_popularity([[0], [1, 1]], pop) == pytest.approx(50 / 3)
+
+    def test_mean_popularity_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            mean_popularity([], np.array([1.0]))
+
+
+class TestDiversity:
+    def test_eq17_by_hand(self):
+        lists = [[0, 1], [1, 2]]
+        assert diversity(lists, n_items=10) == pytest.approx(0.3)
+
+    def test_identical_lists_minimal(self):
+        lists = [[0, 1]] * 50
+        assert diversity(lists, n_items=100) == pytest.approx(0.02)
+
+    def test_invalid_catalogue(self):
+        with pytest.raises(ConfigError):
+            diversity([[0]], 0)
+
+
+class TestTailShare:
+    def test_by_hand(self):
+        mask = np.array([True, False, True])
+        assert tail_share([[0, 1], [2]], mask) == pytest.approx(2 / 3)
+
+
+class TestGini:
+    def test_uniform_exposure_is_zero(self):
+        lists = [[i] for i in range(10)]
+        assert recommendation_gini(lists, 10) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_exposure_near_one(self):
+        lists = [[0]] * 100
+        assert recommendation_gini(lists, 100) > 0.9
+
+    def test_no_recommendations_rejected(self):
+        with pytest.raises(ConfigError):
+            recommendation_gini([], 10)
+
+
+class TestListSimilarity:
+    @pytest.fixture()
+    def setup(self, tiny_dataset):
+        tree = CategoryTree.build_balanced([2, 2])
+        leaves = tree.leaves()
+        ontology = ItemOntology(tree, [leaves[0], leaves[0], leaves[2], leaves[3]])
+        return tiny_dataset, ontology
+
+    def test_matches_eq19_by_hand(self, setup):
+        ds, ontology = setup
+        # user 0 rated items 0 (w) and 1 (x) — same leaf category.
+        lists = {0: [1]}
+        assert list_similarity(lists, ds, ontology) == pytest.approx(1.0)
+
+    def test_mixed_lists_average(self, setup):
+        ds, ontology = setup
+        lists = {0: [1, 2]}  # sim 1.0 and 0.0 (other genre)
+        assert list_similarity(lists, ds, ontology) == pytest.approx(0.5)
+
+    def test_empty_rejected(self, setup):
+        ds, ontology = setup
+        with pytest.raises(ConfigError):
+            list_similarity({}, ds, ontology)

@@ -1,0 +1,109 @@
+"""Unit tests for the Recall@N protocol (§5.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import Recommender
+from repro.data.splits import make_recall_split
+from repro.eval.protocol import RecallProtocol
+from repro.exceptions import ConfigError, NotFittedError
+
+
+class Oracle(Recommender):
+    """Knows the source ratings — must score perfect recall."""
+
+    name = "Oracle"
+
+    def __init__(self, source):
+        super().__init__()
+        self.source = source
+
+    def _fit(self, dataset):
+        pass
+
+    def _score_user(self, user):
+        # Score by the source (pre-split) rating: the held-out 5-star
+        # target always outranks unrated distractors.
+        return np.asarray(self.source.matrix[user].todense()).ravel()
+
+
+class Antagonist(Oracle):
+    """Inverts the oracle — must rank targets last."""
+
+    name = "Antagonist"
+
+    def _score_user(self, user):
+        return -super()._score_user(user)
+
+
+@pytest.fixture(scope="module")
+def split(medium_synth):
+    return make_recall_split(medium_synth.dataset, n_cases=30, seed=3)
+
+
+class TestRecallProtocol:
+    def test_oracle_gets_perfect_recall(self, split):
+        protocol = RecallProtocol(split, n_distractors=100, max_n=10, seed=0)
+        oracle = Oracle(split.source).fit(split.train)
+        result = protocol.evaluate(oracle)
+        assert result.recall_at(1) == pytest.approx(1.0)
+
+    def test_antagonist_gets_zero_recall(self, split):
+        protocol = RecallProtocol(split, n_distractors=100, max_n=10, seed=0)
+        worst = Antagonist(split.source).fit(split.train)
+        result = protocol.evaluate(worst)
+        assert result.recall_at(10) == 0.0
+
+    def test_candidates_identical_across_algorithms(self, split):
+        protocol = RecallProtocol(split, n_distractors=50, max_n=10, seed=0)
+        first = [c.copy() for _, c in protocol._candidates()]
+        protocol2 = RecallProtocol(split, n_distractors=50, max_n=10, seed=0)
+        second = [c for _, c in protocol2._candidates()]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_candidates_exclude_rated(self, split):
+        protocol = RecallProtocol(split, n_distractors=50, max_n=10, seed=0)
+        for (user, target), (user2, candidates) in zip(
+            split.test_cases, protocol._candidates()
+        ):
+            assert user == user2
+            assert candidates[0] == target
+            rated = set(split.source.items_of_user(user).tolist())
+            assert set(candidates[1:].tolist()).isdisjoint(rated)
+
+    def test_distractors_distinct(self, split):
+        protocol = RecallProtocol(split, n_distractors=50, max_n=10, seed=0)
+        for _, candidates in protocol._candidates():
+            assert np.unique(candidates).size == candidates.size
+
+    def test_seed_changes_distractors(self, split):
+        a = RecallProtocol(split, n_distractors=50, seed=0)._candidates()
+        b = RecallProtocol(split, n_distractors=50, seed=1)._candidates()
+        assert any(
+            not np.array_equal(x[1], y[1]) for x, y in zip(a, b)
+        )
+
+    def test_unfitted_rejected(self, split):
+        protocol = RecallProtocol(split, n_distractors=10)
+        with pytest.raises(NotFittedError):
+            protocol.evaluate(Oracle(split.source))
+
+    def test_requires_recall_split(self, medium_synth):
+        with pytest.raises(ConfigError):
+            RecallProtocol(medium_synth.dataset)
+
+    def test_evaluate_all_keyed_by_name(self, split):
+        protocol = RecallProtocol(split, n_distractors=30, max_n=5, seed=0)
+        algorithms = [Oracle(split.source).fit(split.train),
+                      Antagonist(split.source).fit(split.train)]
+        results = protocol.evaluate_all(algorithms)
+        assert set(results) == {"Oracle", "Antagonist"}
+
+    def test_distractor_cap_on_small_catalogue(self, split):
+        protocol = RecallProtocol(split, n_distractors=10**6, max_n=5, seed=0)
+        for (user, _), (_, candidates) in zip(split.test_cases,
+                                              protocol._candidates()):
+            rated = split.source.items_of_user(user).size
+            # target + every item the user never rated
+            assert candidates.size == split.source.n_items - rated + 1

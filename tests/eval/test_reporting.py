@@ -1,0 +1,76 @@
+"""Unit tests for text/CSV reporting."""
+
+import csv
+import os
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import format_series, format_table, write_csv
+from repro.exceptions import ConfigError
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        rows = [{"name": "AC2", "recall": 0.123}, {"name": "LDA", "recall": 0.05}]
+        text = format_table(rows, title="Recall")
+        lines = text.splitlines()
+        assert lines[0] == "Recall"
+        assert "name" in lines[1] and "recall" in lines[1]
+        assert "AC2" in lines[3]
+
+    def test_missing_cell_renders_dash(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        assert "-" in format_table(rows).splitlines()[-1]
+
+    def test_float_format(self):
+        rows = [{"x": 0.123456}]
+        assert "0.12" in format_table(rows, float_format="{:.2f}")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            format_table([])
+
+
+class TestFormatSeries:
+    def test_index_column(self):
+        text = format_series({"AC2": np.array([0.1, 0.2])}, x_label="N")
+        lines = text.splitlines()
+        assert lines[0].startswith("N")
+        assert lines[2].startswith("1")
+
+    def test_ragged_series_padded(self):
+        text = format_series({"a": np.array([1.0, 2.0]), "b": np.array([1.0])})
+        assert "-" in text.splitlines()[-1]
+
+    def test_custom_x_values(self):
+        text = format_series({"a": np.array([1.0])}, x_label="mu", x_values=[3000])
+        assert "3000" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            format_series({})
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        rows = [{"alg": "AT", "recall": 0.3}, {"alg": "HT", "recall": 0.2}]
+        path = str(tmp_path / "out" / "table.csv")
+        write_csv(rows, path)
+        assert os.path.exists(path)
+        with open(path) as handle:
+            back = list(csv.DictReader(handle))
+        assert back[0]["alg"] == "AT"
+        assert float(back[1]["recall"]) == 0.2
+
+    def test_extra_keys_ignored(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        path = str(tmp_path / "t.csv")
+        write_csv(rows, path)
+        with open(path) as handle:
+            header = handle.readline().strip()
+        assert header == "a"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            write_csv([], str(tmp_path / "x.csv"))

@@ -1,0 +1,79 @@
+"""Unit tests for the bootstrap recall intervals."""
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import (
+    bootstrap_recall,
+    bootstrap_recall_difference,
+)
+from repro.exceptions import ConfigError
+
+
+class TestBootstrapRecall:
+    def test_point_matches_recall(self):
+        ranks = [0, 5, 20, 3, 40]
+        interval = bootstrap_recall(ranks, n=10, seed=0)
+        assert interval.point == pytest.approx(3 / 5)
+
+    def test_interval_contains_point(self):
+        ranks = np.random.default_rng(0).integers(0, 100, size=200)
+        interval = bootstrap_recall(ranks, n=20, seed=1)
+        assert interval.low <= interval.point <= interval.high
+        assert 0.0 <= interval.low and interval.high <= 1.0
+
+    def test_degenerate_all_hits(self):
+        interval = bootstrap_recall([0, 1, 2], n=10, seed=0)
+        assert interval.point == interval.low == interval.high == 1.0
+
+    def test_more_cases_narrower_interval(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_recall(rng.integers(0, 40, 30), n=20, seed=3)
+        large = bootstrap_recall(rng.integers(0, 40, 3000), n=20, seed=3)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_deterministic(self):
+        ranks = [3, 7, 50, 2]
+        a = bootstrap_recall(ranks, n=10, seed=9)
+        b = bootstrap_recall(ranks, n=10, seed=9)
+        assert a == b
+
+    def test_row_format(self):
+        row = bootstrap_recall([1, 2], n=5, seed=0).row()
+        assert set(row) == {"N", "recall", "ci_low", "ci_high"}
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            bootstrap_recall([], n=10)
+        with pytest.raises(ConfigError):
+            bootstrap_recall([-1], n=10)
+        with pytest.raises(ConfigError):
+            bootstrap_recall([1], n=10, confidence=1.5)
+
+
+class TestBootstrapDifference:
+    def test_identical_algorithms_zero_difference(self):
+        ranks = np.random.default_rng(0).integers(0, 50, size=100)
+        point, low, high = bootstrap_recall_difference(ranks, ranks, n=10, seed=1)
+        assert point == 0.0 and low == 0.0 and high == 0.0
+
+    def test_clear_winner_excludes_zero(self):
+        winner = np.zeros(200, dtype=int)          # always rank 0
+        loser = np.full(200, 99, dtype=int)        # always out of top 10
+        point, low, high = bootstrap_recall_difference(winner, loser, n=10, seed=1)
+        assert point == 1.0
+        assert low > 0.0
+
+    def test_pairing_matters(self):
+        """Paired resampling gives a tighter CI than treating the paired
+        noise as independent: anti-correlated per-case noise cancels."""
+        rng = np.random.default_rng(4)
+        base = rng.integers(0, 30, size=300)
+        # Algorithm B is A shifted by case-specific noise around +2 ranks.
+        other = np.clip(base + rng.integers(1, 4, size=300), 0, None)
+        point, low, high = bootstrap_recall_difference(base, other, n=10, seed=5)
+        assert low <= point <= high
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError, match="length"):
+            bootstrap_recall_difference([1, 2], [1], n=5)

@@ -1,0 +1,101 @@
+"""Unit tests for the simulated user study (§5.2.7)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.popularity import MostPopularRecommender
+from repro.core.absorbing_time import AbsorbingTimeRecommender
+from repro.eval.user_study import SimulatedPanel
+from repro.exceptions import ConfigError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def panel(medium_synth):
+    return SimulatedPanel(medium_synth, n_evaluators=20, seed=0)
+
+
+class TestPanelSetup:
+    def test_requires_synthetic_data(self, medium_synth):
+        with pytest.raises(ConfigError, match="SyntheticData"):
+            SimulatedPanel(medium_synth.dataset)
+
+    def test_knownness_monotone_in_popularity(self, panel, medium_synth):
+        pop = medium_synth.dataset.item_popularity()
+        order = np.argsort(pop)
+        known_sorted = panel.p_known[order]
+        assert known_sorted[-1] >= known_sorted[0]
+        assert panel.p_known.max() <= panel.max_knownness + 1e-12
+
+    def test_panel_size(self, panel):
+        assert panel.evaluators.size == 20
+
+    def test_too_many_evaluators_rejected(self, small_synth):
+        with pytest.raises(ConfigError, match="panel"):
+            SimulatedPanel(small_synth, n_evaluators=10**6)
+
+
+class TestJudgments:
+    def test_scales_bounded(self, panel):
+        rng = np.random.default_rng(0)
+        for item in range(0, 50, 7):
+            j = panel.judge(int(panel.evaluators[0]), item, rng)
+            assert 1.0 <= j["preference"] <= 5.0
+            assert j["novelty"] in (0.0, 1.0)
+            assert 1.0 <= j["serendipity"] <= 5.0
+            assert 1.0 <= j["score"] <= 5.0
+
+    def test_on_taste_beats_off_taste(self, panel, medium_synth):
+        """A tail item in the evaluator's top genre scores higher preference
+        than a tail item in their weakest genre."""
+        data = medium_synth
+        pop = data.dataset.item_popularity()
+        tail_items = np.flatnonzero(pop <= np.quantile(pop, 0.3))
+        user = int(panel.evaluators[0])
+        theta = data.user_topics[user]
+        best_genre = int(np.argmax(theta))
+        worst_genre = int(np.argmin(theta))
+        on = [i for i in tail_items if data.item_genres[i] == best_genre]
+        off = [i for i in tail_items if data.item_genres[i] == worst_genre]
+        if not on or not off:
+            pytest.skip("genre coverage gap in fixture")
+        rng = np.random.default_rng(1)
+        p_on = np.mean([panel.judge(user, int(i), rng)["preference"] for i in on])
+        p_off = np.mean([panel.judge(user, int(i), rng)["preference"] for i in off])
+        assert p_on > p_off
+
+    def test_known_items_low_serendipity(self, panel, medium_synth):
+        pop = medium_synth.dataset.item_popularity()
+        head = int(np.argmax(pop))
+        rng = np.random.default_rng(2)
+        judgments = [panel.judge(int(panel.evaluators[0]), head, rng)
+                     for _ in range(60)]
+        known = [j for j in judgments if j["novelty"] == 0.0]
+        assert known, "most popular item should sometimes be known"
+        assert np.mean([j["serendipity"] for j in known]) < 2.5
+
+
+class TestEvaluate:
+    def test_report_shape(self, panel, medium_synth):
+        rec = MostPopularRecommender().fit(medium_synth.dataset)
+        report = panel.evaluate(rec, k=5, seed=1)
+        assert report.n_judgments == 20 * 5
+        assert 0.0 <= report.novelty <= 1.0
+
+    def test_tail_recommender_more_novel(self, panel, medium_synth):
+        ds = medium_synth.dataset
+        popular = panel.evaluate(MostPopularRecommender().fit(ds), seed=1)
+        tail = panel.evaluate(
+            AbsorbingTimeRecommender(subgraph_size=None).fit(ds), seed=1
+        )
+        assert tail.novelty > popular.novelty
+        assert tail.serendipity > popular.serendipity
+
+    def test_deterministic(self, panel, medium_synth):
+        rec = MostPopularRecommender().fit(medium_synth.dataset)
+        a = panel.evaluate(rec, seed=7)
+        b = panel.evaluate(rec, seed=7)
+        assert a == b
+
+    def test_unfitted_rejected(self, panel):
+        with pytest.raises(NotFittedError):
+            panel.evaluate(MostPopularRecommender())

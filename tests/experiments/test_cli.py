@@ -1,0 +1,45 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table99"])
+
+    def test_every_experiment_registered(self):
+        expected = {"fig1", "fig2", "fig5a", "fig5b", "fig6a", "fig6b",
+                    "table1", "table2", "table3", "table4", "table5", "table6",
+                    "ablation-tau", "ablation-lda", "ablation-jump-cost"}
+        assert set(EXPERIMENTS) == expected
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5a" in out and "table6" in out
+
+    def test_run_fig2(self, capsys):
+        assert main(["run", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "M4" in out
+
+    def test_run_with_csv_output(self, tmp_path, capsys):
+        out_path = str(tmp_path / "fig1.csv")
+        assert main(["run", "fig1", "--scale", "0.15", "--out", out_path]) == 0
+        with open(out_path) as handle:
+            header = handle.readline()
+        assert "tail_frac_of_catalog" in header
+
+    def test_run_small_table5(self, capsys):
+        assert main(["run", "table5", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "DPPR" in out

@@ -1,0 +1,151 @@
+"""Small-scale smoke + shape tests for every table/figure driver.
+
+The full-scale shape assertions live in the benchmarks; here every driver is
+exercised end-to-end at a tiny scale so regressions surface in seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_fig1,
+    run_fig2,
+    run_fig5,
+    run_fig6,
+    run_jump_cost_ablation,
+    run_lda_engine_ablation,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_tau_convergence,
+)
+
+CONFIG = ExperimentConfig(scale=0.2, n_topics=4, n_factors=8)
+
+
+class TestFig1:
+    def test_rows_and_curves(self):
+        results = run_fig1(CONFIG)
+        assert [r.dataset for r in results] == ["movielens", "douban"]
+        for result in results:
+            row = result.row()
+            assert 0 < row["tail_frac_of_catalog"] < 1
+            curve = result.curve_rows(n_points=10)
+            ratings = [c["ratings"] for c in curve]
+            assert ratings == sorted(ratings, reverse=True)
+
+
+class TestFig2:
+    def test_golden_ordering(self):
+        rows = [r.row() for r in run_fig2()]
+        assert [r["movie"] for r in rows] == ["M4", "M1", "M5", "M6"]
+
+
+class TestFig5:
+    def test_runs_all_algorithms(self):
+        result = run_fig5("movielens", CONFIG, n_cases=15, n_distractors=40,
+                          max_n=20)
+        assert set(result.results) == {"AC2", "AC1", "AT", "HT", "DPPR",
+                                       "PureSVD", "LDA"}
+        for res in result.results.values():
+            curve = res.recall
+            assert curve.shape == (20,)
+            assert np.all(np.diff(curve) >= 0)
+
+    def test_subset_roster(self):
+        result = run_fig5("movielens", CONFIG, n_cases=10, n_distractors=30,
+                          include=("AT", "HT"))
+        assert set(result.results) == {"AT", "HT"}
+
+
+class TestFig6:
+    def test_series_shape(self):
+        result = run_fig6("movielens", CONFIG, n_users=20, k=5,
+                          include=("AT", "PureSVD"))
+        assert set(result.series) == {"AT", "PureSVD"}
+        assert result.series["AT"].shape == (5,)
+        row = result.row_at(1)
+        assert "AT" in row and row["N"] == 1
+
+
+class TestTable1:
+    def test_topics_annotated(self):
+        result = run_table1(CONFIG, engine="cvb0")
+        assert len(result.topics) == CONFIG.n_topics
+        best, second = result.best_two()
+        assert best.purity >= second.purity
+        rows = best.rows()
+        assert len(rows) == 5
+        assert rows[0]["true_genre"].startswith("genre")
+
+    def test_gibbs_engine(self):
+        result = run_table1(CONFIG, engine="gibbs", n_iterations=15)
+        assert result.engine == "gibbs"
+        assert 0 < result.mean_purity <= 1
+
+
+class TestTable2:
+    def test_rows(self):
+        result = run_table2(CONFIG, n_users=15, include=("AT", "LDA"),
+                            datasets=("movielens",))
+        rows = result.rows()
+        assert rows[0]["dataset"] == "movielens"
+        assert 0 < rows[0]["AT"] <= 1
+
+
+class TestTable3:
+    def test_similarity_computed(self):
+        result = run_table3(CONFIG, n_users=15, include=("AT", "LDA"))
+        assert set(result.similarity) == {"AT", "LDA"}
+        for value in result.similarity.values():
+            assert 0 <= value <= 1
+        assert all("paper" in row for row in result.rows())
+
+
+class TestTable4:
+    def test_mu_sweep(self):
+        result = run_table4(CONFIG, mu_fractions=(0.2, 0.5), n_users=10)
+        rows = result.rows()
+        assert len(rows) == 3  # two fractions + full graph
+        assert rows[-1]["mu"] == result.n_items
+        for row in rows:
+            assert row["sec_per_user"] >= 0
+
+
+class TestTable5:
+    def test_algorithms_timed(self):
+        result = run_table5(CONFIG, n_users=8)
+        assert set(result.seconds) == {"LDA", "PureSVD", "AC2", "DPPR", "AC2-full"}
+        assert result.slowdown_of_dppr() > 0
+        assert result.slowdown_of_global_scan() > 0
+
+
+class TestTable6:
+    def test_reports(self):
+        result = run_table6(CONFIG, n_evaluators=10, k=5)
+        assert set(result.reports) == {"AC2", "DPPR", "PureSVD", "LDA"}
+        for row in result.rows():
+            assert 1 <= row["score"] <= 5
+
+
+class TestAblations:
+    def test_tau_convergence_monotoneish(self):
+        result = run_tau_convergence(CONFIG, taus=(1, 5, 30), n_users=8)
+        overlaps = [result.mean_overlap[t] for t in (1, 5, 30)]
+        assert overlaps[-1] >= overlaps[0]
+        assert overlaps[-1] > 0.7
+
+    def test_lda_engine_ablation(self):
+        result = run_lda_engine_ablation(CONFIG, n_users=6, gibbs_iterations=10)
+        assert -1 <= result.entropy_correlation <= 1
+        assert 0 <= result.ac2_top10_overlap <= 1
+
+    def test_jump_cost_ablation(self):
+        rows = run_jump_cost_ablation(CONFIG, jump_costs=("mean-entropy", 1.0),
+                                      n_users=8)
+        assert len(rows) == 2
+        assert all("popularity" in row for row in rows)

@@ -1,0 +1,61 @@
+"""Unit tests for the shared experiment scaffolding."""
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.experiments.suite import (
+    PAPER_ORDER,
+    ExperimentConfig,
+    fit_all,
+    make_algorithms,
+    make_data,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(scale=0.15, n_topics=4, n_factors=8)
+
+
+class TestMakeData:
+    def test_movielens_and_douban(self, config):
+        ml = make_data("movielens", config)
+        db = make_data("douban", config)
+        assert ml.dataset.density > db.dataset.density
+
+    def test_unknown_kind_rejected(self, config):
+        with pytest.raises(ConfigError, match="unknown dataset"):
+            make_data("netflix", config)
+
+    def test_deterministic(self, config):
+        a = make_data("movielens", config)
+        b = make_data("movielens", config)
+        assert (a.dataset.matrix != b.dataset.matrix).nnz == 0
+
+
+class TestMakeAlgorithms:
+    def test_full_roster_names(self, config):
+        algorithms = make_algorithms(config)
+        assert tuple(a.name for a in algorithms) == PAPER_ORDER
+
+    def test_subset(self, config):
+        algorithms = make_algorithms(config, include=("AT", "HT"))
+        assert [a.name for a in algorithms] == ["AT", "HT"]
+
+    def test_unknown_name_rejected(self, config):
+        with pytest.raises(ConfigError, match="unknown algorithm"):
+            make_algorithms(config, include=("AT", "XYZ"))
+
+    def test_shared_topic_model(self, config):
+        data = make_data("movielens", config)
+        algorithms = make_algorithms(config, train=data.dataset,
+                                     include=("AC2", "LDA"))
+        ac2, lda = algorithms
+        assert ac2.topic_model is lda.model
+        assert ac2.topic_model is not None
+
+    def test_fit_all(self, config):
+        data = make_data("movielens", config)
+        algorithms = fit_all(make_algorithms(config, include=("HT", "DPPR")),
+                             data.dataset)
+        assert all(a.is_fitted for a in algorithms)

@@ -1,0 +1,178 @@
+"""Unit and property tests for the absorbing-chain solvers.
+
+Includes closed-form checks (symmetric random walk on a path), the
+exact-vs-truncated convergence claim of §4.1, and set-monotonicity
+properties of absorbing times.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph.absorbing import (
+    exact_absorbing_values,
+    iteration_history,
+    reachability_mask,
+    truncated_absorbing_values,
+)
+from repro.graph.bipartite import UserItemGraph
+from repro.utils.sparse import row_normalize
+
+
+def path_transition(n: int) -> sp.csr_matrix:
+    """Simple random walk on a path of n nodes (reflecting ends)."""
+    a = sp.diags([np.ones(n - 1), np.ones(n - 1)], [1, -1], format="csr")
+    return row_normalize(a)
+
+
+class TestExactClosedForm:
+    def test_path_hitting_times(self):
+        """Closed form on a path: E[T_0 from k] = k(2n - 2 - k).
+
+        Symmetric walk on nodes 0..n-1, absorbing at 0, reflecting at n-1.
+        First-step analysis gives h_k = k(2n - 2 - k) (gambler's ruin with a
+        reflecting barrier); verify against the solver for n = 5.
+        """
+        n = 5
+        p = path_transition(n)
+        values = exact_absorbing_values(p, np.array([0]))
+        for k in range(n):
+            expected = k * (2 * n - 2 - k)
+            assert values[k] == pytest.approx(expected, rel=1e-9), f"node {k}"
+
+    def test_two_node_chain(self):
+        p = path_transition(2)
+        values = exact_absorbing_values(p, np.array([0]))
+        np.testing.assert_allclose(values, [0.0, 1.0])
+
+    def test_absorbing_nodes_zero(self, fig2):
+        graph = UserItemGraph(fig2)
+        absorbing = np.array([0, 7])
+        values = exact_absorbing_values(graph.transition_matrix(), absorbing)
+        assert values[0] == 0.0 and values[7] == 0.0
+
+    def test_unreachable_nodes_inf(self, disconnected):
+        graph = UserItemGraph(disconnected)
+        values = exact_absorbing_values(graph.transition_matrix(), np.array([0]))
+        other_component = graph.component_of(3)
+        assert np.all(np.isinf(values[other_component]))
+
+    def test_local_costs_scale_solution(self):
+        """Doubling all local costs doubles every absorbing value."""
+        p = path_transition(6)
+        base = exact_absorbing_values(p, np.array([0]))
+        doubled = exact_absorbing_values(p, np.array([0]), 2.0 * np.ones(6))
+        np.testing.assert_allclose(doubled[1:], 2.0 * base[1:])
+
+    def test_empty_absorbing_rejected(self):
+        with pytest.raises(GraphError, match="empty"):
+            exact_absorbing_values(path_transition(3), np.array([], dtype=int))
+
+    def test_non_stochastic_rejected(self):
+        bad = sp.csr_matrix(np.array([[0.5, 0.2], [0.5, 0.5]]))
+        with pytest.raises(GraphError, match="stochastic"):
+            exact_absorbing_values(bad, np.array([0]))
+
+    def test_non_square_rejected(self):
+        bad = sp.csr_matrix(np.ones((2, 3)) / 3)
+        with pytest.raises(GraphError, match="square"):
+            exact_absorbing_values(bad, np.array([0]))
+
+
+class TestTruncated:
+    def test_converges_to_exact(self, fig2):
+        graph = UserItemGraph(fig2)
+        p = graph.transition_matrix()
+        absorbing = np.array([fig2.user_id("U5")])
+        exact = exact_absorbing_values(p, absorbing)
+        approx = truncated_absorbing_values(p, absorbing, n_iterations=3000)
+        np.testing.assert_allclose(approx, exact, rtol=1e-6)
+
+    def test_monotone_in_iterations(self, fig2):
+        """Truncated values E[min(T, tau)] grow with tau."""
+        graph = UserItemGraph(fig2)
+        p = graph.transition_matrix()
+        absorbing = np.array([0])
+        previous = truncated_absorbing_values(p, absorbing, n_iterations=1)
+        for tau in (2, 4, 8, 16):
+            current = truncated_absorbing_values(p, absorbing, n_iterations=tau)
+            assert np.all(current >= previous - 1e-12)
+            previous = current
+
+    def test_lower_bounds_exact(self, fig2):
+        graph = UserItemGraph(fig2)
+        p = graph.transition_matrix()
+        absorbing = np.array([0])
+        exact = exact_absorbing_values(p, absorbing)
+        approx = truncated_absorbing_values(p, absorbing, n_iterations=10)
+        finite = np.isfinite(exact)
+        assert np.all(approx[finite] <= exact[finite] + 1e-12)
+
+    def test_ranking_stabilises_by_tau_15(self, medium_synth):
+        """The paper's §4.1 claim: tau = 15 already gives the exact top-k."""
+        graph = UserItemGraph(medium_synth.dataset)
+        p = graph.transition_matrix()
+        items = medium_synth.dataset.items_of_user(0)
+        absorbing = graph.item_nodes(items)
+        exact = exact_absorbing_values(p, absorbing)
+        approx = truncated_absorbing_values(p, absorbing, n_iterations=15)
+        candidates = np.setdiff1d(graph.item_nodes(), absorbing)
+        finite = candidates[np.isfinite(exact[candidates])]
+        top_exact = finite[np.argsort(exact[finite])][:10]
+        top_approx = finite[np.argsort(approx[finite])][:10]
+        overlap = len(set(top_exact) & set(top_approx)) / 10
+        assert overlap >= 0.8
+
+    def test_unreachable_nodes_inf(self, disconnected):
+        graph = UserItemGraph(disconnected)
+        values = truncated_absorbing_values(
+            graph.transition_matrix(), np.array([0]), n_iterations=5
+        )
+        assert np.isinf(values[graph.component_of(3)]).all()
+
+    def test_iteration_history_shape_and_final(self, fig2):
+        graph = UserItemGraph(fig2)
+        p = graph.transition_matrix()
+        absorbing = np.array([0])
+        history = iteration_history(p, absorbing, 10)
+        assert history.shape == (10, graph.n_nodes)
+        final = truncated_absorbing_values(p, absorbing, n_iterations=10)
+        finite = np.isfinite(final)
+        np.testing.assert_allclose(history[-1][finite], final[finite])
+
+
+class TestReachability:
+    def test_connected_all_reachable(self, fig2):
+        graph = UserItemGraph(fig2)
+        mask = reachability_mask(graph.transition_matrix(), np.array([0]))
+        assert mask.all()
+
+    def test_disconnected_partition(self, disconnected):
+        graph = UserItemGraph(disconnected)
+        mask = reachability_mask(graph.transition_matrix(), np.array([0]))
+        assert mask.sum() == graph.component_of(0).size
+
+
+class TestSetMonotonicity:
+    @pytest.mark.parametrize("extra_node", range(1, 11))
+    def test_bigger_absorbing_set_absorbs_faster(self, extra_node, fig2):
+        """AT(S ∪ {j} | i) <= AT(S | i) for every i."""
+        graph = UserItemGraph(fig2)
+        p = graph.transition_matrix()
+        small_set = exact_absorbing_values(p, np.array([0]))
+        big_set = exact_absorbing_values(p, np.array([0, extra_node]))
+        assert np.all(big_set <= small_set + 1e-9)
+
+    @given(st.sets(st.integers(min_value=0, max_value=10), min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_absorbing_values_non_negative_finite_on_connected(self, absorbing_set):
+        from repro.data.toy import figure2_dataset
+
+        graph = UserItemGraph(figure2_dataset())
+        p = graph.transition_matrix()
+        values = exact_absorbing_values(p, np.array(sorted(absorbing_set)))
+        assert np.all(values >= 0)
+        assert np.all(np.isfinite(values))  # fig2 graph is connected

@@ -1,0 +1,113 @@
+"""Unit tests for the bipartite user-item graph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.bipartite import UserItemGraph
+
+
+class TestIndexing:
+    def test_node_counts(self, fig2):
+        graph = UserItemGraph(fig2)
+        assert graph.n_nodes == 11
+        assert graph.n_users == 5
+        assert graph.n_items == 6
+
+    def test_user_item_node_mapping(self, fig2):
+        graph = UserItemGraph(fig2)
+        assert graph.user_node(2) == 2
+        assert graph.item_node(0) == 5
+        assert graph.item_of_node(5) == 0
+        assert graph.user_of_node(2) == 2
+
+    def test_item_nodes_default_all(self, fig2):
+        graph = UserItemGraph(fig2)
+        np.testing.assert_array_equal(graph.item_nodes(), np.arange(5, 11))
+
+    def test_item_nodes_selection(self, fig2):
+        graph = UserItemGraph(fig2)
+        np.testing.assert_array_equal(graph.item_nodes([1, 3]), [6, 8])
+
+    def test_node_kind_predicates(self, fig2):
+        graph = UserItemGraph(fig2)
+        assert graph.is_user_node(0) and not graph.is_item_node(0)
+        assert graph.is_item_node(10) and not graph.is_user_node(10)
+
+    def test_wrong_kind_conversion_raises(self, fig2):
+        graph = UserItemGraph(fig2)
+        with pytest.raises(GraphError):
+            graph.item_of_node(0)
+        with pytest.raises(GraphError):
+            graph.user_of_node(10)
+
+    def test_requires_dataset(self):
+        with pytest.raises(GraphError, match="RatingDataset"):
+            UserItemGraph(np.eye(3))
+
+
+class TestStructure:
+    def test_adjacency_weights_are_ratings(self, fig2):
+        graph = UserItemGraph(fig2)
+        u1, m1 = fig2.user_id("U1"), graph.item_node(fig2.item_id("M1"))
+        assert graph.adjacency[u1, m1] == 5.0
+        assert graph.adjacency[m1, u1] == 5.0
+
+    def test_degrees_match_rating_sums(self, fig2):
+        graph = UserItemGraph(fig2)
+        u2 = fig2.user_id("U2")
+        assert graph.degrees[u2] == fig2.ratings_of_user(u2).sum()
+
+    def test_neighbors(self, fig2):
+        graph = UserItemGraph(fig2)
+        m4 = graph.item_node(fig2.item_id("M4"))
+        np.testing.assert_array_equal(graph.neighbors(m4), [fig2.user_id("U4")])
+
+    def test_neighbors_bad_node(self, fig2):
+        with pytest.raises(GraphError):
+            UserItemGraph(fig2).neighbors(99)
+
+
+class TestRandomWalkStructure:
+    def test_transition_rows_stochastic(self, fig2):
+        graph = UserItemGraph(fig2)
+        sums = np.asarray(graph.transition_matrix().sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_transition_cached(self, fig2):
+        graph = UserItemGraph(fig2)
+        assert graph.transition_matrix() is graph.transition_matrix()
+
+    def test_stationary_proportional_to_degree(self, fig2):
+        """Eq. 2: pi_i = d_i / sum(d)."""
+        graph = UserItemGraph(fig2)
+        pi = graph.stationary_distribution()
+        np.testing.assert_allclose(pi, graph.degrees / graph.degrees.sum())
+        np.testing.assert_allclose(pi.sum(), 1.0)
+
+    def test_stationary_is_fixed_point(self, fig2):
+        """pi = P^T pi for the degree distribution on an undirected graph."""
+        graph = UserItemGraph(fig2)
+        pi = graph.stationary_distribution()
+        np.testing.assert_allclose(graph.transition_matrix().T @ pi, pi, atol=1e-12)
+
+
+class TestConnectivity:
+    def test_connected_graph(self, fig2):
+        graph = UserItemGraph(fig2)
+        assert graph.is_connected()
+        assert graph.n_components == 1
+
+    def test_disconnected_components(self, disconnected):
+        graph = UserItemGraph(disconnected)
+        assert not graph.is_connected()
+        assert graph.n_components == 2
+
+    def test_component_of(self, disconnected):
+        graph = UserItemGraph(disconnected)
+        comp = graph.component_of(0)
+        assert 0 in comp
+        assert comp.size == 6
+
+    def test_repr(self, fig2):
+        assert "n_users=5" in repr(UserItemGraph(fig2))

@@ -1,0 +1,85 @@
+"""Unit tests for the BFS subgraph extraction (Algorithm 1, step 2)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.bipartite import UserItemGraph
+from repro.graph.subgraph import bfs_subgraph
+
+
+class TestBfsSubgraph:
+    def test_large_budget_covers_component(self, fig2):
+        graph = UserItemGraph(fig2)
+        sub = bfs_subgraph(graph, np.array([0]), max_items=100)
+        assert sub.n_nodes == graph.n_nodes  # fig2 graph is connected
+
+    def test_budget_limits_items(self, medium_synth):
+        graph = UserItemGraph(medium_synth.dataset)
+        seeds = medium_synth.dataset.items_of_user(0)
+        sub = bfs_subgraph(graph, seeds, max_items=30)
+        n_items = int(np.sum(sub.nodes >= graph.n_users))
+        assert n_items <= max(30, seeds.size)
+        assert sub.n_local_items == n_items
+
+    def test_seeds_always_included(self, medium_synth):
+        graph = UserItemGraph(medium_synth.dataset)
+        seeds = medium_synth.dataset.items_of_user(0)
+        sub = bfs_subgraph(graph, seeds, max_items=1)
+        for node in graph.item_nodes(seeds):
+            assert sub.contains(int(node))
+
+    def test_induced_adjacency_matches_parent(self, fig2):
+        graph = UserItemGraph(fig2)
+        sub = bfs_subgraph(graph, np.array([0, 1]), max_items=100)
+        dense = graph.adjacency.toarray()
+        for i_local, i_parent in enumerate(sub.nodes):
+            for j_local, j_parent in enumerate(sub.nodes):
+                assert sub.adjacency[i_local, j_local] == dense[i_parent, j_parent]
+
+    def test_stays_within_component(self, disconnected):
+        graph = UserItemGraph(disconnected)
+        sub = bfs_subgraph(graph, np.array([0]), max_items=100)
+        component = set(graph.component_of(graph.item_node(0)).tolist())
+        assert set(sub.nodes.tolist()) <= component
+
+    def test_to_local_round_trip(self, fig2):
+        graph = UserItemGraph(fig2)
+        sub = bfs_subgraph(graph, np.array([2]), max_items=100)
+        parents = sub.nodes[:4]
+        locals_ = sub.to_local(parents)
+        np.testing.assert_array_equal(sub.nodes[locals_], parents)
+
+    def test_to_local_missing_node(self, medium_synth):
+        graph = UserItemGraph(medium_synth.dataset)
+        sub = bfs_subgraph(graph, np.array([0]), max_items=1)
+        missing = [n for n in range(graph.n_nodes) if not sub.contains(n)]
+        assert missing, "budget 1 must exclude something"
+        with pytest.raises(GraphError, match="not in the subgraph"):
+            sub.to_local([missing[0]])
+
+    def test_empty_seeds_rejected(self, fig2):
+        graph = UserItemGraph(fig2)
+        with pytest.raises(GraphError, match="empty"):
+            bfs_subgraph(graph, np.array([], dtype=int))
+
+    def test_out_of_range_seed_rejected(self, fig2):
+        graph = UserItemGraph(fig2)
+        with pytest.raises(Exception):
+            bfs_subgraph(graph, np.array([99]))
+
+    def test_every_node_connected_inside(self, medium_synth):
+        """Each included node keeps at least one edge inside the subgraph
+        (its BFS discovery edge), so no spurious isolated rows appear."""
+        graph = UserItemGraph(medium_synth.dataset)
+        seeds = medium_synth.dataset.items_of_user(1)
+        sub = bfs_subgraph(graph, seeds, max_items=25)
+        degrees = np.asarray(sub.adjacency.sum(axis=1)).ravel()
+        assert np.all(degrees > 0)
+
+    def test_growing_budget_nested(self, medium_synth):
+        graph = UserItemGraph(medium_synth.dataset)
+        seeds = medium_synth.dataset.items_of_user(2)
+        small = bfs_subgraph(graph, seeds, max_items=10)
+        large = bfs_subgraph(graph, seeds, max_items=60)
+        assert set(small.nodes.tolist()) <= set(large.nodes.tolist())

@@ -1,0 +1,87 @@
+"""Integration tests: the full pipeline from data generation to metrics."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AbsorbingCostRecommender,
+    AbsorbingTimeRecommender,
+    DiscountedPageRankRecommender,
+    HittingTimeRecommender,
+    LDARecommender,
+    PureSVDRecommender,
+    RecallProtocol,
+    TopNExperiment,
+    make_recall_split,
+    sample_test_users,
+)
+from repro.topics import fit_lda
+
+
+@pytest.fixture(scope="module")
+def pipeline(medium_synth):
+    """Split + fitted roster shared across the integration assertions."""
+    split = make_recall_split(medium_synth.dataset, n_cases=40, seed=2)
+    model = fit_lda(split.train, 4, seed=1)
+    roster = {
+        "AC2": AbsorbingCostRecommender.topic_based(
+            topic_model=model, subgraph_size=None).fit(split.train),
+        "AC1": AbsorbingCostRecommender.item_based(
+            subgraph_size=None).fit(split.train),
+        "AT": AbsorbingTimeRecommender(subgraph_size=None).fit(split.train),
+        "HT": HittingTimeRecommender().fit(split.train),
+        "DPPR": DiscountedPageRankRecommender().fit(split.train),
+        "PureSVD": PureSVDRecommender(n_factors=8, seed=1).fit(split.train),
+        "LDA": LDARecommender(model=model).fit(split.train),
+    }
+    return medium_synth, split, roster
+
+
+class TestFullPipeline:
+    def test_recall_protocol_all_algorithms(self, pipeline):
+        _, split, roster = pipeline
+        protocol = RecallProtocol(split, n_distractors=80, max_n=30, seed=0)
+        results = protocol.evaluate_all(roster.values())
+        assert set(results) == set(roster)
+        for result in results.values():
+            assert 0 <= result.recall_at(30) <= 1
+
+    def test_graph_methods_beat_latent_on_tail_recall(self, pipeline):
+        """The paper's central claim, at the paper's headline N = 10."""
+        _, split, roster = pipeline
+        protocol = RecallProtocol(split, n_distractors=80, max_n=30, seed=0)
+        results = protocol.evaluate_all(roster.values())
+        graph_best = max(results[n].recall_at(10) for n in ("AC2", "AC1", "AT", "HT"))
+        latent_best = max(results[n].recall_at(10) for n in ("PureSVD", "LDA"))
+        assert graph_best >= latent_best
+
+    def test_topn_metrics_all_algorithms(self, pipeline):
+        data, split, roster = pipeline
+        users = sample_test_users(split.train, n_users=30, seed=3)
+        experiment = TopNExperiment(split.train, users, k=10,
+                                    ontology=data.ontology)
+        reports = experiment.run_all(roster.values())
+        for report in reports.values():
+            assert 0 < report.diversity <= 1
+            assert report.mean_popularity > 0
+            assert 0 <= report.similarity <= 1
+
+    def test_graph_methods_recommend_tail(self, pipeline):
+        data, split, roster = pipeline
+        users = sample_test_users(split.train, n_users=30, seed=3)
+        experiment = TopNExperiment(split.train, users, k=10)
+        reports = experiment.run_all(roster.values())
+        graph_pop = min(reports[n].mean_popularity for n in ("AC2", "AT", "HT"))
+        latent_pop = min(reports[n].mean_popularity for n in ("PureSVD", "LDA"))
+        assert graph_pop < latent_pop
+
+    def test_determinism_end_to_end(self, medium_synth):
+        """Same seeds => identical recommendations through the whole stack."""
+        split = make_recall_split(medium_synth.dataset, n_cases=10, seed=5)
+        outputs = []
+        for _ in range(2):
+            rec = AbsorbingCostRecommender.topic_based(
+                n_topics=4, seed=8, subgraph_size=50).fit(split.train)
+            outputs.append([rec.recommend_items(u, 5).tolist()
+                            for u in range(0, 30, 5)])
+        assert outputs[0] == outputs[1]

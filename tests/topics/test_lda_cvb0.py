@@ -1,0 +1,83 @@
+"""Unit tests for the CVB0 LDA engine and engine agreement."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError
+from repro.topics import fit_lda
+from repro.topics.lda_cvb0 import fit_lda_cvb0
+from repro.topics.lda_gibbs import fit_lda_gibbs
+
+
+@pytest.fixture(scope="module")
+def planted():
+    rows = []
+    for u in range(10):
+        for i in range(5):
+            rows.append((f"a{u}", f"left{i}", 4.0))
+    for u in range(10):
+        for i in range(5):
+            rows.append((f"b{u}", f"right{i}", 4.0))
+    return RatingDataset.from_triples(rows)
+
+
+class TestFitLdaCvb0:
+    def test_model_shapes(self, tiny_dataset):
+        model = fit_lda_cvb0(tiny_dataset, 3, n_iterations=20, seed=0)
+        assert (model.n_users, model.n_topics, model.n_items) == (3, 3, 4)
+
+    def test_deterministic(self, tiny_dataset):
+        a = fit_lda_cvb0(tiny_dataset, 3, seed=5)
+        b = fit_lda_cvb0(tiny_dataset, 3, seed=5)
+        np.testing.assert_allclose(a.user_topics, b.user_topics)
+
+    def test_recovers_planted_structure(self, planted):
+        model = fit_lda_cvb0(planted, 2, seed=0)
+        left = [planted.item_id(f"left{i}") for i in range(5)]
+        right = [planted.item_id(f"right{i}") for i in range(5)]
+        left_mass = model.topic_items[:, left].sum(axis=1)
+        dominant = int(np.argmax(left_mass))
+        assert model.topic_items[dominant, left].sum() > 0.9
+        assert model.topic_items[1 - dominant, right].sum() > 0.9
+
+    def test_invalid_params_rejected(self, tiny_dataset):
+        with pytest.raises(ConfigError):
+            fit_lda_cvb0(tiny_dataset, 2, beta=0.0)
+
+    def test_early_stop_tolerance(self, planted):
+        loose = fit_lda_cvb0(planted, 2, n_iterations=500, tol=0.5, seed=0)
+        assert loose.n_topics == 2  # converged without exhausting iterations
+
+
+class TestEngineAgreement:
+    def test_engines_find_the_same_structure(self, planted):
+        """Gibbs and CVB0 must agree on the planted communities."""
+        gibbs = fit_lda_gibbs(planted, 2, n_iterations=60, seed=1)
+        cvb0 = fit_lda_cvb0(planted, 2, seed=1)
+        a0 = planted.user_id("a0")
+        # Users of the same block get the same dominant topic within engine.
+        for model in (gibbs, cvb0):
+            tops = {np.argmax(model.user_topics[planted.user_id(f"a{u}")])
+                    for u in range(10)}
+            assert len(tops) == 1
+
+    def test_entropy_rankings_correlate(self, medium_synth):
+        from scipy.stats import spearmanr
+
+        ds = medium_synth.dataset
+        gibbs = fit_lda_gibbs(ds, 4, n_iterations=40, seed=2)
+        cvb0 = fit_lda_cvb0(ds, 4, seed=2)
+        rho = spearmanr(gibbs.user_entropy(), cvb0.user_entropy()).statistic
+        assert rho > 0.4
+
+
+class TestDispatcher:
+    def test_fit_lda_routes(self, tiny_dataset):
+        assert fit_lda(tiny_dataset, 2, method="cvb0", seed=0).n_topics == 2
+        assert fit_lda(tiny_dataset, 2, method="gibbs", n_iterations=5,
+                       seed=0).n_topics == 2
+
+    def test_unknown_method_rejected(self, tiny_dataset):
+        with pytest.raises(ConfigError, match="unknown LDA method"):
+            fit_lda(tiny_dataset, 2, method="vi")

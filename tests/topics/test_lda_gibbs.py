@@ -1,0 +1,102 @@
+"""Unit tests for the collapsed Gibbs LDA sampler (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError
+from repro.topics.lda_gibbs import GibbsState, fit_lda_gibbs
+
+
+@pytest.fixture(scope="module")
+def planted():
+    """Two disjoint item blocks rated by two disjoint user groups."""
+    rows = []
+    for u in range(10):
+        for i in range(5):
+            rows.append((f"a{u}", f"left{i}", 4.0))
+    for u in range(10):
+        for i in range(5):
+            rows.append((f"b{u}", f"right{i}", 4.0))
+    return RatingDataset.from_triples(rows)
+
+
+class TestGibbsState:
+    def test_token_multiplicity_is_rating(self, tiny_dataset):
+        state = GibbsState(tiny_dataset, 3, np.random.default_rng(0))
+        assert state.n_tokens == int(np.rint(tiny_dataset.matrix.data).sum())
+
+    def test_weight_cap(self, tiny_dataset):
+        state = GibbsState(tiny_dataset, 3, np.random.default_rng(0),
+                           max_token_weight=1)
+        assert state.n_tokens == tiny_dataset.n_ratings
+
+    def test_count_invariants_after_sweeps(self, tiny_dataset):
+        """Count matrices must always reconcile with the assignment array."""
+        rng = np.random.default_rng(1)
+        state = GibbsState(tiny_dataset, 3, rng)
+        for _ in range(5):
+            state.sweep(alpha=0.5, beta=0.1, rng=rng)
+            assert state.user_topic.sum() == state.n_tokens
+            assert state.item_topic.sum() == state.n_tokens
+            np.testing.assert_array_equal(
+                state.topic_totals, state.item_topic.sum(axis=0)
+            )
+            assert state.user_topic.min() >= 0
+            assert state.item_topic.min() >= 0
+
+    def test_estimates_are_distributions(self, tiny_dataset):
+        rng = np.random.default_rng(2)
+        state = GibbsState(tiny_dataset, 4, rng)
+        theta, phi = state.estimates(alpha=0.5, beta=0.1)
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0)
+        np.testing.assert_allclose(phi.sum(axis=1), 1.0)
+
+
+class TestFitLdaGibbs:
+    def test_model_shapes(self, tiny_dataset):
+        model = fit_lda_gibbs(tiny_dataset, 3, n_iterations=10, seed=0)
+        assert model.n_users == tiny_dataset.n_users
+        assert model.n_items == tiny_dataset.n_items
+        assert model.n_topics == 3
+
+    def test_deterministic(self, tiny_dataset):
+        a = fit_lda_gibbs(tiny_dataset, 3, n_iterations=10, seed=5)
+        b = fit_lda_gibbs(tiny_dataset, 3, n_iterations=10, seed=5)
+        np.testing.assert_allclose(a.user_topics, b.user_topics)
+
+    def test_recovers_planted_structure(self, planted):
+        """Two clean communities => topics separate left/right items."""
+        model = fit_lda_gibbs(planted, 2, n_iterations=60, seed=0)
+        left = [planted.item_id(f"left{i}") for i in range(5)]
+        right = [planted.item_id(f"right{i}") for i in range(5)]
+        # Whichever topic favours left items must disfavour right items.
+        left_mass = model.topic_items[:, left].sum(axis=1)
+        dominant = int(np.argmax(left_mass))
+        other = 1 - dominant
+        assert model.topic_items[dominant, left].sum() > 0.9
+        assert model.topic_items[other, right].sum() > 0.9
+
+    def test_users_align_with_their_block(self, planted):
+        model = fit_lda_gibbs(planted, 2, n_iterations=60, seed=0)
+        a0 = planted.user_id("a0")
+        b0 = planted.user_id("b0")
+        assert np.argmax(model.user_topics[a0]) != np.argmax(model.user_topics[b0])
+
+    def test_default_alpha_is_paper_rule(self, tiny_dataset):
+        model = fit_lda_gibbs(tiny_dataset, 5, n_iterations=5, seed=0)
+        assert model.alpha == pytest.approx(10.0)
+
+    def test_perplexity_improves_with_training(self, planted):
+        early = fit_lda_gibbs(planted, 2, n_iterations=2, burn_in_fraction=0.0,
+                              n_samples=1, seed=3)
+        late = fit_lda_gibbs(planted, 2, n_iterations=60, seed=3)
+        assert late.perplexity(planted) <= early.perplexity(planted) + 0.5
+
+    def test_invalid_params_rejected(self, tiny_dataset):
+        with pytest.raises(ConfigError):
+            fit_lda_gibbs(tiny_dataset, 2, alpha=-1.0)
+        with pytest.raises(ConfigError):
+            fit_lda_gibbs(tiny_dataset, 2, burn_in_fraction=1.0)
+        with pytest.raises(ConfigError):
+            fit_lda_gibbs(tiny_dataset, 0)

@@ -1,0 +1,122 @@
+"""Unit tests for the LatentTopicModel container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigError, DataError
+from repro.topics.model import LatentTopicModel, default_alpha
+
+
+@pytest.fixture()
+def model():
+    theta = np.array([
+        [0.7, 0.2, 0.1],
+        [1 / 3, 1 / 3, 1 / 3],
+        [1.0, 0.0, 0.0],
+    ])
+    phi = np.array([
+        [0.5, 0.3, 0.1, 0.1],
+        [0.1, 0.1, 0.4, 0.4],
+        [0.25, 0.25, 0.25, 0.25],
+    ])
+    return LatentTopicModel(theta, phi, alpha=0.5, beta=0.1)
+
+
+class TestConstruction:
+    def test_shapes(self, model):
+        assert model.n_users == 3
+        assert model.n_topics == 3
+        assert model.n_items == 4
+
+    def test_matrices_read_only(self, model):
+        with pytest.raises(ValueError):
+            model.user_topics[0, 0] = 0.5
+
+    def test_topic_count_mismatch_rejected(self):
+        with pytest.raises(DataError, match="mismatch"):
+            LatentTopicModel(np.ones((2, 3)) / 3, np.ones((2, 4)) / 4, 1.0, 0.1)
+
+    def test_non_stochastic_rows_rejected(self):
+        theta = np.array([[0.5, 0.2]])
+        phi = np.ones((2, 3)) / 3
+        with pytest.raises(DataError, match="sum to 1"):
+            LatentTopicModel(theta, phi, 1.0, 0.1)
+
+    def test_negative_rejected(self):
+        theta = np.array([[1.5, -0.5]])
+        phi = np.ones((2, 3)) / 3
+        with pytest.raises(DataError):
+            LatentTopicModel(theta, phi, 1.0, 0.1)
+
+    def test_repr(self, model):
+        assert "n_topics=3" in repr(model)
+
+
+class TestDefaultAlpha:
+    def test_paper_rule(self):
+        assert default_alpha(10) == 5.0
+        assert default_alpha(50) == 1.0
+
+
+class TestQueries:
+    def test_top_items(self, model):
+        np.testing.assert_array_equal(model.top_items(0, 2), [0, 1])
+        np.testing.assert_array_equal(model.top_items(1, 2), [2, 3])
+
+    def test_top_items_bad_topic(self, model):
+        with pytest.raises(ConfigError):
+            model.top_items(9)
+
+    def test_user_entropy_uniform_is_log_k(self, model):
+        assert model.user_entropy(1) == pytest.approx(np.log(3))
+
+    def test_user_entropy_degenerate_is_zero(self, model):
+        assert model.user_entropy(2) == pytest.approx(0.0)
+
+    def test_user_entropy_vector(self, model):
+        entropy = model.user_entropy()
+        assert entropy.shape == (3,)
+        assert entropy[2] < entropy[0] < entropy[1]
+
+    def test_score_items_is_mixture(self, model):
+        scores = model.score_items(0)
+        expected = model.user_topics[0] @ model.topic_items
+        np.testing.assert_allclose(scores, expected)
+        assert scores.sum() == pytest.approx(1.0)
+
+    def test_score_items_bad_user(self, model):
+        with pytest.raises(ConfigError):
+            model.score_items(17)
+
+
+class TestPerplexity:
+    def test_matches_manual_computation(self, model):
+        ds = RatingDataset(np.array([
+            [2.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 3.0, 0.0],
+            [1.0, 0.0, 0.0, 0.0],
+        ]))
+        p00 = model.user_topics[0] @ model.topic_items[:, 0]
+        p12 = model.user_topics[1] @ model.topic_items[:, 2]
+        p20 = model.user_topics[2] @ model.topic_items[:, 0]
+        ll = 2 * np.log(p00) + 3 * np.log(p12) + 1 * np.log(p20)
+        expected = np.exp(-ll / 6)
+        assert model.perplexity(ds) == pytest.approx(expected)
+
+    def test_shape_mismatch_rejected(self, model):
+        ds = RatingDataset(np.array([[1.0, 2.0]]))
+        with pytest.raises(DataError, match="does not"):
+            model.perplexity(ds)
+
+    def test_better_model_lower_perplexity(self):
+        ds = RatingDataset(np.array([[5.0, 0.0], [0.0, 5.0]]))
+        sharp = LatentTopicModel(
+            np.array([[1.0, 0.0], [0.0, 1.0]]),
+            np.array([[0.99, 0.01], [0.01, 0.99]]), 1.0, 0.1,
+        )
+        vague = LatentTopicModel(
+            np.array([[0.5, 0.5], [0.5, 0.5]]),
+            np.array([[0.5, 0.5], [0.5, 0.5]]), 1.0, 0.1,
+        )
+        assert sharp.perplexity(ds) < vague.perplexity(ds)

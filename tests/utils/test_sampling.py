@@ -1,0 +1,119 @@
+"""Unit and property tests for repro.utils.sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigError
+from repro.utils.sampling import (
+    AliasSampler,
+    sample_without_replacement,
+    truncated_lognormal,
+    zipf_weights,
+)
+
+
+class TestAliasSampler:
+    def test_probabilities_normalised(self):
+        s = AliasSampler([1.0, 3.0])
+        np.testing.assert_allclose(s.probabilities, [0.25, 0.75])
+
+    def test_deterministic_given_seed(self):
+        s = AliasSampler([1, 2, 3])
+        a = s.sample(100, np.random.default_rng(5))
+        b = s.sample(100, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_empirical_frequencies_match(self):
+        s = AliasSampler([0.1, 0.2, 0.7])
+        draws = s.sample(60_000, np.random.default_rng(0))
+        freq = np.bincount(draws, minlength=3) / draws.size
+        np.testing.assert_allclose(freq, [0.1, 0.2, 0.7], atol=0.01)
+
+    def test_zero_weight_never_drawn(self):
+        s = AliasSampler([0.0, 1.0])
+        draws = s.sample(1000, np.random.default_rng(0))
+        assert not np.any(draws == 0)
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            AliasSampler([])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            AliasSampler([1.0, -1.0])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            AliasSampler([0.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_always_in_range(self, weights):
+        s = AliasSampler(weights)
+        draws = s.sample(50, np.random.default_rng(0))
+        assert draws.min() >= 0 and draws.max() < len(weights)
+
+
+class TestZipfWeights:
+    def test_sums_to_one(self):
+        np.testing.assert_allclose(zipf_weights(100).sum(), 1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(50, 1.2)
+        assert np.all(np.diff(w) < 0)
+
+    def test_exponent_controls_skew(self):
+        flat = zipf_weights(100, 0.5)
+        steep = zipf_weights(100, 2.0)
+        assert steep[0] > flat[0]
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigError):
+            zipf_weights(0)
+        with pytest.raises(ConfigError):
+            zipf_weights(10, -1.0)
+
+
+class TestSampleWithoutReplacement:
+    def test_distinct(self):
+        out = sample_without_replacement(100, 50, np.random.default_rng(0))
+        assert np.unique(out).size == 50
+
+    def test_exclusions_respected(self):
+        exclude = np.arange(90)
+        out = sample_without_replacement(100, 10, np.random.default_rng(0), exclude)
+        assert np.all(out >= 90)
+
+    def test_too_large_request_rejected(self):
+        with pytest.raises(ConfigError, match="cannot draw"):
+            sample_without_replacement(10, 11, np.random.default_rng(0))
+
+    def test_too_many_exclusions_rejected(self):
+        with pytest.raises(ConfigError, match="remain after exclusions"):
+            sample_without_replacement(10, 5, np.random.default_rng(0), np.arange(8))
+
+    def test_deterministic(self):
+        a = sample_without_replacement(50, 10, np.random.default_rng(9))
+        b = sample_without_replacement(50, 10, np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestTruncatedLognormal:
+    def test_bounds_respected(self):
+        out = truncated_lognormal(500, 2.0, 1.0, 5.0, 50.0, np.random.default_rng(0))
+        assert out.min() >= 5.0 and out.max() <= 50.0
+
+    def test_size(self):
+        assert truncated_lognormal(7, 1.0, 0.5, 1.0, 10.0, np.random.default_rng(0)).size == 7
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigError, match="low < high"):
+            truncated_lognormal(5, 1.0, 0.5, 10.0, 1.0)
+
+    def test_extreme_bounds_still_fill(self):
+        # Nearly impossible window exercises the clip fallback.
+        out = truncated_lognormal(50, 0.0, 0.1, 100.0, 101.0, np.random.default_rng(0))
+        assert out.size == 50
+        assert out.min() >= 100.0 and out.max() <= 101.0

@@ -1,0 +1,107 @@
+"""Unit tests for repro.utils.sparse."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.utils.sparse import (
+    binarize,
+    bipartite_adjacency,
+    degree_vector,
+    row_normalize,
+    safe_divide_rows,
+    submatrix,
+)
+
+
+@pytest.fixture()
+def ratings():
+    return sp.csr_matrix(np.array([
+        [5.0, 0.0, 3.0],
+        [0.0, 2.0, 0.0],
+    ]))
+
+
+class TestDegreeVector:
+    def test_row_sums(self, ratings):
+        np.testing.assert_allclose(degree_vector(ratings), [8.0, 2.0])
+
+    def test_zero_rows(self):
+        m = sp.csr_matrix((2, 2))
+        np.testing.assert_allclose(degree_vector(m), [0.0, 0.0])
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self, ratings):
+        p = row_normalize(ratings)
+        np.testing.assert_allclose(np.asarray(p.sum(axis=1)).ravel(), [1.0, 1.0])
+
+    def test_proportions_preserved(self, ratings):
+        p = row_normalize(ratings).toarray()
+        np.testing.assert_allclose(p[0], [5 / 8, 0, 3 / 8])
+
+    def test_zero_row_raises_by_default(self):
+        m = sp.csr_matrix(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        with pytest.raises(GraphError, match="zero sum"):
+            row_normalize(m)
+
+    def test_zero_row_kept_when_allowed(self):
+        m = sp.csr_matrix(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        p = row_normalize(m, allow_zero_rows=True)
+        np.testing.assert_allclose(np.asarray(p.sum(axis=1)).ravel(), [1.0, 0.0])
+
+
+class TestSafeDivideRows:
+    def test_division(self, ratings):
+        out = safe_divide_rows(ratings, np.array([2.0, 4.0]))
+        np.testing.assert_allclose(out.toarray()[0], [2.5, 0.0, 1.5])
+
+    def test_zero_divisor_maps_to_zero(self, ratings):
+        out = safe_divide_rows(ratings, np.array([0.0, 2.0]))
+        np.testing.assert_allclose(out.toarray()[0], [0.0, 0.0, 0.0])
+
+    def test_length_mismatch_rejected(self, ratings):
+        with pytest.raises(GraphError, match="length"):
+            safe_divide_rows(ratings, np.array([1.0]))
+
+
+class TestBipartiteAdjacency:
+    def test_shape(self, ratings):
+        a = bipartite_adjacency(ratings)
+        assert a.shape == (5, 5)
+
+    def test_symmetry(self, ratings):
+        a = bipartite_adjacency(ratings)
+        assert (abs(a - a.T) > 1e-12).nnz == 0
+
+    def test_no_user_user_or_item_item_edges(self, ratings):
+        a = bipartite_adjacency(ratings).toarray()
+        assert np.all(a[:2, :2] == 0)
+        assert np.all(a[2:, 2:] == 0)
+
+    def test_weights_are_ratings(self, ratings):
+        a = bipartite_adjacency(ratings).toarray()
+        assert a[0, 2] == 5.0 and a[0, 4] == 3.0 and a[1, 3] == 2.0
+
+
+class TestSubmatrix:
+    def test_square_selection(self, ratings):
+        a = bipartite_adjacency(ratings)
+        sub = submatrix(a, np.array([0, 2]))
+        assert sub.shape == (2, 2)
+        assert sub[0, 1] == 5.0
+
+    def test_rectangular_selection(self, ratings):
+        sub = submatrix(ratings, np.array([0]), np.array([0, 2]))
+        np.testing.assert_allclose(sub.toarray(), [[5.0, 3.0]])
+
+
+class TestBinarize:
+    def test_all_entries_become_one(self, ratings):
+        b = binarize(ratings)
+        assert set(b.data.tolist()) == {1.0}
+
+    def test_original_untouched(self, ratings):
+        binarize(ratings)
+        assert ratings.data.max() == 5.0

@@ -1,0 +1,45 @@
+"""Unit tests for repro.utils.timer."""
+
+import time
+
+from repro.utils.timer import StopwatchStats, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= first
+
+
+class TestStopwatchStats:
+    def test_accumulates(self):
+        watch = StopwatchStats()
+        watch.add(1.0)
+        watch.add(3.0)
+        assert watch.count == 2
+        assert watch.total == 4.0
+        assert watch.mean == 2.0
+        assert watch.maximum == 3.0
+
+    def test_empty_stats_are_zero(self):
+        watch = StopwatchStats()
+        assert watch.count == 0
+        assert watch.mean == 0.0
+        assert watch.maximum == 0.0
+
+    def test_time_context_records(self):
+        watch = StopwatchStats()
+        with watch.time():
+            time.sleep(0.005)
+        assert watch.count == 1
+        assert watch.samples[0] >= 0.004

@@ -1,0 +1,165 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigError, DataError
+from repro.utils.validation import (
+    as_index_array,
+    check_fraction,
+    check_in_options,
+    check_non_negative_int,
+    check_positive_float,
+    check_positive_int,
+    check_random_state,
+    check_rating_matrix,
+)
+
+
+class TestCheckRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = check_random_state(42).random(5)
+        b = check_random_state(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_legacy_random_state_accepted(self):
+        legacy = np.random.RandomState(3)
+        assert isinstance(check_random_state(legacy), np.random.Generator)
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(ConfigError, match="seed"):
+            check_random_state("not-a-seed")
+
+
+class TestIntValidators:
+    def test_positive_int_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(7), "x") == 7
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ConfigError, match="> 0"):
+            check_positive_int(0, "x")
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(ConfigError):
+            check_positive_int(True, "x")
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(ConfigError):
+            check_positive_int(2.5, "x")
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(ConfigError, match=">= 0"):
+            check_non_negative_int(-1, "x")
+
+
+class TestFloatValidators:
+    def test_positive_float_accepts_int(self):
+        assert check_positive_float(3, "x") == 3.0
+
+    def test_positive_float_rejects_nan(self):
+        with pytest.raises(ConfigError):
+            check_positive_float(float("nan"), "x")
+
+    def test_positive_float_rejects_inf(self):
+        with pytest.raises(ConfigError):
+            check_positive_float(float("inf"), "x")
+
+    def test_fraction_default_excludes_zero(self):
+        with pytest.raises(ConfigError):
+            check_fraction(0.0, "x")
+
+    def test_fraction_inclusive_low(self):
+        assert check_fraction(0.0, "x", inclusive_low=True) == 0.0
+
+    def test_fraction_default_includes_one(self):
+        assert check_fraction(1.0, "x") == 1.0
+
+    def test_fraction_exclusive_high(self):
+        with pytest.raises(ConfigError):
+            check_fraction(1.0, "x", inclusive_high=False)
+
+    def test_fraction_above_one_rejected(self):
+        with pytest.raises(ConfigError):
+            check_fraction(1.5, "x")
+
+
+class TestCheckInOptions:
+    def test_accepts_member(self):
+        assert check_in_options("a", "x", ("a", "b")) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ConfigError, match="must be one of"):
+            check_in_options("c", "x", ("a", "b"))
+
+
+class TestCheckRatingMatrix:
+    def test_dense_input_converted(self):
+        out = check_rating_matrix(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        assert sp.issparse(out)
+        assert out.nnz == 2
+
+    def test_explicit_zeros_removed(self):
+        m = sp.csr_matrix(np.array([[1.0, 0.0]]))
+        m.data = np.array([1.0])
+        out = check_rating_matrix(m)
+        assert out.nnz == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(DataError, match="positive"):
+            check_rating_matrix(np.array([[1.0, -2.0]]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataError, match="non-finite"):
+            check_rating_matrix(np.array([[1.0, np.nan]]))
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(DataError, match="no stored ratings"):
+            check_rating_matrix(np.zeros((3, 3)))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(DataError, match="2-D"):
+            check_rating_matrix(np.array([1.0, 2.0]))
+
+    def test_result_is_float64(self):
+        out = check_rating_matrix(sp.csr_matrix(np.array([[1, 2]], dtype=np.int32)))
+        assert out.dtype == np.float64
+
+
+class TestAsIndexArray:
+    def test_basic(self):
+        out = as_index_array([0, 2, 1], 3, "idx")
+        np.testing.assert_array_equal(out, [0, 2, 1])
+
+    def test_empty_ok(self):
+        assert as_index_array([], 3, "idx").size == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError, match="out-of-range"):
+            as_index_array([0, 3], 3, "idx")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError, match="out-of-range"):
+            as_index_array([-1], 3, "idx")
+
+    def test_integral_floats_accepted(self):
+        out = as_index_array(np.array([0.0, 1.0]), 3, "idx")
+        assert out.dtype == np.int64
+
+    def test_fractional_floats_rejected(self):
+        with pytest.raises(ConfigError, match="integers"):
+            as_index_array(np.array([0.5]), 3, "idx")
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ConfigError, match="1-D"):
+            as_index_array(np.zeros((2, 2), dtype=int), 3, "idx")
