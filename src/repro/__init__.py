@@ -6,8 +6,10 @@ Hitting Time (HT), Absorbing Time (AT) and the entropy-biased Absorbing
 Cost variants (AC1/AC2) — together with every substrate they need (the
 bipartite user-item graph, absorbing Markov-chain solvers, a rating-data
 LDA), the paper's baselines (LDA, PureSVD, PPR/DPPR), extended references,
-and the full evaluation harness regenerating each table and figure of the
-paper's experimental section.
+the full evaluation harness regenerating each table and figure of the
+paper's experimental section, and a batch serving layer (vectorised
+multi-user scoring plus a precomputed top-K store) for cohort-scale
+traffic.
 
 Quickstart
 ----------
@@ -84,6 +86,7 @@ from repro.exceptions import (
     UnknownUserError,
 )
 from repro.graph import UserItemGraph
+from repro.service import BatchServingReport, TopKStore, serve_user_cohort
 from repro.topics import LatentTopicModel, fit_lda, fit_lda_cvb0, fit_lda_gibbs
 
 __version__ = "1.0.0"
@@ -134,6 +137,10 @@ __all__ = [
     "fit_lda",
     "fit_lda_cvb0",
     "fit_lda_gibbs",
+    # serving
+    "BatchServingReport",
+    "TopKStore",
+    "serve_user_cohort",
     # evaluation
     "RecallProtocol",
     "SimulatedPanel",

@@ -58,17 +58,24 @@ class UserKNNRecommender(Recommender):
         np.fill_diagonal(self._similarity, 0.0)
 
     def _score_user(self, user: int) -> np.ndarray:
-        sims = self._similarity[user]
-        k = min(self.k_neighbors, sims.size - 1)
-        if k <= 0:
-            return np.zeros(self.dataset.n_items)
-        neighbors = np.argpartition(-sims, k - 1)[:k]
-        weights = sims[neighbors]
-        positive = weights > 0
-        if not positive.any():
-            return np.zeros(self.dataset.n_items)
-        neighbors, weights = neighbors[positive], weights[positive]
-        return np.asarray(self.dataset.matrix[neighbors].T @ weights).ravel()
+        return self._score_users_batch(np.array([user], dtype=np.int64))[0]
+
+    def _score_users_batch(self, users: np.ndarray) -> np.ndarray:
+        sims = self._similarity[users]
+        k = min(self.k_neighbors, self._similarity.shape[0] - 1)
+        if k <= 0 or users.size == 0:
+            return np.zeros((users.size, self.dataset.n_items))
+        # Row-wise neighbourhood selection, then one sparse weight-matrix ×
+        # rating-matrix product scores the whole cohort.
+        neighbors = np.argpartition(-sims, k - 1, axis=1)[:, :k]
+        weights = np.take_along_axis(sims, neighbors, axis=1)
+        weights = np.where(weights > 0, weights, 0.0)
+        weight_matrix = sp.csr_matrix(
+            (weights.ravel(),
+             (np.repeat(np.arange(users.size), k), neighbors.ravel())),
+            shape=(users.size, self._similarity.shape[0]),
+        )
+        return np.asarray((weight_matrix @ self.dataset.matrix).todense())
 
 
 class ItemKNNRecommender(Recommender):
@@ -99,8 +106,10 @@ class ItemKNNRecommender(Recommender):
         self._similarity = sim
 
     def _score_user(self, user: int) -> np.ndarray:
-        items = self.dataset.items_of_user(user)
-        if items.size == 0:
-            return np.zeros(self.dataset.n_items)
-        ratings = self.dataset.ratings_of_user(user)
-        return ratings @ self._similarity[items]
+        return self._score_users_batch(np.array([user], dtype=np.int64))[0]
+
+    def _score_users_batch(self, users: np.ndarray) -> np.ndarray:
+        # score(u, i) = Σ_j r_uj · sim(j, i) is exactly one sparse
+        # rating-rows × dense similarity product; users with no ratings get
+        # an all-zero row for free.
+        return np.asarray(self.dataset.matrix[users] @ self._similarity)

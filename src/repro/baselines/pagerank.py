@@ -20,7 +20,7 @@ import numpy as np
 from repro.core.base import Recommender
 from repro.data.dataset import RatingDataset
 from repro.graph.bipartite import UserItemGraph
-from repro.graph.proximity import personalized_pagerank
+from repro.graph.proximity import personalized_pagerank_multi
 from repro.utils.validation import check_fraction
 
 __all__ = ["PersonalizedPageRankRecommender", "DiscountedPageRankRecommender"]
@@ -51,21 +51,32 @@ class PersonalizedPageRankRecommender(Recommender):
     def _fit(self, dataset: RatingDataset) -> None:
         self.graph = UserItemGraph(dataset)
 
-    def _ppr_vector(self, user: int) -> np.ndarray | None:
-        items = self.dataset.items_of_user(user)
-        if items.size == 0:
-            return None
-        restart = self.graph.item_nodes(items)
-        return personalized_pagerank(
-            self.graph.transition_matrix(), restart, damping=self.damping,
-            tol=self.tol, max_iter=self.max_iter,
-        )
-
     def _score_user(self, user: int) -> np.ndarray:
-        pi = self._ppr_vector(user)
-        if pi is None:
-            return np.full(self.dataset.n_items, -np.inf)
-        return pi[self.graph.item_nodes()]
+        return self._score_users_batch(np.array([user], dtype=np.int64))[0]
+
+    def _score_users_batch(self, users: np.ndarray) -> np.ndarray:
+        # All restart walks share the transition matrix, so the cohort runs
+        # as one multi-column power iteration; each column freezes at its own
+        # convergence point, keeping batch and per-user results identical.
+        scores = np.full((users.size, self.dataset.n_items), -np.inf)
+        restart_sets = []
+        active = []
+        for row, user in enumerate(users):
+            items = self.dataset.items_of_user(int(user))
+            if items.size == 0:
+                continue
+            restart_sets.append(self.graph.item_nodes(items))
+            active.append(row)
+        if not active:
+            return scores
+        pi = personalized_pagerank_multi(
+            self.graph.transition_matrix(), restart_sets,
+            damping=self.damping, tol=self.tol, max_iter=self.max_iter,
+        )
+        item_mass = pi[self.graph.item_nodes(), :]
+        for column, row in enumerate(active):
+            scores[row] = item_mass[:, column]
+        return scores
 
 
 class DiscountedPageRankRecommender(PersonalizedPageRankRecommender):
@@ -82,8 +93,7 @@ class DiscountedPageRankRecommender(PersonalizedPageRankRecommender):
         super()._fit(dataset)
         self._popularity = np.maximum(dataset.item_popularity(), 1).astype(np.float64)
 
-    def _score_user(self, user: int) -> np.ndarray:
-        pi = self._ppr_vector(user)
-        if pi is None:
-            return np.full(self.dataset.n_items, -np.inf)
-        return pi[self.graph.item_nodes()] / self._popularity
+    def _score_users_batch(self, users: np.ndarray) -> np.ndarray:
+        # Discounting is elementwise, so it composes directly with the batch
+        # PPR solve; -inf cold-start rows stay -inf under the division.
+        return super()._score_users_batch(users) / self._popularity

@@ -36,6 +36,10 @@ class MostPopularRecommender(Recommender):
     def _score_user(self, user: int) -> np.ndarray:
         return self._scores.copy()
 
+    def _score_users_batch(self, users: np.ndarray) -> np.ndarray:
+        # The list is user-independent: one broadcast serves any cohort.
+        return np.tile(self._scores, (users.size, 1))
+
 
 class RandomRecommender(Recommender):
     """Uniformly random scores, deterministic per (seed, user).

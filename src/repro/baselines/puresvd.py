@@ -62,7 +62,11 @@ class PureSVDRecommender(Recommender):
         self._item_factors = vt
 
     def _score_user(self, user: int) -> np.ndarray:
-        return self._user_factors[user] @ self._item_factors
+        return self._score_users_batch(np.array([user], dtype=np.int64))[0]
+
+    def _score_users_batch(self, users: np.ndarray) -> np.ndarray:
+        # One (n_users, f) × (f, n_items) product scores the whole cohort.
+        return self._user_factors[users] @ self._item_factors
 
     @property
     def effective_rank(self) -> int:

@@ -1,13 +1,17 @@
-"""Command-line interface: regenerate any of the paper's experiments.
+"""Command-line interface: regenerate experiments, serve user cohorts.
 
 Usage (module form; also installed as the ``repro-experiments`` script)::
 
     python -m repro.cli list
     python -m repro.cli run fig5a [--scale 0.5] [--out results.csv]
     python -m repro.cli run table2 --scale 0.3
+    python -m repro.cli serve-batch --algorithm AT --n-users 64 --k 10
 
-Each experiment name maps to the driver in :mod:`repro.experiments`; the
-output is the paper-shaped text table (and optionally a CSV).
+``run`` maps each experiment name to its driver in :mod:`repro.experiments`
+and prints the paper-shaped text table (optionally a CSV). ``serve-batch``
+exercises the batch serving layer end-to-end: fit one algorithm, score a
+cohort of users through the vectorised batch path, and report the ranked
+lists plus the achieved throughput.
 """
 
 from __future__ import annotations
@@ -34,6 +38,9 @@ from repro.experiments import (
     run_table6,
     run_tau_convergence,
 )
+from repro.experiments.suite import PAPER_ORDER, make_algorithms, make_data
+from repro.service import load_user_file, serve_user_cohort
+from repro.utils.timer import Timer
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -107,11 +114,69 @@ def build_parser() -> argparse.ArgumentParser:
                      help="dataset scale multiplier (default 1.0)")
     run.add_argument("--seed", type=int, default=7, help="data seed")
     run.add_argument("--out", default=None, help="optional CSV output path")
+
+    serve = sub.add_parser(
+        "serve-batch",
+        help="score a user cohort end-to-end through the batch serving layer",
+    )
+    serve.add_argument("--algorithm", default="AT", choices=sorted(PAPER_ORDER),
+                       help="recommender to serve (default AT)")
+    serve.add_argument("--dataset", default="movielens",
+                       choices=("movielens", "douban"),
+                       help="synthetic dataset family (default movielens)")
+    serve.add_argument("--scale", type=float, default=0.5,
+                       help="dataset scale multiplier (default 0.5)")
+    serve.add_argument("--seed", type=int, default=7, help="data seed")
+    serve.add_argument("--users-file", default=None,
+                       help="file with one user index per line "
+                            "(default: the first --n-users users)")
+    serve.add_argument("--n-users", type=int, default=64,
+                       help="cohort size when --users-file is absent (default 64)")
+    serve.add_argument("--k", type=int, default=10, help="list length (default 10)")
+    serve.add_argument("--batch-size", type=int, default=256,
+                       help="users scored per batch (default 256)")
+    serve.add_argument("--out", default=None,
+                       help="optional CSV path for the full (user, rank, item) rows")
     return parser
+
+
+def _serve_batch(args) -> int:
+    config = ExperimentConfig(scale=args.scale, data_seed=args.seed)
+    print(f"Generating {args.dataset} data (scale {args.scale}) ...", flush=True)
+    train = make_data(args.dataset, config).dataset
+    print(f"   {train}")
+
+    print(f"Fitting {args.algorithm} ...", flush=True)
+    recommender = make_algorithms(config, train=train,
+                                  include=(args.algorithm,))[0]
+    with Timer() as fit_timer:
+        recommender.fit(train)
+    print(f"   fitted in {fit_timer.elapsed:.2f}s")
+
+    if args.users_file is not None:
+        users = load_user_file(args.users_file, train.n_users)
+    else:
+        users = np.arange(min(args.n_users, train.n_users))
+    print(f"Serving {users.size} users (k={args.k}, "
+          f"batch size {args.batch_size}) ...", flush=True)
+    report = serve_user_cohort(recommender, users, k=args.k,
+                               batch_size=args.batch_size)
+
+    print(format_table([report.summary()],
+                       title=f"serve-batch: {args.algorithm} throughput"))
+    preview = report.rows[:3 * args.k]
+    if preview:
+        print(format_table(preview, title="first rows (full output via --out)"))
+    if args.out:
+        write_csv(report.rows, args.out)
+        print(f"[saved] {args.out}")
+    return 0
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "serve-batch":
+        return _serve_batch(args)
     if args.command == "list":
         rows = [{"experiment": name, "description": desc}
                 for name, (desc, _) in sorted(EXPERIMENTS.items())]

@@ -9,7 +9,13 @@ all baselines — implements :class:`Recommender`:
   ``-inf`` marks items the algorithm refuses to recommend (unreachable in the
   graph, outside the candidate subgraph, …);
 * :meth:`Recommender.recommend` turns scores into a top-k list, excluding
-  already-rated items by default.
+  already-rated items by default;
+* :meth:`Recommender.score_users` / :meth:`Recommender.recommend_batch` are
+  the batch-serving counterparts: one ``(n_users, n_items)`` score matrix /
+  one ranked list per user for a whole query cohort. A generic fallback
+  stacks per-user scores; algorithms whose hot path vectorises (multi-RHS
+  walk solves, factor-matrix products, …) override
+  :meth:`Recommender._score_users_batch` to answer the cohort in one shot.
 
 The uniform sign convention is what lets one evaluation harness (Recall@N,
 popularity, diversity, similarity, efficiency) run every algorithm
@@ -26,7 +32,7 @@ import numpy as np
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigError, NotFittedError
 from repro.utils.topk import top_k_indices
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import as_index_array, check_positive_int
 
 __all__ = ["Recommendation", "Recommender"]
 
@@ -62,6 +68,30 @@ class Recommender(abc.ABC):
     @abc.abstractmethod
     def _score_user(self, user: int) -> np.ndarray:
         """Scores for every item (length ``n_items``), higher = better."""
+
+    def _score_users_batch(self, users: np.ndarray) -> np.ndarray:
+        """Scores for every item for each user in ``users``.
+
+        The generic fallback stacks :meth:`_score_user` row by row.
+        Vectorised algorithms override this with an implementation whose
+        row ``k`` agrees with scoring ``users[k]`` alone — bit-identical for
+        the sparse solvers, to floating-point rounding for BLAS-backed
+        products — and typically delegate :meth:`_score_user` back to a
+        batch of one so the two paths share one code path. Implementations
+        must return a fresh ``(len(users), n_items)`` float array — callers
+        may mutate it.
+        """
+        dataset = self.dataset
+        out = np.empty((users.size, dataset.n_items), dtype=np.float64)
+        for row, user in enumerate(users):
+            scores = np.asarray(self._score_user(int(user)), dtype=np.float64)
+            if scores.shape != (dataset.n_items,):
+                raise ConfigError(
+                    f"{type(self).__name__}._score_user returned shape {scores.shape}; "
+                    f"expected ({dataset.n_items},)"
+                )
+            out[row] = scores
+        return out
 
     # -- public API --------------------------------------------------------
 
@@ -101,41 +131,116 @@ class Recommender(abc.ABC):
             )
         if candidates is None:
             return scores
-        candidates = np.asarray(candidates, dtype=np.int64).ravel()
-        if candidates.size and (candidates.min() < 0 or candidates.max() >= dataset.n_items):
-            raise ConfigError("candidates contains out-of-range item indices")
-        return scores[candidates]
+        return scores[self._check_candidates_array(candidates)]
 
     def recommend(self, user: int, k: int = 10, exclude_rated: bool = True,
                   candidates: np.ndarray | None = None) -> list[Recommendation]:
         """Top-``k`` recommendations for ``user``.
 
         Items scored ``-inf`` are never returned, so the list may be shorter
-        than ``k`` (e.g. a cold-start user on a graph method).
+        than ``k`` (e.g. a cold-start user on a graph method). A single user
+        is served as a cohort of one, so this and :meth:`recommend_batch`
+        can never disagree.
         """
         dataset = self._require_fitted()
-        k = check_positive_int(k, "k")
-        scores = self.score_items(user)
-        if exclude_rated:
-            scores = scores.copy()
-            scores[dataset.items_of_user(int(user))] = -np.inf
-        if candidates is not None:
-            mask = np.full(dataset.n_items, -np.inf)
-            candidates = np.asarray(candidates, dtype=np.int64).ravel()
-            mask[candidates] = 0.0
-            scores = scores + mask
-        order = top_k_indices(scores, k)
-        return [
-            Recommendation(int(i), dataset.item_labels[int(i)], float(scores[i]))
-            for i in order
-            if np.isfinite(scores[i])
-        ]
+        dataset._check_user(user)
+        return self.recommend_batch(
+            np.array([int(user)], dtype=np.int64), k,
+            exclude_rated=exclude_rated, candidates=candidates,
+        )[0]
 
     def recommend_items(self, user: int, k: int = 10, **kwargs) -> np.ndarray:
         """Like :meth:`recommend` but returning just the item-index array."""
         return np.array(
             [r.item for r in self.recommend(user, k, **kwargs)], dtype=np.int64
         )
+
+    # -- batch API ---------------------------------------------------------
+
+    def _check_users_array(self, users) -> np.ndarray:
+        dataset = self._require_fitted()
+        if users is None:
+            return np.arange(dataset.n_users, dtype=np.int64)
+        return as_index_array(
+            np.atleast_1d(np.asarray(users)), dataset.n_users, "users"
+        )
+
+    def _check_candidates_array(self, candidates) -> np.ndarray:
+        dataset = self._require_fitted()
+        return as_index_array(
+            np.atleast_1d(np.asarray(candidates)), dataset.n_items, "candidates"
+        )
+
+    def score_users(self, users: np.ndarray | None = None,
+                    candidates: np.ndarray | None = None) -> np.ndarray:
+        """Score matrix ``(len(users), n_items)`` for a cohort of users.
+
+        The batch counterpart of :meth:`score_items`: row ``k`` holds the
+        scores of ``users[k]`` (higher = better, ``-inf`` = cannot
+        recommend). ``users=None`` scores every user. With ``candidates``,
+        columns are aligned with that item-index array instead of the full
+        catalogue.
+
+        Vectorised subclasses answer the whole cohort in one pass (shared
+        transition matrices, multi-RHS solves, one factor-matrix product);
+        the base implementation falls back to a per-user loop, so the method
+        is always available.
+        """
+        dataset = self._require_fitted()
+        users = self._check_users_array(users)
+        scores = np.asarray(self._score_users_batch(users), dtype=np.float64)
+        if scores.shape != (users.size, dataset.n_items):
+            raise ConfigError(
+                f"{type(self).__name__}._score_users_batch returned shape "
+                f"{scores.shape}; expected ({users.size}, {dataset.n_items})"
+            )
+        if candidates is None:
+            return scores
+        return scores[:, self._check_candidates_array(candidates)]
+
+    def recommend_batch(self, users: np.ndarray | None = None, k: int = 10,
+                        exclude_rated: bool = True,
+                        candidates: np.ndarray | None = None,
+                        ) -> list[list[Recommendation]]:
+        """Top-``k`` lists for a cohort — ``recommend`` for many users at once.
+
+        Returns one list per user, in ``users`` order, each matching what
+        :meth:`recommend` would return for that user alone: the same items in
+        the same order, with scores agreeing to floating-point rounding (most
+        algorithms are bit-identical; BLAS-backed ones like PureSVD may
+        differ in the last ulp). The cohort shares a single batch scoring
+        pass.
+        """
+        dataset = self._require_fitted()
+        k = check_positive_int(k, "k")
+        users = self._check_users_array(users)
+        scores = self.score_users(users)
+        if exclude_rated:
+            for row, user in enumerate(users):
+                scores[row, dataset.items_of_user(int(user))] = -np.inf
+        if candidates is not None:
+            mask = np.full(dataset.n_items, -np.inf)
+            mask[self._check_candidates_array(candidates)] = 0.0
+            scores = scores + mask
+        results = []
+        for row in range(users.size):
+            row_scores = scores[row]
+            order = top_k_indices(row_scores, k)
+            results.append([
+                Recommendation(int(i), dataset.item_labels[int(i)],
+                               float(row_scores[i]))
+                for i in order
+                if np.isfinite(row_scores[i])
+            ])
+        return results
+
+    def recommend_batch_items(self, users: np.ndarray | None = None,
+                              k: int = 10, **kwargs) -> list[np.ndarray]:
+        """Like :meth:`recommend_batch` but returning item-index arrays."""
+        return [
+            np.array([r.item for r in recs], dtype=np.int64)
+            for recs in self.recommend_batch(users, k, **kwargs)
+        ]
 
     def __repr__(self) -> str:
         state = "fitted" if self.is_fitted else "unfitted"

@@ -13,6 +13,19 @@ All three of the paper's graph algorithms follow the same template:
 
 :class:`RandomWalkRecommender` implements 1–5 once; subclasses choose the
 absorbing set and, for Absorbing Cost, the cost model and per-user entropy.
+
+Batch serving
+-------------
+Scoring a cohort one user at a time repeats the same sparse setup — the
+µ-subgraph extraction, the row normalisation, the per-sweep sparse matvec —
+once per user. :meth:`RandomWalkRecommender._score_users_batch` instead
+groups query users that share a µ-subgraph (equivalently: whose BFS would
+cover the same connected components without exhausting the µ budget),
+builds each shared transition matrix once, and advances *all* of a group's
+walk vectors together through the truncated iteration as one sparse-matrix ×
+dense-matrix product per sweep (a multi-RHS solve). Only users whose BFS
+genuinely truncates at µ — where the subgraph is query-specific by
+construction — fall back to the per-user path.
 """
 
 from __future__ import annotations
@@ -23,7 +36,11 @@ from repro.core.base import Recommender
 from repro.core.costs import CostModel
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigError
-from repro.graph.absorbing import exact_absorbing_values, truncated_absorbing_values
+from repro.graph.absorbing import (
+    exact_absorbing_values,
+    truncated_absorbing_values,
+    truncated_absorbing_values_multi,
+)
 from repro.graph.bipartite import UserItemGraph
 from repro.graph.subgraph import bfs_subgraph
 from repro.utils.sparse import row_normalize
@@ -111,25 +128,18 @@ class RandomWalkRecommender(Recommender):
         )
 
     def _score_user(self, user: int) -> np.ndarray:
+        # Single queries ride the batch path as a cohort of one, so the
+        # per-user and batch rankings agree by construction.
+        return self._score_users_batch(np.array([user], dtype=np.int64))[0]
+
+    def _score_user_bfs(self, user: int, absorbing: np.ndarray) -> np.ndarray:
+        """Per-user scoring on the µ-truncated BFS subgraph (Algorithm 1).
+
+        Used when the BFS budget genuinely truncates: the subgraph then
+        depends on the query's expansion order and cannot be shared.
+        """
         graph = self.graph
-        dataset = self.dataset
-        scores = np.full(dataset.n_items, -np.inf)
-        absorbing = self._absorbing_nodes(user)
-        if absorbing.size == 0:
-            return scores  # cold-start: nothing to anchor the walk
-
-        if self.subgraph_size is None:
-            transition = graph.transition_matrix()
-            user_mask = np.zeros(graph.n_nodes, dtype=bool)
-            user_mask[:graph.n_users] = True
-            values = self._solve(
-                transition, absorbing, user_mask, self._node_entropy_vector()
-            )
-            item_values = values[graph.item_nodes()]
-            finite = np.isfinite(item_values)
-            scores[finite] = -item_values[finite]
-            return scores
-
+        scores = np.full(self.dataset.n_items, -np.inf)
         seed_items = self._subgraph_seed_items(user, absorbing)
         sub = bfs_subgraph(graph, seed_items, self.subgraph_size)
         if not all(sub.contains(int(a)) for a in absorbing):
@@ -148,6 +158,115 @@ class RandomWalkRecommender(Recommender):
         item_values = values[item_node_positions]
         finite = np.isfinite(item_values)
         scores[item_indices[finite]] = -item_values[finite]
+        return scores
+
+    # -- batch path ----------------------------------------------------------
+
+    def _solve_multi(self, transition, absorbing_sets: list[np.ndarray],
+                     user_mask: np.ndarray, node_entropy: np.ndarray,
+                     node_labels: np.ndarray) -> np.ndarray:
+        """``(n_nodes, n_sets)`` absorbing values, one column per query.
+
+        ``node_labels`` are connected-component ids of the (sub)graph nodes;
+        on these symmetric graphs component membership *is* reachability, so
+        the per-query reachability masks need no graph traversal at all.
+        """
+        cost_model = self._cost_model()
+        local_costs = None
+        if cost_model is not None:
+            local_costs = cost_model.local_costs(transition, user_mask, node_entropy)
+        if self.method == "exact":
+            columns = [
+                exact_absorbing_values(transition, absorbing, local_costs)
+                for absorbing in absorbing_sets
+            ]
+            return np.stack(columns, axis=1)
+        reachable = np.column_stack([
+            np.isin(node_labels, node_labels[absorbing])
+            for absorbing in absorbing_sets
+        ])
+        return truncated_absorbing_values_multi(
+            transition, absorbing_sets, self.n_iterations, local_costs,
+            reachable=reachable,
+        )
+
+    def _score_users_batch(self, users: np.ndarray) -> np.ndarray:
+        graph = self.graph
+        dataset = self.dataset
+        scores = np.full((users.size, dataset.n_items), -np.inf)
+        if users.size == 0:
+            return scores
+        absorbing_sets = [self._absorbing_nodes(int(u)) for u in users]
+        labels = graph.component_labels()
+
+        if self.subgraph_size is None:
+            # Global graph: every query shares one transition matrix; solve
+            # all non-cold-start queries as one multi-RHS batch.
+            active = [i for i in range(users.size) if absorbing_sets[i].size]
+            if not active:
+                return scores
+            transition = graph.transition_matrix()
+            user_mask = np.zeros(graph.n_nodes, dtype=bool)
+            user_mask[:graph.n_users] = True
+            values = self._solve_multi(
+                transition, [absorbing_sets[i] for i in active], user_mask,
+                self._node_entropy_vector(), labels,
+            )
+            item_values = values[graph.item_nodes(), :]
+            finite = np.isfinite(item_values)
+            for column, i in enumerate(active):
+                keep = finite[:, column]
+                scores[i, keep] = -item_values[keep, column]
+            return scores
+
+        # µ-subgraph mode: a query whose BFS never exhausts the µ budget ends
+        # up with the full union of the connected components its seed items
+        # live in — a set many queries share. Group on that component key.
+        item_component_counts = np.bincount(
+            labels[graph.n_users:], minlength=int(labels.max()) + 1
+        )
+        groups: dict[tuple[int, ...], list[int]] = {}
+        solo: list[int] = []
+        for i, user in enumerate(users):
+            absorbing = absorbing_sets[i]
+            if absorbing.size == 0:
+                continue  # cold start: row stays -inf
+            seed_items = self._subgraph_seed_items(int(user), absorbing)
+            if seed_items.size == 0:
+                solo.append(i)
+                continue
+            components = np.unique(labels[graph.item_nodes(seed_items)])
+            if (int(item_component_counts[components].sum()) > self.subgraph_size
+                    or not np.all(np.isin(labels[absorbing], components))):
+                solo.append(i)
+                continue
+            key = tuple(int(c) for c in components)
+            groups.setdefault(key, []).append(i)
+
+        for i in solo:
+            scores[i] = self._score_user_bfs(int(users[i]), absorbing_sets[i])
+
+        for components, members in groups.items():
+            nodes = np.flatnonzero(np.isin(labels, np.array(components)))
+            transition = row_normalize(
+                graph.adjacency[nodes][:, nodes].tocsr(), allow_zero_rows=True
+            )
+            absorbing_local = [
+                np.searchsorted(nodes, absorbing_sets[i]) for i in members
+            ]
+            user_mask = nodes < graph.n_users
+            node_entropy = self._node_entropy_vector(nodes)
+            values = self._solve_multi(
+                transition, absorbing_local, user_mask, node_entropy,
+                labels[nodes],
+            )
+            item_positions = np.flatnonzero(~user_mask)
+            item_indices = nodes[item_positions] - graph.n_users
+            item_values = values[item_positions, :]
+            finite = np.isfinite(item_values)
+            for column, i in enumerate(members):
+                keep = finite[:, column]
+                scores[i, item_indices[keep]] = -item_values[keep, column]
         return scores
 
     def _subgraph_seed_items(self, user: int, absorbing: np.ndarray) -> np.ndarray:

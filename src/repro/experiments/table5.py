@@ -4,8 +4,12 @@ The paper times one top-10 recommendation per user on Douban: LDA 0.47 s ≈
 PureSVD 0.45 s ≈ AC2-on-subgraph 0.52 s ≪ DPPR-on-global-graph 13.5 s.
 Absolute numbers on a Python laptop stack differ; the *relationships* this
 driver reproduces are (1) AC2 restricted to a µ-subgraph is in the same
-league as the model-based scorers, and (2) the global-graph power-iteration
-DPPR is an order of magnitude slower.
+league as the model-based scorers, (2) the global-graph power-iteration
+DPPR is an order of magnitude slower, and (3) — beyond the paper — serving
+the panel through the batch layer (``AC2-batch``) amortises the per-user
+walk setup the paper's Table 4/5 columns pay, which is the modern answer to
+the global-scan cost now that the shared-subgraph serving path has
+optimised much of it away for single queries too.
 
 Offline training (LDA fitting, SVD factorisation) is excluded, exactly as in
 the paper.
@@ -25,6 +29,7 @@ from repro.data.splits import sample_test_users
 from repro.eval.harness import TopNExperiment
 from repro.experiments.suite import ExperimentConfig, make_data
 from repro.topics import fit_lda
+from repro.utils.timer import Timer
 
 __all__ = ["Table5Result", "run_table5", "PAPER_SECONDS"]
 
@@ -66,6 +71,11 @@ class Table5Result:
                   if k in ("LDA", "PureSVD", "AC2")]
         return self.seconds["DPPR"] / max(min(others), 1e-12)
 
+    def speedup_of_batch(self) -> float:
+        """Per-user full-graph AC2 over its batch-served rate — how much of
+        the paper's global-scan cost the serving layer amortises away."""
+        return self.seconds["AC2-full"] / max(self.seconds["AC2-full-batch"], 1e-12)
+
 
 def run_table5(config: ExperimentConfig = ExperimentConfig(),
                mu_fraction: float = 0.15, n_users: int = 50,
@@ -83,9 +93,11 @@ def run_table5(config: ExperimentConfig = ExperimentConfig(),
 
     model = fit_lda(train, config.n_topics, method="cvb0", seed=config.algo_seed)
     mu = max(10, int(round(mu_fraction * train.n_items)))
-    # "Full graph" means Algorithm 1 with mu = |I| — the same BFS + induced
-    # subgraph pipeline covering everything, exactly the paper's Table 4
-    # last column (mu = 89908), not a code path that skips extraction.
+    # "Full graph" means Algorithm 1 with mu = |I|, the paper's Table 4 last
+    # column (mu = 89908). Since the batch serving layer, a never-truncating
+    # budget rides the shared per-component subgraph path (no per-query BFS),
+    # so this row measures today's full-graph serve cost, not the paper's
+    # per-user scan — hence the AC2-full-batch companion row below.
     ac2_full = AbsorbingCostRecommender.topic_based(
         n_topics=config.n_topics, topic_model=model, subgraph_size=train.n_items,
         n_iterations=config.n_iterations, seed=config.algo_seed,
@@ -105,4 +117,12 @@ def run_table5(config: ExperimentConfig = ExperimentConfig(),
     for algorithm in algorithms:
         report = experiment.run(algorithm)
         seconds[algorithm.name] = report.mean_seconds_per_user
+
+    # The serving-layer row: the full-graph AC2 — the paper's expensive
+    # per-user scan — answering the same panel through one vectorised
+    # recommend_batch call. Queries share the walk subgraph, so the scan
+    # cost is paid once per cohort instead of once per user.
+    with Timer() as timer:
+        ac2_full.recommend_batch(users, k=k)
+    seconds["AC2-full-batch"] = timer.elapsed / max(users.size, 1)
     return Table5Result(seconds=seconds, mu=mu, n_users=users.size)

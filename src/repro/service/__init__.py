@@ -1,0 +1,23 @@
+"""Batch serving layer: precomputed top-K stores and cohort serving jobs.
+
+Built on the batch scoring API (:meth:`repro.core.base.Recommender.score_users`
+/ ``recommend_batch``): :class:`TopKStore` precomputes every user's ranked
+list once and serves ``recommend(user, k)`` from a compact int32/float32
+cache with exclusion re-filtering; :func:`serve_user_cohort` streams a user
+cohort through the batch path in bounded-memory chunks and reports
+throughput. ``python -m repro.cli serve-batch`` is the command-line front.
+"""
+
+from repro.service.serving import (
+    BatchServingReport,
+    load_user_file,
+    serve_user_cohort,
+)
+from repro.service.store import TopKStore
+
+__all__ = [
+    "BatchServingReport",
+    "TopKStore",
+    "load_user_file",
+    "serve_user_cohort",
+]

@@ -1,0 +1,201 @@
+"""Precomputed top-K recommendation store for online serving.
+
+The paper's Table 5 argument is that Absorbing Time/Cost ranking is cheap
+enough to serve online; this module takes the next step a production system
+would: *precompute* each user's top-K once (through the batch scoring path)
+and answer ``recommend(user, k)`` from a compact in-memory cache — int32 item
+ids and float32 scores, ~``(4 + 4) · K`` bytes per user — with no model in
+the request path at all.
+
+Because the cached list is ranked once and never re-sorted, serving is a
+slice plus an optional *exclusion re-filter*: items the user consumed since
+the precompute (or that the caller bans for any other reason) are dropped
+and the next-ranked cached items take their place. Build the store with a
+``depth`` comfortably above the serving ``k`` so the re-filter never runs
+out of candidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Recommendation, Recommender
+from repro.exceptions import ConfigError, NotFittedError, UnknownUserError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["TopKStore"]
+
+
+class TopKStore:
+    """Compact precomputed top-K lists, one per user.
+
+    Parameters
+    ----------
+    items:
+        ``(n_users, depth)`` int array of ranked item indices, ``-1`` padding
+        where a user's list is shorter than ``depth`` (cold start, ``-inf``
+        scores). Padding must be trailing.
+    scores:
+        Array of the same shape with the score of each cached item (value at
+        a padding slot is ignored).
+    item_labels:
+        External label per catalogue item, used to materialise
+        :class:`~repro.core.base.Recommendation` objects at serve time.
+
+    Use :meth:`from_recommender` to build one from any fitted
+    :class:`~repro.core.base.Recommender`.
+    """
+
+    def __init__(self, items: np.ndarray, scores: np.ndarray, item_labels):
+        items = np.asarray(items, dtype=np.int32)
+        scores = np.asarray(scores, dtype=np.float32)
+        if items.ndim != 2:
+            raise ConfigError(f"items must be 2-D; got ndim={items.ndim}")
+        if items.shape != scores.shape:
+            raise ConfigError(
+                f"items shape {items.shape} != scores shape {scores.shape}"
+            )
+        self.item_labels = tuple(item_labels)
+        if items.size and items.max() >= len(self.item_labels):
+            raise ConfigError("items contains indices beyond the item catalogue")
+        valid = items >= 0
+        if np.any(valid[:, 1:] & ~valid[:, :-1]):
+            raise ConfigError("padding (-1) must be trailing in every row")
+        self._items = items
+        self._scores = scores
+        self._lengths = valid.sum(axis=1).astype(np.int32)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_recommender(cls, recommender: Recommender, depth: int = 50,
+                         batch_size: int = 256,
+                         exclude_rated: bool = True) -> "TopKStore":
+        """Precompute every user's top-``depth`` list via the batch path.
+
+        Parameters
+        ----------
+        recommender:
+            A fitted recommender; cohorts of ``batch_size`` users are scored
+            through :meth:`~repro.core.base.Recommender.recommend_batch`.
+        depth:
+            K, the cached list length. Serve-time exclusions eat into it, so
+            size it above the largest ``k`` you will serve plus the number of
+            exclusions you expect between store rebuilds.
+        """
+        if not recommender.is_fitted:
+            raise NotFittedError(
+                f"{type(recommender).__name__} must be fitted before building a TopKStore"
+            )
+        depth = check_positive_int(depth, "depth")
+        batch_size = check_positive_int(batch_size, "batch_size")
+        dataset = recommender.dataset
+        items = np.full((dataset.n_users, depth), -1, dtype=np.int32)
+        scores = np.zeros((dataset.n_users, depth), dtype=np.float32)
+        for start in range(0, dataset.n_users, batch_size):
+            cohort = np.arange(start, min(start + batch_size, dataset.n_users))
+            lists = recommender.recommend_batch(cohort, k=depth,
+                                                exclude_rated=exclude_rated)
+            for user, ranked in zip(cohort, lists):
+                for rank, rec in enumerate(ranked):
+                    items[user, rank] = rec.item
+                    scores[user, rank] = rec.score
+        return cls(items, scores, dataset.item_labels)
+
+    # -- shape --------------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        return self._items.shape[0]
+
+    @property
+    def depth(self) -> int:
+        """K, the cached list length."""
+        return self._items.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the cached arrays."""
+        return self._items.nbytes + self._scores.nbytes
+
+    def list_length(self, user: int) -> int:
+        """Number of cached (non-padding) entries for ``user``."""
+        self._check_user(user)
+        return int(self._lengths[user])
+
+    def coverage(self, k: int = 10) -> float:
+        """Fraction of users whose cached list is at least ``k`` deep.
+
+        ``k`` greater than :attr:`depth` is honestly 0.0 — no user can be
+        served ``k`` items from this store; rebuild with a larger depth.
+        """
+        k = check_positive_int(k, "k")
+        return float((self._lengths >= k).mean())
+
+    def _check_user(self, user: int) -> None:
+        if not isinstance(user, (int, np.integer)) or not 0 <= user < self.n_users:
+            raise UnknownUserError(user)
+
+    # -- serving ------------------------------------------------------------
+
+    def recommend(self, user: int, k: int = 10,
+                  exclude=None) -> list[Recommendation]:
+        """Top-``k`` for ``user`` from the cache, after exclusion re-filtering.
+
+        ``exclude`` is an optional iterable of item indices to drop (items
+        consumed since the precompute, stock-outs, …); the next-ranked cached
+        items fill the gap. The list may be shorter than ``k`` when the cache
+        runs out — rebuild with a larger ``depth`` if that happens in
+        practice.
+        """
+        self._check_user(user)
+        k = check_positive_int(k, "k")
+        length = int(self._lengths[user])
+        row_items = self._items[user, :length]
+        row_scores = self._scores[user, :length]
+        if exclude is not None:
+            banned = np.asarray(list(exclude), dtype=np.int64)
+            keep = ~np.isin(row_items, banned)
+            row_items = row_items[keep]
+            row_scores = row_scores[keep]
+        return [
+            Recommendation(int(item), self.item_labels[int(item)], float(score))
+            for item, score in zip(row_items[:k], row_scores[:k])
+        ]
+
+    def recommend_items(self, user: int, k: int = 10, exclude=None) -> np.ndarray:
+        """Like :meth:`recommend` but returning just the item-index array."""
+        return np.array(
+            [r.item for r in self.recommend(user, k, exclude=exclude)],
+            dtype=np.int64,
+        )
+
+    # -- persistence --------------------------------------------------------
+
+    @staticmethod
+    def _npz_path(path: str) -> str:
+        # numpy's savez appends ".npz" to extension-less paths; normalise on
+        # both sides so save("cache") / load("cache") round-trip.
+        return path if path.endswith(".npz") else path + ".npz"
+
+    def save(self, path: str) -> None:
+        """Persist the store as a compressed ``.npz`` archive."""
+        np.savez_compressed(
+            self._npz_path(path),
+            items=self._items,
+            scores=self._scores,
+            item_labels=np.array(self.item_labels, dtype=object),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "TopKStore":
+        """Reload a store written by :meth:`save`."""
+        with np.load(cls._npz_path(path), allow_pickle=True) as archive:
+            return cls(archive["items"], archive["scores"],
+                       tuple(archive["item_labels"].tolist()))
+
+    def __repr__(self) -> str:
+        return (
+            f"TopKStore(n_users={self.n_users}, depth={self.depth}, "
+            f"nbytes={self.nbytes})"
+        )

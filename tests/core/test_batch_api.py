@@ -1,0 +1,140 @@
+"""Unit tests for the Recommender batch API (score_users / recommend_batch)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import Recommendation, Recommender
+from repro.exceptions import ConfigError, NotFittedError
+
+
+class ScoreByIndex(Recommender):
+    """Deterministic toy recommender: score(i) = i."""
+
+    name = "toy"
+
+    def _fit(self, dataset):
+        pass
+
+    def _score_user(self, user):
+        return np.arange(self.dataset.n_items, dtype=np.float64)
+
+
+class WrongBatchShape(ScoreByIndex):
+    name = "broken-batch"
+
+    def _score_users_batch(self, users):
+        return np.zeros((users.size, 2))
+
+
+class CountingRecommender(ScoreByIndex):
+    """Records how often the per-user hook fires."""
+
+    name = "counting"
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def _score_user(self, user):
+        self.calls += 1
+        return super()._score_user(user)
+
+
+class TestScoreUsers:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            ScoreByIndex().score_users(np.array([0]))
+
+    def test_fallback_stacks_score_user(self, tiny_dataset):
+        rec = CountingRecommender().fit(tiny_dataset)
+        scores = rec.score_users(np.array([0, 2]))
+        assert rec.calls == 2
+        np.testing.assert_array_equal(scores, [[0, 1, 2, 3], [0, 1, 2, 3]])
+
+    def test_empty_cohort(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        scores = rec.score_users(np.array([], dtype=np.int64))
+        assert scores.shape == (0, tiny_dataset.n_items)
+
+    def test_candidates_select_columns(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        scores = rec.score_users(np.array([0, 1]), candidates=np.array([3, 1]))
+        np.testing.assert_array_equal(scores, [[3, 1], [3, 1]])
+
+    def test_bad_candidates_rejected(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        with pytest.raises(ConfigError, match="out-of-range"):
+            rec.score_users(np.array([0]), candidates=np.array([77]))
+
+    def test_batch_shape_contract_enforced(self, tiny_dataset):
+        rec = WrongBatchShape().fit(tiny_dataset)
+        with pytest.raises(ConfigError, match="expected"):
+            rec.score_users(np.array([0]))
+
+    def test_accepts_plain_lists(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        assert rec.score_users([0, 1]).shape == (2, 4)
+
+
+class TestRecommendBatch:
+    def test_matches_recommend(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        users = np.arange(tiny_dataset.n_users)
+        for user, batch in zip(users, rec.recommend_batch(users, k=3)):
+            assert rec.recommend(int(user), k=3) == batch
+
+    def test_exclude_rated_default(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        lists = rec.recommend_batch(np.array([0]), k=4)
+        rated = set(tiny_dataset.items_of_user(0).tolist())
+        assert rated.isdisjoint({r.item for r in lists[0]})
+
+    def test_include_rated_when_disabled(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        lists = rec.recommend_batch(np.array([0]), k=4, exclude_rated=False)
+        assert [r.item for r in lists[0]] == [3, 2, 1, 0]
+
+    def test_candidates_filter(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        lists = rec.recommend_batch(np.array([2]), k=4,
+                                    candidates=np.array([1]))
+        assert [r.item for r in lists[0]] == [1]
+
+    def test_bad_candidates_rejected_in_both_paths(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        with pytest.raises(ConfigError, match="candidates"):
+            rec.recommend(0, k=2, candidates=np.array([-1]))
+        with pytest.raises(ConfigError, match="candidates"):
+            rec.recommend_batch(np.array([0]), k=2, candidates=np.array([-1]))
+
+    def test_recommendation_objects(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        out = rec.recommend_batch(np.array([0]), k=1)[0]
+        assert isinstance(out[0], Recommendation)
+        assert out[0].label == tiny_dataset.item_labels[out[0].item]
+
+    def test_infinite_scores_dropped(self, tiny_dataset):
+        class MostlyBlocked(ScoreByIndex):
+            def _score_user(self, user):
+                scores = np.full(self.dataset.n_items, -np.inf)
+                scores[2] = 1.0
+                return scores
+
+        rec = MostlyBlocked().fit(tiny_dataset)
+        lists = rec.recommend_batch(np.array([0, 1]), k=4)
+        # User 0 gets the one finite item; user 1 rated item 2, so after
+        # exclusion nothing finite remains.
+        assert [r.item for r in lists[0]] == [2]
+        assert lists[1] == []
+
+    def test_invalid_k(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        with pytest.raises(ConfigError):
+            rec.recommend_batch(np.array([0]), k=0)
+
+    def test_recommend_batch_items(self, tiny_dataset):
+        rec = ScoreByIndex().fit(tiny_dataset)
+        arrays = rec.recommend_batch_items(np.array([0, 1]), k=2,
+                                           exclude_rated=False)
+        for arr in arrays:
+            np.testing.assert_array_equal(arr, [3, 2])

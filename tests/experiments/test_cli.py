@@ -43,3 +43,28 @@ class TestMain:
         assert main(["run", "table5", "--scale", "0.15"]) == 0
         out = capsys.readouterr().out
         assert "DPPR" in out
+
+
+class TestServeBatch:
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-batch", "--algorithm", "nope"])
+
+    def test_serves_default_cohort(self, capsys):
+        assert main(["serve-batch", "--algorithm", "AT", "--scale", "0.15",
+                     "--n-users", "8", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "users_per_sec" in out and "rank" in out
+
+    def test_users_file_and_csv_output(self, tmp_path, capsys):
+        users_path = tmp_path / "cohort.txt"
+        users_path.write_text("0\n3\n# comment\n5\n")
+        out_path = str(tmp_path / "served.csv")
+        assert main(["serve-batch", "--algorithm", "PureSVD",
+                     "--scale", "0.15", "--k", "2",
+                     "--users-file", str(users_path), "--out", out_path]) == 0
+        with open(out_path) as handle:
+            lines = handle.read().strip().splitlines()
+        assert lines[0] == "user,rank,item,label,score"
+        served_users = {line.split(",")[0] for line in lines[1:]}
+        assert served_users == {"0", "3", "5"}

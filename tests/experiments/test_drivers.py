@@ -119,9 +119,11 @@ class TestTable4:
 class TestTable5:
     def test_algorithms_timed(self):
         result = run_table5(CONFIG, n_users=8)
-        assert set(result.seconds) == {"LDA", "PureSVD", "AC2", "DPPR", "AC2-full"}
+        assert set(result.seconds) == {"LDA", "PureSVD", "AC2", "DPPR",
+                                       "AC2-full", "AC2-full-batch"}
         assert result.slowdown_of_dppr() > 0
         assert result.slowdown_of_global_scan() > 0
+        assert result.speedup_of_batch() > 0
 
 
 class TestTable6:

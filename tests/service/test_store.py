@@ -1,0 +1,103 @@
+"""Tests for the precomputed TopKStore serving cache."""
+
+import numpy as np
+import pytest
+
+from repro import AbsorbingTimeRecommender, MostPopularRecommender
+from repro.exceptions import ConfigError, NotFittedError, UnknownUserError
+from repro.service import TopKStore
+
+
+@pytest.fixture(scope="module")
+def fitted_at(small_synth):
+    return AbsorbingTimeRecommender().fit(small_synth.dataset)
+
+
+@pytest.fixture(scope="module")
+def store(fitted_at):
+    return TopKStore.from_recommender(fitted_at, depth=15)
+
+
+class TestBuild:
+    def test_requires_fitted_recommender(self):
+        with pytest.raises(NotFittedError):
+            TopKStore.from_recommender(MostPopularRecommender())
+
+    def test_shape_and_dtypes(self, store, small_synth):
+        assert store.n_users == small_synth.dataset.n_users
+        assert store.depth == 15
+        assert store._items.dtype == np.int32
+        assert store._scores.dtype == np.float32
+
+    def test_nbytes_is_compact(self, store):
+        # int32 + float32: 8 bytes per cached slot.
+        assert store.nbytes == store.n_users * store.depth * 8
+
+    def test_batch_size_irrelevant_to_content(self, fitted_at):
+        a = TopKStore.from_recommender(fitted_at, depth=8, batch_size=7)
+        b = TopKStore.from_recommender(fitted_at, depth=8, batch_size=256)
+        np.testing.assert_array_equal(a._items, b._items)
+
+    def test_padding_must_be_trailing(self):
+        with pytest.raises(ConfigError, match="trailing"):
+            TopKStore(np.array([[-1, 3]]), np.zeros((1, 2)), ("a", "b", "c", "d"))
+
+    def test_item_indices_validated(self):
+        with pytest.raises(ConfigError, match="catalogue"):
+            TopKStore(np.array([[9]]), np.zeros((1, 1)), ("a", "b"))
+
+
+class TestServe:
+    def test_matches_live_recommender(self, fitted_at, store, small_synth):
+        for user in range(0, small_synth.dataset.n_users, 13):
+            live = [r.item for r in fitted_at.recommend(user, k=10)]
+            cached = [r.item for r in store.recommend(user, k=10)]
+            assert live == cached
+
+    def test_recommendation_labels(self, store, small_synth):
+        rec = store.recommend(0, k=1)[0]
+        assert rec.label == small_synth.dataset.item_labels[rec.item]
+
+    def test_exclusion_refilter_promotes_next_ranked(self, store):
+        full = store.recommend_items(0, k=10)
+        refiltered = store.recommend_items(0, k=10, exclude=full[:3])
+        np.testing.assert_array_equal(refiltered[:7], full[3:10])
+        assert set(full[:3].tolist()).isdisjoint(set(refiltered.tolist()))
+
+    def test_exclusion_can_exhaust_cache(self, store):
+        everything = store.recommend_items(0, k=store.depth)
+        assert store.recommend(0, k=5, exclude=everything) == []
+
+    def test_k_larger_than_depth(self, store):
+        assert len(store.recommend(0, k=99)) <= store.depth
+
+    def test_unknown_user_rejected(self, store):
+        with pytest.raises(UnknownUserError):
+            store.recommend(10_000)
+
+    def test_coverage_and_lengths(self, store):
+        assert 0.0 <= store.coverage(10) <= 1.0
+        assert store.list_length(0) <= store.depth
+
+    def test_coverage_beyond_depth_is_zero(self, store):
+        assert store.coverage(store.depth + 1) == 0.0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, store, tmp_path):
+        path = str(tmp_path / "store.npz")
+        store.save(path)
+        loaded = TopKStore.load(path)
+        assert loaded.n_users == store.n_users
+        assert loaded.item_labels == store.item_labels
+        np.testing.assert_array_equal(loaded._items, store._items)
+        np.testing.assert_array_equal(loaded._scores, store._scores)
+        np.testing.assert_array_equal(loaded.recommend_items(5, 10),
+                                      store.recommend_items(5, 10))
+
+    def test_roundtrip_without_extension(self, store, tmp_path):
+        # numpy appends ".npz" on save; load must normalise the same way.
+        path = str(tmp_path / "cache")
+        store.save(path)
+        loaded = TopKStore.load(path)
+        assert loaded.n_users == store.n_users

@@ -1,0 +1,138 @@
+"""Batch-vs-per-user parity for every registered recommender.
+
+The contract of the batch serving layer: for any cohort,
+``recommend_batch(users, k)`` returns exactly the per-user
+``recommend(u, k)`` item lists (same items, same order), and
+``score_users(users)`` matches the stacked per-user ``score_items`` calls.
+Most algorithms are bit-identical because both paths share one
+implementation; BLAS-backed ones (PureSVD) may differ in the last ulp of
+the *score* while the ranking stays fixed.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.base import Recommender
+from repro.exceptions import ConfigError
+
+ALL_RECOMMENDER_CLASSES = [
+    obj for name in repro.__all__
+    if inspect.isclass(obj := getattr(repro, name))
+    and issubclass(obj, Recommender) and obj is not Recommender
+]
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    """A spread of users covering the fixture dataset."""
+    return np.arange(0, 120, 11, dtype=np.int64)
+
+
+@pytest.mark.parametrize("cls", ALL_RECOMMENDER_CLASSES,
+                         ids=lambda c: c.__name__)
+class TestBatchParity:
+    def test_score_users_matches_stacked_score_items(self, cls, small_synth,
+                                                     cohort):
+        recommender = cls().fit(small_synth.dataset)
+        stacked = np.stack(
+            [recommender.score_items(int(u)) for u in cohort]
+        )
+        batch = recommender.score_users(cohort)
+        assert batch.shape == (cohort.size, small_synth.dataset.n_items)
+        assert not np.isnan(batch).any()
+        np.testing.assert_allclose(stacked, batch, rtol=1e-9, atol=1e-12)
+
+    def test_recommend_batch_matches_per_user_lists(self, cls, small_synth,
+                                                    cohort):
+        recommender = cls().fit(small_synth.dataset)
+        batch_lists = recommender.recommend_batch(cohort, k=8)
+        assert len(batch_lists) == cohort.size
+        for user, batch in zip(cohort, batch_lists):
+            single = recommender.recommend(int(user), k=8)
+            assert [r.item for r in single] == [r.item for r in batch]
+            np.testing.assert_allclose(
+                [r.score for r in single], [r.score for r in batch],
+                rtol=1e-9, atol=1e-12,
+            )
+
+
+class TestBatchParityVariants:
+    """Solver/structure variants of the walk recommenders keep parity too."""
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(method="exact"),
+        dict(method="truncated", subgraph_size=None),
+        dict(method="truncated", subgraph_size=10),  # µ budget truncates
+    ], ids=["exact", "global-graph", "tiny-mu"])
+    def test_absorbing_time_variants(self, small_synth, kwargs):
+        from repro import AbsorbingTimeRecommender
+
+        recommender = AbsorbingTimeRecommender(**kwargs).fit(small_synth.dataset)
+        users = np.arange(0, 120, 17)
+        stacked = np.stack([recommender.score_items(int(u)) for u in users])
+        np.testing.assert_array_equal(stacked, recommender.score_users(users))
+
+    def test_disconnected_graph_and_cold_start(self, disconnected):
+        """Cross-component users group separately; unreachable items stay -inf."""
+        from repro import AbsorbingTimeRecommender
+
+        recommender = AbsorbingTimeRecommender().fit(disconnected)
+        users = np.arange(disconnected.n_users)
+        stacked = np.stack([recommender.score_items(int(u)) for u in users])
+        batch = recommender.score_users(users)
+        np.testing.assert_array_equal(stacked, batch)
+        # Every user must see -inf on the other community's items.
+        assert np.isinf(batch).any()
+
+    def test_duplicate_and_unordered_cohort(self, small_synth):
+        from repro import AbsorbingTimeRecommender
+
+        recommender = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        users = np.array([5, 0, 5, 99, 0])
+        batch = recommender.score_users(users)
+        np.testing.assert_array_equal(batch[0], batch[2])
+        np.testing.assert_array_equal(batch[1], batch[4])
+        np.testing.assert_array_equal(batch[0], recommender.score_items(5))
+
+    def test_mixed_grouped_and_solo_cohort(self):
+        """µ between the two components' sizes: one community takes the
+        shared-subgraph fast path while the other falls back to BFS."""
+        from repro import AbsorbingTimeRecommender
+        from repro.data.dataset import RatingDataset
+
+        triples = [("a", "w", 5.0), ("a", "x", 4.0), ("b", "x", 3.0)]
+        triples += [(f"u{i}", f"i{j}", 3.0)
+                    for i in range(4) for j in range(6) if (i + j) % 2]
+        dataset = RatingDataset.from_triples(triples)
+        recommender = AbsorbingTimeRecommender(subgraph_size=3).fit(dataset)
+        users = np.arange(dataset.n_users)
+        stacked = np.stack([recommender.score_items(int(u)) for u in users])
+        np.testing.assert_array_equal(stacked, recommender.score_users(users))
+
+    def test_mixed_entropy_cost_parity(self, small_synth):
+        from repro import AbsorbingCostRecommender
+
+        recommender = AbsorbingCostRecommender.item_based().fit(small_synth.dataset)
+        users = np.arange(0, 120, 23)
+        stacked = np.stack([recommender.score_items(int(u)) for u in users])
+        np.testing.assert_array_equal(stacked, recommender.score_users(users))
+
+
+class TestBatchValidation:
+    def test_out_of_range_users_rejected(self, small_synth):
+        from repro import MostPopularRecommender
+
+        recommender = MostPopularRecommender().fit(small_synth.dataset)
+        with pytest.raises(ConfigError, match="out-of-range"):
+            recommender.score_users(np.array([0, 10_000]))
+
+    def test_users_none_scores_everyone(self, small_synth):
+        from repro import MostPopularRecommender
+
+        recommender = MostPopularRecommender().fit(small_synth.dataset)
+        scores = recommender.score_users()
+        assert scores.shape == (small_synth.dataset.n_users,
+                                small_synth.dataset.n_items)
