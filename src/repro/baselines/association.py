@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.artifacts import register_recommender
 from repro.core.base import Recommender
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigError
@@ -23,6 +24,7 @@ from repro.utils.validation import check_fraction, check_positive_int
 __all__ = ["AssociationRuleRecommender"]
 
 
+@register_recommender
 class AssociationRuleRecommender(Recommender):
     """Pairwise association rules with support/confidence filtering.
 
@@ -67,6 +69,16 @@ class AssociationRuleRecommender(Recommender):
             (confidence[keep], (antecedent[keep], consequent[keep])),
             shape=(dataset.n_items, dataset.n_items),
         )
+
+    def get_config(self) -> dict:
+        return {"min_support": self.min_support,
+                "min_confidence": self.min_confidence}
+
+    def _state_arrays(self) -> dict:
+        return {"confidence": self._confidence}
+
+    def _load_state_arrays(self, arrays: dict) -> None:
+        self._confidence = sp.csr_matrix(arrays["confidence"], dtype=np.float64)
 
     def n_rules(self) -> int:
         """Number of mined rules passing both thresholds."""

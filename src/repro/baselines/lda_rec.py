@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.artifacts import register_recommender
 from repro.core.base import Recommender
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigError
@@ -22,6 +23,7 @@ from repro.utils.validation import check_in_options, check_positive_int
 __all__ = ["LDARecommender"]
 
 
+@register_recommender
 class LDARecommender(Recommender):
     """Latent-topic likelihood ranking.
 
@@ -62,6 +64,28 @@ class LDARecommender(Recommender):
                 f"pre-trained model shape ({self.model.n_users}, {self.model.n_items}) "
                 f"does not match dataset ({dataset.n_users}, {dataset.n_items})"
             )
+
+    def get_config(self) -> dict:
+        # The trained model rides in the state arrays, not the config, so a
+        # recommender built around a shared pre-trained model still
+        # round-trips (the loaded instance simply owns its own copy).
+        return {"n_topics": self.n_topics, "method": self.method,
+                "seed": self.seed, "lda_kwargs": self.lda_kwargs}
+
+    def _state_arrays(self) -> dict:
+        return {
+            "user_topics": self.model.user_topics,
+            "topic_items": self.model.topic_items,
+            "alpha": np.array(self.model.alpha),
+            "beta": np.array(self.model.beta),
+        }
+
+    def _load_state_arrays(self, arrays: dict) -> None:
+        self.model = LatentTopicModel(
+            arrays["user_topics"], arrays["topic_items"],
+            alpha=float(np.asarray(arrays["alpha"])),
+            beta=float(np.asarray(arrays["beta"])),
+        )
 
     def _score_user(self, user: int) -> np.ndarray:
         return self.model.score_items(user)

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.artifacts import register_recommender
 from repro.core.base import Recommender
 from repro.data.dataset import RatingDataset
 from repro.utils.validation import check_positive_int
@@ -39,7 +40,21 @@ def cosine_similarity_matrix(matrix: sp.spmatrix) -> np.ndarray:
     return np.asarray((normalised @ normalised.T).todense())
 
 
-class UserKNNRecommender(Recommender):
+class _SimilarityStateMixin:
+    """Persistence hooks shared by the kNN models (state = one dense matrix)."""
+
+    def get_config(self) -> dict:
+        return {"k_neighbors": self.k_neighbors}
+
+    def _state_arrays(self) -> dict:
+        return {"similarity": self._similarity}
+
+    def _load_state_arrays(self, arrays: dict) -> None:
+        self._similarity = np.asarray(arrays["similarity"], dtype=np.float64)
+
+
+@register_recommender
+class UserKNNRecommender(_SimilarityStateMixin, Recommender):
     """User-based kNN CF: score items by what the k most similar users rated.
 
     ``score(u, i) = Σ_{v ∈ N_k(u)} sim(u, v) · r_vi`` with cosine
@@ -78,7 +93,8 @@ class UserKNNRecommender(Recommender):
         return np.asarray((weight_matrix @ self.dataset.matrix).todense())
 
 
-class ItemKNNRecommender(Recommender):
+@register_recommender
+class ItemKNNRecommender(_SimilarityStateMixin, Recommender):
     """Item-based kNN CF: score items by similarity to the user's profile.
 
     ``score(u, i) = Σ_{j ∈ S_u} sim(i, j) · r_uj`` with cosine similarity

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.artifacts import GraphStateMixin, register_recommender
 from repro.core.base import Recommender
 from repro.data.dataset import RatingDataset
 from repro.graph.bipartite import UserItemGraph
@@ -26,7 +27,8 @@ from repro.utils.validation import check_fraction
 __all__ = ["PersonalizedPageRankRecommender", "DiscountedPageRankRecommender"]
 
 
-class PersonalizedPageRankRecommender(Recommender):
+@register_recommender
+class PersonalizedPageRankRecommender(GraphStateMixin, Recommender):
     """Rank items by personalized PageRank around the user's rated items.
 
     Parameters
@@ -50,6 +52,10 @@ class PersonalizedPageRankRecommender(Recommender):
 
     def _fit(self, dataset: RatingDataset) -> None:
         self.graph = UserItemGraph(dataset)
+
+    def get_config(self) -> dict:
+        return {"damping": self.damping, "tol": self.tol,
+                "max_iter": self.max_iter}
 
     def _score_user(self, user: int) -> np.ndarray:
         return self._score_users_batch(np.array([user], dtype=np.int64))[0]
@@ -79,6 +85,7 @@ class PersonalizedPageRankRecommender(Recommender):
         return scores
 
 
+@register_recommender
 class DiscountedPageRankRecommender(PersonalizedPageRankRecommender):
     """The paper's DPPR baseline: PPR discounted by item popularity (Eq. 15).
 
@@ -92,6 +99,14 @@ class DiscountedPageRankRecommender(PersonalizedPageRankRecommender):
     def _fit(self, dataset: RatingDataset) -> None:
         super()._fit(dataset)
         self._popularity = np.maximum(dataset.item_popularity(), 1).astype(np.float64)
+
+    def _load_state_arrays(self, arrays: dict) -> None:
+        super()._load_state_arrays(arrays)
+        # The discount vector is a pure function of the dataset; recompute
+        # instead of persisting it.
+        self._popularity = np.maximum(
+            self.dataset.item_popularity(), 1
+        ).astype(np.float64)
 
     def _score_users_batch(self, users: np.ndarray) -> np.ndarray:
         # Discounting is elementwise, so it composes directly with the batch

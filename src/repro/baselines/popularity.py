@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.artifacts import register_recommender
 from repro.core.base import Recommender
 from repro.data.dataset import RatingDataset
 from repro.utils.validation import check_random_state
@@ -17,6 +18,7 @@ from repro.utils.validation import check_random_state
 __all__ = ["MostPopularRecommender", "RandomRecommender"]
 
 
+@register_recommender
 class MostPopularRecommender(Recommender):
     """Rank every item by its global rating count (ties by index).
 
@@ -40,7 +42,14 @@ class MostPopularRecommender(Recommender):
         # The list is user-independent: one broadcast serves any cohort.
         return np.tile(self._scores, (users.size, 1))
 
+    def _state_arrays(self) -> dict:
+        return {"item_scores": self._scores}
 
+    def _load_state_arrays(self, arrays: dict) -> None:
+        self._scores = np.asarray(arrays["item_scores"], dtype=np.float64)
+
+
+@register_recommender
 class RandomRecommender(Recommender):
     """Uniformly random scores, deterministic per (seed, user).
 
@@ -54,6 +63,9 @@ class RandomRecommender(Recommender):
     def __init__(self, seed: int = 0):
         super().__init__()
         self.seed = int(seed)
+
+    def get_config(self) -> dict:
+        return {"seed": self.seed}
 
     def _fit(self, dataset: RatingDataset) -> None:
         pass

@@ -16,6 +16,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.core.artifacts import register_recommender
 from repro.core.base import Recommender
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigError
@@ -24,6 +25,7 @@ from repro.utils.validation import check_positive_int, check_random_state
 __all__ = ["PureSVDRecommender"]
 
 
+@register_recommender
 class PureSVDRecommender(Recommender):
     """Truncated-SVD top-N recommender on the raw rating matrix.
 
@@ -60,6 +62,17 @@ class PureSVDRecommender(Recommender):
         # reconstruction but keep factors aligned.
         self._user_factors = u * s
         self._item_factors = vt
+
+    def get_config(self) -> dict:
+        return {"n_factors": self.n_factors, "seed": self.seed}
+
+    def _state_arrays(self) -> dict:
+        return {"user_factors": self._user_factors,
+                "item_factors": self._item_factors}
+
+    def _load_state_arrays(self, arrays: dict) -> None:
+        self._user_factors = np.asarray(arrays["user_factors"], dtype=np.float64)
+        self._item_factors = np.asarray(arrays["item_factors"], dtype=np.float64)
 
     def _score_user(self, user: int) -> np.ndarray:
         return self._score_users_batch(np.array([user], dtype=np.int64))[0]

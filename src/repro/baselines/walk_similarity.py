@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.artifacts import GraphStateMixin, register_recommender
 from repro.core.base import Recommender
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigError
@@ -25,7 +26,8 @@ __all__ = ["RandomWalkWithRestartRecommender", "CommuteTimeRecommender",
            "KatzRecommender"]
 
 
-class RandomWalkWithRestartRecommender(Recommender):
+@register_recommender
+class RandomWalkWithRestartRecommender(GraphStateMixin, Recommender):
     """RWR: personalized PageRank restarting at the *user node* itself.
 
     This is the classic RWR recommendation setup ([23] in the paper):
@@ -48,6 +50,10 @@ class RandomWalkWithRestartRecommender(Recommender):
     def _fit(self, dataset: RatingDataset) -> None:
         self.graph = UserItemGraph(dataset)
 
+    def get_config(self) -> dict:
+        return {"damping": self.damping, "tol": self.tol,
+                "max_iter": self.max_iter}
+
     def _score_user(self, user: int) -> np.ndarray:
         node = self.graph.user_node(user)
         if self.graph.degrees[node] == 0:
@@ -59,7 +65,8 @@ class RandomWalkWithRestartRecommender(Recommender):
         return pi[self.graph.item_nodes()]
 
 
-class CommuteTimeRecommender(Recommender):
+@register_recommender
+class CommuteTimeRecommender(GraphStateMixin, Recommender):
     """Rank items by ascending commute time ``C(q, i) = H(q|i) + H(i|q)``.
 
     The symmetric round-trip variant of hitting time ([4, 8] in the paper).
@@ -86,6 +93,14 @@ class CommuteTimeRecommender(Recommender):
                 f"CommuteTimeRecommender is dense O(n^3): graph has "
                 f"{self.graph.n_nodes} nodes > max_nodes={self.max_nodes}"
             )
+
+    def get_config(self) -> dict:
+        return {"max_nodes": self.max_nodes}
+
+    def _load_state_arrays(self, arrays: dict) -> None:
+        super()._load_state_arrays(arrays)
+        # Laplacian pseudoinverses are rebuilt lazily per component on demand.
+        self._component_cache = {}
 
     def _component_pinv(self, label: int, component: np.ndarray):
         """Laplacian pseudoinverse of one component, cached across users."""
@@ -117,7 +132,8 @@ class CommuteTimeRecommender(Recommender):
         return scores
 
 
-class KatzRecommender(Recommender):
+@register_recommender
+class KatzRecommender(GraphStateMixin, Recommender):
     """Rank items by the truncated Katz index from the query user.
 
     Counts damped paths of every length from the user ([8] in the paper).
@@ -144,6 +160,18 @@ class KatzRecommender(Recommender):
             self._beta_effective = 0.5 / max(max_degree, 1.0)
         else:
             self._beta_effective = float(self.beta)
+
+    def get_config(self) -> dict:
+        return {"beta": self.beta, "max_length": self.max_length}
+
+    def _state_arrays(self) -> dict:
+        arrays = super()._state_arrays()
+        arrays["beta_effective"] = np.array(self._beta_effective)
+        return arrays
+
+    def _load_state_arrays(self, arrays: dict) -> None:
+        self._beta_effective = float(np.asarray(arrays.pop("beta_effective")))
+        super()._load_state_arrays(arrays)
 
     def _score_user(self, user: int) -> np.ndarray:
         node = self.graph.user_node(user)

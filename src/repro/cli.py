@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate experiments, serve user cohorts.
+"""Command-line interface: experiments, model artifacts, cohort serving.
 
 Usage (module form; also installed as the ``repro-experiments`` script)::
 
@@ -6,17 +6,24 @@ Usage (module form; also installed as the ``repro-experiments`` script)::
     python -m repro.cli run fig5a [--scale 0.5] [--out results.csv]
     python -m repro.cli run table2 --scale 0.3
     python -m repro.cli serve-batch --algorithm AT --n-users 64 --k 10
+    python -m repro.cli fit --algorithm AT --out at-model.npz
+    python -m repro.cli serve --artifact at-model.npz --n-users 64 --k 10
 
 ``run`` maps each experiment name to its driver in :mod:`repro.experiments`
 and prints the paper-shaped text table (optionally a CSV). ``serve-batch``
 exercises the batch serving layer end-to-end: fit one algorithm, score a
 cohort of users through the vectorised batch path, and report the ranked
-lists plus the achieved throughput.
+lists plus the achieved throughput. ``fit`` and ``serve`` are the
+offline/online split: ``fit`` trains once and saves a versioned model
+artifact (optionally plus a precomputed top-K store); ``serve`` boots a
+:class:`~repro.service.ServingEngine` from the artifact — no refitting —
+and answers a cohort with warm-cache statistics in the report.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -39,7 +46,7 @@ from repro.experiments import (
     run_tau_convergence,
 )
 from repro.experiments.suite import PAPER_ORDER, make_algorithms, make_data
-from repro.service import load_user_file, serve_user_cohort
+from repro.service import ServingEngine, TopKStore, load_user_file, serve_user_cohort
 from repro.utils.timer import Timer
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -137,6 +144,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="users scored per batch (default 256)")
     serve.add_argument("--out", default=None,
                        help="optional CSV path for the full (user, rank, item) rows")
+
+    fit = sub.add_parser(
+        "fit",
+        help="fit one algorithm and save it as a versioned model artifact",
+    )
+    fit.add_argument("--algorithm", default="AT", choices=sorted(PAPER_ORDER),
+                     help="recommender to fit (default AT)")
+    fit.add_argument("--dataset", default="movielens",
+                     choices=("movielens", "douban"),
+                     help="synthetic dataset family (default movielens)")
+    fit.add_argument("--scale", type=float, default=0.5,
+                     help="dataset scale multiplier (default 0.5)")
+    fit.add_argument("--seed", type=int, default=7, help="data seed")
+    fit.add_argument("--out", required=True,
+                     help="artifact output path (.npz appended when missing)")
+    fit.add_argument("--store-out", default=None,
+                     help="also precompute a TopKStore and save it here")
+    fit.add_argument("--store-depth", type=int, default=50,
+                     help="cached list depth for --store-out (default 50)")
+
+    online = sub.add_parser(
+        "serve",
+        help="load a model artifact and serve a cohort through the engine",
+    )
+    online.add_argument("--artifact", required=True,
+                        help="model artifact written by 'fit'")
+    online.add_argument("--store", default=None,
+                        help="optional TopKStore written by 'fit --store-out'")
+    online.add_argument("--users-file", default=None,
+                        help="file with one user index per line "
+                             "(default: the first --n-users users)")
+    online.add_argument("--n-users", type=int, default=64,
+                        help="cohort size when --users-file is absent (default 64)")
+    online.add_argument("--k", type=int, default=10,
+                        help="list length (default 10)")
+    online.add_argument("--batch-size", type=int, default=256,
+                        help="users scored per batch (default 256)")
+    online.add_argument("--repeat", type=int, default=1,
+                        help="serve the cohort this many times (>1 shows the "
+                             "warm-cache speedup; default 1)")
+    online.add_argument("--out", default=None,
+                        help="optional CSV path for the full (user, rank, item) rows")
     return parser
 
 
@@ -173,10 +222,70 @@ def _serve_batch(args) -> int:
     return 0
 
 
+def _fit(args) -> int:
+    config = ExperimentConfig(scale=args.scale, data_seed=args.seed)
+    print(f"Generating {args.dataset} data (scale {args.scale}) ...", flush=True)
+    train = make_data(args.dataset, config).dataset
+    print(f"   {train}")
+
+    print(f"Fitting {args.algorithm} ...", flush=True)
+    recommender = make_algorithms(config, train=train,
+                                  include=(args.algorithm,))[0]
+    with Timer() as fit_timer:
+        recommender.fit(train)
+    print(f"   fitted in {fit_timer.elapsed:.2f}s")
+
+    path = recommender.save(args.out)
+    print(f"[saved] artifact {path} ({os.path.getsize(path) // 1024} KiB)")
+
+    if args.store_out:
+        print(f"Precomputing TopKStore (depth {args.store_depth}) ...", flush=True)
+        store = TopKStore.from_recommender(recommender, depth=args.store_depth)
+        store_path = store.save(args.store_out)
+        print(f"[saved] store {store_path} "
+              f"({os.path.getsize(store_path) // 1024} KiB)")
+    return 0
+
+
+def _serve(args) -> int:
+    print(f"Loading artifact {args.artifact} ...", flush=True)
+    with Timer() as load_timer:
+        engine = ServingEngine.from_artifact(args.artifact, store_path=args.store)
+    train = engine.dataset
+    print(f"   {engine.recommender.name} over {train} "
+          f"(loaded in {load_timer.elapsed:.2f}s, no refit)")
+
+    if args.users_file is not None:
+        users = load_user_file(args.users_file, train.n_users)
+    else:
+        users = np.arange(min(args.n_users, train.n_users))
+    print(f"Serving {users.size} users (k={args.k}, "
+          f"batch size {args.batch_size}, x{max(args.repeat, 1)}) ...", flush=True)
+    summaries = []
+    report = None
+    for pass_number in range(1, max(args.repeat, 1) + 1):
+        report = engine.serve_cohort(users, k=args.k, batch_size=args.batch_size)
+        summaries.append({"pass": pass_number, **report.summary()})
+
+    print(format_table(summaries,
+                       title=f"serve: {engine.recommender.name} via engine"))
+    preview = report.rows[:3 * args.k]
+    if preview:
+        print(format_table(preview, title="first rows (full output via --out)"))
+    if args.out:
+        write_csv(report.rows, args.out)
+        print(f"[saved] {args.out}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve-batch":
         return _serve_batch(args)
+    if args.command == "fit":
+        return _fit(args)
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "list":
         rows = [{"experiment": name, "description": desc}
                 for name, (desc, _) in sorted(EXPERIMENTS.items())]

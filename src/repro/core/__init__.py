@@ -1,9 +1,17 @@
 """The paper's core contribution: the Hitting Time, Absorbing Time and
 Absorbing Cost long-tail recommenders, their cost models and user-entropy
-features, and the shared recommender interface."""
+features, the shared recommender interface, and the persistent model-artifact
+layer (fit once, save, serve many times)."""
 
 from repro.core.absorbing_cost import AbsorbingCostRecommender
 from repro.core.absorbing_time import AbsorbingTimeRecommender
+from repro.core.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    load_artifact,
+    register_recommender,
+    registered_recommenders,
+    save_artifact,
+)
 from repro.core.base import Recommendation, Recommender
 from repro.core.costs import CostModel, EntropyCostModel, UnitCostModel
 from repro.core.entropy import distribution_entropy, item_entropy, topic_entropy
@@ -14,6 +22,11 @@ from repro.core.hitting_time import HittingTimeRecommender
 __all__ = [
     "AbsorbingCostRecommender",
     "AbsorbingTimeRecommender",
+    "ARTIFACT_FORMAT_VERSION",
+    "load_artifact",
+    "register_recommender",
+    "registered_recommenders",
+    "save_artifact",
     "Recommendation",
     "Recommender",
     "CostModel",

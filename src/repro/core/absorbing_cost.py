@@ -20,7 +20,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.costs import CostModel, EntropyCostModel
+from repro.core.artifacts import register_recommender
+from repro.core.costs import (
+    CostModel,
+    EntropyCostModel,
+    cost_model_config,
+    cost_model_from_config,
+)
 from repro.core.entropy import item_entropy, topic_entropy
 from repro.core.graph_base import RandomWalkRecommender
 from repro.data.dataset import RatingDataset
@@ -31,6 +37,7 @@ from repro.utils.validation import check_in_options, check_positive_int
 __all__ = ["AbsorbingCostRecommender"]
 
 
+@register_recommender
 class AbsorbingCostRecommender(RandomWalkRecommender):
     """Entropy-biased Absorbing Cost ranking (the paper's AC1/AC2 variants).
 
@@ -38,7 +45,11 @@ class AbsorbingCostRecommender(RandomWalkRecommender):
     ----------
     entropy:
         ``"item"`` (AC1, Eq. 10), ``"topic"`` (AC2, Eq. 11), or a
-        precomputed array of per-user entropies.
+        precomputed array of per-user entropies. The string
+        ``"precomputed"`` declares array-sourced entropies without
+        supplying them yet — valid only for instances restored through
+        ``load_state_dict`` (the artifact loader uses it); calling
+        ``fit`` on such an instance raises :class:`ConfigError`.
     cost_model:
         The transition-cost model; default is the paper's
         :class:`~repro.core.costs.EntropyCostModel` with
@@ -69,7 +80,7 @@ class AbsorbingCostRecommender(RandomWalkRecommender):
         super().__init__(method=method, n_iterations=n_iterations,
                          subgraph_size=subgraph_size)
         if isinstance(entropy, str):
-            check_in_options(entropy, "entropy", ("item", "topic"))
+            check_in_options(entropy, "entropy", ("item", "topic", "precomputed"))
             self._entropy_array = None
             self.entropy_source = entropy
         else:
@@ -77,6 +88,8 @@ class AbsorbingCostRecommender(RandomWalkRecommender):
             if np.any(self._entropy_array < 0) or not np.all(np.isfinite(self._entropy_array)):
                 raise ConfigError("precomputed entropies must be finite and non-negative")
             self.entropy_source = "precomputed"
+        if isinstance(cost_model, dict):
+            cost_model = cost_model_from_config(cost_model)
         self.cost_model_instance = cost_model if cost_model is not None else EntropyCostModel()
         if not isinstance(self.cost_model_instance, CostModel):
             raise ConfigError("cost_model must be a CostModel instance")
@@ -113,12 +126,45 @@ class AbsorbingCostRecommender(RandomWalkRecommender):
                 method=self.lda_method, seed=self.seed, **self.lda_kwargs
             )
         else:
+            if self._entropy_array is None:
+                raise ConfigError(
+                    "entropy='precomputed' carries no entropy array; pass the "
+                    "array itself to fit, or restore via load_state_dict"
+                )
             if self._entropy_array.shape[0] != dataset.n_users:
                 raise ConfigError(
                     f"precomputed entropies length {self._entropy_array.shape[0]} "
                     f"!= n_users {dataset.n_users}"
                 )
             self._fitted_entropies = self._entropy_array
+
+    # -- persistence ---------------------------------------------------------
+
+    def get_config(self) -> dict:
+        # topic_model is deliberately absent: the artifact captures the
+        # *fitted* entropies, not the LDA that produced them.
+        config = super().get_config()
+        config.update({
+            "entropy": self.entropy_source,
+            "cost_model": cost_model_config(self.cost_model_instance),
+            "n_topics": self.n_topics,
+            "lda_method": self.lda_method,
+            "seed": self.seed,
+            "lda_kwargs": self.lda_kwargs,
+        })
+        return config
+
+    def _state_arrays(self) -> dict:
+        arrays = super()._state_arrays()
+        arrays["user_entropies"] = self._fitted_entropies
+        return arrays
+
+    def _load_state_arrays(self, arrays: dict) -> None:
+        entropies = np.asarray(arrays.pop("user_entropies"), dtype=np.float64)
+        super()._load_state_arrays(arrays)
+        self._fitted_entropies = entropies
+        if self.entropy_source == "precomputed":
+            self._entropy_array = entropies
 
     def _absorbing_nodes(self, user: int) -> np.ndarray:
         items = self.dataset.items_of_user(user)

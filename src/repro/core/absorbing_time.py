@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.artifacts import register_recommender
 from repro.core.graph_base import RandomWalkRecommender
 
 __all__ = ["AbsorbingTimeRecommender"]
 
 
+@register_recommender
 class AbsorbingTimeRecommender(RandomWalkRecommender):
     """Item-based Absorbing Time ranking (the paper's AT variant).
 

@@ -1,0 +1,223 @@
+"""Versioned model artifacts: fit once, serve many times (ROADMAP north star).
+
+A fitted :class:`~repro.core.base.Recommender` is, by contract, a JSON-able
+config plus a flat dict of numpy/scipy arrays plus its training dataset
+(:meth:`~repro.core.base.Recommender.state_dict`). This module turns that
+contract into a single compressed ``.npz`` file — the **artifact** — and
+back:
+
+* :func:`save_artifact` writes ``meta`` (a JSON header: format version,
+  class name, config), the dataset arrays and the per-algorithm state
+  arrays; sparse matrices are stored as their CSR triplets;
+* :func:`load_artifact` validates the format version, resolves the class
+  through the :data:`RECOMMENDER_REGISTRY`, instantiates it from the saved
+  config and restores the fitted arrays — no refitting, byte-identical
+  scoring state;
+* :func:`register_recommender` is the class decorator every concrete
+  recommender registers itself with, so artifacts saved by any algorithm in
+  the library round-trip without import-order gymnastics.
+
+Format versioning is strict: an artifact written by a different (older or
+newer) format raises :class:`~repro.exceptions.ArtifactError` instead of
+deserializing garbage into the request path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.base import Recommender
+from repro.exceptions import ArtifactError
+from repro.graph.bipartite import UserItemGraph
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "RECOMMENDER_REGISTRY",
+    "GraphStateMixin",
+    "register_recommender",
+    "registered_recommenders",
+    "save_artifact",
+    "load_artifact",
+]
+
+
+class GraphStateMixin:
+    """State hooks for recommenders whose fitted state is ``self.graph``.
+
+    Persists the :class:`~repro.graph.bipartite.UserItemGraph` (adjacency +
+    connected-component labels) so a loaded model starts with warm
+    connectivity structure. Mix in before :class:`Recommender`.
+    """
+
+    def _state_arrays(self) -> dict:
+        return self.graph.to_arrays()
+
+    def _load_state_arrays(self, arrays: dict) -> None:
+        self.graph = UserItemGraph.from_arrays(self.dataset, arrays)
+
+#: On-disk artifact format version; bump on any incompatible layout change.
+ARTIFACT_FORMAT_VERSION = 1
+
+#: class name -> class, for every recommender that can round-trip to disk.
+RECOMMENDER_REGISTRY: dict[str, type[Recommender]] = {}
+
+_META_KEY = "meta"
+_DATASET_PREFIX = "dataset."
+_STATE_PREFIX = "state."
+_CSR_MARKER = ".csr."
+
+
+def register_recommender(cls: type[Recommender]) -> type[Recommender]:
+    """Class decorator adding ``cls`` to the artifact registry."""
+    if not (isinstance(cls, type) and issubclass(cls, Recommender)):
+        raise ArtifactError(
+            f"only Recommender subclasses can be registered; got {cls!r}"
+        )
+    RECOMMENDER_REGISTRY[cls.__name__] = cls
+    return cls
+
+
+def registered_recommenders() -> dict[str, type[Recommender]]:
+    """Snapshot of the registry (name -> class), for tests and tooling."""
+    return dict(RECOMMENDER_REGISTRY)
+
+
+# -- array (de)serialization --------------------------------------------------
+
+
+def _encode_arrays(mapping: dict, prefix: str, payload: dict) -> None:
+    """Flatten a ``name -> array | sparse`` dict into npz members."""
+    for key, value in mapping.items():
+        if _CSR_MARKER in key:
+            raise ArtifactError(
+                f"state array key {key!r} collides with the sparse marker"
+            )
+        if sp.issparse(value):
+            csr = sp.csr_matrix(value)
+            payload[f"{prefix}{key}{_CSR_MARKER}data"] = csr.data
+            payload[f"{prefix}{key}{_CSR_MARKER}indices"] = csr.indices
+            payload[f"{prefix}{key}{_CSR_MARKER}indptr"] = csr.indptr
+            payload[f"{prefix}{key}{_CSR_MARKER}shape"] = np.array(
+                csr.shape, dtype=np.int64
+            )
+        else:
+            payload[f"{prefix}{key}"] = np.asarray(value)
+
+
+def _decode_arrays(archive, prefix: str) -> dict:
+    """Inverse of :func:`_encode_arrays` for one prefix of an npz archive."""
+    arrays: dict = {}
+    sparse_parts: dict[str, dict[str, np.ndarray]] = {}
+    for member in archive.files:
+        if not member.startswith(prefix):
+            continue
+        key = member[len(prefix):]
+        if _CSR_MARKER in key:
+            name, part = key.rsplit(_CSR_MARKER, 1)
+            sparse_parts.setdefault(name, {})[part] = archive[member]
+        else:
+            arrays[key] = archive[member]
+    for name, parts in sparse_parts.items():
+        try:
+            arrays[name] = sp.csr_matrix(
+                (parts["data"], parts["indices"], parts["indptr"]),
+                shape=tuple(int(s) for s in parts["shape"]),
+            )
+        except (KeyError, ValueError) as exc:
+            raise ArtifactError(
+                f"corrupt sparse member {name!r} in artifact: {exc}"
+            ) from None
+    return arrays
+
+
+# -- save / load --------------------------------------------------------------
+
+
+def _npz_path(path: str) -> str:
+    # numpy's savez appends ".npz" to extension-less paths; normalise on both
+    # sides so save("model") / load("model") round-trip.
+    return path if str(path).endswith(".npz") else f"{path}.npz"
+
+
+def save_artifact(recommender: Recommender, path: str) -> str:
+    """Write a fitted recommender as a versioned ``.npz`` artifact.
+
+    Returns the path actually written. The artifact embeds the training
+    dataset, so :func:`load_artifact` yields a recommender that can serve
+    (including rated-item exclusion) with no other inputs.
+    """
+    state = recommender.state_dict()
+    if type(recommender).__name__ not in RECOMMENDER_REGISTRY:
+        raise ArtifactError(
+            f"{type(recommender).__name__} is not registered; decorate it "
+            "with @register_recommender so the artifact can be loaded back"
+        )
+    config = state["config"]
+    try:
+        meta = json.dumps({
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "class": state["class"],
+            "name": recommender.name,
+            "config": config,
+        })
+    except (TypeError, ValueError) as exc:
+        raise ArtifactError(
+            f"{state['class']}.get_config() is not JSON-serializable: {exc}"
+        ) from None
+    payload: dict = {_META_KEY: np.array(meta)}
+    _encode_arrays(state["dataset"], _DATASET_PREFIX, payload)
+    _encode_arrays(state["arrays"], _STATE_PREFIX, payload)
+    path = _npz_path(path)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_artifact(path: str) -> Recommender:
+    """Reload a fitted recommender saved by :func:`save_artifact`.
+
+    Raises :class:`~repro.exceptions.ArtifactError` on a missing/mismatched
+    format version or an unregistered class — a stale or foreign artifact
+    must fail loudly, never serve wrong rankings.
+    """
+    try:
+        # Labels and metadata are JSON-encoded strings, so nothing in a valid
+        # artifact needs pickling — and a hostile file cannot execute code.
+        archive = np.load(_npz_path(path), allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(f"cannot read artifact {path!r}: {exc}") from None
+    with archive:
+        if _META_KEY not in archive.files:
+            raise ArtifactError(
+                f"{path!r} is not a model artifact (no meta header)"
+            )
+        try:
+            meta = json.loads(str(archive[_META_KEY]))
+            version = meta["format_version"]
+            class_name = meta["class"]
+            config = meta["config"]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ArtifactError(f"corrupt artifact header in {path!r}: {exc}") from None
+        if version != ARTIFACT_FORMAT_VERSION:
+            raise ArtifactError(
+                f"artifact format version {version} != supported "
+                f"{ARTIFACT_FORMAT_VERSION}; re-fit and re-save the model"
+            )
+        cls = RECOMMENDER_REGISTRY.get(class_name)
+        if cls is None:
+            raise ArtifactError(
+                f"artifact class {class_name!r} is not in the recommender "
+                f"registry ({sorted(RECOMMENDER_REGISTRY)})"
+            )
+        dataset_arrays = _decode_arrays(archive, _DATASET_PREFIX)
+        state_arrays = _decode_arrays(archive, _STATE_PREFIX)
+    recommender = cls(**config)
+    recommender.load_state_dict({
+        "class": class_name,
+        "config": config,
+        "dataset": dataset_arrays,
+        "arrays": state_arrays,
+    })
+    return recommender

@@ -16,6 +16,17 @@ all baselines — implements :class:`Recommender`:
   stacks per-user scores; algorithms whose hot path vectorises (multi-RHS
   walk solves, factor-matrix products, …) override
   :meth:`Recommender._score_users_batch` to answer the cohort in one shot.
+  :meth:`Recommender.recommend_batch_arrays` is the array-shaped variant
+  (padded int item / float score matrices) that the serving layer builds
+  rows and caches from without materialising per-item objects;
+* :meth:`Recommender.state_dict` / :meth:`Recommender.load_state_dict` are
+  the persistence contract: every fitted recommender round-trips through a
+  plain dict of numpy arrays (and from there to a versioned ``.npz``
+  artifact via :mod:`repro.core.artifacts`), enabling the offline-fit /
+  online-serve split. Subclasses declare their fitted state through
+  :meth:`Recommender.get_config` (constructor arguments, JSON-serializable)
+  and :meth:`Recommender._state_arrays` / ``_load_state_arrays`` (fitted
+  numpy/sparse arrays).
 
 The uniform sign convention is what lets one evaluation harness (Recall@N,
 popularity, diversity, similarity, efficiency) run every algorithm
@@ -30,7 +41,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.dataset import RatingDataset
-from repro.exceptions import ConfigError, NotFittedError
+from repro.exceptions import ArtifactError, ConfigError, NotFittedError
 from repro.utils.topk import top_k_indices
 from repro.utils.validation import as_index_array, check_positive_int
 
@@ -92,6 +103,102 @@ class Recommender(abc.ABC):
                 )
             out[row] = scores
         return out
+
+    # -- persistence contract -----------------------------------------------
+
+    def get_config(self) -> dict:
+        """Constructor arguments recreating this instance (JSON-serializable).
+
+        The artifact loader instantiates ``cls(**config)`` before restoring
+        the fitted arrays, so everything a subclass's ``__init__`` validates
+        must appear here. The default is an empty dict (no parameters).
+        """
+        return {}
+
+    def _state_arrays(self) -> dict:
+        """Fitted state as a flat ``name -> numpy array / scipy sparse`` dict.
+
+        Subclasses override this together with :meth:`_load_state_arrays`;
+        keys must be stable across versions (they become ``.npz`` member
+        names). ``self.dataset`` is persisted by the base class and is *not*
+        part of this dict.
+        """
+        return {}
+
+    def _load_state_arrays(self, arrays: dict) -> None:
+        """Restore the fitted state saved by :meth:`_state_arrays`.
+
+        Called by :meth:`load_state_dict` after ``self.dataset`` has been
+        restored; must leave the instance equivalent to a freshly fitted one
+        without re-running any training.
+        """
+        if arrays:
+            raise ArtifactError(
+                f"{type(self).__name__} does not expect state arrays; "
+                f"got {sorted(arrays)}"
+            )
+
+    def state_dict(self) -> dict:
+        """The fitted state as a plain dict (the in-memory artifact).
+
+        Layout: ``{"class", "config", "dataset", "arrays"}`` where
+        ``dataset`` is :meth:`RatingDataset.to_arrays` output and ``arrays``
+        is :meth:`_state_arrays` output. Use
+        :func:`repro.core.artifacts.save_artifact` (or :meth:`save`) to
+        write it as a versioned ``.npz``.
+        """
+        dataset = self._require_fitted()
+        return {
+            "class": type(self).__name__,
+            "config": self.get_config(),
+            "dataset": dataset.to_arrays(),
+            "arrays": self._state_arrays(),
+        }
+
+    def load_state_dict(self, state: dict) -> "Recommender":
+        """Restore a fitted state produced by :meth:`state_dict`.
+
+        The receiving instance must be of the class that produced the state
+        (construct it with the artifact's config first); returns ``self``,
+        fitted and ready to serve — no training is re-run.
+        """
+        try:
+            saved_class = state["class"]
+            dataset_arrays = state["dataset"]
+            arrays = state["arrays"]
+        except (KeyError, TypeError):
+            raise ArtifactError(
+                "state dict must have 'class', 'dataset' and 'arrays' entries"
+            ) from None
+        if saved_class != type(self).__name__:
+            raise ArtifactError(
+                f"state dict was saved by {saved_class!r}; "
+                f"cannot load into {type(self).__name__!r}"
+            )
+        self.dataset = RatingDataset.from_arrays(dataset_arrays)
+        self._load_state_arrays(dict(arrays))
+        return self
+
+    def save(self, path: str) -> str:
+        """Persist the fitted model as a versioned ``.npz`` artifact.
+
+        Convenience wrapper for :func:`repro.core.artifacts.save_artifact`;
+        reload with :func:`repro.core.artifacts.load_artifact`. Returns the
+        path written (``.npz`` appended when missing).
+        """
+        from repro.core.artifacts import save_artifact
+
+        return save_artifact(self, path)
+
+    def scoring_cache_stats(self) -> dict | None:
+        """Warm-cache counters of the scoring layer, or ``None``.
+
+        Algorithms that memoize request-independent structures (the walk
+        recommenders' :class:`~repro.graph.cache.TransitionCache`) report
+        their hit/miss counters here; the serving engine folds them into its
+        reports. The default — no scoring-layer cache — is ``None``.
+        """
+        return None
 
     # -- public API --------------------------------------------------------
 
@@ -198,6 +305,44 @@ class Recommender(abc.ABC):
             return scores
         return scores[:, self._check_candidates_array(candidates)]
 
+    def recommend_batch_arrays(self, users: np.ndarray | None = None,
+                               k: int = 10, exclude_rated: bool = True,
+                               candidates: np.ndarray | None = None,
+                               ) -> tuple[np.ndarray, np.ndarray]:
+        """Ranked top-``k`` lists for a cohort as padded arrays.
+
+        Returns ``(items, scores)``, both shaped ``(len(users), k)``: row
+        ``r`` holds the ranked item indices for ``users[r]`` with ``-1``
+        padding (and ``-inf`` score) where the list is shorter than ``k``
+        (cold-start users, ``-inf``-scored items). Padding is always
+        trailing. This is the allocation-friendly shape the serving layer
+        (cohort rows, :class:`~repro.service.TopKStore`, the engine's result
+        cache) consumes directly; :meth:`recommend_batch` wraps it in
+        :class:`Recommendation` objects.
+        """
+        dataset = self._require_fitted()
+        k = check_positive_int(k, "k")
+        users = self._check_users_array(users)
+        scores = self.score_users(users)
+        if exclude_rated:
+            for row, user in enumerate(users):
+                scores[row, dataset.items_of_user(int(user))] = -np.inf
+        if candidates is not None:
+            mask = np.full(dataset.n_items, -np.inf)
+            mask[self._check_candidates_array(candidates)] = 0.0
+            scores = scores + mask
+        items = np.full((users.size, k), -1, dtype=np.int64)
+        out_scores = np.full((users.size, k), -np.inf)
+        for row in range(users.size):
+            order = top_k_indices(scores[row], k)
+            ranked = scores[row, order]
+            # top_k_indices sorts -inf (and NaN) last, so the finite prefix
+            # is exactly the servable list.
+            length = int(np.isfinite(ranked).sum())
+            items[row, :length] = order[:length]
+            out_scores[row, :length] = ranked[:length]
+        return items, out_scores
+
     def recommend_batch(self, users: np.ndarray | None = None, k: int = 10,
                         exclude_rated: bool = True,
                         candidates: np.ndarray | None = None,
@@ -212,27 +357,16 @@ class Recommender(abc.ABC):
         pass.
         """
         dataset = self._require_fitted()
-        k = check_positive_int(k, "k")
         users = self._check_users_array(users)
-        scores = self.score_users(users)
-        if exclude_rated:
-            for row, user in enumerate(users):
-                scores[row, dataset.items_of_user(int(user))] = -np.inf
-        if candidates is not None:
-            mask = np.full(dataset.n_items, -np.inf)
-            mask[self._check_candidates_array(candidates)] = 0.0
-            scores = scores + mask
-        results = []
-        for row in range(users.size):
-            row_scores = scores[row]
-            order = top_k_indices(row_scores, k)
-            results.append([
-                Recommendation(int(i), dataset.item_labels[int(i)],
-                               float(row_scores[i]))
-                for i in order
-                if np.isfinite(row_scores[i])
-            ])
-        return results
+        items, scores = self.recommend_batch_arrays(
+            users, k, exclude_rated=exclude_rated, candidates=candidates
+        )
+        labels = dataset.item_labels
+        return [
+            [Recommendation(int(item), labels[int(item)], float(score))
+             for item, score in zip(row_items, row_scores) if item >= 0]
+            for row_items, row_scores in zip(items, scores)
+        ]
 
     def recommend_batch_items(self, users: np.ndarray | None = None,
                               k: int = 10, **kwargs) -> list[np.ndarray]:

@@ -23,7 +23,8 @@ import scipy.sparse as sp
 
 from repro.exceptions import ConfigError
 
-__all__ = ["CostModel", "UnitCostModel", "EntropyCostModel"]
+__all__ = ["CostModel", "UnitCostModel", "EntropyCostModel",
+           "cost_model_config", "cost_model_from_config"]
 
 
 class CostModel(abc.ABC):
@@ -105,3 +106,30 @@ class EntropyCostModel(CostModel):
         # anyway, but keep costs strictly positive for the solvers' sanity.
         costs = np.where((costs <= 0) & ~user_mask, c, costs)
         return costs
+
+
+def cost_model_config(model: CostModel) -> dict:
+    """JSON-serializable description of a built-in cost model.
+
+    The model-artifact layer persists the Absorbing Cost recommender's cost
+    model through this; custom :class:`CostModel` subclasses have no generic
+    encoding and are rejected with :class:`ConfigError`.
+    """
+    if type(model) is UnitCostModel:
+        return {"kind": "unit"}
+    if type(model) is EntropyCostModel:
+        return {"kind": "entropy", "jump_cost": model.jump_cost}
+    raise ConfigError(
+        f"{type(model).__name__} has no serializable config; only the "
+        "built-in UnitCostModel/EntropyCostModel round-trip through artifacts"
+    )
+
+
+def cost_model_from_config(config: dict) -> CostModel:
+    """Inverse of :func:`cost_model_config`."""
+    kind = config.get("kind") if isinstance(config, dict) else None
+    if kind == "unit":
+        return UnitCostModel()
+    if kind == "entropy":
+        return EntropyCostModel(jump_cost=config.get("jump_cost", "mean-entropy"))
+    raise ConfigError(f"unknown cost model config {config!r}")

@@ -26,6 +26,17 @@ walk vectors together through the truncated iteration as one sparse-matrix ×
 dense-matrix product per sweep (a multi-RHS solve). Only users whose BFS
 genuinely truncates at µ — where the subgraph is query-specific by
 construction — fall back to the per-user path.
+
+Warm serving
+------------
+All request-independent structures — the per-group transition matrices,
+masks, component labels and entropy slices, and the per-query BFS subgraphs
+— are memoized in a :class:`~repro.graph.cache.TransitionCache` owned by the
+fitted recommender. A serving process hitting the same component groups
+request after request pays the sparse slice + normalization once; repeat
+requests go straight to the solve. The cache is (re)built lazily after
+``fit`` or ``load_state_dict`` and its hit/miss counters surface through
+:meth:`Recommender.scoring_cache_stats` into the serving-engine reports.
 """
 
 from __future__ import annotations
@@ -42,8 +53,7 @@ from repro.graph.absorbing import (
     truncated_absorbing_values_multi,
 )
 from repro.graph.bipartite import UserItemGraph
-from repro.graph.subgraph import bfs_subgraph
-from repro.utils.sparse import row_normalize
+from repro.graph.cache import TransitionCache
 from repro.utils.validation import check_in_options, check_positive_int
 
 __all__ = ["RandomWalkRecommender"]
@@ -73,6 +83,7 @@ class RandomWalkRecommender(Recommender):
             subgraph_size = check_positive_int(subgraph_size, "subgraph_size")
         self.subgraph_size = subgraph_size
         self.graph: UserItemGraph | None = None
+        self._transition_cache: TransitionCache | None = None
 
     # -- subclass hooks -----------------------------------------------------
 
@@ -95,7 +106,45 @@ class RandomWalkRecommender(Recommender):
 
     def _fit(self, dataset: RatingDataset) -> None:
         self.graph = UserItemGraph(dataset)
+        self._transition_cache = None
         self._post_fit(dataset)
+
+    # -- persistence ---------------------------------------------------------
+
+    def get_config(self) -> dict:
+        return {
+            "method": self.method,
+            "n_iterations": self.n_iterations,
+            "subgraph_size": self.subgraph_size,
+        }
+
+    def _state_arrays(self) -> dict:
+        return self.graph.to_arrays()
+
+    def _load_state_arrays(self, arrays: dict) -> None:
+        self.graph = UserItemGraph.from_arrays(self.dataset, arrays)
+        self._transition_cache = None
+
+    # -- warm cache ----------------------------------------------------------
+
+    @property
+    def transition_cache(self) -> TransitionCache | None:
+        """The scoring-layer cache, or ``None`` before the first batch call."""
+        return self._transition_cache
+
+    def _ensure_cache(self) -> TransitionCache:
+        # Built lazily so fit()/load_state_dict() stay cheap; the entropy
+        # vector is frozen into the cache, matching the fit-once contract.
+        if self._transition_cache is None:
+            self._transition_cache = TransitionCache(
+                self.graph, node_entropy=self._node_entropy_vector()
+            )
+        return self._transition_cache
+
+    def scoring_cache_stats(self) -> dict | None:
+        if self._transition_cache is None:
+            return None
+        return self._transition_cache.stats()
 
     def _node_entropy_vector(self, nodes: np.ndarray | None = None) -> np.ndarray:
         """Entropy per graph node: E(u) at user nodes, 0 at item nodes.
@@ -136,21 +185,24 @@ class RandomWalkRecommender(Recommender):
         """Per-user scoring on the µ-truncated BFS subgraph (Algorithm 1).
 
         Used when the BFS budget genuinely truncates: the subgraph then
-        depends on the query's expansion order and cannot be shared.
+        depends on the query's expansion order and cannot be shared across
+        *different* queries — but it is deterministic per query, so the
+        subgraph and its normalized transition come from the cache and a
+        repeated request skips the traversal and the sparse setup.
         """
         graph = self.graph
+        cache = self._ensure_cache()
         scores = np.full(self.dataset.n_items, -np.inf)
         seed_items = self._subgraph_seed_items(user, absorbing)
-        sub = bfs_subgraph(graph, seed_items, self.subgraph_size)
+        sub, transition = cache.bfs(user, seed_items, absorbing, self.subgraph_size)
         if not all(sub.contains(int(a)) for a in absorbing):
             # The absorbing set must live inside the subgraph; for HT the
             # query user is adjacent to their items so this only triggers on
             # pathological inputs.
             return scores
-        transition = row_normalize(sub.adjacency, allow_zero_rows=True)
         absorbing_local = sub.to_local(absorbing)
         user_mask = sub.nodes < graph.n_users
-        node_entropy = self._node_entropy_vector(sub.nodes)
+        node_entropy = cache.node_entropy[sub.nodes]
         values = self._solve(transition, absorbing_local, user_mask, node_entropy)
 
         item_node_positions = np.flatnonzero(~user_mask)
@@ -196,77 +248,59 @@ class RandomWalkRecommender(Recommender):
         scores = np.full((users.size, dataset.n_items), -np.inf)
         if users.size == 0:
             return scores
+        cache = self._ensure_cache()
         absorbing_sets = [self._absorbing_nodes(int(u)) for u in users]
-        labels = graph.component_labels()
 
+        groups: dict[tuple[int, ...] | None, list[int]] = {}
+        solo: list[int] = []
         if self.subgraph_size is None:
             # Global graph: every query shares one transition matrix; solve
             # all non-cold-start queries as one multi-RHS batch.
             active = [i for i in range(users.size) if absorbing_sets[i].size]
-            if not active:
-                return scores
-            transition = graph.transition_matrix()
-            user_mask = np.zeros(graph.n_nodes, dtype=bool)
-            user_mask[:graph.n_users] = True
-            values = self._solve_multi(
-                transition, [absorbing_sets[i] for i in active], user_mask,
-                self._node_entropy_vector(), labels,
-            )
-            item_values = values[graph.item_nodes(), :]
-            finite = np.isfinite(item_values)
-            for column, i in enumerate(active):
-                keep = finite[:, column]
-                scores[i, keep] = -item_values[keep, column]
-            return scores
-
-        # µ-subgraph mode: a query whose BFS never exhausts the µ budget ends
-        # up with the full union of the connected components its seed items
-        # live in — a set many queries share. Group on that component key.
-        item_component_counts = np.bincount(
-            labels[graph.n_users:], minlength=int(labels.max()) + 1
-        )
-        groups: dict[tuple[int, ...], list[int]] = {}
-        solo: list[int] = []
-        for i, user in enumerate(users):
-            absorbing = absorbing_sets[i]
-            if absorbing.size == 0:
-                continue  # cold start: row stays -inf
-            seed_items = self._subgraph_seed_items(int(user), absorbing)
-            if seed_items.size == 0:
-                solo.append(i)
-                continue
-            components = np.unique(labels[graph.item_nodes(seed_items)])
-            if (int(item_component_counts[components].sum()) > self.subgraph_size
-                    or not np.all(np.isin(labels[absorbing], components))):
-                solo.append(i)
-                continue
-            key = tuple(int(c) for c in components)
-            groups.setdefault(key, []).append(i)
+            if active:
+                groups[None] = active
+        else:
+            # µ-subgraph mode: a query whose BFS never exhausts the µ budget
+            # ends up with the full union of the connected components its
+            # seed items live in — a set many queries share. Group on that
+            # component key.
+            labels = graph.component_labels()
+            item_component_sizes = graph.item_component_sizes()
+            for i, user in enumerate(users):
+                absorbing = absorbing_sets[i]
+                if absorbing.size == 0:
+                    continue  # cold start: row stays -inf
+                seed_items = self._subgraph_seed_items(int(user), absorbing)
+                if seed_items.size == 0:
+                    solo.append(i)
+                    continue
+                components = np.unique(labels[graph.item_nodes(seed_items)])
+                if (int(item_component_sizes[components].sum()) > self.subgraph_size
+                        or not np.all(np.isin(labels[absorbing], components))):
+                    solo.append(i)
+                    continue
+                key = tuple(int(c) for c in components)
+                groups.setdefault(key, []).append(i)
 
         for i in solo:
             scores[i] = self._score_user_bfs(int(users[i]), absorbing_sets[i])
 
         for components, members in groups.items():
-            nodes = np.flatnonzero(np.isin(labels, np.array(components)))
-            transition = row_normalize(
-                graph.adjacency[nodes][:, nodes].tocsr(), allow_zero_rows=True
-            )
+            entry = cache.group(components)
+            # Local indices of each absorbing set; entry.nodes is sorted
+            # ascending, and on the global (None) key it is the identity.
             absorbing_local = [
-                np.searchsorted(nodes, absorbing_sets[i]) for i in members
+                np.searchsorted(entry.nodes, absorbing_sets[i]) for i in members
             ]
-            user_mask = nodes < graph.n_users
-            node_entropy = self._node_entropy_vector(nodes)
             values = self._solve_multi(
-                transition, absorbing_local, user_mask, node_entropy,
-                labels[nodes],
+                entry.transition, absorbing_local, entry.user_mask,
+                entry.node_entropy, entry.labels,
             )
-            item_positions = np.flatnonzero(~user_mask)
-            item_indices = nodes[item_positions] - graph.n_users
-            item_values = values[item_positions, :]
+            item_values = values[entry.item_positions, :]
             finite = np.isfinite(item_values)
             for column, i in enumerate(members):
                 keep = finite[:, column]
-                scores[i, item_indices[keep]] = -item_values[keep, column]
+                scores[i, entry.item_indices[keep]] = -item_values[keep, column]
         return scores
 
     def _subgraph_seed_items(self, user: int, absorbing: np.ndarray) -> np.ndarray:

@@ -17,11 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.artifacts import register_recommender
 from repro.core.graph_base import RandomWalkRecommender
 
 __all__ = ["HittingTimeRecommender"]
 
 
+@register_recommender
 class HittingTimeRecommender(RandomWalkRecommender):
     """User-based Hitting Time ranking (the paper's HT variant).
 

@@ -13,6 +13,7 @@ rejected at construction.
 
 from __future__ import annotations
 
+import json
 from typing import Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -21,7 +22,42 @@ import scipy.sparse as sp
 from repro.exceptions import DataError, UnknownItemError, UnknownUserError
 from repro.utils.validation import check_rating_matrix
 
-__all__ = ["RatingDataset"]
+__all__ = ["RatingDataset", "labels_to_json", "labels_from_json"]
+
+
+def labels_to_json(labels: Sequence[Hashable]) -> np.ndarray:
+    """Encode user/item labels as a 0-d JSON-string array for ``.npz`` files.
+
+    JSON instead of pickled object arrays keeps persisted files loadable
+    with ``allow_pickle=False`` — a foreign artifact can fail validation but
+    can never execute code. Supports the hashable label types JSON can carry
+    (str/int/float/bool/None and tuples thereof); anything else raises
+    :class:`DataError` at save time.
+    """
+    try:
+        return np.array(json.dumps(list(labels)))
+    except (TypeError, ValueError) as exc:
+        raise DataError(
+            f"labels are not JSON-serializable ({exc}); persistence supports "
+            "str/int/float/bool/None and tuples thereof"
+        ) from None
+
+
+def _tuplify(value):
+    # Labels are hashable, so any list in the decoded JSON must have been a
+    # tuple before encoding; restore it (recursively, for nested tuples).
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+def labels_from_json(encoded) -> tuple:
+    """Inverse of :func:`labels_to_json`."""
+    try:
+        decoded = json.loads(str(np.asarray(encoded)[()]))
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise DataError(f"corrupt label encoding: {exc}") from None
+    return tuple(_tuplify(v) for v in decoded)
 
 
 def _make_labels(labels, count: int, prefix: str) -> tuple:
@@ -206,6 +242,47 @@ class RatingDataset:
 
     def mean_rating(self) -> float:
         return float(self._csr.data.mean())
+
+    # -- serialization -------------------------------------------------------
+
+    def to_arrays(self) -> dict:
+        """Flat dict of numpy arrays fully describing the dataset.
+
+        The inverse of :meth:`from_arrays`; used by the model-artifact layer
+        (:mod:`repro.core.artifacts`) to embed the training data in a saved
+        artifact so a loaded recommender can serve (exclusions, graph
+        reconstruction) without the original data files.
+        """
+        scale = (np.empty(0, dtype=np.float64) if self.rating_scale is None
+                 else np.array([self.rating_scale[0], self.rating_scale[1]],
+                               dtype=np.float64))
+        return {
+            "data": self._csr.data,
+            "indices": self._csr.indices,
+            "indptr": self._csr.indptr,
+            "shape": np.array(self._csr.shape, dtype=np.int64),
+            "user_labels": labels_to_json(self.user_labels),
+            "item_labels": labels_to_json(self.item_labels),
+            "rating_scale": scale,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Mapping) -> "RatingDataset":
+        """Rebuild a dataset from :meth:`to_arrays` output."""
+        try:
+            shape = tuple(int(s) for s in np.asarray(arrays["shape"]).ravel())
+            matrix = sp.csr_matrix(
+                (np.asarray(arrays["data"], dtype=np.float64),
+                 np.asarray(arrays["indices"]), np.asarray(arrays["indptr"])),
+                shape=shape,
+            )
+            scale = np.asarray(arrays["rating_scale"], dtype=np.float64).ravel()
+            user_labels = labels_from_json(arrays["user_labels"])
+            item_labels = labels_from_json(arrays["item_labels"])
+        except KeyError as exc:
+            raise DataError(f"dataset arrays missing key {exc.args[0]!r}") from None
+        rating_scale = None if scale.size == 0 else (float(scale[0]), float(scale[1]))
+        return cls(matrix, user_labels, item_labels, rating_scale=rating_scale)
 
     # -- transforms ----------------------------------------------------------
 

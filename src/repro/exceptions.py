@@ -41,6 +41,11 @@ class ConfigError(ReproError):
     """Invalid configuration or parameter value supplied by the caller."""
 
 
+class ArtifactError(ReproError):
+    """A persisted model artifact or precomputed cache could not be used
+    (missing/mismatched format version, unregistered class, corrupt file)."""
+
+
 class UnknownUserError(ReproError):
     """A user id was not found in the dataset.
 

@@ -9,6 +9,7 @@ from repro.graph.absorbing import (
     truncated_absorbing_values,
 )
 from repro.graph.bipartite import UserItemGraph
+from repro.graph.cache import TransitionCache, TransitionGroup
 from repro.graph.proximity import commute_times, katz_index, personalized_pagerank
 from repro.graph.random_walk import (
     monte_carlo_absorbing_time,
@@ -25,6 +26,8 @@ __all__ = [
     "reachability_mask",
     "truncated_absorbing_values",
     "UserItemGraph",
+    "TransitionCache",
+    "TransitionGroup",
     "commute_times",
     "katz_index",
     "personalized_pagerank",

@@ -52,6 +52,7 @@ class UserItemGraph:
         self.degrees: np.ndarray = degree_vector(self.adjacency)
         self._transition: sp.csr_matrix | None = None
         self._components: tuple[int, np.ndarray] | None = None
+        self._item_component_sizes: np.ndarray | None = None
 
     # -- node indexing ------------------------------------------------------
 
@@ -148,6 +149,72 @@ class UserItemGraph:
             raise GraphError(f"node {node} out of range")
         labels = self.component_labels()
         return np.flatnonzero(labels == labels[node]).astype(np.int64)
+
+    def item_component_sizes(self) -> np.ndarray:
+        """Number of *item* nodes per component id (cached).
+
+        The batch walk scorer checks, per query, whether the union of the
+        seed items' components fits inside the µ budget; caching the bincount
+        here keeps that check O(components-touched) per request instead of
+        O(n_nodes) per cohort.
+        """
+        if self._item_component_sizes is None:
+            labels = self.component_labels()
+            self._item_component_sizes = np.bincount(
+                labels[self.n_users:], minlength=self.n_components
+            )
+        return self._item_component_sizes
+
+    # -- serialization --------------------------------------------------------
+
+    def to_arrays(self) -> dict:
+        """Flat dict of arrays describing the graph's walk structure.
+
+        Contains the weighted adjacency (CSR parts) and the connected-
+        component labelling — the two things worth shipping with a model
+        artifact so a loaded recommender starts with warm structures instead
+        of re-running :func:`scipy.sparse.csgraph.connected_components`.
+        Component labels are computed here if not already cached.
+        """
+        count, labels = self._component_info()
+        return {
+            "graph_data": self.adjacency.data,
+            "graph_indices": self.adjacency.indices,
+            "graph_indptr": self.adjacency.indptr,
+            "graph_component_labels": labels,
+            "graph_n_components": np.array([count], dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, dataset: RatingDataset, arrays) -> "UserItemGraph":
+        """Rebuild a graph from :meth:`to_arrays` output without recomputing
+        the adjacency or the connected components."""
+        graph = object.__new__(cls)
+        graph.dataset = dataset
+        graph.n_users = dataset.n_users
+        graph.n_items = dataset.n_items
+        try:
+            n_nodes = graph.n_users + graph.n_items
+            adjacency = sp.csr_matrix(
+                (np.asarray(arrays["graph_data"], dtype=np.float64),
+                 np.asarray(arrays["graph_indices"]),
+                 np.asarray(arrays["graph_indptr"])),
+                shape=(n_nodes, n_nodes),
+            )
+            labels = np.asarray(arrays["graph_component_labels"])
+            count = int(np.asarray(arrays["graph_n_components"]).ravel()[0])
+        except (KeyError, ValueError) as exc:
+            raise GraphError(f"invalid graph arrays: {exc}") from None
+        if labels.shape != (n_nodes,):
+            raise GraphError(
+                f"component labels shape {labels.shape} != ({n_nodes},)"
+            )
+        graph.adjacency = adjacency
+        graph.degrees = degree_vector(adjacency)
+        graph._transition = None
+        graph._components = (count, labels)
+        graph._item_component_sizes = None
+        return graph
 
     def __repr__(self) -> str:
         return (

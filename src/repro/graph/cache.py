@@ -1,0 +1,231 @@
+"""Memoized walk structures for repeated batch serving (the warm path).
+
+Scoring a cohort through :class:`~repro.core.graph_base.RandomWalkRecommender`
+spends a large share of its time *before* any sweep runs: slicing the
+component-group submatrix out of the global adjacency, row-normalizing it,
+building the user mask and the per-node entropy vector. Those structures
+depend only on the (immutable) fitted graph and the component-group key —
+never on the query — so a serving process that sees the same µ-subgraph
+groups request after request is recomputing identical sparse matrices.
+
+:class:`TransitionCache` memoizes them:
+
+* :meth:`group` — the shared transition matrix (plus user mask, local
+  component labels, item index maps and the entropy slice) for a
+  component-group key, as used by the grouped multi-RHS batch path;
+* :meth:`bfs` — the µ-truncated BFS subgraph and its row-normalized
+  transition for a single query, keyed by (user, absorbing set, µ): the BFS
+  expansion is deterministic, so a repeated query skips the traversal, the
+  sparse slice and the normalization entirely;
+* :attr:`node_entropy` — the full per-node entropy vector, computed once.
+
+Entries are kept in an LRU dict bounded by ``max_entries``; hit/miss
+counters feed the serving reports (`cache-hit stats` in
+:class:`~repro.service.engine.ServingEngine`).
+
+The cache assumes the graph and the entropy vector are frozen after fit —
+exactly the offline-fit / online-serve contract of the artifact layer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.bipartite import UserItemGraph
+from repro.graph.subgraph import LocalSubgraph, bfs_subgraph
+from repro.utils.sparse import row_normalize
+from repro.utils.validation import check_positive_int
+
+__all__ = ["TransitionGroup", "TransitionCache"]
+
+
+@dataclass(frozen=True)
+class TransitionGroup:
+    """Warm walk structures shared by every query hitting one node group.
+
+    Attributes
+    ----------
+    nodes:
+        Parent-graph node indices of the group, sorted ascending.
+    transition:
+        Row-normalized transition matrix over ``nodes``.
+    user_mask:
+        Boolean per local node; True where the node is a user.
+    labels:
+        Connected-component id per local node.
+    node_entropy:
+        Entropy per local node (user entropy at user nodes, 0 at items).
+    item_positions:
+        Local positions of the item nodes (``flatnonzero(~user_mask)``).
+    item_indices:
+        Catalogue item index of each entry of ``item_positions``.
+    """
+
+    nodes: np.ndarray
+    transition: sp.csr_matrix
+    user_mask: np.ndarray
+    labels: np.ndarray
+    node_entropy: np.ndarray
+    item_positions: np.ndarray
+    item_indices: np.ndarray
+
+
+class TransitionCache:
+    """LRU cache of transition matrices and walk structures for one graph.
+
+    Parameters
+    ----------
+    graph:
+        The fitted (immutable) user-item graph.
+    node_entropy:
+        Optional per-node entropy vector (length ``graph.n_nodes``); defaults
+        to all zeros (HT/AT — only Absorbing Cost carries entropies).
+    max_entries:
+        Bound on cached component-group entries; least-recently-used entries
+        are evicted beyond it.
+    max_bfs_entries:
+        Separate bound for per-query BFS entries. The two kinds live in
+        separate LRUs so a churn of one-off truncated-BFS queries can never
+        evict the heavily shared group transition matrices.
+    """
+
+    #: Key of the whole-graph pseudo-group used by global-graph scoring.
+    GLOBAL_KEY = ("__global__",)
+
+    def __init__(self, graph: UserItemGraph, node_entropy: np.ndarray | None = None,
+                 max_entries: int = 256, max_bfs_entries: int = 256):
+        self.graph = graph
+        if node_entropy is None:
+            node_entropy = np.zeros(graph.n_nodes)
+        node_entropy = np.asarray(node_entropy, dtype=np.float64).ravel()
+        if node_entropy.shape[0] != graph.n_nodes:
+            raise ValueError(
+                f"node_entropy length {node_entropy.shape[0]} != n_nodes {graph.n_nodes}"
+            )
+        self.node_entropy = node_entropy
+        self.max_entries = check_positive_int(max_entries, "max_entries")
+        self.max_bfs_entries = check_positive_int(max_bfs_entries, "max_bfs_entries")
+        self._groups: OrderedDict[tuple, TransitionGroup] = OrderedDict()
+        self._bfs: OrderedDict[tuple, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- generic LRU ---------------------------------------------------------
+
+    def _get(self, entries: OrderedDict, key: tuple, builder, bound: int):
+        entry = entries.get(key)
+        if entry is not None:
+            entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        self.misses += 1
+        entry = builder()
+        entries[key] = entry
+        while len(entries) > bound:
+            entries.popitem(last=False)
+        return entry
+
+    # -- component-group transitions ----------------------------------------
+
+    def group(self, components: tuple[int, ...] | None) -> TransitionGroup:
+        """Warm structures for a component-group key.
+
+        ``components`` is the sorted tuple of connected-component ids whose
+        union forms the shared subgraph; ``None`` addresses the whole graph
+        (the global-graph scoring mode), reusing the graph's own cached
+        transition matrix.
+        """
+        if components is None:
+            return self._get(self._groups, self.GLOBAL_KEY, self._build_global,
+                             self.max_entries)
+        key = ("group",) + tuple(int(c) for c in components)
+        return self._get(self._groups, key,
+                         lambda: self._build_group(key[1:]), self.max_entries)
+
+    def _finish_group(self, nodes: np.ndarray, transition: sp.csr_matrix,
+                      labels: np.ndarray) -> TransitionGroup:
+        user_mask = nodes < self.graph.n_users
+        item_positions = np.flatnonzero(~user_mask)
+        return TransitionGroup(
+            nodes=nodes,
+            transition=transition,
+            user_mask=user_mask,
+            labels=labels,
+            node_entropy=self.node_entropy[nodes],
+            item_positions=item_positions,
+            item_indices=nodes[item_positions] - self.graph.n_users,
+        )
+
+    def _build_global(self) -> TransitionGroup:
+        graph = self.graph
+        nodes = np.arange(graph.n_nodes, dtype=np.int64)
+        return self._finish_group(
+            nodes, graph.transition_matrix(), graph.component_labels()
+        )
+
+    def _build_group(self, components: tuple[int, ...]) -> TransitionGroup:
+        graph = self.graph
+        labels = graph.component_labels()
+        nodes = np.flatnonzero(np.isin(labels, np.array(components)))
+        transition = row_normalize(
+            graph.adjacency[nodes][:, nodes].tocsr(), allow_zero_rows=True
+        )
+        return self._finish_group(nodes, transition, labels[nodes])
+
+    # -- per-query BFS subgraphs --------------------------------------------
+
+    def bfs(self, user: int, seed_items: np.ndarray, absorbing: np.ndarray,
+            max_items: int) -> tuple[LocalSubgraph, sp.csr_matrix]:
+        """Memoized µ-truncated BFS subgraph + row-normalized transition.
+
+        The key covers everything the expansion depends on — the seed items,
+        the absorbing set and the µ budget — so a repeated request for the
+        same user is answered without touching the adjacency at all.
+        """
+        key = ("bfs", int(user), int(max_items),
+               seed_items.tobytes(), absorbing.tobytes())
+
+        def build():
+            sub = bfs_subgraph(self.graph, seed_items, max_items)
+            transition = row_normalize(sub.adjacency, allow_zero_rows=True)
+            return (sub, transition)
+
+        return self._get(self._bfs, key, build, self.max_bfs_entries)
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._groups) + len(self._bfs)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters for serving reports."""
+        return {
+            "entries": len(self),
+            "group_entries": len(self._groups),
+            "bfs_entries": len(self._bfs),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def clear(self) -> None:
+        self._groups.clear()
+        self._bfs.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"TransitionCache(group_entries={len(self._groups)}, "
+            f"bfs_entries={len(self._bfs)}, hits={self.hits}, "
+            f"misses={self.misses}, max_entries={self.max_entries})"
+        )

@@ -1,23 +1,33 @@
-"""Batch serving layer: precomputed top-K stores and cohort serving jobs.
+"""Serving layer: stateful engine, precomputed stores, cohort serving jobs.
 
 Built on the batch scoring API (:meth:`repro.core.base.Recommender.score_users`
-/ ``recommend_batch``): :class:`TopKStore` precomputes every user's ranked
-list once and serves ``recommend(user, k)`` from a compact int32/float32
-cache with exclusion re-filtering; :func:`serve_user_cohort` streams a user
-cohort through the batch path in bounded-memory chunks and reports
-throughput. ``python -m repro.cli serve-batch`` is the command-line front.
+/ ``recommend_batch``): :class:`ServingEngine` loads a model artifact (or
+wraps a fitted recommender), owns the warm scoring caches plus an LRU result
+cache, and serves single queries and chunked cohorts with cache-hit stats;
+:class:`TopKStore` precomputes every user's ranked list once and serves
+``recommend(user, k)`` from a compact int32/float32 cache with exclusion
+re-filtering; :func:`serve_user_cohort` streams a user cohort through the
+batch path in bounded-memory chunks and reports throughput.
+``python -m repro.cli fit`` / ``serve`` / ``serve-batch`` are the
+command-line fronts.
 """
 
+from repro.service.engine import EngineReport, ServingEngine
 from repro.service.serving import (
     BatchServingReport,
     load_user_file,
+    rows_from_ranked_arrays,
     serve_user_cohort,
 )
-from repro.service.store import TopKStore
+from repro.service.store import STORE_FORMAT_VERSION, TopKStore
 
 __all__ = [
     "BatchServingReport",
+    "EngineReport",
+    "ServingEngine",
+    "STORE_FORMAT_VERSION",
     "TopKStore",
     "load_user_file",
+    "rows_from_ranked_arrays",
     "serve_user_cohort",
 ]

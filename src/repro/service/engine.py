@@ -1,0 +1,326 @@
+"""Stateful online serving: load an artifact once, answer requests warm.
+
+:class:`ServingEngine` is the process-level object a serving deployment
+keeps alive between requests. It owns:
+
+* a fitted recommender — either passed in or loaded from a model artifact
+  (:func:`repro.core.artifacts.load_artifact`), never refitted;
+* the recommender's scoring-layer warm structures (the walk recommenders'
+  :class:`~repro.graph.cache.TransitionCache`), which fill on first use and
+  make repeated cohorts skip the sparse setup;
+* a bounded LRU **result cache** of ranked ``(items, scores)`` rows keyed by
+  ``(user, k, exclude_rated)``, so a user served twice is answered from
+  int64 arrays without touching the model at all;
+* optionally an attached :class:`~repro.service.store.TopKStore` for
+  microsecond single-user lookups with exclusion re-filtering.
+
+Every cohort run returns an :class:`EngineReport` whose summary carries the
+cache-hit statistics of both layers — the observability needed to size
+caches and verify the fit-once/serve-many split actually pays.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.artifacts import load_artifact
+from repro.core.base import Recommendation, Recommender
+from repro.exceptions import ConfigError, NotFittedError
+from repro.service.serving import _label_array, rows_from_ranked_arrays
+from repro.service.store import TopKStore
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    as_index_array,
+    check_non_negative_int,
+    check_positive_int,
+)
+
+__all__ = ["EngineReport", "ServingEngine"]
+
+
+@dataclass
+class EngineReport:
+    """Outcome of one engine cohort run, with cache observability.
+
+    Attributes
+    ----------
+    rows:
+        One dict per (user, rank): ``user``, ``rank`` (1-based), ``item``,
+        ``label``, ``score``.
+    n_users, k, seconds:
+        Cohort size, requested list length, wall-clock of the serving phase.
+    result_cache_hits / result_cache_misses:
+        Users answered from / inserted into the engine's result cache during
+        this run (duplicates within a cohort count as hits).
+    scoring_cache:
+        Hit/miss counters of the recommender's scoring-layer cache at the
+        end of the run (``{}`` when the algorithm has none).
+    """
+
+    rows: list = field(default_factory=list)
+    n_users: int = 0
+    k: int = 10
+    seconds: float = 0.0
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
+    scoring_cache: dict = field(default_factory=dict)
+
+    @property
+    def users_per_second(self) -> float:
+        return self.n_users / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def result_cache_hit_rate(self) -> float:
+        total = self.result_cache_hits + self.result_cache_misses
+        return self.result_cache_hits / total if total else 0.0
+
+    def summary(self) -> dict:
+        """One summary row for reporting."""
+        return {
+            "users": self.n_users,
+            "k": self.k,
+            "seconds": round(self.seconds, 4),
+            "users_per_sec": round(self.users_per_second, 1),
+            "result_hits": self.result_cache_hits,
+            "result_misses": self.result_cache_misses,
+            "result_hit_rate": round(self.result_cache_hit_rate, 3),
+            "scoring_hits": self.scoring_cache.get("hits", 0),
+            "scoring_misses": self.scoring_cache.get("misses", 0),
+        }
+
+
+class ServingEngine:
+    """Fit-once / serve-many front over a fitted recommender.
+
+    Parameters
+    ----------
+    recommender:
+        A fitted :class:`~repro.core.base.Recommender` (load one from disk
+        with :meth:`from_artifact`).
+    store:
+        Optional precomputed :class:`TopKStore`; single-user queries go to it
+        first when it is deep enough for the requested ``k``.
+    store_exclude_rated:
+        The ``exclude_rated`` setting the attached store was *built* with
+        (default True, matching ``TopKStore.from_recommender``); the store
+        only answers requests whose ``exclude_rated`` matches, so a store
+        precomputed without exclusion can never leak rated items into an
+        excluding request. :meth:`build_store` records this automatically.
+    result_cache_size:
+        Bound on cached ranked lists (LRU-evicted beyond it); ``0`` disables
+        the result cache entirely (every request recomputes — useful for
+        benchmarking the scoring layer in isolation).
+    """
+
+    def __init__(self, recommender: Recommender, store: TopKStore | None = None,
+                 store_exclude_rated: bool = True,
+                 result_cache_size: int = 65536):
+        if not isinstance(recommender, Recommender):
+            raise ConfigError(
+                f"ServingEngine requires a Recommender; got {type(recommender).__name__}"
+            )
+        if not recommender.is_fitted:
+            raise NotFittedError(
+                f"{type(recommender).__name__} must be fitted (or loaded from "
+                "an artifact) before serving"
+            )
+        if store is not None and store.n_users != recommender.dataset.n_users:
+            raise ConfigError(
+                f"store has {store.n_users} users; model dataset has "
+                f"{recommender.dataset.n_users}"
+            )
+        self.recommender = recommender
+        self.store = store
+        self.store_exclude_rated = bool(store_exclude_rated)
+        self.result_cache_size = check_non_negative_int(
+            result_cache_size, "result_cache_size"
+        )
+        self._results: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        self._labels = _label_array(recommender.dataset.item_labels)
+        self.result_cache_hits = 0
+        self.result_cache_misses = 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_artifact(cls, path: str, store_path: str | None = None,
+                      **kwargs) -> "ServingEngine":
+        """Boot an engine from a saved model artifact (+ optional store).
+
+        This is the online half of the offline-fit / online-serve split:
+        ``repro.cli fit`` writes the artifact, ``repro.cli serve`` calls
+        this. No training happens here.
+        """
+        recommender = load_artifact(path)
+        store = TopKStore.load(store_path) if store_path is not None else None
+        return cls(recommender, store=store, **kwargs)
+
+    @property
+    def dataset(self):
+        return self.recommender.dataset
+
+    # -- result cache --------------------------------------------------------
+
+    def _cached_arrays(self, users: np.ndarray, k: int, exclude_rated: bool,
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Ranked ``(items, scores)`` for ``users``, through the result cache.
+
+        Uncached users are answered in one ``recommend_batch_arrays`` call;
+        rows are then assembled in cohort order from the cache.
+        """
+        if self.result_cache_size == 0:
+            self.result_cache_misses += int(users.size)
+            return self.recommender.recommend_batch_arrays(
+                users, k=k, exclude_rated=exclude_rated
+            )
+        keys = [(int(u), k, exclude_rated) for u in users]
+        missing: list[int] = []
+        seen: set[tuple] = set()
+        for user, key in zip(users, keys):
+            if key in self._results:
+                self.result_cache_hits += 1
+            elif key not in seen:
+                seen.add(key)
+                missing.append(int(user))
+                self.result_cache_misses += 1
+            else:
+                self.result_cache_hits += 1  # duplicate within this cohort
+        if missing:
+            cohort = np.asarray(missing, dtype=np.int64)
+            new_items, new_scores = self.recommender.recommend_batch_arrays(
+                cohort, k=k, exclude_rated=exclude_rated
+            )
+            for row, user in enumerate(missing):
+                self._results[(user, k, exclude_rated)] = (
+                    new_items[row], new_scores[row]
+                )
+            while len(self._results) > self.result_cache_size:
+                self._results.popitem(last=False)
+        items = np.full((users.size, k), -1, dtype=np.int64)
+        scores = np.full((users.size, k), -np.inf)
+        for row, key in enumerate(keys):
+            entry = self._results.get(key)
+            if entry is None:  # evicted within this very call (tiny cache)
+                entry_items, entry_scores = self.recommender.recommend_batch_arrays(
+                    np.array([key[0]], dtype=np.int64), k=k,
+                    exclude_rated=exclude_rated,
+                )
+                entry = (entry_items[0], entry_scores[0])
+            else:
+                self._results.move_to_end(key)
+            items[row], scores[row] = entry
+        return items, scores
+
+    # -- serving -------------------------------------------------------------
+
+    def recommend(self, user: int, k: int = 10, exclude_rated: bool = True,
+                  exclude=None) -> list[Recommendation]:
+        """Top-``k`` for one user, served as warm as possible.
+
+        Resolution order: attached :class:`TopKStore` (when deep enough for
+        ``k`` plus the exclusions and built with the same ``exclude_rated``
+        semantics — see ``store_exclude_rated``), then the engine's result
+        cache, then the model. ``exclude`` re-filters the ranked list the way
+        the store does: banned items are dropped and next-ranked ones take
+        their place.
+        """
+        dataset = self.dataset
+        dataset._check_user(user)
+        k = check_positive_int(k, "k")
+        banned = (np.empty(0, dtype=np.int64) if exclude is None
+                  else np.asarray(list(exclude), dtype=np.int64))
+        if (self.store is not None
+                and exclude_rated == self.store_exclude_rated
+                and self.store.depth >= k + banned.size):
+            return self.store.recommend(user, k, exclude=banned)
+        items, scores = self._cached_arrays(
+            np.array([user], dtype=np.int64), k + banned.size, exclude_rated
+        )
+        row_items, row_scores = items[0], scores[0]
+        keep = row_items >= 0
+        if banned.size:
+            keep &= ~np.isin(row_items, banned)
+        row_items, row_scores = row_items[keep][:k], row_scores[keep][:k]
+        return [
+            Recommendation(int(i), self._labels[int(i)], float(s))
+            for i, s in zip(row_items, row_scores)
+        ]
+
+    def serve_cohort(self, users, k: int = 10, batch_size: int = 256,
+                     exclude_rated: bool = True) -> EngineReport:
+        """Serve a user cohort in bounded chunks through the warm caches.
+
+        An empty cohort is legal (a report with zero users); cold-start
+        users contribute no rows, matching ``recommend_batch``.
+        """
+        dataset = self.dataset
+        k = check_positive_int(k, "k")
+        batch_size = check_positive_int(batch_size, "batch_size")
+        users = as_index_array(
+            np.atleast_1d(np.asarray(users)), dataset.n_users, "users"
+        )
+        report = EngineReport(n_users=int(users.size), k=k)
+        hits_before = self.result_cache_hits
+        misses_before = self.result_cache_misses
+        with Timer() as timer:
+            for start in range(0, users.size, batch_size):
+                chunk = users[start:start + batch_size]
+                items, scores = self._cached_arrays(chunk, k, exclude_rated)
+                report.rows.extend(
+                    rows_from_ranked_arrays(chunk, items, scores, self._labels)
+                )
+        report.seconds = timer.elapsed
+        report.result_cache_hits = self.result_cache_hits - hits_before
+        report.result_cache_misses = self.result_cache_misses - misses_before
+        report.scoring_cache = self.recommender.scoring_cache_stats() or {}
+        return report
+
+    def warm(self, users=None, k: int = 10, batch_size: int = 256) -> EngineReport:
+        """Pre-fill the caches (default: every user) before taking traffic."""
+        if users is None:
+            users = np.arange(self.dataset.n_users, dtype=np.int64)
+        return self.serve_cohort(users, k=k, batch_size=batch_size)
+
+    # -- store management ----------------------------------------------------
+
+    def build_store(self, depth: int = 50, batch_size: int = 256,
+                    exclude_rated: bool = True) -> TopKStore:
+        """Precompute and attach a :class:`TopKStore` for single-user traffic.
+
+        Records ``exclude_rated`` so :meth:`recommend` only routes to the
+        store requests with matching exclusion semantics.
+        """
+        self.store = TopKStore.from_recommender(
+            self.recommender, depth=depth, batch_size=batch_size,
+            exclude_rated=exclude_rated,
+        )
+        self.store_exclude_rated = bool(exclude_rated)
+        return self.store
+
+    # -- introspection -------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Drop the result cache (the scoring cache stays with the model)."""
+        self._results.clear()
+        self.result_cache_hits = 0
+        self.result_cache_misses = 0
+
+    def stats(self) -> dict:
+        """Lifetime cache counters of both layers plus store presence."""
+        return {
+            "result_entries": len(self._results),
+            "result_hits": self.result_cache_hits,
+            "result_misses": self.result_cache_misses,
+            "scoring_cache": self.recommender.scoring_cache_stats() or {},
+            "store_attached": self.store is not None,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingEngine(algorithm={self.recommender.name!r}, "
+            f"cached_results={len(self._results)}, "
+            f"store={'yes' if self.store is not None else 'no'})"
+        )

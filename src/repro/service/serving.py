@@ -19,7 +19,40 @@ from repro.exceptions import ConfigError, DataFormatError
 from repro.utils.timer import Timer
 from repro.utils.validation import as_index_array, check_positive_int
 
-__all__ = ["BatchServingReport", "serve_user_cohort", "load_user_file"]
+__all__ = ["BatchServingReport", "serve_user_cohort", "load_user_file",
+           "rows_from_ranked_arrays"]
+
+
+def rows_from_ranked_arrays(users: np.ndarray, items: np.ndarray,
+                            scores: np.ndarray,
+                            item_labels: np.ndarray) -> list[dict]:
+    """Bulk-build (user, rank, item, label, score) row dicts.
+
+    ``items``/``scores`` are the padded ``(len(users), k)`` matrices of
+    :meth:`~repro.core.base.Recommender.recommend_batch_arrays`;
+    ``item_labels`` is an object array over the catalogue. The flattening,
+    padding filter and label gather are all vectorised — only the final dict
+    materialisation touches Python objects, once per emitted row.
+    """
+    n, k = items.shape
+    keep = (items >= 0).ravel()
+    user_column = np.repeat(np.asarray(users, dtype=np.int64), k)[keep]
+    rank_column = np.tile(np.arange(1, k + 1, dtype=np.int64), n)[keep]
+    item_column = items.ravel()[keep]
+    score_column = scores.ravel()[keep]
+    label_column = item_labels[item_column]
+    return [
+        {"user": int(u), "rank": int(r), "item": int(i), "label": l,
+         "score": float(s)}
+        for u, r, i, l, s in zip(user_column, rank_column, item_column,
+                                 label_column, score_column)
+    ]
+
+
+def _label_array(item_labels) -> np.ndarray:
+    arr = np.empty(len(item_labels), dtype=object)
+    arr[:] = list(item_labels)
+    return arr
 
 
 @dataclass
@@ -78,19 +111,14 @@ def serve_user_cohort(recommender: Recommender, users, k: int = 10,
     users = as_index_array(np.atleast_1d(np.asarray(users)), dataset.n_users, "users")
 
     report = BatchServingReport(n_users=int(users.size), k=k)
+    labels = _label_array(dataset.item_labels)
     with Timer() as timer:
         for start in range(0, users.size, batch_size):
             chunk = users[start:start + batch_size]
-            for user, ranked in zip(chunk, recommender.recommend_batch(
-                    chunk, k=k, exclude_rated=exclude_rated)):
-                for rank, rec in enumerate(ranked, start=1):
-                    report.rows.append({
-                        "user": int(user),
-                        "rank": rank,
-                        "item": rec.item,
-                        "label": rec.label,
-                        "score": rec.score,
-                    })
+            items, scores = recommender.recommend_batch_arrays(
+                chunk, k=k, exclude_rated=exclude_rated
+            )
+            report.rows.extend(rows_from_ranked_arrays(chunk, items, scores, labels))
     report.seconds = timer.elapsed
     return report
 

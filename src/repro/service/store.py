@@ -20,10 +20,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import Recommendation, Recommender
-from repro.exceptions import ConfigError, NotFittedError, UnknownUserError
+from repro.data.dataset import labels_from_json, labels_to_json
+from repro.exceptions import ArtifactError, ConfigError, NotFittedError, UnknownUserError
 from repro.utils.validation import check_positive_int
 
-__all__ = ["TopKStore"]
+__all__ = ["TopKStore", "STORE_FORMAT_VERSION"]
+
+#: On-disk format version of saved stores; bump on any layout change. A
+#: loaded store whose version is absent or different raises
+#: :class:`~repro.exceptions.ArtifactError` — serving stale indices from an
+#: incompatible precompute must fail loudly, never silently.
+STORE_FORMAT_VERSION = 1
 
 
 class TopKStore:
@@ -94,12 +101,14 @@ class TopKStore:
         scores = np.zeros((dataset.n_users, depth), dtype=np.float32)
         for start in range(0, dataset.n_users, batch_size):
             cohort = np.arange(start, min(start + batch_size, dataset.n_users))
-            lists = recommender.recommend_batch(cohort, k=depth,
-                                                exclude_rated=exclude_rated)
-            for user, ranked in zip(cohort, lists):
-                for rank, rec in enumerate(ranked):
-                    items[user, rank] = rec.item
-                    scores[user, rank] = rec.score
+            chunk_items, chunk_scores = recommender.recommend_batch_arrays(
+                cohort, k=depth, exclude_rated=exclude_rated
+            )
+            items[cohort] = chunk_items
+            # Padding slots carry -inf in the ranked arrays; the store's
+            # convention is "ignored", so zero them for a clean float32 file.
+            chunk_scores[chunk_items < 0] = 0.0
+            scores[cohort] = chunk_scores
         return cls(items, scores, dataset.item_labels)
 
     # -- shape --------------------------------------------------------------
@@ -178,21 +187,46 @@ class TopKStore:
         # both sides so save("cache") / load("cache") round-trip.
         return path if path.endswith(".npz") else path + ".npz"
 
-    def save(self, path: str) -> None:
-        """Persist the store as a compressed ``.npz`` archive."""
+    def save(self, path: str) -> str:
+        """Persist the store as a compressed ``.npz`` archive.
+
+        The file carries :data:`STORE_FORMAT_VERSION`; :meth:`load` refuses
+        any other version. Returns the path written (``.npz`` appended when
+        missing).
+        """
+        path = self._npz_path(path)
         np.savez_compressed(
-            self._npz_path(path),
+            path,
+            format_version=np.array(STORE_FORMAT_VERSION, dtype=np.int64),
             items=self._items,
             scores=self._scores,
-            item_labels=np.array(self.item_labels, dtype=object),
+            item_labels=labels_to_json(self.item_labels),
         )
+        return path
 
     @classmethod
     def load(cls, path: str) -> "TopKStore":
-        """Reload a store written by :meth:`save`."""
-        with np.load(cls._npz_path(path), allow_pickle=True) as archive:
+        """Reload a store written by :meth:`save`.
+
+        Raises :class:`~repro.exceptions.ArtifactError` when the file lacks a
+        format version (pre-versioning cache) or carries a different one —
+        a stale precompute must be rebuilt, not served. Labels are
+        JSON-encoded, so loading never unpickles anything.
+        """
+        with np.load(cls._npz_path(path), allow_pickle=False) as archive:
+            if "format_version" not in archive.files:
+                raise ArtifactError(
+                    f"{path!r} has no store format version (stale pre-versioning "
+                    "cache?); rebuild it with TopKStore.from_recommender"
+                )
+            version = int(archive["format_version"])
+            if version != STORE_FORMAT_VERSION:
+                raise ArtifactError(
+                    f"{path!r} has store format version {version}; this build "
+                    f"reads {STORE_FORMAT_VERSION} — rebuild the cache"
+                )
             return cls(archive["items"], archive["scores"],
-                       tuple(archive["item_labels"].tolist()))
+                       labels_from_json(archive["item_labels"]))
 
     def __repr__(self) -> str:
         return (

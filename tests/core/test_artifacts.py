@@ -1,0 +1,189 @@
+"""Artifact round-trips: every registered recommender fit → save → load →
+identical rankings, plus the failure modes that must stay loud."""
+
+import numpy as np
+import pytest
+
+from repro import AbsorbingCostRecommender, AbsorbingTimeRecommender
+from repro.core.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    load_artifact,
+    registered_recommenders,
+    save_artifact,
+)
+from repro.core.base import Recommender
+from repro.exceptions import ArtifactError, ConfigError
+from repro.graph.bipartite import UserItemGraph
+
+REGISTRY = registered_recommenders()
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    return np.arange(0, 120, 13, dtype=np.int64)
+
+
+@pytest.mark.parametrize("cls", [REGISTRY[name] for name in sorted(REGISTRY)],
+                         ids=sorted(REGISTRY))
+class TestRoundTrip:
+    def test_save_load_identical_rankings(self, cls, small_synth, cohort,
+                                          tmp_path):
+        fitted = cls().fit(small_synth.dataset)
+        path = save_artifact(fitted, str(tmp_path / "model"))
+        loaded = load_artifact(path)
+        assert type(loaded) is cls
+        assert loaded.is_fitted and loaded.name == fitted.name
+
+        np.testing.assert_array_equal(
+            fitted.score_users(cohort), loaded.score_users(cohort)
+        )
+        for original, restored in zip(fitted.recommend_batch(cohort, k=8),
+                                      loaded.recommend_batch(cohort, k=8)):
+            assert [r.item for r in original] == [r.item for r in restored]
+            assert [r.score for r in original] == [r.score for r in restored]
+
+    def test_state_dict_roundtrip_in_memory(self, cls, small_synth, cohort,
+                                            tmp_path):
+        fitted = cls().fit(small_synth.dataset)
+        restored = cls(**fitted.get_config()).load_state_dict(fitted.state_dict())
+        np.testing.assert_array_equal(
+            fitted.score_users(cohort[:3]), restored.score_users(cohort[:3])
+        )
+
+
+class TestDatasetEmbedding:
+    def test_loaded_dataset_matches_training_data(self, small_synth, tmp_path):
+        fitted = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        loaded = load_artifact(save_artifact(fitted, str(tmp_path / "at")))
+        original = small_synth.dataset
+        assert loaded.dataset.n_users == original.n_users
+        assert loaded.dataset.item_labels == original.item_labels
+        np.testing.assert_array_equal(
+            loaded.dataset.matrix.toarray(), original.matrix.toarray()
+        )
+
+    def test_non_string_labels_roundtrip_without_pickle(self, tmp_path):
+        from repro import MostPopularRecommender
+        from repro.data.dataset import RatingDataset
+
+        dataset = RatingDataset.from_triples([
+            ((2024, "a"), 10, 5.0), ((2024, "a"), 11, 3.0),
+            ((2025, "b"), 11, 4.0), ((2025, "b"), 12, 2.0),
+        ])
+        fitted = MostPopularRecommender().fit(dataset)
+        loaded = load_artifact(save_artifact(fitted, str(tmp_path / "m")))
+        # Tuple/int labels survive the JSON encoding exactly (no pickling).
+        assert loaded.dataset.user_labels == dataset.user_labels
+        assert loaded.dataset.item_labels == dataset.item_labels
+        assert loaded.recommend(0, k=2)[0].label in dataset.item_labels
+
+    def test_loaded_graph_has_warm_components(self, small_synth, tmp_path):
+        fitted = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        loaded = load_artifact(save_artifact(fitted, str(tmp_path / "at")))
+        # Components were persisted, not recomputed: the cache slot is
+        # populated before any call to component_labels().
+        assert loaded.graph._components is not None
+        np.testing.assert_array_equal(
+            loaded.graph.component_labels(), fitted.graph.component_labels()
+        )
+
+
+class TestAbsorbingCostState:
+    def test_precomputed_entropy_roundtrip(self, small_synth, cohort, tmp_path):
+        entropies = np.linspace(0.1, 2.0, small_synth.dataset.n_users)
+        fitted = AbsorbingCostRecommender(entropy=entropies).fit(small_synth.dataset)
+        loaded = load_artifact(save_artifact(fitted, str(tmp_path / "ac")))
+        assert loaded.entropy_source == "precomputed"
+        np.testing.assert_array_equal(loaded.user_entropies(), entropies)
+        np.testing.assert_array_equal(
+            fitted.score_users(cohort[:4]), loaded.score_users(cohort[:4])
+        )
+
+    def test_fit_with_bare_precomputed_string_rejected(self, small_synth):
+        with pytest.raises(ConfigError, match="precomputed"):
+            AbsorbingCostRecommender(entropy="precomputed").fit(small_synth.dataset)
+
+    def test_topic_entropy_loads_without_refitting_lda(self, small_synth,
+                                                       tmp_path, monkeypatch):
+        fitted = AbsorbingCostRecommender.topic_based(n_topics=4).fit(
+            small_synth.dataset
+        )
+        import repro.core.absorbing_cost as module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("load path retrained the LDA")
+
+        monkeypatch.setattr(module, "topic_entropy", boom)
+        loaded = load_artifact(save_artifact(fitted, str(tmp_path / "ac2")))
+        np.testing.assert_array_equal(loaded.user_entropies(),
+                                      fitted.user_entropies())
+
+
+class TestFailureModes:
+    def test_unfitted_recommender_cannot_save(self, tmp_path):
+        from repro import MostPopularRecommender
+        from repro.exceptions import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            save_artifact(MostPopularRecommender(), str(tmp_path / "x"))
+
+    def test_version_mismatch_fails_loudly(self, small_synth, tmp_path):
+        from repro import MostPopularRecommender
+
+        path = save_artifact(MostPopularRecommender().fit(small_synth.dataset),
+                             str(tmp_path / "model"))
+        with np.load(path, allow_pickle=True) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        meta = str(payload["meta"]).replace(
+            f'"format_version": {ARTIFACT_FORMAT_VERSION}',
+            f'"format_version": {ARTIFACT_FORMAT_VERSION + 1}',
+        )
+        payload["meta"] = np.array(meta)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ArtifactError, match="format version"):
+            load_artifact(path)
+
+    def test_not_an_artifact_fails_loudly(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez_compressed(path, whatever=np.arange(3))
+        with pytest.raises(ArtifactError, match="not a model artifact"):
+            load_artifact(path)
+
+    def test_missing_file_fails_loudly(self, tmp_path):
+        with pytest.raises(ArtifactError, match="cannot read"):
+            load_artifact(str(tmp_path / "absent.npz"))
+
+    def test_cross_class_state_rejected(self, small_synth):
+        from repro import ItemKNNRecommender, UserKNNRecommender
+
+        state = UserKNNRecommender().fit(small_synth.dataset).state_dict()
+        with pytest.raises(ArtifactError, match="cannot load into"):
+            ItemKNNRecommender().load_state_dict(state)
+
+    def test_unregistered_recommender_cannot_save(self, small_synth, tmp_path):
+        class Unregistered(Recommender):
+            name = "nope"
+
+            def _fit(self, dataset):
+                pass
+
+            def _score_user(self, user):
+                return np.zeros(self.dataset.n_items)
+
+        fitted = Unregistered().fit(small_synth.dataset)
+        with pytest.raises(ArtifactError, match="not registered"):
+            save_artifact(fitted, str(tmp_path / "x"))
+
+
+class TestGraphSerialization:
+    def test_graph_roundtrip_preserves_structure(self, small_synth):
+        graph = UserItemGraph(small_synth.dataset)
+        restored = UserItemGraph.from_arrays(small_synth.dataset,
+                                             graph.to_arrays())
+        assert restored.n_components == graph.n_components
+        np.testing.assert_array_equal(restored.component_labels(),
+                                      graph.component_labels())
+        np.testing.assert_array_equal(restored.adjacency.toarray(),
+                                      graph.adjacency.toarray())
+        np.testing.assert_array_equal(restored.item_component_sizes(),
+                                      graph.item_component_sizes())

@@ -68,3 +68,35 @@ class TestServeBatch:
         assert lines[0] == "user,rank,item,label,score"
         served_users = {line.split(",")[0] for line in lines[1:]}
         assert served_users == {"0", "3", "5"}
+
+
+class TestFitServe:
+    def test_fit_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fit", "--algorithm", "AT"])
+
+    def test_fit_then_serve_roundtrip(self, tmp_path, capsys):
+        artifact = str(tmp_path / "model.npz")
+        store = str(tmp_path / "store.npz")
+        assert main(["fit", "--algorithm", "AT", "--scale", "0.15",
+                     "--out", artifact, "--store-out", store,
+                     "--store-depth", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "artifact" in out and "store" in out
+
+        served_csv = str(tmp_path / "served.csv")
+        assert main(["serve", "--artifact", artifact, "--store", store,
+                     "--n-users", "6", "--k", "3", "--repeat", "2",
+                     "--out", served_csv]) == 0
+        out = capsys.readouterr().out
+        assert "no refit" in out
+        assert "result_hits" in out
+        with open(served_csv) as handle:
+            header = handle.readline().strip()
+        assert header == "user,rank,item,label,score"
+
+    def test_serve_missing_artifact_raises(self, tmp_path):
+        from repro.exceptions import ArtifactError
+
+        with pytest.raises(ArtifactError):
+            main(["serve", "--artifact", str(tmp_path / "absent.npz")])

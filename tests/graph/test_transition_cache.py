@@ -1,0 +1,139 @@
+"""TransitionCache: memoized walk structures must be correct, counted, bounded."""
+
+import numpy as np
+import pytest
+
+from repro import AbsorbingTimeRecommender
+from repro.graph.bipartite import UserItemGraph
+from repro.graph.cache import TransitionCache
+from repro.utils.sparse import row_normalize
+
+
+@pytest.fixture()
+def graph(small_synth):
+    return UserItemGraph(small_synth.dataset)
+
+
+class TestGroupEntries:
+    def test_group_matches_direct_computation(self, graph):
+        cache = TransitionCache(graph)
+        labels = graph.component_labels()
+        key = (int(labels[0]),)
+        entry = cache.group(key)
+        nodes = np.flatnonzero(np.isin(labels, np.array(key)))
+        np.testing.assert_array_equal(entry.nodes, nodes)
+        expected = row_normalize(
+            graph.adjacency[nodes][:, nodes].tocsr(), allow_zero_rows=True
+        )
+        np.testing.assert_array_equal(entry.transition.toarray(),
+                                      expected.toarray())
+        np.testing.assert_array_equal(entry.user_mask, nodes < graph.n_users)
+        np.testing.assert_array_equal(
+            entry.item_indices, nodes[~entry.user_mask] - graph.n_users
+        )
+
+    def test_global_entry_reuses_graph_transition(self, graph):
+        cache = TransitionCache(graph)
+        entry = cache.group(None)
+        assert entry.transition is graph.transition_matrix()
+        assert entry.nodes.size == graph.n_nodes
+
+    def test_hits_and_misses_counted(self, graph):
+        cache = TransitionCache(graph)
+        key = (int(graph.component_labels()[0]),)
+        first = cache.group(key)
+        second = cache.group(key)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.stats()["hit_rate"] == 0.5
+
+    def test_entropy_slice(self, graph):
+        entropy = np.arange(graph.n_nodes, dtype=np.float64)
+        cache = TransitionCache(graph, node_entropy=entropy)
+        entry = cache.group(None)
+        np.testing.assert_array_equal(entry.node_entropy, entropy)
+
+    def test_entropy_length_validated(self, graph):
+        with pytest.raises(ValueError, match="n_nodes"):
+            TransitionCache(graph, node_entropy=np.ones(3))
+
+
+class TestBfsEntries:
+    def test_bfs_memoized_per_query(self, graph, small_synth):
+        cache = TransitionCache(graph)
+        seeds = small_synth.dataset.items_of_user(0)
+        absorbing = graph.item_nodes(seeds)
+        sub1, trans1 = cache.bfs(0, seeds, absorbing, 5)
+        sub2, trans2 = cache.bfs(0, seeds, absorbing, 5)
+        assert sub1 is sub2 and trans1 is trans2
+        assert cache.hits == 1
+        # A different µ is a different expansion → separate entry.
+        cache.bfs(0, seeds, absorbing, 7)
+        assert cache.misses == 2
+
+
+class TestEviction:
+    def test_lru_bound_respected(self, graph):
+        cache = TransitionCache(graph, max_entries=2)
+        labels = graph.component_labels()
+        components = np.unique(labels)[:3]
+        assert components.size >= 1
+        for c in components:
+            cache.group((int(c),))
+        assert len(cache) <= 2
+
+    def test_bfs_churn_cannot_evict_group_entries(self, graph, small_synth):
+        # Per-query BFS entries live in their own LRU: flooding it must leave
+        # the shared group transitions untouched.
+        cache = TransitionCache(graph, max_bfs_entries=2)
+        group_entry = cache.group(None)
+        for user in range(8):
+            seeds = small_synth.dataset.items_of_user(user)
+            cache.bfs(user, seeds, graph.item_nodes(seeds), 3)
+        assert cache.stats()["bfs_entries"] <= 2
+        assert cache.group(None) is group_entry
+
+    def test_clear_resets_everything(self, graph):
+        cache = TransitionCache(graph)
+        cache.group(None)
+        cache.group(None)
+        cache.clear()
+        assert (len(cache), cache.hits, cache.misses) == (0, 0, 0)
+
+
+class TestRecommenderIntegration:
+    def test_cache_built_lazily_and_reported(self, small_synth):
+        recommender = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        assert recommender.scoring_cache_stats() is None
+        users = np.arange(0, 40, 7)
+        first = recommender.score_users(users)
+        stats_after_first = recommender.scoring_cache_stats()
+        assert stats_after_first is not None
+        second = recommender.score_users(users)
+        stats_after_second = recommender.scoring_cache_stats()
+        np.testing.assert_array_equal(first, second)
+        assert stats_after_second["hits"] > stats_after_first["hits"]
+
+    def test_refit_invalidates_cache(self, small_synth, medium_synth):
+        recommender = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        recommender.score_users(np.arange(4))
+        assert recommender.transition_cache is not None
+        recommender.fit(medium_synth.dataset)
+        assert recommender.transition_cache is None
+        # And scoring the new dataset works with fresh structures.
+        scores = recommender.score_users(np.arange(4))
+        assert scores.shape == (4, medium_synth.dataset.n_items)
+
+    def test_solo_bfs_queries_hit_cache_on_repeat(self):
+        from repro.data.dataset import RatingDataset
+
+        triples = [(f"u{i}", f"i{j}", 3.0)
+                   for i in range(6) for j in range(8) if (i + j) % 2]
+        dataset = RatingDataset.from_triples(triples)
+        recommender = AbsorbingTimeRecommender(subgraph_size=2).fit(dataset)
+        users = np.arange(dataset.n_users)
+        first = recommender.score_users(users)
+        hits_before = recommender.transition_cache.hits
+        second = recommender.score_users(users)
+        np.testing.assert_array_equal(first, second)
+        assert recommender.transition_cache.hits > hits_before

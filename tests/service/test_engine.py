@@ -1,0 +1,209 @@
+"""ServingEngine: warm caches must never change results, edge cases included."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AbsorbingTimeRecommender,
+    MostPopularRecommender,
+    PureSVDRecommender,
+    ServingEngine,
+)
+from repro.exceptions import ConfigError, NotFittedError, UnknownUserError
+from repro.service import TopKStore, serve_user_cohort
+
+
+@pytest.fixture(scope="module")
+def fitted_at(small_synth):
+    return AbsorbingTimeRecommender().fit(small_synth.dataset)
+
+
+@pytest.fixture()
+def engine(fitted_at):
+    return ServingEngine(fitted_at)
+
+
+class TestConstruction:
+    def test_requires_fitted(self):
+        with pytest.raises(NotFittedError):
+            ServingEngine(AbsorbingTimeRecommender())
+
+    def test_requires_recommender(self):
+        with pytest.raises(ConfigError):
+            ServingEngine("not a model")
+
+    def test_store_shape_validated(self, fitted_at):
+        bad = TopKStore(np.array([[0]]), np.zeros((1, 1)), ("a", "b"))
+        with pytest.raises(ConfigError, match="users"):
+            ServingEngine(fitted_at, store=bad)
+
+    def test_from_artifact(self, fitted_at, tmp_path):
+        path = fitted_at.save(str(tmp_path / "model"))
+        engine = ServingEngine.from_artifact(path)
+        assert engine.recommender.name == "AT"
+        original = [r.item for r in fitted_at.recommend(3, k=5)]
+        served = [r.item for r in engine.recommend(3, k=5)]
+        assert original == served
+
+    def test_from_artifact_with_store(self, fitted_at, tmp_path):
+        model_path = fitted_at.save(str(tmp_path / "model"))
+        store_path = str(tmp_path / "store.npz")
+        TopKStore.from_recommender(fitted_at, depth=20).save(store_path)
+        engine = ServingEngine.from_artifact(model_path, store_path=store_path)
+        assert engine.store is not None
+        assert [r.item for r in engine.recommend(3, k=5)] == \
+            [r.item for r in fitted_at.recommend(3, k=5)]
+
+
+class TestCohortServing:
+    def test_matches_stateless_serving(self, fitted_at, engine):
+        users = np.arange(0, 100, 9)
+        stateless = serve_user_cohort(fitted_at, users, k=6)
+        report = engine.serve_cohort(users, k=6)
+        assert report.rows == stateless.rows
+        assert report.n_users == users.size
+
+    def test_warm_pass_identical_and_counted(self, engine):
+        users = np.arange(0, 60, 5)
+        cold = engine.serve_cohort(users, k=5)
+        warm = engine.serve_cohort(users, k=5)
+        assert cold.rows == warm.rows
+        assert cold.result_cache_misses == users.size
+        assert warm.result_cache_hits == users.size
+        assert warm.result_cache_hit_rate == 1.0
+
+    def test_empty_cohort(self, engine):
+        report = engine.serve_cohort(np.empty(0, dtype=np.int64), k=5)
+        assert report.n_users == 0
+        assert report.rows == []
+        assert report.users_per_second == 0.0
+
+    def test_duplicate_users_count_as_hits(self, engine):
+        report = engine.serve_cohort(np.array([2, 2, 2]), k=4)
+        assert report.result_cache_misses == 1
+        assert report.result_cache_hits == 2
+        assert [r for r in report.rows if r["rank"] == 1][0] == \
+            [r for r in report.rows if r["rank"] == 1][1]
+
+    def test_summary_carries_scoring_stats(self, engine):
+        report = engine.serve_cohort(np.arange(8), k=4)
+        summary = report.summary()
+        assert {"users", "seconds", "result_hits", "scoring_hits"} <= set(summary)
+
+    def test_out_of_range_users_rejected(self, engine):
+        with pytest.raises(ConfigError, match="out-of-range"):
+            engine.serve_cohort(np.array([0, 99_999]))
+
+    def test_result_cache_disabled(self, fitted_at):
+        engine = ServingEngine(fitted_at, result_cache_size=0)
+        users = np.arange(6)
+        cold = engine.serve_cohort(users, k=4)
+        warm = engine.serve_cohort(users, k=4)
+        assert cold.rows == warm.rows
+        assert warm.result_cache_hits == 0
+
+    def test_result_cache_eviction_bounded(self, fitted_at):
+        engine = ServingEngine(fitted_at, result_cache_size=4)
+        report = engine.serve_cohort(np.arange(12), k=3)
+        assert report.n_users == 12
+        assert engine.stats()["result_entries"] <= 4
+
+
+class TestColdStartUsers:
+    def test_cold_start_user_yields_no_rows(self, small_synth):
+        # A user whose every rating is removed has an empty absorbing set.
+        dataset = small_synth.dataset
+        user = 7
+        pairs = [(user, int(i)) for i in dataset.items_of_user(user)]
+        depleted = dataset.without_ratings(pairs)
+        engine = ServingEngine(AbsorbingTimeRecommender().fit(depleted))
+        report = engine.serve_cohort(np.array([user, 0]), k=5)
+        assert all(row["user"] != user for row in report.rows)
+        assert any(row["user"] == 0 for row in report.rows)
+        assert engine.recommend(user, k=5) == []
+
+
+class TestSingleQuery:
+    def test_matches_model_recommend(self, fitted_at, engine):
+        for user in (0, 11, 57):
+            assert [r.item for r in engine.recommend(user, k=7)] == \
+                [r.item for r in fitted_at.recommend(user, k=7)]
+
+    def test_exclusion_refilter(self, fitted_at, engine):
+        full = [r.item for r in engine.recommend(4, k=8)]
+        refiltered = [r.item for r in engine.recommend(4, k=8,
+                                                       exclude=full[:2])]
+        assert refiltered[:6] == full[2:8]
+        assert set(full[:2]).isdisjoint(refiltered)
+
+    def test_unknown_user_rejected(self, engine):
+        with pytest.raises(UnknownUserError):
+            engine.recommend(99_999)
+
+    def test_exclude_iterator_respected_with_store(self, fitted_at):
+        # A one-shot iterable must not be exhausted before the store sees it.
+        engine = ServingEngine(fitted_at)
+        engine.build_store(depth=20)
+        full = [r.item for r in engine.recommend(4, k=8)]
+        refiltered = [r.item for r in engine.recommend(4, k=8,
+                                                       exclude=iter(full[:2]))]
+        assert set(full[:2]).isdisjoint(refiltered)
+        assert refiltered[:6] == full[2:8]
+
+    def test_store_with_other_exclusion_semantics_bypassed(self, fitted_at,
+                                                           small_synth):
+        engine = ServingEngine(fitted_at)
+        engine.build_store(depth=20, exclude_rated=False)
+        rated = set(small_synth.dataset.items_of_user(9).tolist())
+        # Request asks for exclusion; the non-excluding store must not answer.
+        served = [r.item for r in engine.recommend(9, k=8)]
+        assert rated.isdisjoint(served)
+        assert served == [r.item for r in fitted_at.recommend(9, k=8)]
+        # A matching (non-excluding) request may use the store.
+        unfiltered = [r.item for r in engine.recommend(9, k=8,
+                                                       exclude_rated=False)]
+        assert unfiltered == [
+            r.item for r in fitted_at.recommend(9, k=8, exclude_rated=False)
+        ]
+
+    def test_store_answers_when_deep_enough(self, fitted_at):
+        engine = ServingEngine(fitted_at)
+        engine.build_store(depth=20)
+        assert engine.stats()["store_attached"]
+        assert [r.item for r in engine.recommend(9, k=5)] == \
+            [r.item for r in fitted_at.recommend(9, k=5)]
+        # No result-cache traffic: the store answered.
+        assert engine.result_cache_misses == 0
+
+    def test_shallow_store_falls_back_to_model(self, fitted_at):
+        engine = ServingEngine(fitted_at, store=TopKStore.from_recommender(
+            fitted_at, depth=3))
+        assert [r.item for r in engine.recommend(9, k=8)] == \
+            [r.item for r in fitted_at.recommend(9, k=8)]
+        assert engine.result_cache_misses == 1
+
+
+class TestWarmAndStats:
+    def test_warm_prefills_every_user(self, fitted_at, small_synth):
+        engine = ServingEngine(fitted_at)
+        engine.warm(k=4)
+        report = engine.serve_cohort(np.arange(small_synth.dataset.n_users),
+                                     k=4)
+        assert report.result_cache_misses == 0
+
+    def test_clear_caches(self, fitted_at):
+        engine = ServingEngine(fitted_at)
+        engine.serve_cohort(np.arange(5), k=3)
+        engine.clear_caches()
+        stats = engine.stats()
+        assert stats["result_entries"] == 0
+        assert stats["result_hits"] == 0
+
+    def test_works_for_non_walk_algorithms(self, small_synth):
+        for cls in (MostPopularRecommender, PureSVDRecommender):
+            fitted = cls().fit(small_synth.dataset)
+            engine = ServingEngine(fitted)
+            report = engine.serve_cohort(np.arange(10), k=5)
+            assert report.scoring_cache == {}
+            assert report.rows == serve_user_cohort(fitted, np.arange(10),
+                                                    k=5).rows

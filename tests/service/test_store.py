@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro import AbsorbingTimeRecommender, MostPopularRecommender
-from repro.exceptions import ConfigError, NotFittedError, UnknownUserError
-from repro.service import TopKStore
+from repro.exceptions import ArtifactError, ConfigError, NotFittedError, UnknownUserError
+from repro.service import STORE_FORMAT_VERSION, TopKStore
 
 
 @pytest.fixture(scope="module")
@@ -101,3 +101,32 @@ class TestPersistence:
         store.save(path)
         loaded = TopKStore.load(path)
         assert loaded.n_users == store.n_users
+
+
+class TestFormatVersioning:
+    def test_saved_file_carries_version(self, store, tmp_path):
+        path = str(tmp_path / "store.npz")
+        store.save(path)
+        with np.load(path, allow_pickle=True) as archive:
+            assert int(archive["format_version"]) == STORE_FORMAT_VERSION
+
+    def test_unversioned_cache_rejected(self, store, tmp_path):
+        # A pre-versioning file (no format_version member) must fail loudly.
+        path = str(tmp_path / "stale.npz")
+        np.savez_compressed(
+            path, items=store._items, scores=store._scores,
+            item_labels=np.array(store.item_labels, dtype=object),
+        )
+        with pytest.raises(ArtifactError, match="no store format version"):
+            TopKStore.load(path)
+
+    def test_version_mismatch_rejected(self, store, tmp_path):
+        path = str(tmp_path / "future.npz")
+        np.savez_compressed(
+            path,
+            format_version=np.array(STORE_FORMAT_VERSION + 1, dtype=np.int64),
+            items=store._items, scores=store._scores,
+            item_labels=np.array(store.item_labels, dtype=object),
+        )
+        with pytest.raises(ArtifactError, match="rebuild"):
+            TopKStore.load(path)
