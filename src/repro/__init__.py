@@ -89,6 +89,7 @@ from repro.exceptions import (
 from repro.core import load_artifact, save_artifact
 from repro.exceptions import ArtifactError
 from repro.graph import TransitionCache, UserItemGraph
+from repro.solver import WalkOperator
 from repro.service import (
     BatchServingReport,
     ServingEngine,
@@ -145,8 +146,9 @@ __all__ = [
     "fit_lda",
     "fit_lda_cvb0",
     "fit_lda_gibbs",
-    # graph serving caches
+    # graph serving caches & solver core
     "TransitionCache",
+    "WalkOperator",
     # serving & artifacts
     "BatchServingReport",
     "ServingEngine",

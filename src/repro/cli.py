@@ -163,6 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also precompute a TopKStore and save it here")
     fit.add_argument("--store-depth", type=int, default=50,
                      help="cached list depth for --store-out (default 50)")
+    fit.add_argument("--dtype", default=None, choices=("float32", "float64"),
+                     help="serving precision policy baked into the artifact "
+                          "(float32 halves walk-solver bandwidth; top-k "
+                          "parity with float64 is asserted in the test suite)")
 
     online = sub.add_parser(
         "serve",
@@ -184,6 +188,15 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--repeat", type=int, default=1,
                         help="serve the cohort this many times (>1 shows the "
                              "warm-cache speedup; default 1)")
+    online.add_argument("--dtype", default=None, choices=("float32", "float64"),
+                        help="override the artifact's serving precision policy")
+    online.add_argument("--workers", type=int, default=1,
+                        help="worker-pool size for dispatching independent "
+                             "component-groups of a cohort (default 1)")
+    online.add_argument("--worker-mode", default="thread",
+                        choices=("thread", "process"),
+                        help="worker pool flavour for --workers > 1 "
+                             "(default thread)")
     online.add_argument("--out", default=None,
                         help="optional CSV path for the full (user, rank, item) rows")
     return parser
@@ -235,6 +248,13 @@ def _fit(args) -> int:
         recommender.fit(train)
     print(f"   fitted in {fit_timer.elapsed:.2f}s")
 
+    if args.dtype is not None:
+        recommender.set_serving_dtype(args.dtype)
+        if "dtype" in recommender.get_config():
+            print(f"   serving dtype policy: {args.dtype} (saved in artifact)")
+        else:
+            print(f"   note: {recommender.name} has no bandwidth-bound solve; "
+                  f"--dtype {args.dtype} is ignored and not persisted")
     path = recommender.save(args.out)
     print(f"[saved] artifact {path} ({os.path.getsize(path) // 1024} KiB)")
 
@@ -250,10 +270,17 @@ def _fit(args) -> int:
 def _serve(args) -> int:
     print(f"Loading artifact {args.artifact} ...", flush=True)
     with Timer() as load_timer:
-        engine = ServingEngine.from_artifact(args.artifact, store_path=args.store)
+        engine = ServingEngine.from_artifact(
+            args.artifact, store_path=args.store,
+            n_workers=args.workers, worker_mode=args.worker_mode,
+        )
+    if args.dtype is not None:
+        engine.recommender.set_serving_dtype(args.dtype)
     train = engine.dataset
     print(f"   {engine.recommender.name} over {train} "
-          f"(loaded in {load_timer.elapsed:.2f}s, no refit)")
+          f"(loaded in {load_timer.elapsed:.2f}s, no refit, "
+          f"dtype {engine.recommender.serving_dtype}, "
+          f"workers {engine.n_workers})")
 
     if args.users_file is not None:
         users = load_user_file(args.users_file, train.n_users)

@@ -76,9 +76,11 @@ class AbsorbingCostRecommender(RandomWalkRecommender):
                  topic_model: LatentTopicModel | None = None,
                  method: str = "truncated", n_iterations: int = 15,
                  subgraph_size: int | None = 6000, seed=0,
-                 lda_kwargs: dict | None = None):
+                 lda_kwargs: dict | None = None, dtype: str = "float64",
+                 chunk_size: int = 1024):
         super().__init__(method=method, n_iterations=n_iterations,
-                         subgraph_size=subgraph_size)
+                         subgraph_size=subgraph_size, dtype=dtype,
+                         chunk_size=chunk_size)
         if isinstance(entropy, str):
             check_in_options(entropy, "entropy", ("item", "topic", "precomputed"))
             self._entropy_array = None

@@ -34,14 +34,19 @@ class AbsorbingTimeRecommender(RandomWalkRecommender):
         τ, the truncation depth (paper default 15).
     subgraph_size:
         µ, the BFS item budget (paper default 6000); ``None`` = global graph.
+    dtype, chunk_size:
+        Serving precision policy and multi-RHS chunk budget, see
+        :class:`RandomWalkRecommender`.
     """
 
     name = "AT"
 
     def __init__(self, method: str = "truncated", n_iterations: int = 15,
-                 subgraph_size: int | None = 6000):
+                 subgraph_size: int | None = 6000, dtype: str = "float64",
+                 chunk_size: int = 1024):
         super().__init__(method=method, n_iterations=n_iterations,
-                         subgraph_size=subgraph_size)
+                         subgraph_size=subgraph_size, dtype=dtype,
+                         chunk_size=chunk_size)
 
     def _absorbing_nodes(self, user: int) -> np.ndarray:
         items = self.dataset.items_of_user(user)

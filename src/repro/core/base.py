@@ -43,7 +43,11 @@ import numpy as np
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ArtifactError, ConfigError, NotFittedError
 from repro.utils.topk import top_k_indices
-from repro.utils.validation import as_index_array, check_positive_int
+from repro.utils.validation import (
+    as_index_array,
+    check_in_options,
+    check_positive_int,
+)
 
 __all__ = ["Recommendation", "Recommender"]
 
@@ -69,6 +73,7 @@ class Recommender(abc.ABC):
 
     def __init__(self):
         self.dataset: RatingDataset | None = None
+        self._serving_dtype = "float64"
 
     # -- template methods ---------------------------------------------------
 
@@ -189,6 +194,28 @@ class Recommender(abc.ABC):
         from repro.core.artifacts import save_artifact
 
         return save_artifact(self, path)
+
+    # -- dtype policy --------------------------------------------------------
+
+    @property
+    def serving_dtype(self) -> str:
+        """The numeric policy of the scoring hot path.
+
+        ``"float64"`` (default) is the reference precision; ``"float32"``
+        halves the memory bandwidth of the solvers that honour it (the
+        random-walk recommenders' prepared operators). Algorithms without a
+        bandwidth-bound solve ignore the policy and always score in float64
+        — the dtype-parity test suite asserts that switching the policy
+        never changes a top-10 ranking for any registered recommender.
+        """
+        return getattr(self, "_serving_dtype", "float64")
+
+    def set_serving_dtype(self, dtype: str) -> "Recommender":
+        """Set the serving dtype policy; returns ``self`` for chaining."""
+        self._serving_dtype = check_in_options(
+            dtype, "dtype", ("float64", "float32")
+        )
+        return self
 
     def scoring_cache_stats(self) -> dict | None:
         """Warm-cache counters of the scoring layer, or ``None``.

@@ -29,17 +29,25 @@ construction — fall back to the per-user path.
 
 Warm serving
 ------------
-All request-independent structures — the per-group transition matrices,
-masks, component labels and entropy slices, and the per-query BFS subgraphs
-— are memoized in a :class:`~repro.graph.cache.TransitionCache` owned by the
-fitted recommender. A serving process hitting the same component groups
-request after request pays the sparse slice + normalization once; repeat
-requests go straight to the solve. The cache is (re)built lazily after
-``fit`` or ``load_state_dict`` and its hit/miss counters surface through
-:meth:`Recommender.scoring_cache_stats` into the serving-engine reports.
+All request-independent structures are memoized in a
+:class:`~repro.graph.cache.TransitionCache` owned by the fitted recommender,
+and every cache entry carries a prepared
+:class:`~repro.solver.WalkOperator`: the transition matrix is validated
+exactly once when the entry is built, the per-group cost vectors and
+label-indexed reachability are memoized inside the operator, and the
+τ-sweeps run chunked through preallocated buffers in the configured
+``dtype`` policy (``float32`` halves SpMM bandwidth; top-k parity with
+float64 is asserted in the test suite). A serving process hitting the same
+component groups request after request pays the sparse slice, normalization
+and validation once; repeat requests go straight to the solve. The cache is
+(re)built lazily after ``fit`` or ``load_state_dict`` and its hit/miss and
+operator counters surface through :meth:`Recommender.scoring_cache_stats`
+into the serving-engine reports.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -47,13 +55,9 @@ from repro.core.base import Recommender
 from repro.core.costs import CostModel
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigError
-from repro.graph.absorbing import (
-    exact_absorbing_values,
-    truncated_absorbing_values,
-    truncated_absorbing_values_multi,
-)
 from repro.graph.bipartite import UserItemGraph
 from repro.graph.cache import TransitionCache
+from repro.solver import WalkOperator
 from repro.utils.validation import check_in_options, check_positive_int
 
 __all__ = ["RandomWalkRecommender"]
@@ -72,18 +76,34 @@ class RandomWalkRecommender(Recommender):
         τ, the sweep count for the truncated method (ignored for exact).
     subgraph_size:
         µ, the BFS item budget; ``None`` runs on the global graph.
+    dtype:
+        Serving precision policy for the truncated sweeps: ``"float64"``
+        (reference, default) or ``"float32"`` (halved SpMM bandwidth,
+        identical top-k — see the dtype-parity tests).
+    chunk_size:
+        Column budget per multi-RHS chunk; bounds the dense sweep memory at
+        ``2 × n_subgraph_nodes × chunk_size`` floats however large the
+        cohort is.
     """
 
     def __init__(self, method: str = "truncated", n_iterations: int = 15,
-                 subgraph_size: int | None = 6000):
+                 subgraph_size: int | None = 6000, dtype: str = "float64",
+                 chunk_size: int = 1024):
         super().__init__()
         self.method = check_in_options(method, "method", ("truncated", "exact"))
         self.n_iterations = check_positive_int(n_iterations, "n_iterations")
         if subgraph_size is not None:
             subgraph_size = check_positive_int(subgraph_size, "subgraph_size")
         self.subgraph_size = subgraph_size
+        self.set_serving_dtype(dtype)
+        self.chunk_size = check_positive_int(chunk_size, "chunk_size")
         self.graph: UserItemGraph | None = None
         self._transition_cache: TransitionCache | None = None
+        self._cache_build_lock = threading.Lock()
+        # user -> component-group key ("solo" = µ-truncated BFS path). The
+        # key depends only on the frozen graph and the user's rated items,
+        # so it is memoized across requests.
+        self._group_keys: dict[int, tuple[int, ...] | str] = {}
 
     # -- subclass hooks -----------------------------------------------------
 
@@ -107,6 +127,7 @@ class RandomWalkRecommender(Recommender):
     def _fit(self, dataset: RatingDataset) -> None:
         self.graph = UserItemGraph(dataset)
         self._transition_cache = None
+        self._group_keys = {}
         self._post_fit(dataset)
 
     # -- persistence ---------------------------------------------------------
@@ -116,6 +137,8 @@ class RandomWalkRecommender(Recommender):
             "method": self.method,
             "n_iterations": self.n_iterations,
             "subgraph_size": self.subgraph_size,
+            "dtype": self.serving_dtype,
+            "chunk_size": self.chunk_size,
         }
 
     def _state_arrays(self) -> dict:
@@ -124,6 +147,20 @@ class RandomWalkRecommender(Recommender):
     def _load_state_arrays(self, arrays: dict) -> None:
         self.graph = UserItemGraph.from_arrays(self.dataset, arrays)
         self._transition_cache = None
+        self._group_keys = {}
+
+    def __getstate__(self) -> dict:
+        # The transition cache holds prepared operators whose splu factors
+        # are not picklable (nor is its build lock); both are pure memo
+        # machinery, so process-pool workers simply rebuild on first use.
+        state = dict(self.__dict__)
+        state["_transition_cache"] = None
+        state["_cache_build_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._cache_build_lock = threading.Lock()
 
     # -- warm cache ----------------------------------------------------------
 
@@ -135,10 +172,15 @@ class RandomWalkRecommender(Recommender):
     def _ensure_cache(self) -> TransitionCache:
         # Built lazily so fit()/load_state_dict() stay cheap; the entropy
         # vector is frozen into the cache, matching the fit-once contract.
+        # Double-checked under a lock: engine worker threads hit this
+        # concurrently on a cold model, and every thread must share the one
+        # cache (and its operator/validation counters).
         if self._transition_cache is None:
-            self._transition_cache = TransitionCache(
-                self.graph, node_entropy=self._node_entropy_vector()
-            )
+            with self._cache_build_lock:
+                if self._transition_cache is None:
+                    self._transition_cache = TransitionCache(
+                        self.graph, node_entropy=self._node_entropy_vector()
+                    )
         return self._transition_cache
 
     def scoring_cache_stats(self) -> dict | None:
@@ -164,16 +206,34 @@ class RandomWalkRecommender(Recommender):
             full[:graph.n_users] = entropies
         return full if nodes is None else full[nodes]
 
-    def _solve(self, transition, absorbing_local: np.ndarray,
-               user_mask: np.ndarray, node_entropy: np.ndarray) -> np.ndarray:
-        cost_model = self._cost_model()
-        local_costs = None
-        if cost_model is not None:
-            local_costs = cost_model.local_costs(transition, user_mask, node_entropy)
+    # -- prepared solves ------------------------------------------------------
+
+    def _solve(self, operator: WalkOperator,
+               absorbing_local: np.ndarray) -> np.ndarray:
+        """Single-query absorbing values through a prepared operator."""
+        local_costs = operator.costs_for(self._cost_model())
         if self.method == "exact":
-            return exact_absorbing_values(transition, absorbing_local, local_costs)
-        return truncated_absorbing_values(
-            transition, absorbing_local, self.n_iterations, local_costs
+            return operator.solve_exact(absorbing_local, local_costs)
+        return operator.solve(absorbing_local, self.n_iterations, local_costs,
+                              dtype=self.serving_dtype)
+
+    def _solve_multi(self, operator: WalkOperator,
+                     absorbing_sets: list[np.ndarray]) -> np.ndarray:
+        """``(n_nodes, n_sets)`` absorbing values, one column per query.
+
+        The operator's component labels make per-query reachability a
+        label-indexed lookup — no graph traversal, no ``np.isin`` sort.
+        """
+        local_costs = operator.costs_for(self._cost_model())
+        if self.method == "exact":
+            columns = [
+                operator.solve_exact(absorbing, local_costs)
+                for absorbing in absorbing_sets
+            ]
+            return np.stack(columns, axis=1)
+        return operator.solve_multi(
+            absorbing_sets, self.n_iterations, local_costs=local_costs,
+            dtype=self.serving_dtype, chunk_size=self.chunk_size,
         )
 
     def _score_user(self, user: int) -> np.ndarray:
@@ -187,24 +247,24 @@ class RandomWalkRecommender(Recommender):
         Used when the BFS budget genuinely truncates: the subgraph then
         depends on the query's expansion order and cannot be shared across
         *different* queries — but it is deterministic per query, so the
-        subgraph and its normalized transition come from the cache and a
-        repeated request skips the traversal and the sparse setup.
+        subgraph and its prepared operator come from the cache and a
+        repeated request skips the traversal, the sparse setup and the
+        validation.
         """
         graph = self.graph
         cache = self._ensure_cache()
         scores = np.full(self.dataset.n_items, -np.inf)
         seed_items = self._subgraph_seed_items(user, absorbing)
-        sub, transition = cache.bfs(user, seed_items, absorbing, self.subgraph_size)
-        if not all(sub.contains(int(a)) for a in absorbing):
+        sub, operator = cache.bfs(user, seed_items, absorbing, self.subgraph_size)
+        if not np.isin(absorbing, sub.nodes).all():
             # The absorbing set must live inside the subgraph; for HT the
             # query user is adjacent to their items so this only triggers on
             # pathological inputs.
             return scores
         absorbing_local = sub.to_local(absorbing)
-        user_mask = sub.nodes < graph.n_users
-        node_entropy = cache.node_entropy[sub.nodes]
-        values = self._solve(transition, absorbing_local, user_mask, node_entropy)
+        values = self._solve(operator, absorbing_local)
 
+        user_mask = sub.nodes < graph.n_users
         item_node_positions = np.flatnonzero(~user_mask)
         item_indices = sub.nodes[item_node_positions] - graph.n_users
         item_values = values[item_node_positions]
@@ -214,43 +274,18 @@ class RandomWalkRecommender(Recommender):
 
     # -- batch path ----------------------------------------------------------
 
-    def _solve_multi(self, transition, absorbing_sets: list[np.ndarray],
-                     user_mask: np.ndarray, node_entropy: np.ndarray,
-                     node_labels: np.ndarray) -> np.ndarray:
-        """``(n_nodes, n_sets)`` absorbing values, one column per query.
+    def _partition_cohort(self, users: np.ndarray,
+                          absorbing_sets: list[np.ndarray],
+                          ) -> tuple[dict, list[int]]:
+        """Split cohort positions into shared component-groups and solos.
 
-        ``node_labels`` are connected-component ids of the (sub)graph nodes;
-        on these symmetric graphs component membership *is* reachability, so
-        the per-query reachability masks need no graph traversal at all.
+        Returns ``(groups, solo)``: ``groups`` maps a component-group key
+        (``None`` = whole graph) to the cohort positions solvable on that
+        shared subgraph; ``solo`` holds positions whose BFS genuinely
+        truncates at µ (query-specific subgraph). Cold-start positions
+        (empty absorbing set) appear in neither.
         """
-        cost_model = self._cost_model()
-        local_costs = None
-        if cost_model is not None:
-            local_costs = cost_model.local_costs(transition, user_mask, node_entropy)
-        if self.method == "exact":
-            columns = [
-                exact_absorbing_values(transition, absorbing, local_costs)
-                for absorbing in absorbing_sets
-            ]
-            return np.stack(columns, axis=1)
-        reachable = np.column_stack([
-            np.isin(node_labels, node_labels[absorbing])
-            for absorbing in absorbing_sets
-        ])
-        return truncated_absorbing_values_multi(
-            transition, absorbing_sets, self.n_iterations, local_costs,
-            reachable=reachable,
-        )
-
-    def _score_users_batch(self, users: np.ndarray) -> np.ndarray:
         graph = self.graph
-        dataset = self.dataset
-        scores = np.full((users.size, dataset.n_items), -np.inf)
-        if users.size == 0:
-            return scores
-        cache = self._ensure_cache()
-        absorbing_sets = [self._absorbing_nodes(int(u)) for u in users]
-
         groups: dict[tuple[int, ...] | None, list[int]] = {}
         solo: list[int] = []
         if self.subgraph_size is None:
@@ -259,48 +294,97 @@ class RandomWalkRecommender(Recommender):
             active = [i for i in range(users.size) if absorbing_sets[i].size]
             if active:
                 groups[None] = active
-        else:
-            # µ-subgraph mode: a query whose BFS never exhausts the µ budget
-            # ends up with the full union of the connected components its
-            # seed items live in — a set many queries share. Group on that
-            # component key.
-            labels = graph.component_labels()
-            item_component_sizes = graph.item_component_sizes()
-            for i, user in enumerate(users):
-                absorbing = absorbing_sets[i]
-                if absorbing.size == 0:
-                    continue  # cold start: row stays -inf
-                seed_items = self._subgraph_seed_items(int(user), absorbing)
-                if seed_items.size == 0:
-                    solo.append(i)
-                    continue
-                components = np.unique(labels[graph.item_nodes(seed_items)])
-                if (int(item_component_sizes[components].sum()) > self.subgraph_size
-                        or not np.all(np.isin(labels[absorbing], components))):
-                    solo.append(i)
-                    continue
-                key = tuple(int(c) for c in components)
+            return groups, solo
+        # µ-subgraph mode: a query whose BFS never exhausts the µ budget
+        # ends up with the full union of the connected components its
+        # seed items live in — a set many queries share. Group on that
+        # component key, memoized per user (it depends only on the frozen
+        # graph and the user's rated items, never on the cohort).
+        for i, user in enumerate(users):
+            absorbing = absorbing_sets[i]
+            if absorbing.size == 0:
+                continue  # cold start: row stays -inf
+            key = self._group_keys.get(int(user))
+            if key is None:
+                key = self._compute_group_key(int(user), absorbing)
+                self._group_keys[int(user)] = key
+            if key == "solo":
+                solo.append(i)
+            else:
                 groups.setdefault(key, []).append(i)
+        return groups, solo
+
+    def _compute_group_key(self, user: int,
+                           absorbing: np.ndarray) -> tuple[int, ...] | str:
+        """Component-group key for one user, ``"solo"`` when µ truncates."""
+        graph = self.graph
+        seed_items = self._subgraph_seed_items(user, absorbing)
+        if seed_items.size == 0:
+            return "solo"
+        labels = graph.component_labels()
+        components = np.unique(labels[graph.item_nodes(seed_items)])
+        if (int(graph.item_component_sizes()[components].sum()) > self.subgraph_size
+                or not np.all(np.isin(labels[absorbing], components))):
+            return "solo"
+        return tuple(int(c) for c in components)
+
+    def cohort_partitions(self, users: np.ndarray) -> list[np.ndarray]:
+        """Independent slices of a cohort, for parallel group dispatch.
+
+        Each returned array holds cohort *positions* whose solves share no
+        walk structure with the other partitions: one partition per shared
+        component-group, plus one for the per-user BFS / cold-start
+        remainder. The serving engine fans these out across its worker
+        pool; scoring partitions separately is score-identical to one batch
+        call because group solves are independent multi-RHS systems.
+        """
+        self._require_fitted()
+        users = np.asarray(users, dtype=np.int64)
+        absorbing_sets = [self._absorbing_nodes(int(u)) for u in users]
+        groups, solo = self._partition_cohort(users, absorbing_sets)
+        grouped = set()
+        partitions = []
+        for members in groups.values():
+            partitions.append(np.asarray(members, dtype=np.int64))
+            grouped.update(members)
+        grouped.update(solo)
+        remainder = [i for i in range(users.size) if i not in grouped]
+        leftover = sorted(solo + remainder)
+        if leftover or not partitions:
+            partitions.append(np.asarray(leftover, dtype=np.int64))
+        return partitions
+
+    def _score_users_batch(self, users: np.ndarray) -> np.ndarray:
+        dataset = self.dataset
+        scores = np.full((users.size, dataset.n_items), -np.inf)
+        if users.size == 0:
+            return scores
+        cache = self._ensure_cache()
+        absorbing_sets = [self._absorbing_nodes(int(u)) for u in users]
+        groups, solo = self._partition_cohort(users, absorbing_sets)
 
         for i in solo:
             scores[i] = self._score_user_bfs(int(users[i]), absorbing_sets[i])
 
         for components, members in groups.items():
             entry = cache.group(components)
-            # Local indices of each absorbing set; entry.nodes is sorted
-            # ascending, and on the global (None) key it is the identity.
-            absorbing_local = [
-                np.searchsorted(entry.nodes, absorbing_sets[i]) for i in members
-            ]
-            values = self._solve_multi(
-                entry.transition, absorbing_local, entry.user_mask,
-                entry.node_entropy, entry.labels,
-            )
+            if components is None:
+                # Global pseudo-group: entry.nodes is the identity map, so
+                # parent indices already are local indices.
+                absorbing_local = [absorbing_sets[i] for i in members]
+            else:
+                # entry.nodes is sorted ascending; searchsorted inverts it.
+                absorbing_local = [
+                    np.searchsorted(entry.nodes, absorbing_sets[i])
+                    for i in members
+                ]
+            values = self._solve_multi(entry.operator, absorbing_local)
             item_values = values[entry.item_positions, :]
-            finite = np.isfinite(item_values)
-            for column, i in enumerate(members):
-                keep = finite[:, column]
-                scores[i, entry.item_indices[keep]] = -item_values[keep, column]
+            # One vectorized scatter per group: non-finite values land as
+            # -inf, matching the rows' initial fill.
+            block = np.where(np.isfinite(item_values), -item_values, -np.inf)
+            rows = np.asarray(members, dtype=np.int64)[:, None]
+            scores[rows, entry.item_indices[None, :]] = block.T
         return scores
 
     def _subgraph_seed_items(self, user: int, absorbing: np.ndarray) -> np.ndarray:

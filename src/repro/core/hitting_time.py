@@ -38,14 +38,19 @@ class HittingTimeRecommender(RandomWalkRecommender):
         ``None`` (default) computes on the global graph like the paper's
         basic solution; an integer enables the µ-item BFS restriction around
         the user's rated items.
+    dtype, chunk_size:
+        Serving precision policy and multi-RHS chunk budget, see
+        :class:`RandomWalkRecommender`.
     """
 
     name = "HT"
 
     def __init__(self, method: str = "truncated", n_iterations: int = 30,
-                 subgraph_size: int | None = None):
+                 subgraph_size: int | None = None, dtype: str = "float64",
+                 chunk_size: int = 1024):
         super().__init__(method=method, n_iterations=n_iterations,
-                         subgraph_size=subgraph_size)
+                         subgraph_size=subgraph_size, dtype=dtype,
+                         chunk_size=chunk_size)
 
     def _absorbing_nodes(self, user: int) -> np.ndarray:
         graph = self.graph

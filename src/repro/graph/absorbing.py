@@ -22,16 +22,24 @@ Two solvers are provided, matching the paper's discussion in §4.1:
 
 Nodes that cannot reach the absorbing set (other components, isolated nodes)
 get ``+inf`` from both solvers, so downstream ranking never recommends them.
+
+Since the prepared-operator refactor these functions are thin *validated
+wrappers* for external callers: each call builds a
+:class:`~repro.solver.WalkOperator` (paying the one-time O(nnz) validation)
+and delegates the solve to it. The warm serving path inside the library
+skips the wrappers entirely — it holds prepared operators in the
+:class:`~repro.graph.cache.TransitionCache` and validates each matrix
+exactly once per cache entry.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 from scipy.sparse.csgraph import dijkstra
 
 from repro.exceptions import GraphError
+from repro.solver import WalkOperator
 from repro.utils.validation import as_index_array, check_positive_int
 
 __all__ = [
@@ -43,40 +51,13 @@ __all__ = [
 ]
 
 
-def _check_transition(transition) -> sp.csr_matrix:
-    p = sp.csr_matrix(transition, dtype=np.float64)
-    if p.shape[0] != p.shape[1]:
-        raise GraphError(f"transition matrix must be square; got {p.shape}")
-    if p.nnz and (p.data.min() < 0):
-        raise GraphError("transition matrix has negative entries")
-    sums = np.asarray(p.sum(axis=1)).ravel()
-    bad = np.flatnonzero((sums > 1e-9) & (np.abs(sums - 1.0) > 1e-6))
-    if bad.size:
-        raise GraphError(
-            f"{bad.size} rows are neither zero nor stochastic "
-            f"(first offender: row {bad[0]}, sum {sums[bad[0]]:.6f})"
-        )
-    return p
-
-
-def _local_costs(local_costs, n: int) -> np.ndarray:
-    if local_costs is None:
-        return np.ones(n)
-    c = np.asarray(local_costs, dtype=np.float64).ravel()
-    if c.shape[0] != n:
-        raise GraphError(f"local_costs length {c.shape[0]} != node count {n}")
-    if np.any(~np.isfinite(c)) or np.any(c < 0):
-        raise GraphError("local_costs must be finite and non-negative")
-    return c
-
-
 def reachability_mask(transition: sp.spmatrix, absorbing: np.ndarray) -> np.ndarray:
     """Boolean mask of nodes from which the absorbing set is reachable.
 
     Computed as a multi-source BFS from ``absorbing`` along *reversed* edges,
     so it is correct even for non-symmetric transition patterns.
     """
-    p = _check_transition(transition)
+    p = WalkOperator(transition).transition
     absorbing = as_index_array(absorbing, p.shape[0], "absorbing")
     if absorbing.size == 0:
         raise GraphError("absorbing set is empty")
@@ -104,29 +85,7 @@ def exact_absorbing_values(transition: sp.spmatrix, absorbing: np.ndarray,
         ``x`` with ``x[S] = 0``, exact expected cost-to-absorption on nodes
         that reach ``S``, and ``+inf`` elsewhere.
     """
-    p = _check_transition(transition)
-    n = p.shape[0]
-    absorbing = as_index_array(absorbing, n, "absorbing")
-    if absorbing.size == 0:
-        raise GraphError("absorbing set is empty")
-    costs = _local_costs(local_costs, n)
-
-    reachable = reachability_mask(p, absorbing)
-    values = np.full(n, np.inf)
-    values[absorbing] = 0.0
-
-    transient_mask = reachable.copy()
-    transient_mask[absorbing] = False
-    transient = np.flatnonzero(transient_mask)
-    if transient.size == 0:
-        return values
-
-    q = p[transient][:, transient].tocsc()
-    system = sp.eye(transient.size, format="csc") - q
-    solution = spla.spsolve(system, costs[transient])
-    solution = np.atleast_1d(solution)
-    values[transient] = solution
-    return values
+    return WalkOperator(transition).solve_exact(absorbing, local_costs)
 
 
 def truncated_absorbing_values(transition: sp.spmatrix, absorbing: np.ndarray,
@@ -143,24 +102,7 @@ def truncated_absorbing_values(transition: sp.spmatrix, absorbing: np.ndarray,
     Unreachable nodes are reported as ``+inf`` (their iterate would otherwise
     grow linearly with τ and could interleave with legitimate far nodes).
     """
-    p = _check_transition(transition)
-    n = p.shape[0]
-    absorbing = as_index_array(absorbing, n, "absorbing")
-    if absorbing.size == 0:
-        raise GraphError("absorbing set is empty")
-    n_iterations = check_positive_int(n_iterations, "n_iterations")
-    costs = _local_costs(local_costs, n)
-
-    x = np.zeros(n)
-    costs_eff = costs.copy()
-    costs_eff[absorbing] = 0.0
-    for _ in range(n_iterations):
-        x = costs_eff + p @ x
-        x[absorbing] = 0.0
-
-    values = np.where(reachability_mask(p, absorbing), x, np.inf)
-    values[absorbing] = 0.0
-    return values
+    return WalkOperator(transition).solve(absorbing, n_iterations, local_costs)
 
 
 def truncated_absorbing_values_multi(transition: sp.spmatrix,
@@ -204,39 +146,11 @@ def truncated_absorbing_values_multi(transition: sp.spmatrix,
         ``(n_nodes, n_sets)`` values: zero on each set's absorbing nodes,
         truncated expected cost elsewhere, ``+inf`` where unreachable.
     """
-    p = _check_transition(transition)
-    n = p.shape[0]
-    n_sets = len(absorbing_sets)
-    if n_sets == 0:
-        return np.zeros((n, 0))
-    sets = [as_index_array(a, n, "absorbing") for a in absorbing_sets]
-    if any(a.size == 0 for a in sets):
-        raise GraphError("absorbing set is empty")
-    n_iterations = check_positive_int(n_iterations, "n_iterations")
-    costs = _local_costs(local_costs, n)
-
-    # Flat (node, column) coordinates of every absorbing entry, so pinning
-    # all sets to zero is one fancy-indexed assignment per sweep.
-    pin_rows = np.concatenate(sets)
-    pin_cols = np.repeat(np.arange(n_sets), [a.size for a in sets])
-
-    c = np.repeat(costs[:, None], n_sets, axis=1)
-    c[pin_rows, pin_cols] = 0.0
-    x = np.zeros((n, n_sets))
-    for _ in range(n_iterations):
-        x = c + p @ x
-        x[pin_rows, pin_cols] = 0.0
-
-    if reachable is None:
-        reachable = np.column_stack([reachability_mask(p, a) for a in sets])
-    reachable = np.asarray(reachable, dtype=bool)
-    if reachable.shape != (n, n_sets):
-        raise GraphError(
-            f"reachable must have shape {(n, n_sets)}; got {reachable.shape}"
-        )
-    values = np.where(reachable, x, np.inf)
-    values[pin_rows, pin_cols] = 0.0
-    return values
+    operator = WalkOperator(transition)
+    if len(absorbing_sets) == 0:
+        return np.zeros((operator.n_nodes, 0))
+    return operator.solve_multi(list(absorbing_sets), n_iterations,
+                                local_costs=local_costs, reachable=reachable)
 
 
 def iteration_history(transition: sp.spmatrix, absorbing: np.ndarray,
@@ -248,14 +162,14 @@ def iteration_history(transition: sp.spmatrix, absorbing: np.ndarray,
     vector after ``t + 1`` sweeps. Used by the τ-convergence ablation
     (how fast does the induced top-k ranking stabilise?).
     """
-    p = _check_transition(transition)
+    operator = WalkOperator(transition)  # the one validation pass
+    p = operator.transition
     n = p.shape[0]
     absorbing = as_index_array(absorbing, n, "absorbing")
     if absorbing.size == 0:
         raise GraphError("absorbing set is empty")
     n_iterations = check_positive_int(n_iterations, "n_iterations")
-    costs = _local_costs(local_costs, n)
-    costs_eff = costs.copy()
+    costs_eff = operator._check_costs(local_costs).copy()
     costs_eff[absorbing] = 0.0
 
     history = np.empty((n_iterations, n))

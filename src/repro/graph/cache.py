@@ -8,20 +8,28 @@ depend only on the (immutable) fitted graph and the component-group key —
 never on the query — so a serving process that sees the same µ-subgraph
 groups request after request is recomputing identical sparse matrices.
 
-:class:`TransitionCache` memoizes them:
+:class:`TransitionCache` memoizes them, and since the prepared-operator
+refactor every entry carries a ready-to-solve
+:class:`~repro.solver.WalkOperator`: the transition matrix is validated
+exactly once when the entry is built, and every subsequent solve through the
+operator skips validation, reuses the memoized cost vectors and label-indexed
+reachability, and sweeps through preallocated chunked buffers.
 
 * :meth:`group` — the shared transition matrix (plus user mask, local
-  component labels, item index maps and the entropy slice) for a
-  component-group key, as used by the grouped multi-RHS batch path;
-* :meth:`bfs` — the µ-truncated BFS subgraph and its row-normalized
-  transition for a single query, keyed by (user, absorbing set, µ): the BFS
-  expansion is deterministic, so a repeated query skips the traversal, the
-  sparse slice and the normalization entirely;
+  component labels, item index maps, the entropy slice and the prepared
+  operator) for a component-group key, as used by the grouped multi-RHS
+  batch path;
+* :meth:`bfs` — the µ-truncated BFS subgraph and its prepared operator for a
+  single query, keyed by (user, absorbing set, µ): the BFS expansion is
+  deterministic, so a repeated query skips the traversal, the sparse slice,
+  the normalization and the validation entirely;
 * :attr:`node_entropy` — the full per-node entropy vector, computed once.
 
 Entries are kept in an LRU dict bounded by ``max_entries``; hit/miss
 counters feed the serving reports (`cache-hit stats` in
-:class:`~repro.service.engine.ServingEngine`).
+:class:`~repro.service.engine.ServingEngine`). Lookups are guarded by a lock
+so the serving engine may resolve independent component-groups from worker
+threads; a racing cold build can run twice, but only one entry wins.
 
 The cache assumes the graph and the entropy vector are frozen after fit —
 exactly the offline-fit / online-serve contract of the artifact layer.
@@ -29,6 +37,7 @@ exactly the offline-fit / online-serve contract of the artifact layer.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -37,6 +46,7 @@ import scipy.sparse as sp
 
 from repro.graph.bipartite import UserItemGraph
 from repro.graph.subgraph import LocalSubgraph, bfs_subgraph
+from repro.solver import WalkOperator
 from repro.utils.sparse import row_normalize
 from repro.utils.validation import check_positive_int
 
@@ -63,6 +73,9 @@ class TransitionGroup:
         Local positions of the item nodes (``flatnonzero(~user_mask)``).
     item_indices:
         Catalogue item index of each entry of ``item_positions``.
+    operator:
+        The prepared :class:`~repro.solver.WalkOperator` over ``transition``
+        — validated once at build time; all warm solves go through it.
     """
 
     nodes: np.ndarray
@@ -72,10 +85,11 @@ class TransitionGroup:
     node_entropy: np.ndarray
     item_positions: np.ndarray
     item_indices: np.ndarray
+    operator: WalkOperator
 
 
 class TransitionCache:
-    """LRU cache of transition matrices and walk structures for one graph.
+    """LRU cache of prepared walk operators and structures for one graph.
 
     Parameters
     ----------
@@ -111,22 +125,32 @@ class TransitionCache:
         self.max_bfs_entries = check_positive_int(max_bfs_entries, "max_bfs_entries")
         self._groups: OrderedDict[tuple, TransitionGroup] = OrderedDict()
         self._bfs: OrderedDict[tuple, tuple] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     # -- generic LRU ---------------------------------------------------------
 
     def _get(self, entries: OrderedDict, key: tuple, builder, bound: int):
-        entry = entries.get(key)
-        if entry is not None:
-            entries.move_to_end(key)
-            self.hits += 1
-            return entry
-        self.misses += 1
+        with self._lock:
+            entry = entries.get(key)
+            if entry is not None:
+                entries.move_to_end(key)
+                self.hits += 1
+                return entry
+            self.misses += 1
+        # Build outside the lock so independent groups can build in parallel
+        # from engine worker threads; a duplicate racing build is harmless
+        # (first writer wins, the loser's entry is discarded).
         entry = builder()
-        entries[key] = entry
-        while len(entries) > bound:
-            entries.popitem(last=False)
+        with self._lock:
+            existing = entries.get(key)
+            if existing is not None:
+                entries.move_to_end(key)
+                return existing
+            entries[key] = entry
+            while len(entries) > bound:
+                entries.popitem(last=False)
         return entry
 
     # -- component-group transitions ----------------------------------------
@@ -150,14 +174,21 @@ class TransitionCache:
                       labels: np.ndarray) -> TransitionGroup:
         user_mask = nodes < self.graph.n_users
         item_positions = np.flatnonzero(~user_mask)
+        node_entropy = self.node_entropy[nodes]
+        # The one place a group matrix is validated: operator construction.
+        operator = WalkOperator(
+            transition, labels=labels, user_mask=user_mask,
+            node_entropy=node_entropy,
+        )
         return TransitionGroup(
             nodes=nodes,
-            transition=transition,
+            transition=operator.transition,
             user_mask=user_mask,
             labels=labels,
-            node_entropy=self.node_entropy[nodes],
+            node_entropy=node_entropy,
             item_positions=item_positions,
             item_indices=nodes[item_positions] - self.graph.n_users,
+            operator=operator,
         )
 
     def _build_global(self) -> TransitionGroup:
@@ -179,12 +210,13 @@ class TransitionCache:
     # -- per-query BFS subgraphs --------------------------------------------
 
     def bfs(self, user: int, seed_items: np.ndarray, absorbing: np.ndarray,
-            max_items: int) -> tuple[LocalSubgraph, sp.csr_matrix]:
-        """Memoized µ-truncated BFS subgraph + row-normalized transition.
+            max_items: int) -> tuple[LocalSubgraph, WalkOperator]:
+        """Memoized µ-truncated BFS subgraph + prepared walk operator.
 
         The key covers everything the expansion depends on — the seed items,
         the absorbing set and the µ budget — so a repeated request for the
-        same user is answered without touching the adjacency at all.
+        same user is answered without touching the adjacency (or
+        re-validating the transition) at all.
         """
         key = ("bfs", int(user), int(max_items),
                seed_items.tobytes(), absorbing.tobytes())
@@ -192,7 +224,12 @@ class TransitionCache:
         def build():
             sub = bfs_subgraph(self.graph, seed_items, max_items)
             transition = row_normalize(sub.adjacency, allow_zero_rows=True)
-            return (sub, transition)
+            operator = WalkOperator(
+                transition,
+                user_mask=sub.nodes < self.graph.n_users,
+                node_entropy=self.node_entropy[sub.nodes],
+            )
+            return (sub, operator)
 
         return self._get(self._bfs, key, build, self.max_bfs_entries)
 
@@ -206,9 +243,28 @@ class TransitionCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def operator_stats(self) -> dict:
+        """Aggregate counters across every cached prepared operator.
+
+        ``validations`` equals the number of operators built — the
+        zero-revalidation contract: serving a cached group any number of
+        times never increments it.
+        """
+        with self._lock:  # snapshot: worker threads may be inserting
+            operators = [entry.operator for entry in self._groups.values()]
+            operators += [op for _, op in self._bfs.values()]
+        return {
+            "operators": len(operators),
+            "validations": sum(op.validations for op in operators),
+            "solves": sum(op.solves for op in operators),
+            "columns_solved": sum(op.columns_solved for op in operators),
+            "plan_hits": sum(op.plan_hits for op in operators),
+            "plan_misses": sum(op.plan_misses for op in operators),
+        }
+
     def stats(self) -> dict:
         """Counters for serving reports."""
-        return {
+        stats = {
             "entries": len(self),
             "group_entries": len(self._groups),
             "bfs_entries": len(self._bfs),
@@ -216,12 +272,17 @@ class TransitionCache:
             "misses": self.misses,
             "hit_rate": round(self.hit_rate, 4),
         }
+        operator = self.operator_stats()
+        stats["operator_validations"] = operator["validations"]
+        stats["operator_solves"] = operator["solves"]
+        return stats
 
     def clear(self) -> None:
-        self._groups.clear()
-        self._bfs.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._groups.clear()
+            self._bfs.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __repr__(self) -> str:
         return (

@@ -54,6 +54,37 @@ def reversibility_gap(adjacency: sp.spmatrix) -> float:
     return float(np.abs(gap.data).max()) if gap.nnz else 0.0
 
 
+def _row_cumulative(p: sp.csr_matrix) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row cumulative edge weights of a CSR matrix, computed once.
+
+    Returns ``(cumulative, totals)``: ``cumulative[lo:hi]`` is the running
+    sum of row ``i``'s weights (``lo, hi = indptr[i], indptr[i + 1]``) and
+    ``totals[i]`` its row sum. One global cumsum with the preceding rows'
+    mass subtracted at sample time replaces the per-step weight
+    renormalisation the walkers used to pay — sampling a transition becomes
+    a single ``searchsorted`` into the precomputed row slice.
+    """
+    cumulative = np.cumsum(p.data)
+    starts, ends = p.indptr[:-1], p.indptr[1:]
+    base = np.zeros(starts.size)
+    nonzero_start = starts > 0
+    base[nonzero_start] = cumulative[starts[nonzero_start] - 1]
+    totals = np.zeros(starts.size)
+    occupied = ends > starts
+    totals[occupied] = cumulative[ends[occupied] - 1] - base[occupied]
+    return cumulative, totals
+
+
+def _sample_step(p: sp.csr_matrix, cumulative: np.ndarray, totals: np.ndarray,
+                 node: int, rng) -> int:
+    """One transition from ``node`` via the precomputed cumulative rows."""
+    lo, hi = p.indptr[node], p.indptr[node + 1]
+    target = cumulative[lo - 1] if lo > 0 else 0.0
+    target += rng.random() * totals[node]
+    offset = int(np.searchsorted(cumulative[lo:hi], target, side="right"))
+    return int(p.indices[lo + min(offset, hi - lo - 1)])
+
+
 def simulate_walk(adjacency: sp.spmatrix, start: int, n_steps: int, rng=None) -> np.ndarray:
     """Simulate a single random-walk trajectory of ``n_steps`` transitions.
 
@@ -67,16 +98,14 @@ def simulate_walk(adjacency: sp.spmatrix, start: int, n_steps: int, rng=None) ->
     n = p.shape[0]
     if not 0 <= start < n:
         raise GraphError(f"start node {start} out of range")
+    cumulative, totals = _row_cumulative(p)
     path = np.empty(n_steps + 1, dtype=np.int64)
     path[0] = start
     node = start
     for step in range(1, n_steps + 1):
-        lo, hi = p.indptr[node], p.indptr[node + 1]
-        if lo == hi:
+        if totals[node] == 0.0:
             raise GraphError(f"walk reached isolated node {node}")
-        weights = p.data[lo:hi]
-        probs = weights / weights.sum()
-        node = int(p.indices[lo:hi][rng.choice(len(probs), p=probs)])
+        node = _sample_step(p, cumulative, totals, node, rng)
         path[step] = node
     return path
 
@@ -100,16 +129,15 @@ def monte_carlo_absorbing_time(adjacency: sp.spmatrix, start: int,
     if start in absorbing:
         return 0.0
     p = sp.csr_matrix(adjacency, dtype=np.float64)
+    cumulative, totals = _row_cumulative(p)
     total = 0.0
     for _ in range(n_walks):
         node = start
         for step in range(1, max_steps + 1):
-            lo, hi = p.indptr[node], p.indptr[node + 1]
-            if lo == hi:
+            if totals[node] == 0.0:
                 step = max_steps
                 break
-            weights = p.data[lo:hi]
-            node = int(p.indices[lo:hi][rng.choice(hi - lo, p=weights / weights.sum())])
+            node = _sample_step(p, cumulative, totals, node, rng)
             if node in absorbing:
                 break
         total += step

@@ -6,22 +6,32 @@ keeps alive between requests. It owns:
 * a fitted recommender — either passed in or loaded from a model artifact
   (:func:`repro.core.artifacts.load_artifact`), never refitted;
 * the recommender's scoring-layer warm structures (the walk recommenders'
-  :class:`~repro.graph.cache.TransitionCache`), which fill on first use and
-  make repeated cohorts skip the sparse setup;
+  :class:`~repro.graph.cache.TransitionCache` of prepared
+  :class:`~repro.solver.WalkOperator`\\ s), which fill on first use and make
+  repeated cohorts skip the sparse setup *and* the matrix validation;
 * a bounded LRU **result cache** of ranked ``(items, scores)`` rows keyed by
   ``(user, k, exclude_rated)``, so a user served twice is answered from
-  int64 arrays without touching the model at all;
+  int64 arrays without touching the model at all — duplicates inside one
+  cohort are deduplicated before solving and fanned back out;
 * optionally an attached :class:`~repro.service.store.TopKStore` for
-  microsecond single-user lookups with exclusion re-filtering.
+  microsecond single-user lookups with exclusion re-filtering;
+* a worker pool (``n_workers``; threads by default, processes as a
+  fallback) across which the *independent component-groups* of a cohort
+  are dispatched — group solves share no walk structure, so scoring them
+  concurrently is score-identical to one batch call.
 
 Every cohort run returns an :class:`EngineReport` whose summary carries the
-cache-hit statistics of both layers — the observability needed to size
-caches and verify the fit-once/serve-many split actually pays.
+cache-hit statistics of both layers plus per-stage wall-clock timings
+(lookup / solve / assemble) — the observability needed to size caches and
+worker pools and verify the fit-once/serve-many split actually pays.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,11 +44,23 @@ from repro.service.store import TopKStore
 from repro.utils.timer import Timer
 from repro.utils.validation import (
     as_index_array,
+    check_in_options,
     check_non_negative_int,
     check_positive_int,
 )
 
 __all__ = ["EngineReport", "ServingEngine"]
+
+
+def _score_partition(recommender: Recommender, users: np.ndarray, k: int,
+                     exclude_rated: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Worker task: ranked arrays for one cohort partition.
+
+    Module-level so the process fallback can pickle it; walk recommenders
+    drop their (unpicklable, rebuildable) transition cache on pickling.
+    """
+    return recommender.recommend_batch_arrays(users, k=k,
+                                              exclude_rated=exclude_rated)
 
 
 @dataclass
@@ -52,21 +74,33 @@ class EngineReport:
         ``label``, ``score``.
     n_users, k, seconds:
         Cohort size, requested list length, wall-clock of the serving phase.
+    n_solves:
+        Users actually scored by the model this run (cohort size minus
+        result-cache hits and in-cohort duplicates).
+    n_workers:
+        Size of the worker pool the solve stage ran on (1 = inline).
     result_cache_hits / result_cache_misses:
         Users answered from / inserted into the engine's result cache during
         this run (duplicates within a cohort count as hits).
     scoring_cache:
-        Hit/miss counters of the recommender's scoring-layer cache at the
-        end of the run (``{}`` when the algorithm has none).
+        Hit/miss and operator counters of the recommender's scoring-layer
+        cache at the end of the run (``{}`` when the algorithm has none).
+    timings:
+        Per-stage wall-clock seconds: ``lookup`` (result-cache resolution),
+        ``solve`` (model scoring, across all workers), ``assemble`` (row
+        materialisation).
     """
 
     rows: list = field(default_factory=list)
     n_users: int = 0
     k: int = 10
     seconds: float = 0.0
+    n_solves: int = 0
+    n_workers: int = 1
     result_cache_hits: int = 0
     result_cache_misses: int = 0
     scoring_cache: dict = field(default_factory=dict)
+    timings: dict = field(default_factory=dict)
 
     @property
     def users_per_second(self) -> float:
@@ -84,6 +118,9 @@ class EngineReport:
             "k": self.k,
             "seconds": round(self.seconds, 4),
             "users_per_sec": round(self.users_per_second, 1),
+            "solves": self.n_solves,
+            "workers": self.n_workers,
+            "solve_s": round(self.timings.get("solve", 0.0), 4),
             "result_hits": self.result_cache_hits,
             "result_misses": self.result_cache_misses,
             "result_hit_rate": round(self.result_cache_hit_rate, 3),
@@ -113,11 +150,23 @@ class ServingEngine:
         Bound on cached ranked lists (LRU-evicted beyond it); ``0`` disables
         the result cache entirely (every request recomputes — useful for
         benchmarking the scoring layer in isolation).
+    n_workers:
+        Worker-pool size for the solve stage. With more than one worker, a
+        cohort's uncached users are partitioned into independent
+        component-groups (via the recommender's ``cohort_partitions`` hook
+        when it has one, contiguous chunks otherwise) and scored
+        concurrently. ``1`` (default) solves inline.
+    worker_mode:
+        ``"thread"`` (default — shares the warm caches, no serialization) or
+        ``"process"`` (sidesteps the GIL for pure-python scoring at the cost
+        of pickling the model per task; scoring caches are rebuilt per
+        worker).
     """
 
     def __init__(self, recommender: Recommender, store: TopKStore | None = None,
                  store_exclude_rated: bool = True,
-                 result_cache_size: int = 65536):
+                 result_cache_size: int = 65536,
+                 n_workers: int = 1, worker_mode: str = "thread"):
         if not isinstance(recommender, Recommender):
             raise ConfigError(
                 f"ServingEngine requires a Recommender; got {type(recommender).__name__}"
@@ -138,10 +187,17 @@ class ServingEngine:
         self.result_cache_size = check_non_negative_int(
             result_cache_size, "result_cache_size"
         )
+        self.n_workers = check_positive_int(n_workers, "n_workers")
+        self.worker_mode = check_in_options(
+            worker_mode, "worker_mode", ("thread", "process")
+        )
         self._results: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
         self._labels = _label_array(recommender.dataset.item_labels)
         self.result_cache_hits = 0
         self.result_cache_misses = 0
+        self._stage_seconds: dict[str, float] = {}
+        self._solves = 0
+        self._pool = None  # lazy persistent worker pool (see close())
 
     # -- construction --------------------------------------------------------
 
@@ -162,56 +218,142 @@ class ServingEngine:
     def dataset(self):
         return self.recommender.dataset
 
+    # -- stage timing --------------------------------------------------------
+
+    @contextmanager
+    def _stage(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._stage_seconds[name] = (
+                self._stage_seconds.get(name, 0.0)
+                + time.perf_counter() - start
+            )
+
+    # -- parallel solve ------------------------------------------------------
+
+    def _partitions(self, users: np.ndarray) -> list[np.ndarray]:
+        """Position arrays of independently solvable cohort slices."""
+        partitions_hook = getattr(self.recommender, "cohort_partitions", None)
+        if partitions_hook is not None:
+            return [p for p in partitions_hook(users) if p.size]
+        bounds = np.linspace(0, users.size, self.n_workers + 1, dtype=np.int64)
+        return [np.arange(lo, hi, dtype=np.int64)
+                for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+
+    def _ensure_pool(self):
+        """The engine-lifetime worker pool, created on first parallel solve."""
+        if self._pool is None:
+            pool_cls = (ThreadPoolExecutor if self.worker_mode == "thread"
+                        else ProcessPoolExecutor)
+            self._pool = pool_cls(max_workers=self.n_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op when none was ever started)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _score_users(self, users: np.ndarray, k: int, exclude_rated: bool,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Ranked arrays for uncached users, fanned across the worker pool.
+
+        Workers receive user slices, not precomputed walk structure, so a
+        parallel request re-derives each user's absorbing set inside its
+        worker — an accepted duplication: the group-key memo makes the
+        second grouping a dict lookup, and keeping the task payload to bare
+        indices is what lets the process fallback ship partitions cheaply.
+        """
+        self._solves += int(users.size)
+        if self.n_workers == 1 or users.size <= 1:
+            return _score_partition(self.recommender, users, k, exclude_rated)
+        partitions = self._partitions(users)
+        if self.worker_mode == "process" and len(partitions) > self.n_workers:
+            # Each process task pickles the whole model; cap the pickle count
+            # at the pool size by folding partitions into n_workers buckets.
+            buckets = [[] for _ in range(self.n_workers)]
+            for index, positions in enumerate(
+                    sorted(partitions, key=len, reverse=True)):
+                buckets[index % self.n_workers].append(positions)
+            partitions = [np.concatenate(bucket) for bucket in buckets if bucket]
+        if len(partitions) <= 1:
+            return _score_partition(self.recommender, users, k, exclude_rated)
+        items = np.full((users.size, k), -1, dtype=np.int64)
+        scores = np.full((users.size, k), -np.inf)
+        pool = self._ensure_pool()
+        futures = [
+            (positions, pool.submit(_score_partition, self.recommender,
+                                    users[positions], k, exclude_rated))
+            for positions in partitions
+        ]
+        for positions, future in futures:
+            part_items, part_scores = future.result()
+            items[positions] = part_items
+            scores[positions] = part_scores
+        return items, scores
+
     # -- result cache --------------------------------------------------------
 
     def _cached_arrays(self, users: np.ndarray, k: int, exclude_rated: bool,
                       ) -> tuple[np.ndarray, np.ndarray]:
         """Ranked ``(items, scores)`` for ``users``, through the result cache.
 
-        Uncached users are answered in one ``recommend_batch_arrays`` call;
-        rows are then assembled in cohort order from the cache.
+        Uncached users are deduplicated and answered in one
+        :meth:`_score_users` call; rows are then assembled in cohort order
+        (duplicates fanned back out) from the cache.
         """
         if self.result_cache_size == 0:
-            self.result_cache_misses += int(users.size)
-            return self.recommender.recommend_batch_arrays(
-                users, k=k, exclude_rated=exclude_rated
-            )
-        keys = [(int(u), k, exclude_rated) for u in users]
-        missing: list[int] = []
-        seen: set[tuple] = set()
-        for user, key in zip(users, keys):
-            if key in self._results:
-                self.result_cache_hits += 1
-            elif key not in seen:
-                seen.add(key)
-                missing.append(int(user))
-                self.result_cache_misses += 1
-            else:
-                self.result_cache_hits += 1  # duplicate within this cohort
+            # No cache, but in-cohort duplicates are still solved once.
+            unique, inverse = np.unique(users, return_inverse=True)
+            self.result_cache_misses += int(unique.size)
+            self.result_cache_hits += int(users.size - unique.size)
+            with self._stage("solve"):
+                items, scores = self._score_users(unique, k, exclude_rated)
+            return items[inverse], scores[inverse]
+        with self._stage("lookup"):
+            keys = [(int(u), k, exclude_rated) for u in users]
+            missing: list[int] = []
+            seen: set[tuple] = set()
+            for user, key in zip(users, keys):
+                if key in self._results:
+                    self.result_cache_hits += 1
+                elif key not in seen:
+                    seen.add(key)
+                    missing.append(int(user))
+                    self.result_cache_misses += 1
+                else:
+                    self.result_cache_hits += 1  # duplicate within this cohort
         if missing:
             cohort = np.asarray(missing, dtype=np.int64)
-            new_items, new_scores = self.recommender.recommend_batch_arrays(
-                cohort, k=k, exclude_rated=exclude_rated
-            )
+            with self._stage("solve"):
+                new_items, new_scores = self._score_users(cohort, k, exclude_rated)
             for row, user in enumerate(missing):
                 self._results[(user, k, exclude_rated)] = (
                     new_items[row], new_scores[row]
                 )
             while len(self._results) > self.result_cache_size:
                 self._results.popitem(last=False)
-        items = np.full((users.size, k), -1, dtype=np.int64)
-        scores = np.full((users.size, k), -np.inf)
-        for row, key in enumerate(keys):
-            entry = self._results.get(key)
-            if entry is None:  # evicted within this very call (tiny cache)
-                entry_items, entry_scores = self.recommender.recommend_batch_arrays(
-                    np.array([key[0]], dtype=np.int64), k=k,
-                    exclude_rated=exclude_rated,
-                )
-                entry = (entry_items[0], entry_scores[0])
-            else:
+        with self._stage("lookup"):
+            items = np.full((users.size, k), -1, dtype=np.int64)
+            scores = np.full((users.size, k), -np.inf)
+            fallback: list[int] = []
+            for row, key in enumerate(keys):
+                entry = self._results.get(key)
+                if entry is None:  # evicted within this very call (tiny cache)
+                    fallback.append(row)
+                    continue
                 self._results.move_to_end(key)
-            items[row], scores[row] = entry
+                items[row], scores[row] = entry
+        if fallback:
+            rows = np.asarray(fallback, dtype=np.int64)
+            with self._stage("solve"):
+                fb_items, fb_scores = self._score_users(
+                    users[rows], k, exclude_rated
+                )
+            items[rows] = fb_items
+            scores[rows] = fb_scores
         return items, scores
 
     # -- serving -------------------------------------------------------------
@@ -262,20 +404,26 @@ class ServingEngine:
         users = as_index_array(
             np.atleast_1d(np.asarray(users)), dataset.n_users, "users"
         )
-        report = EngineReport(n_users=int(users.size), k=k)
+        report = EngineReport(n_users=int(users.size), k=k,
+                              n_workers=self.n_workers)
         hits_before = self.result_cache_hits
         misses_before = self.result_cache_misses
+        solves_before = self._solves
+        self._stage_seconds = {}
         with Timer() as timer:
             for start in range(0, users.size, batch_size):
                 chunk = users[start:start + batch_size]
                 items, scores = self._cached_arrays(chunk, k, exclude_rated)
-                report.rows.extend(
-                    rows_from_ranked_arrays(chunk, items, scores, self._labels)
-                )
+                with self._stage("assemble"):
+                    report.rows.extend(
+                        rows_from_ranked_arrays(chunk, items, scores, self._labels)
+                    )
         report.seconds = timer.elapsed
+        report.n_solves = self._solves - solves_before
         report.result_cache_hits = self.result_cache_hits - hits_before
         report.result_cache_misses = self.result_cache_misses - misses_before
         report.scoring_cache = self.recommender.scoring_cache_stats() or {}
+        report.timings = dict(self._stage_seconds)
         return report
 
     def warm(self, users=None, k: int = 10, batch_size: int = 256) -> EngineReport:
@@ -314,6 +462,9 @@ class ServingEngine:
             "result_entries": len(self._results),
             "result_hits": self.result_cache_hits,
             "result_misses": self.result_cache_misses,
+            "solves": self._solves,
+            "workers": self.n_workers,
+            "worker_mode": self.worker_mode,
             "scoring_cache": self.recommender.scoring_cache_stats() or {},
             "store_attached": self.store is not None,
         }
@@ -322,5 +473,6 @@ class ServingEngine:
         return (
             f"ServingEngine(algorithm={self.recommender.name!r}, "
             f"cached_results={len(self._results)}, "
+            f"workers={self.n_workers}, "
             f"store={'yes' if self.store is not None else 'no'})"
         )

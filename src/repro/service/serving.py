@@ -66,6 +66,9 @@ class BatchServingReport:
         ``label``, ``score`` — ready for ``write_csv`` / ``format_table``.
     n_users:
         Cohort size served.
+    n_solves:
+        Distinct users actually scored — repeated user ids are solved once
+        and fanned out, so this is ``len(set(users))``.
     seconds:
         Wall-clock time of the scoring phase only (fitting excluded).
     k:
@@ -74,6 +77,7 @@ class BatchServingReport:
 
     rows: list = field(default_factory=list)
     n_users: int = 0
+    n_solves: int = 0
     seconds: float = 0.0
     k: int = 10
 
@@ -93,6 +97,7 @@ class BatchServingReport:
             "seconds": round(self.seconds, 4),
             "users_per_sec": round(self.users_per_second, 1),
             "ms_per_user": round(self.mean_user_milliseconds, 3),
+            "solves": self.n_solves,
         }
 
 
@@ -101,8 +106,10 @@ def serve_user_cohort(recommender: Recommender, users, k: int = 10,
                       exclude_rated: bool = True) -> BatchServingReport:
     """Serve top-``k`` lists for a user cohort through the batch path.
 
-    The cohort is processed in chunks of ``batch_size`` so the dense
-    multi-RHS walk matrices stay bounded at
+    Repeated user ids are solved once and their rows fanned back out in
+    cohort order (``report.n_solves`` counts the distinct solves). The
+    deduplicated cohort is processed in chunks of ``batch_size`` so the
+    dense multi-RHS walk matrices stay bounded at
     ``n_subgraph_nodes × batch_size`` floats regardless of cohort size.
     """
     dataset = recommender._require_fitted()
@@ -110,15 +117,23 @@ def serve_user_cohort(recommender: Recommender, users, k: int = 10,
     batch_size = check_positive_int(batch_size, "batch_size")
     users = as_index_array(np.atleast_1d(np.asarray(users)), dataset.n_users, "users")
 
-    report = BatchServingReport(n_users=int(users.size), k=k)
+    unique_users, inverse = np.unique(users, return_inverse=True)
+    report = BatchServingReport(n_users=int(users.size),
+                                n_solves=int(unique_users.size), k=k)
     labels = _label_array(dataset.item_labels)
     with Timer() as timer:
-        for start in range(0, users.size, batch_size):
-            chunk = users[start:start + batch_size]
-            items, scores = recommender.recommend_batch_arrays(
-                chunk, k=k, exclude_rated=exclude_rated
+        items = np.empty((unique_users.size, k), dtype=np.int64)
+        scores = np.empty((unique_users.size, k))
+        for start in range(0, unique_users.size, batch_size):
+            chunk = unique_users[start:start + batch_size]
+            items[start:start + batch_size], scores[start:start + batch_size] = (
+                recommender.recommend_batch_arrays(
+                    chunk, k=k, exclude_rated=exclude_rated
+                )
             )
-            report.rows.extend(rows_from_ranked_arrays(chunk, items, scores, labels))
+        report.rows = rows_from_ranked_arrays(
+            users, items[inverse], scores[inverse], labels
+        )
     report.seconds = timer.elapsed
     return report
 

@@ -1,0 +1,30 @@
+"""Prepared walk operators: the zero-revalidation solver core.
+
+The absorbing-chain free functions in :mod:`repro.graph.absorbing` validate
+their transition matrix on every call — an O(nnz) scan that is pure waste on
+the warm serving path, where the matrix came out of our own
+:class:`~repro.graph.cache.TransitionCache` and was row-normalized at build
+time. :class:`WalkOperator` moves that validation to construction time and
+owns every other request-independent structure of the τ-sweep solve:
+
+* the CSR transition matrix, validated **exactly once**, plus a lazily
+  materialized float32 copy for the bandwidth-halved serving mode;
+* connected-component labels for O(n) label-indexed reachability lookups
+  (replacing per-query ``np.isin`` sorts);
+* memoized per-cost-model local cost vectors;
+* an LRU of *solve plans* (pin coordinates) plus a per-set reachability
+  column memo, so a repeated cohort re-derives nothing;
+* chunked multi-RHS sweeps through a single pair of ping-pong buffers,
+  bounding dense memory at ``2 × n_nodes × chunk_size`` floats regardless
+  of cohort size;
+* an LRU of ``splu`` factorizations (one per absorbing set) for the exact
+  mode.
+
+:class:`~repro.graph.cache.TransitionCache` hands out prepared operators;
+:class:`~repro.core.graph_base.RandomWalkRecommender` consumes them. The
+free functions remain as thin validated wrappers for external callers.
+"""
+
+from repro.solver.operator import SOLVE_DTYPES, WalkOperator
+
+__all__ = ["SOLVE_DTYPES", "WalkOperator"]

@@ -137,3 +137,38 @@ class TestRecommenderIntegration:
         second = recommender.score_users(users)
         np.testing.assert_array_equal(first, second)
         assert recommender.transition_cache.hits > hits_before
+
+
+class TestPreparedOperators:
+    def test_group_entry_carries_validated_operator(self, graph):
+        cache = TransitionCache(graph)
+        entry = cache.group(None)
+        assert entry.operator.transition is entry.transition
+        assert entry.operator.validations == 1
+
+    def test_group_served_twice_validates_once(self, graph):
+        cache = TransitionCache(graph)
+        entry = cache.group(None)
+        entry.operator.solve(np.array([0]), n_iterations=3)
+        entry.operator.solve(np.array([0]), n_iterations=3)
+        again = cache.group(None)
+        assert again.operator is entry.operator
+        stats = cache.operator_stats()
+        assert stats["operators"] == 1
+        assert stats["validations"] == 1
+        assert stats["solves"] == 2
+        assert cache.stats()["operator_validations"] == 1
+
+    def test_bfs_entry_carries_operator(self, graph, small_synth):
+        from repro.solver import WalkOperator
+
+        cache = TransitionCache(graph)
+        seeds = small_synth.dataset.items_of_user(0)
+        absorbing = graph.item_nodes(seeds)
+        sub, operator = cache.bfs(0, seeds, absorbing, 5)
+        assert isinstance(operator, WalkOperator)
+        assert operator.n_nodes == sub.n_nodes
+        assert operator.validations == 1
+        _, again = cache.bfs(0, seeds, absorbing, 5)
+        assert again is operator
+        assert cache.operator_stats()["validations"] == 1

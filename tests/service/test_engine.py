@@ -207,3 +207,86 @@ class TestWarmAndStats:
             assert report.scoring_cache == {}
             assert report.rows == serve_user_cohort(fitted, np.arange(10),
                                                     k=5).rows
+
+
+class TestWorkerDispatch:
+    """Parallel component-group dispatch must never change a ranking."""
+
+    def test_thread_workers_identical_rows(self, fitted_at):
+        users = np.arange(0, 100, 3)
+        serial = ServingEngine(fitted_at, result_cache_size=0)
+        threaded = ServingEngine(fitted_at, result_cache_size=0, n_workers=3)
+        assert (threaded.serve_cohort(users, k=5).rows
+                == serial.serve_cohort(users, k=5).rows)
+
+    def test_process_workers_identical_rows(self, fitted_at):
+        users = np.arange(0, 40, 3)
+        serial = ServingEngine(fitted_at, result_cache_size=0)
+        forked = ServingEngine(fitted_at, result_cache_size=0, n_workers=2,
+                               worker_mode="process")
+        assert (forked.serve_cohort(users, k=5).rows
+                == serial.serve_cohort(users, k=5).rows)
+
+    def test_thread_workers_on_non_walk_algorithm(self, small_synth):
+        fitted = PureSVDRecommender().fit(small_synth.dataset)
+        serial = ServingEngine(fitted, result_cache_size=0)
+        threaded = ServingEngine(fitted, result_cache_size=0, n_workers=2)
+        users = np.arange(0, 60, 2)
+        assert (threaded.serve_cohort(users, k=5).rows
+                == serial.serve_cohort(users, k=5).rows)
+
+    def test_stage_timings_reported(self, fitted_at):
+        engine = ServingEngine(fitted_at, n_workers=2)
+        report = engine.serve_cohort(np.arange(0, 30, 2), k=4)
+        assert report.n_workers == 2
+        assert {"lookup", "solve", "assemble"} <= set(report.timings)
+        assert all(v >= 0 for v in report.timings.values())
+        assert "solve_s" in report.summary()
+
+    def test_invalid_worker_config_rejected(self, fitted_at):
+        with pytest.raises(ConfigError, match="n_workers"):
+            ServingEngine(fitted_at, n_workers=0)
+        with pytest.raises(ConfigError, match="worker_mode"):
+            ServingEngine(fitted_at, worker_mode="fibers")
+
+
+class TestDedupeAndSolveCounts:
+    def test_duplicates_solved_once_and_fanned_out(self, fitted_at):
+        engine = ServingEngine(fitted_at)
+        report = engine.serve_cohort(np.array([3, 5, 3, 5, 3]), k=4)
+        assert report.n_users == 5
+        assert report.n_solves == 2  # one per distinct user
+        by_rank_one = [r for r in report.rows if r["rank"] == 1]
+        per_user = {r["user"]: r["item"] for r in by_rank_one}
+        for row in by_rank_one:
+            assert row["item"] == per_user[row["user"]]
+        # And the rows match a duplicate-free serve of the same users.
+        clean = ServingEngine(fitted_at).serve_cohort(np.array([3]), k=4)
+        assert [r for r in report.rows if r["user"] == 3][:4] == clean.rows
+
+    def test_warm_pass_reports_zero_solves(self, fitted_at):
+        engine = ServingEngine(fitted_at)
+        users = np.arange(0, 20, 3)
+        cold = engine.serve_cohort(users, k=4)
+        warm = engine.serve_cohort(users, k=4)
+        assert cold.n_solves == users.size
+        assert warm.n_solves == 0
+
+
+class TestZeroRevalidation:
+    def test_cached_group_served_twice_validates_once(self, small_synth):
+        """The prepared-operator contract: no O(nnz) validation scan on the
+        warm path — a group's matrix is validated exactly once, at cache
+        build time, however many times it is served afterwards."""
+        fitted = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        engine = ServingEngine(fitted, result_cache_size=0)
+        users = np.arange(0, 60, 5)
+        cold = engine.serve_cohort(users, k=5)
+        validations_cold = cold.scoring_cache["operator_validations"]
+        solves_cold = cold.scoring_cache["operator_solves"]
+        assert validations_cold >= 1
+        warm = engine.serve_cohort(users, k=5)
+        assert warm.rows == cold.rows
+        # More solves ran, yet not a single extra validation.
+        assert warm.scoring_cache["operator_solves"] > solves_cold
+        assert warm.scoring_cache["operator_validations"] == validations_cold

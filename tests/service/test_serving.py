@@ -58,3 +58,21 @@ class TestLoadUserFile:
         path.write_text("# only comments\n")
         with pytest.raises(DataFormatError, match="no user indices"):
             load_user_file(str(path), n_users=3)
+
+
+class TestCohortDedupe:
+    def test_duplicates_solved_once_rows_identical(self, tiny_dataset):
+        from repro import MostPopularRecommender
+
+        fitted = MostPopularRecommender().fit(tiny_dataset)
+        cohort = np.array([1, 0, 1, 2, 0, 1])
+        report = serve_user_cohort(fitted, cohort, k=3)
+        baseline = serve_user_cohort(fitted, np.array([0, 1, 2]), k=3)
+        assert report.n_users == 6
+        assert report.n_solves == 3 < report.n_users
+        assert "solves" in report.summary()
+        per_user = {u: [r for r in baseline.rows if r["user"] == u]
+                    for u in (0, 1, 2)}
+        # Rows come back in cohort order, duplicates fanned out verbatim.
+        expected = [row for u in cohort for row in per_user[int(u)]]
+        assert report.rows == expected
