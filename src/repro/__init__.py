@@ -44,6 +44,7 @@ from repro.core import (
     AbsorbingTimeRecommender,
     EntropyCostModel,
     HittingTimeRecommender,
+    PartialFitReport,
     Recommendation,
     Recommender,
     UnitCostModel,
@@ -51,6 +52,7 @@ from repro.core import (
     topic_entropy,
 )
 from repro.data import (
+    DatasetDelta,
     RatingDataset,
     SyntheticConfig,
     SyntheticData,
@@ -107,6 +109,7 @@ __all__ = [
     "AbsorbingCostRecommender",
     "Recommender",
     "Recommendation",
+    "PartialFitReport",
     "EntropyCostModel",
     "UnitCostModel",
     "item_entropy",
@@ -127,6 +130,7 @@ __all__ = [
     "UserKNNRecommender",
     # data
     "RatingDataset",
+    "DatasetDelta",
     "SyntheticConfig",
     "SyntheticData",
     "douban_like",

@@ -50,6 +50,7 @@ class LDARecommender(Recommender):
         self.n_topics = check_positive_int(n_topics, "n_topics")
         self.method = check_in_options(method, "method", ("cvb0", "gibbs"))
         self.model = model
+        self._model_supplied = model is not None
         self.seed = seed
         self.lda_kwargs = dict(lda_kwargs or {})
 
@@ -64,6 +65,29 @@ class LDARecommender(Recommender):
                 f"pre-trained model shape ({self.model.n_users}, {self.model.n_items}) "
                 f"does not match dataset ({dataset.n_users}, {dataset.n_items})"
             )
+
+    def _partial_fit(self, delta):
+        # Topic mixtures are a global function of the rating matrix, so the
+        # update path is the refit fallback — but a *self-trained* model
+        # must actually retrain (same seed, merged matrix) rather than keep
+        # serving stale topics through _fit's train-once guard. A model the
+        # caller supplied is theirs to manage: it is kept while it still
+        # matches, and rejected *before* any state moves once the
+        # catalogue has outgrown it (the in-fit check would fire only
+        # after self.dataset was already swapped).
+        if self._model_supplied:
+            merged = delta.dataset
+            if (self.model.n_users, self.model.n_items) != (
+                    merged.n_users, merged.n_items):
+                raise ConfigError(
+                    f"pre-trained model shape ({self.model.n_users}, "
+                    f"{self.model.n_items}) does not match the updated "
+                    f"dataset ({merged.n_users}, {merged.n_items}); supply "
+                    "a retrained model and refit"
+                )
+        else:
+            self.model = None
+        return super()._partial_fit(delta)
 
     def get_config(self) -> dict:
         # The trained model rides in the state arrays, not the config, so a

@@ -96,17 +96,27 @@ class DiscountedPageRankRecommender(PersonalizedPageRankRecommender):
 
     name = "DPPR"
 
-    def _fit(self, dataset: RatingDataset) -> None:
-        super()._fit(dataset)
-        self._popularity = np.maximum(dataset.item_popularity(), 1).astype(np.float64)
-
-    def _load_state_arrays(self, arrays: dict) -> None:
-        super()._load_state_arrays(arrays)
+    def _refresh_popularity(self) -> None:
         # The discount vector is a pure function of the dataset; recompute
-        # instead of persisting it.
+        # (one vectorised column count) instead of persisting it.
         self._popularity = np.maximum(
             self.dataset.item_popularity(), 1
         ).astype(np.float64)
+
+    def _fit(self, dataset: RatingDataset) -> None:
+        super()._fit(dataset)
+        self._refresh_popularity()
+
+    def _load_state_arrays(self, arrays: dict) -> None:
+        super()._load_state_arrays(arrays)
+        self._refresh_popularity()
+
+    def _post_partial_fit(self, delta, update):
+        # Popularity only changed for touched items, which live in touched
+        # components — untouched users' scores are unaffected, so the
+        # graph mixin's component-scoped affected set stands.
+        self._refresh_popularity()
+        return super()._post_partial_fit(delta, update)
 
     def _score_users_batch(self, users: np.ndarray) -> np.ndarray:
         # Discounting is elementwise, so it composes directly with the batch

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.artifacts import register_recommender
-from repro.core.base import Recommender
+from repro.core.base import PartialFitReport, Recommender
 from repro.data.dataset import RatingDataset
 from repro.utils.validation import check_random_state
 
@@ -34,6 +34,24 @@ class MostPopularRecommender(Recommender):
 
     def _fit(self, dataset: RatingDataset) -> None:
         self._scores = dataset.item_popularity().astype(np.float64)
+
+    def _partial_fit(self, delta) -> PartialFitReport:
+        # Popularity is a per-item rating count: pad new items with zero and
+        # bump each genuinely new (non-replacement) pair by one. Counts are
+        # small integers, exact in float64, so this is bit-identical to a
+        # recount — but the *ranking* is globally coupled (one list serves
+        # everyone), hence affected_users=None.
+        self.dataset = delta.dataset
+        scores = np.zeros(delta.dataset.n_items)
+        scores[:self._scores.shape[0]] = self._scores
+        new_pairs = ~delta.replaced
+        np.add.at(scores, delta.items[new_pairs], 1.0)
+        self._scores = scores
+        return PartialFitReport(
+            mode="incremental", n_events=delta.n_events,
+            n_new_users=delta.n_new_users, n_new_items=delta.n_new_items,
+            affected_users=None,
+        )
 
     def _score_user(self, user: int) -> np.ndarray:
         return self._scores.copy()

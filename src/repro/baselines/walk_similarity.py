@@ -102,6 +102,29 @@ class CommuteTimeRecommender(GraphStateMixin, Recommender):
         # Laplacian pseudoinverses are rebuilt lazily per component on demand.
         self._component_cache = {}
 
+    def _partial_fit(self, delta):
+        # Size-gate *before* any state is touched: a rejected update must
+        # leave the fitted recommender exactly as it was.
+        n_nodes = delta.dataset.n_users + delta.dataset.n_items
+        if n_nodes > self.max_nodes:
+            raise ConfigError(
+                f"CommuteTimeRecommender is dense O(n^3): updated graph has "
+                f"{n_nodes} nodes > max_nodes={self.max_nodes}"
+            )
+        return super()._partial_fit(delta)
+
+    def _post_partial_fit(self, delta, update):
+        # Targeted invalidation of the pseudoinverse memo: only touched
+        # components' Laplacians changed (labels of untouched components
+        # are stable across the update, and their cached pinv — keyed by
+        # label, node indices re-derived per query — stays exact).
+        for label in update.touched_components:
+            self._component_cache.pop(int(label), None)
+        return super()._post_partial_fit(delta, update)
+
+    def clear_scoring_cache(self) -> None:
+        self._component_cache = {}
+
     def _component_pinv(self, label: int, component: np.ndarray):
         """Laplacian pseudoinverse of one component, cached across users."""
         if label not in self._component_cache:
@@ -163,6 +186,18 @@ class KatzRecommender(GraphStateMixin, Recommender):
 
     def get_config(self) -> dict:
         return {"beta": self.beta, "max_length": self.max_length}
+
+    def _post_partial_fit(self, delta, update):
+        # The auto-tuned β tracks the max degree, which an update can move;
+        # recompute it exactly as _fit does. A changed β rescales *every*
+        # path count, so the affected-user set widens to all.
+        if self.beta is None:
+            previous = self._beta_effective
+            max_degree = float(self.graph.degrees.max())
+            self._beta_effective = 0.5 / max(max_degree, 1.0)
+            if self._beta_effective != previous:
+                return "all"
+        return super()._post_partial_fit(delta, update)
 
     def _state_arrays(self) -> dict:
         arrays = super()._state_arrays()

@@ -8,6 +8,8 @@ Usage (module form; also installed as the ``repro-experiments`` script)::
     python -m repro.cli serve-batch --algorithm AT --n-users 64 --k 10
     python -m repro.cli fit --algorithm AT --out at-model.npz
     python -m repro.cli serve --artifact at-model.npz --n-users 64 --k 10
+    python -m repro.cli update --artifact at-model.npz --events events.log \
+        --out at-model-updated.npz
 
 ``run`` maps each experiment name to its driver in :mod:`repro.experiments`
 and prints the paper-shaped text table (optionally a CSV). ``serve-batch``
@@ -17,7 +19,11 @@ lists plus the achieved throughput. ``fit`` and ``serve`` are the
 offline/online split: ``fit`` trains once and saves a versioned model
 artifact (optionally plus a precomputed top-K store); ``serve`` boots a
 :class:`~repro.service.ServingEngine` from the artifact — no refitting —
-and answers a cohort with warm-cache statistics in the report.
+and answers a cohort with warm-cache statistics in the report. ``update``
+is the incremental half: it replays a rating-event log (new users, new
+items, re-rates) against a saved artifact through
+:meth:`~repro.service.ServingEngine.apply_updates` — no refit, targeted
+cache invalidation — and can save the updated artifact back.
 """
 
 from __future__ import annotations
@@ -46,7 +52,13 @@ from repro.experiments import (
     run_tau_convergence,
 )
 from repro.experiments.suite import PAPER_ORDER, make_algorithms, make_data
-from repro.service import ServingEngine, TopKStore, load_user_file, serve_user_cohort
+from repro.service import (
+    ServingEngine,
+    TopKStore,
+    load_event_file,
+    load_user_file,
+    serve_user_cohort,
+)
 from repro.utils.timer import Timer
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -199,6 +211,33 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default thread)")
     online.add_argument("--out", default=None,
                         help="optional CSV path for the full (user, rank, item) rows")
+
+    update = sub.add_parser(
+        "update",
+        help="replay a rating-event log against a saved artifact — the "
+             "incremental update pipeline (no refit)",
+    )
+    update.add_argument("--artifact", required=True,
+                        help="model artifact written by 'fit'")
+    update.add_argument("--events", required=True,
+                        help="event log: 'user_label item_label rating' per "
+                             "line (# comments allowed); unknown labels "
+                             "register new users/items")
+    update.add_argument("--batch-size", type=int, default=0,
+                        help="events applied per update batch "
+                             "(0 = one batch, default)")
+    update.add_argument("--duplicates", default="last",
+                        choices=("last", "error"),
+                        help="re-rate policy: overwrite ('last', default) or "
+                             "reject ('error')")
+    update.add_argument("--max-pending", type=int, default=None,
+                        help="consolidate (full refit) once this many events "
+                             "have been absorbed since the last fit")
+    update.add_argument("--serve-users", type=int, default=0,
+                        help="serve the first N users after updating, showing "
+                             "the retained warm-cache stats")
+    update.add_argument("--out", default=None,
+                        help="save the updated model artifact here")
     return parser
 
 
@@ -305,6 +344,46 @@ def _serve(args) -> int:
     return 0
 
 
+def _update(args) -> int:
+    print(f"Loading artifact {args.artifact} ...", flush=True)
+    with Timer() as load_timer:
+        engine = ServingEngine.from_artifact(
+            args.artifact, max_pending_events=args.max_pending,
+            update_duplicates=args.duplicates,
+        )
+    train = engine.dataset
+    print(f"   {engine.recommender.name} over {train} "
+          f"(loaded in {load_timer.elapsed:.2f}s)")
+    if args.serve_users > 0:
+        # Warm the caches first so the update report shows what survives.
+        users = np.arange(min(args.serve_users, train.n_users))
+        engine.serve_cohort(users, k=10)
+
+    events = load_event_file(args.events)
+    batch_size = args.batch_size if args.batch_size > 0 else len(events)
+    print(f"Applying {len(events)} events "
+          f"(batches of {batch_size}, duplicates={args.duplicates}) ...",
+          flush=True)
+    summaries = []
+    for start in range(0, len(events), batch_size):
+        report = engine.apply_updates(events[start:start + batch_size])
+        summaries.append({"batch": len(summaries) + 1, **report.summary()})
+    print(format_table(summaries, title="update: applied event batches"))
+    print(f"   now serving {engine.dataset} at model version "
+          f"{engine.model_version}")
+
+    if args.serve_users > 0:
+        users = np.arange(min(args.serve_users, engine.dataset.n_users))
+        served = engine.serve_cohort(users, k=10)
+        print(format_table([served.summary()],
+                           title="post-update cohort (warm retention)"))
+    if args.out:
+        path = engine.recommender.save(args.out)
+        print(f"[saved] updated artifact {path} "
+              f"({os.path.getsize(path) // 1024} KiB)")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve-batch":
@@ -313,6 +392,8 @@ def main(argv=None) -> int:
         return _fit(args)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "update":
+        return _update(args)
     if args.command == "list":
         rows = [{"experiment": name, "description": desc}
                 for name, (desc, _) in sorted(EXPERIMENTS.items())]

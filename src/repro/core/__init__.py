@@ -12,7 +12,7 @@ from repro.core.artifacts import (
     registered_recommenders,
     save_artifact,
 )
-from repro.core.base import Recommendation, Recommender
+from repro.core.base import PartialFitReport, Recommendation, Recommender
 from repro.core.costs import CostModel, EntropyCostModel, UnitCostModel
 from repro.core.entropy import distribution_entropy, item_entropy, topic_entropy
 from repro.core.explain import Explanation, PathEvidence, explain_recommendation
@@ -27,6 +27,7 @@ __all__ = [
     "register_recommender",
     "registered_recommenders",
     "save_artifact",
+    "PartialFitReport",
     "Recommendation",
     "Recommender",
     "CostModel",

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.artifacts import register_recommender
+from repro.core.base import Recommender
 from repro.core.costs import (
     CostModel,
     EntropyCostModel,
@@ -167,6 +168,35 @@ class AbsorbingCostRecommender(RandomWalkRecommender):
         self._fitted_entropies = entropies
         if self.entropy_source == "precomputed":
             self._entropy_array = entropies
+
+    # -- incremental updates --------------------------------------------------
+
+    def _partial_fit(self, delta):
+        if self.entropy_source == "topic":
+            # Topic entropies come from an LDA over the *whole* rating
+            # matrix — any event can move every user's mixture, so parity
+            # demands the full refit fallback (same seed, merged dataset).
+            return Recommender._partial_fit(self, delta)
+        if self.entropy_source == "precomputed" and delta.n_new_users:
+            # Checked before any state is touched: a failed update must
+            # leave the fitted recommender exactly as it was.
+            raise ConfigError(
+                "precomputed entropies cannot cover new users; supply a "
+                "longer entropy array and refit"
+            )
+        return super()._partial_fit(delta)
+
+    def _post_partial_fit(self, delta, update) -> None:
+        if self.entropy_source == "precomputed":
+            return  # fixed array, no touched-user refresh to do
+        # Item-based entropy (Eq. 10) depends on each user's own ratings
+        # only: append zeros for new users, then recompute exactly the
+        # users the delta touched — bit-identical to the full Eq. 10 pass.
+        entropies = np.zeros(self.dataset.n_users)
+        entropies[:self._fitted_entropies.shape[0]] = self._fitted_entropies
+        touched_users = delta.touched_users()
+        entropies[touched_users] = item_entropy(self.dataset, users=touched_users)
+        self._fitted_entropies = entropies
 
     def _absorbing_nodes(self, user: int) -> np.ndarray:
         items = self.dataset.items_of_user(user)

@@ -29,7 +29,7 @@ import json
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.base import Recommender
+from repro.core.base import PartialFitReport, Recommender
 from repro.exceptions import ArtifactError
 from repro.graph.bipartite import UserItemGraph
 
@@ -49,7 +49,13 @@ class GraphStateMixin:
 
     Persists the :class:`~repro.graph.bipartite.UserItemGraph` (adjacency +
     connected-component labels) so a loaded model starts with warm
-    connectivity structure. Mix in before :class:`Recommender`.
+    connectivity structure, and implements the incremental
+    ``partial_fit`` contract for the one-graph-is-the-state baselines:
+    the graph absorbs the delta through
+    :meth:`~repro.graph.bipartite.UserItemGraph.apply_delta` (union-find
+    label maintenance, no ``connected_components`` rerun) and subclasses
+    refresh any extra derived state in :meth:`_post_partial_fit`. Mix in
+    before :class:`Recommender`.
     """
 
     def _state_arrays(self) -> dict:
@@ -57,6 +63,23 @@ class GraphStateMixin:
 
     def _load_state_arrays(self, arrays: dict) -> None:
         self.graph = UserItemGraph.from_arrays(self.dataset, arrays)
+
+    def _post_partial_fit(self, delta, update) -> str | None:
+        """Refresh non-graph derived state; return ``"all"`` to widen the
+        affected-user set to every user (state with global score coupling)."""
+        return None
+
+    def _partial_fit(self, delta) -> PartialFitReport:
+        update = self.graph.apply_delta(delta)
+        self.dataset = delta.dataset
+        self.graph = update.graph
+        scope = self._post_partial_fit(delta, update)
+        return PartialFitReport(
+            mode="incremental", n_events=delta.n_events,
+            n_new_users=update.n_new_users, n_new_items=update.n_new_items,
+            affected_users=None if scope == "all" else update.affected_users(),
+            touched_components=tuple(sorted(update.touched_components)),
+        )
 
 #: On-disk artifact format version; bump on any incompatible layout change.
 ARTIFACT_FORMAT_VERSION = 1

@@ -26,7 +26,13 @@ all baselines — implements :class:`Recommender`:
   online-serve split. Subclasses declare their fitted state through
   :meth:`Recommender.get_config` (constructor arguments, JSON-serializable)
   and :meth:`Recommender._state_arrays` / ``_load_state_arrays`` (fitted
-  numpy/sparse arrays).
+  numpy/sparse arrays);
+* :meth:`Recommender.partial_fit` is the incremental-update contract: absorb
+  a :class:`~repro.data.dataset.DatasetDelta` of rating events (new users,
+  new items, re-rates) *without* a full refit, bit-identical in scoring to a
+  from-scratch fit on the merged dataset. Node-local algorithms override
+  :meth:`Recommender._partial_fit` to refresh touched state only; globally
+  coupled ones fall back to the (parity-trivial) refit default.
 
 The uniform sign convention is what lets one evaluation harness (Recall@N,
 popularity, diversity, similarity, efficiency) run every algorithm
@@ -36,11 +42,12 @@ unchanged.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.data.dataset import RatingDataset
+from repro.data.dataset import DatasetDelta, RatingDataset
 from repro.exceptions import ArtifactError, ConfigError, NotFittedError
 from repro.utils.topk import top_k_indices
 from repro.utils.validation import (
@@ -49,7 +56,7 @@ from repro.utils.validation import (
     check_positive_int,
 )
 
-__all__ = ["Recommendation", "Recommender"]
+__all__ = ["Recommendation", "Recommender", "PartialFitReport"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +66,58 @@ class Recommendation:
     item: int
     label: object
     score: float
+
+
+@dataclass
+class PartialFitReport:
+    """Outcome of one :meth:`Recommender.partial_fit` call.
+
+    Attributes
+    ----------
+    mode:
+        ``"incremental"`` — derived state was refreshed for the touched
+        nodes only — or ``"refit"`` — the algorithm fell back to a full fit
+        on the merged dataset (globally coupled models: SVD factors, LDA
+        topics, dense similarity matrices). Both modes satisfy the parity
+        contract: scoring after ``partial_fit`` is bit-identical to a
+        from-scratch fit on the merged dataset.
+    n_events, n_new_users, n_new_items:
+        Echo of the applied delta's shape.
+    affected_users:
+        Merged user indices whose scores may have changed, or ``None`` when
+        every user is affected (the refit fallback, and incremental models
+        with global score coupling such as popularity ranking). The serving
+        engine evicts exactly these users from its result cache.
+    touched_components:
+        Component labels the update touched (graph-backed models only).
+    seconds:
+        Wall-clock of the update.
+    """
+
+    mode: str
+    n_events: int
+    n_new_users: int
+    n_new_items: int
+    affected_users: np.ndarray | None
+    touched_components: tuple | None = None
+    seconds: float = 0.0
+
+    @property
+    def n_affected_users(self) -> int | None:
+        """Count of affected users, or ``None`` meaning "all"."""
+        return None if self.affected_users is None else int(self.affected_users.size)
+
+    def summary(self) -> dict:
+        """One summary row for reporting."""
+        return {
+            "mode": self.mode,
+            "events": self.n_events,
+            "new_users": self.n_new_users,
+            "new_items": self.n_new_items,
+            "affected_users": ("all" if self.affected_users is None
+                               else int(self.affected_users.size)),
+            "seconds": round(self.seconds, 4),
+        }
 
 
 class Recommender(abc.ABC):
@@ -238,6 +297,62 @@ class Recommender(abc.ABC):
         self.dataset = dataset
         self._fit(dataset)
         return self
+
+    def partial_fit(self, delta: DatasetDelta) -> PartialFitReport:
+        """Absorb a batch of rating events without refitting from scratch.
+
+        ``delta`` must come from :meth:`RatingDataset.extend` on **this**
+        recommender's fitted dataset (base shape is validated). The parity
+        contract — asserted for every registered recommender in
+        ``tests/test_incremental_parity.py`` — is that scoring after
+        ``partial_fit`` is *bit-identical* to a from-scratch ``fit`` on
+        ``delta.dataset``. Algorithms with per-node derived state (the
+        random-walk recommenders, graph baselines, popularity) override
+        :meth:`_partial_fit` to refresh touched nodes only; the default
+        falls back to a full refit on the merged dataset, which satisfies
+        the contract trivially.
+        """
+        dataset = self._require_fitted()
+        if not isinstance(delta, DatasetDelta):
+            raise ConfigError(
+                f"partial_fit expects a DatasetDelta; got {type(delta).__name__}"
+            )
+        if (delta.base_n_users, delta.base_n_items, delta.base_n_ratings) != (
+                dataset.n_users, dataset.n_items, dataset.n_ratings):
+            raise ConfigError(
+                f"delta base ({delta.base_n_users} users, {delta.base_n_items} "
+                f"items, {delta.base_n_ratings} ratings) does not match the "
+                f"fitted dataset ({dataset.n_users} users, {dataset.n_items} "
+                f"items, {dataset.n_ratings} ratings)"
+            )
+        start = time.perf_counter()
+        report = self._partial_fit(delta)
+        report.seconds = time.perf_counter() - start
+        return report
+
+    def _partial_fit(self, delta: DatasetDelta) -> PartialFitReport:
+        """Algorithm-specific incremental update; default = full refit.
+
+        Overrides must leave the instance bit-identical (for scoring) to a
+        fresh ``fit(delta.dataset)`` and report which users' scores may
+        have changed (``affected_users=None`` = all).
+        """
+        self.fit(delta.dataset)
+        return PartialFitReport(
+            mode="refit", n_events=delta.n_events,
+            n_new_users=delta.n_new_users, n_new_items=delta.n_new_items,
+            affected_users=None,
+        )
+
+    def clear_scoring_cache(self) -> None:
+        """Drop any scoring-layer memo structures (default: nothing to drop).
+
+        Algorithms owning warm caches (the walk recommenders'
+        :class:`~repro.graph.cache.TransitionCache`, CommuteTime's
+        pseudoinverse memo) override this; the serving engine's
+        ``clear_caches`` calls it so a running deployment can shed both
+        cache layers without discarding the engine.
+        """
 
     @property
     def is_fitted(self) -> bool:

@@ -46,20 +46,29 @@ def distribution_entropy(weights: np.ndarray) -> float:
     return float(-(p * np.log(p)).sum())
 
 
-def item_entropy(dataset: RatingDataset) -> np.ndarray:
+def item_entropy(dataset: RatingDataset,
+                 users: np.ndarray | None = None) -> np.ndarray:
     """Eq. 10: per-user entropy of the rating-mass distribution over items.
 
     Vectorised over the CSR structure; returns an array of length
-    ``n_users``.
+    ``n_users``. With ``users`` given, only those rows are computed (aligned
+    with the ``users`` array) — each user's entropy depends on their own
+    ratings alone, so the restricted computation is bit-identical to the
+    corresponding slice of the full one. The incremental update path relies
+    on exactly that to refresh touched users only.
     """
     csr = dataset.matrix
+    if users is not None:
+        users = np.asarray(users, dtype=np.int64).ravel()
+        csr = csr[users]
+    n_rows = csr.shape[0]
     totals = np.asarray(csr.sum(axis=1)).ravel()
     # Per-element p log p, then summed per row.
     safe_totals = np.where(totals > 0, totals, 1.0)
     p = csr.data / np.repeat(safe_totals, np.diff(csr.indptr))
     plogp = p * np.log(p, where=p > 0, out=np.zeros_like(p))
-    entropy = np.zeros(dataset.n_users)
-    np.subtract.at(entropy, np.repeat(np.arange(dataset.n_users), np.diff(csr.indptr)), plogp)
+    entropy = np.zeros(n_rows)
+    np.subtract.at(entropy, np.repeat(np.arange(n_rows), np.diff(csr.indptr)), plogp)
     return entropy
 
 

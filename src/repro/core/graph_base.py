@@ -51,11 +51,11 @@ import threading
 
 import numpy as np
 
-from repro.core.base import Recommender
+from repro.core.base import PartialFitReport, Recommender
 from repro.core.costs import CostModel
-from repro.data.dataset import RatingDataset
+from repro.data.dataset import DatasetDelta, RatingDataset
 from repro.exceptions import ConfigError
-from repro.graph.bipartite import UserItemGraph
+from repro.graph.bipartite import GraphUpdate, UserItemGraph
 from repro.graph.cache import TransitionCache
 from repro.solver import WalkOperator
 from repro.utils.validation import check_in_options, check_positive_int
@@ -129,6 +129,57 @@ class RandomWalkRecommender(Recommender):
         self._transition_cache = None
         self._group_keys = {}
         self._post_fit(dataset)
+
+    # -- incremental updates --------------------------------------------------
+
+    def _post_partial_fit(self, delta: DatasetDelta,
+                          update: GraphUpdate) -> None:
+        """Refresh non-graph derived state after a delta (AC: entropies)."""
+
+    def _partial_fit(self, delta: DatasetDelta) -> PartialFitReport:
+        """Incremental update: union-find graph merge + targeted invalidation.
+
+        The graph swaps to the delta-applied instance (component labels
+        maintained, never recomputed), per-user derived state is refreshed
+        through :meth:`_post_partial_fit`, and then only the structures the
+        touched components invalidate are dropped: group-key memo entries
+        whose key intersects the touched set, and — through
+        :meth:`TransitionCache.apply_update` — exactly the cache entries
+        covering a touched component. Entries over untouched components
+        stay warm, prepared operators included, which is what makes a small
+        update batch cheaper than a refit-plus-rewarm cycle.
+        """
+        update = self.graph.apply_delta(delta)
+        self.dataset = delta.dataset
+        self.graph = update.graph
+        self._post_partial_fit(delta, update)
+        touched = set(int(c) for c in update.touched_components)
+        labels = update.graph.component_labels()
+        if self._group_keys:
+            # A user's group key depends only on their rated items'
+            # components; both are stable unless the user's own component
+            # was touched ("solo" keys record no components, so test the
+            # user's node label directly).
+            self._group_keys = {
+                user: key for user, key in self._group_keys.items()
+                if (int(labels[user]) not in touched if key == "solo"
+                    else not touched.intersection(key))
+            }
+        if self._transition_cache is not None:
+            self._transition_cache.apply_update(
+                update, node_entropy=self._node_entropy_vector()
+            )
+        return PartialFitReport(
+            mode="incremental", n_events=delta.n_events,
+            n_new_users=update.n_new_users, n_new_items=update.n_new_items,
+            affected_users=update.affected_users(),
+            touched_components=tuple(sorted(touched)),
+        )
+
+    def clear_scoring_cache(self) -> None:
+        """Drop the transition cache and the group-key memo entirely."""
+        self._transition_cache = None
+        self._group_keys = {}
 
     # -- persistence ---------------------------------------------------------
 

@@ -2,7 +2,7 @@
 long-tail analysis, evaluation splits, the category ontology, and toy
 fixtures (including the paper's Figure 2 graph)."""
 
-from repro.data.dataset import RatingDataset
+from repro.data.dataset import DatasetDelta, RatingDataset
 from repro.data.longtail import (
     LongTailSplit,
     LongTailStats,
@@ -29,6 +29,7 @@ from repro.data.toy import (
 
 __all__ = [
     "RatingDataset",
+    "DatasetDelta",
     "LongTailSplit",
     "LongTailStats",
     "long_tail_split",

@@ -14,15 +14,16 @@ rejected at construction.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import DataError, UnknownItemError, UnknownUserError
-from repro.utils.validation import check_rating_matrix
+from repro.utils.validation import check_in_options, check_rating_matrix
 
-__all__ = ["RatingDataset", "labels_to_json", "labels_from_json"]
+__all__ = ["RatingDataset", "DatasetDelta", "labels_to_json", "labels_from_json"]
 
 
 def labels_to_json(labels: Sequence[Hashable]) -> np.ndarray:
@@ -71,6 +72,83 @@ def _make_labels(labels, count: int, prefix: str) -> tuple:
     if len(set(labels)) != len(labels):
         raise DataError(f"duplicate {prefix} labels")
     return labels
+
+
+@dataclass(frozen=True)
+class DatasetDelta:
+    """One applied batch of rating events against a frozen base dataset.
+
+    Produced by :meth:`RatingDataset.extend` — the dataset container stays
+    immutable; "mutation" is a pure function from (base, events) to
+    (merged dataset, delta). The delta is everything the incremental layers
+    downstream need: :meth:`~repro.graph.bipartite.UserItemGraph.apply_delta`
+    maintains component labels from the event edges,
+    :meth:`~repro.core.base.Recommender.partial_fit` refreshes derived state
+    for the touched nodes, and the serving engine evicts exactly the caches
+    the events invalidate.
+
+    Attributes
+    ----------
+    base_n_users, base_n_items, base_n_ratings:
+        Shape of the base dataset the delta was built against; consumers
+        validate these before applying (a delta must never be applied to a
+        dataset other than its base).
+    dataset:
+        The merged dataset. Existing users/items keep their indices; new
+        users/items are appended in first-appearance order of the events.
+    users, items, ratings:
+        One entry per applied event, in merged indexing. Duplicate
+        ``(user, item)`` pairs within one batch are coalesced before they
+        reach the delta (policy-dependent, see :meth:`RatingDataset.extend`),
+        so the pairs here are unique.
+    replaced:
+        Boolean per event; ``True`` where the pair already carried a rating
+        in the base (a value overwrite — no new graph edge).
+    new_user_labels, new_item_labels:
+        Labels appended beyond the base dimensions, in index order.
+    """
+
+    base_n_users: int
+    base_n_items: int
+    base_n_ratings: int
+    dataset: "RatingDataset"
+    users: np.ndarray
+    items: np.ndarray
+    ratings: np.ndarray
+    replaced: np.ndarray
+    new_user_labels: tuple
+    new_item_labels: tuple
+
+    @property
+    def n_events(self) -> int:
+        return int(self.users.size)
+
+    @property
+    def n_new_users(self) -> int:
+        return len(self.new_user_labels)
+
+    @property
+    def n_new_items(self) -> int:
+        return len(self.new_item_labels)
+
+    @property
+    def n_replaced(self) -> int:
+        return int(self.replaced.sum())
+
+    def touched_users(self) -> np.ndarray:
+        """Sorted unique merged user indices carrying an event."""
+        return np.unique(self.users)
+
+    def touched_items(self) -> np.ndarray:
+        """Sorted unique merged item indices carrying an event."""
+        return np.unique(self.items)
+
+    def __repr__(self) -> str:
+        return (
+            f"DatasetDelta(n_events={self.n_events}, "
+            f"n_new_users={self.n_new_users}, n_new_items={self.n_new_items}, "
+            f"n_replaced={self.n_replaced})"
+        )
 
 
 class RatingDataset:
@@ -124,23 +202,35 @@ class RatingDataset:
     @classmethod
     def from_triples(cls, triples: Iterable[tuple[Hashable, Hashable, float]],
                      rating_scale: tuple[float, float] | None = (1.0, 5.0),
-                     ) -> "RatingDataset":
+                     duplicates: str = "error") -> "RatingDataset":
         """Build a dataset from ``(user, item, rating)`` triples.
 
-        Users and items are indexed in first-appearance order. Duplicate
-        (user, item) pairs raise :class:`DataError` — silently summing
-        duplicate star ratings would corrupt the rating scale.
+        Users and items are indexed in first-appearance order. The
+        ``duplicates`` policy governs repeated (user, item) pairs —
+        ``"error"`` (default) raises :class:`DataError` naming the offending
+        user and item labels (silently summing duplicate star ratings would
+        corrupt the rating scale), ``"last"`` keeps the latest value (the
+        natural semantics for replaying an event log where a user re-rates).
+        The same policy is shared by :meth:`extend`.
         """
+        check_in_options(duplicates, "duplicates", ("error", "last"))
         users: dict[Hashable, int] = {}
         items: dict[Hashable, int] = {}
         rows, cols, vals = [], [], []
-        seen: set[tuple[int, int]] = set()
+        seen: dict[tuple[int, int], int] = {}
         for user, item, rating in triples:
             u = users.setdefault(user, len(users))
             i = items.setdefault(item, len(items))
-            if (u, i) in seen:
-                raise DataError(f"duplicate rating for (user={user!r}, item={item!r})")
-            seen.add((u, i))
+            position = seen.get((u, i))
+            if position is not None:
+                if duplicates == "error":
+                    raise DataError(
+                        f"duplicate rating for (user={user!r}, item={item!r}); "
+                        "pass duplicates='last' to keep the latest value"
+                    )
+                vals[position] = float(rating)
+                continue
+            seen[(u, i)] = len(rows)
             rows.append(u)
             cols.append(i)
             vals.append(float(rating))
@@ -150,6 +240,108 @@ class RatingDataset:
             (vals, (rows, cols)), shape=(len(users), len(items))
         )
         return cls(matrix, tuple(users), tuple(items), rating_scale=rating_scale)
+
+    def extend(self, events: Iterable[tuple[Hashable, Hashable, float]],
+               duplicates: str = "error") -> DatasetDelta:
+        """Apply a batch of ``(user, item, rating)`` events; return the delta.
+
+        The container stays immutable: this builds the merged dataset and
+        wraps it in a :class:`DatasetDelta` describing exactly what changed.
+        Unknown user/item labels register new rows/columns appended in
+        first-appearance order; known labels address their existing indices.
+        The ``duplicates`` policy (shared with :meth:`from_triples`) governs
+        pairs already rated in the base *and* pairs repeated within the
+        batch: ``"error"`` raises :class:`DataError` naming the labels,
+        ``"last"`` keeps the latest value (a re-rate overwrites in place).
+        Ratings are validated against the base's ``rating_scale`` up front
+        so a bad event fails with its labels, not a matrix-level message.
+        """
+        check_in_options(duplicates, "duplicates", ("error", "last"))
+        user_index: dict[Hashable, int] = dict(self._user_index)
+        item_index: dict[Hashable, int] = dict(self._item_index)
+        base_csr = self._csr
+        # pair -> position in the event arrays; "last" overwrites in place.
+        pending: dict[tuple[int, int], int] = {}
+        ev_users: list[int] = []
+        ev_items: list[int] = []
+        ev_ratings: list[float] = []
+        ev_replaced: list[bool] = []
+        for user, item, rating in events:
+            rating = float(rating)
+            if not np.isfinite(rating) or rating <= 0:
+                raise DataError(
+                    f"invalid rating {rating!r} for (user={user!r}, item={item!r}); "
+                    "ratings must be finite and > 0"
+                )
+            if self.rating_scale is not None and not (
+                    self.rating_scale[0] <= rating <= self.rating_scale[1]):
+                raise DataError(
+                    f"rating {rating} for (user={user!r}, item={item!r}) outside "
+                    f"scale [{self.rating_scale[0]}, {self.rating_scale[1]}]"
+                )
+            u = user_index.setdefault(user, len(user_index))
+            i = item_index.setdefault(item, len(item_index))
+            position = pending.get((u, i))
+            if position is not None:
+                if duplicates == "error":
+                    raise DataError(
+                        f"duplicate event for (user={user!r}, item={item!r}); "
+                        "pass duplicates='last' to keep the latest value"
+                    )
+                ev_ratings[position] = rating
+                continue
+            replaced = (
+                u < self.n_users and i < self.n_items
+                and bool(base_csr[u, i] != 0)
+            )
+            if replaced and duplicates == "error":
+                raise DataError(
+                    f"(user={user!r}, item={item!r}) is already rated; "
+                    "pass duplicates='last' to overwrite"
+                )
+            pending[(u, i)] = len(ev_users)
+            ev_users.append(u)
+            ev_items.append(i)
+            ev_ratings.append(rating)
+            ev_replaced.append(replaced)
+
+        users = np.asarray(ev_users, dtype=np.int64)
+        items = np.asarray(ev_items, dtype=np.int64)
+        ratings = np.asarray(ev_ratings, dtype=np.float64)
+        replaced = np.asarray(ev_replaced, dtype=bool)
+        shape = (len(user_index), len(item_index))
+
+        old = base_csr.tocoo()
+        old_rows, old_cols, old_vals = old.row, old.col, old.data
+        if replaced.any():
+            # Drop the overwritten base entries so the COO build stays
+            # duplicate-free (the CSR constructor would *sum* collisions).
+            keys = old_rows.astype(np.int64) * shape[1] + old_cols
+            dropped = users[replaced] * shape[1] + items[replaced]
+            keep = ~np.isin(keys, dropped)
+            old_rows, old_cols, old_vals = old_rows[keep], old_cols[keep], old_vals[keep]
+        matrix = sp.csr_matrix(
+            (np.concatenate([old_vals, ratings]),
+             (np.concatenate([old_rows.astype(np.int64), users]),
+              np.concatenate([old_cols.astype(np.int64), items]))),
+            shape=shape,
+        )
+        merged = RatingDataset(
+            matrix, tuple(user_index), tuple(item_index),
+            rating_scale=self.rating_scale,
+        )
+        return DatasetDelta(
+            base_n_users=self.n_users,
+            base_n_items=self.n_items,
+            base_n_ratings=self.n_ratings,
+            dataset=merged,
+            users=users,
+            items=items,
+            ratings=ratings,
+            replaced=replaced,
+            new_user_labels=tuple(merged.user_labels[self.n_users:]),
+            new_item_labels=tuple(merged.item_labels[self.n_items:]),
+        )
 
     # -- basic shape ------------------------------------------------------
 

@@ -8,7 +8,7 @@ from repro.graph.absorbing import (
     reachability_mask,
     truncated_absorbing_values,
 )
-from repro.graph.bipartite import UserItemGraph
+from repro.graph.bipartite import GraphUpdate, UserItemGraph
 from repro.graph.cache import TransitionCache, TransitionGroup
 from repro.graph.proximity import commute_times, katz_index, personalized_pagerank
 from repro.graph.random_walk import (
@@ -26,6 +26,7 @@ __all__ = [
     "reachability_mask",
     "truncated_absorbing_values",
     "UserItemGraph",
+    "GraphUpdate",
     "TransitionCache",
     "TransitionGroup",
     "commute_times",

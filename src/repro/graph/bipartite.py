@@ -13,15 +13,70 @@ transition matrix (Eq. 1) and the stationary distribution (Eq. 2).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.csgraph import connected_components
 
-from repro.data.dataset import RatingDataset
+from repro.data.dataset import DatasetDelta, RatingDataset
 from repro.exceptions import GraphError
 from repro.utils.sparse import bipartite_adjacency, degree_vector, row_normalize
 
-__all__ = ["UserItemGraph"]
+__all__ = ["UserItemGraph", "GraphUpdate"]
+
+
+@dataclass(frozen=True)
+class GraphUpdate:
+    """Outcome of applying a :class:`~repro.data.dataset.DatasetDelta`.
+
+    Produced by :meth:`UserItemGraph.apply_delta`. The graph stays
+    immutable: ``graph`` is a *new* instance over the merged dataset whose
+    component labels were maintained incrementally (union-find merges over
+    the event edges, never a global ``connected_components`` rerun), so
+    untouched components keep their label ids — the stability the targeted
+    cache invalidation downstream relies on.
+
+    Attributes
+    ----------
+    graph:
+        The updated graph over the merged dataset.
+    touched_components:
+        Every component label the events touched: the (pre-merge) labels of
+        all event endpoints, every label absorbed by a merge, and the fresh
+        labels of new nodes. Labels of untouched components are guaranteed
+        stable across the update, so a cache entry keyed by components
+        disjoint from this set is still valid.
+    n_new_users, n_new_items:
+        Appended node counts. A non-zero user count shifts every item's
+        *node* index by that amount (item node = ``n_users + item``) while
+        user and item *indices* stay put — consumers holding parent node
+        arrays must remap item nodes accordingly.
+    components_merged:
+        Number of union operations that actually fused two distinct
+        components (each reduces the component count by one).
+    components_created:
+        Fresh singleton components minted for new nodes (before merging).
+    """
+
+    graph: "UserItemGraph"
+    touched_components: frozenset
+    n_new_users: int
+    n_new_items: int
+    components_merged: int
+    components_created: int
+
+    def affected_users(self) -> np.ndarray:
+        """Merged user indices living in a touched component (sorted).
+
+        Everything a walk can reach is confined to its component, so these
+        are exactly the users whose scores may have changed — the eviction
+        set for per-user result caches.
+        """
+        labels = self.graph.component_labels()[:self.graph.n_users]
+        touched = np.fromiter(self.touched_components, dtype=labels.dtype,
+                              count=len(self.touched_components))
+        return np.flatnonzero(np.isin(labels, touched)).astype(np.int64)
 
 
 class UserItemGraph:
@@ -164,6 +219,111 @@ class UserItemGraph:
                 labels[self.n_users:], minlength=self.n_components
             )
         return self._item_component_sizes
+
+    # -- incremental updates --------------------------------------------------
+
+    def apply_delta(self, delta: DatasetDelta) -> GraphUpdate:
+        """Build the graph over ``delta.dataset``, reusing this graph's labels.
+
+        The adjacency is reassembled from the merged rating matrix (a pure
+        O(nnz) sparse block copy — bit-identical to a from-scratch build),
+        but the connected-component labelling is *maintained*, not
+        recomputed: new nodes start as fresh singleton components and each
+        event edge union-finds its two endpoints' components, merging each
+        set onto its smallest member label. Labels of components no event
+        touches are untouched — the stability contract
+        :class:`GraphUpdate` documents and the cache layer keys on. Label
+        ids therefore stay meaningful but become non-contiguous over time;
+        nothing downstream assumes contiguity, and a full refit (engine
+        consolidation) compacts them.
+        """
+        if not isinstance(delta, DatasetDelta):
+            raise GraphError(
+                f"apply_delta expects a DatasetDelta; got {type(delta).__name__}"
+            )
+        if (delta.base_n_users, delta.base_n_items, delta.base_n_ratings) != (
+                self.n_users, self.n_items, self.dataset.n_ratings):
+            raise GraphError(
+                f"delta base ({delta.base_n_users} users, {delta.base_n_items} "
+                f"items, {delta.base_n_ratings} ratings) does not match this "
+                f"graph ({self.n_users} users, {self.n_items} items, "
+                f"{self.dataset.n_ratings} ratings)"
+            )
+        merged = delta.dataset
+        old_count, old_labels = self._component_info()
+        n_new_users = merged.n_users - self.n_users
+        n_new_items = merged.n_items - self.n_items
+        n_users_new = merged.n_users
+        n_nodes_new = n_users_new + merged.n_items
+
+        labels = np.empty(n_nodes_new, dtype=np.int64)
+        labels[:self.n_users] = old_labels[:self.n_users]
+        labels[n_users_new:n_users_new + self.n_items] = old_labels[self.n_users:]
+        next_label = int(old_labels.max()) + 1 if old_labels.size else 0
+        labels[self.n_users:n_users_new] = np.arange(
+            next_label, next_label + n_new_users
+        )
+        labels[n_users_new + self.n_items:] = np.arange(
+            next_label + n_new_users, next_label + n_new_users + n_new_items
+        )
+
+        # Union-find over the event edges, on component labels (far fewer
+        # elements than nodes). Pre-merge endpoint labels are all touched:
+        # even a pure value overwrite changes that component's transition
+        # weights.
+        parent: dict[int, int] = {}
+
+        def find(label: int) -> int:
+            root = label
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(label, label) != label:  # path compression
+                parent[label], label = root, parent[label]
+            return root
+
+        touched: set[int] = set()
+        merges = 0
+        for u, i in zip(delta.users, delta.items):
+            lu = int(labels[u])
+            li = int(labels[n_users_new + int(i)])
+            touched.add(lu)
+            touched.add(li)
+            ru, ri = find(lu), find(li)
+            if ru != ri:
+                parent[max(ru, ri)] = min(ru, ri)
+                merges += 1
+        if merges:
+            # Relabel every member of a merged set onto its root (the
+            # smallest member label — deterministic and id-stable when one
+            # old component simply absorbs fresh singletons).
+            changed = {label: root for label in list(parent)
+                       if (root := find(label)) != label}
+            touched.update(changed)
+            touched.update(changed.values())
+            lookup = np.arange(int(labels.max()) + 1, dtype=np.int64)
+            for label, root in changed.items():
+                lookup[label] = root
+            labels = lookup[labels]
+
+        graph = object.__new__(UserItemGraph)
+        graph.dataset = merged
+        graph.n_users = merged.n_users
+        graph.n_items = merged.n_items
+        graph.adjacency = bipartite_adjacency(merged.matrix)
+        graph.degrees = degree_vector(graph.adjacency)
+        graph._transition = None
+        graph._components = (
+            old_count + n_new_users + n_new_items - merges, labels
+        )
+        graph._item_component_sizes = None
+        return GraphUpdate(
+            graph=graph,
+            touched_components=frozenset(touched),
+            n_new_users=n_new_users,
+            n_new_items=n_new_items,
+            components_merged=merges,
+            components_created=n_new_users + n_new_items,
+        )
 
     # -- serialization --------------------------------------------------------
 

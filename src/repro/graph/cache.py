@@ -31,8 +31,14 @@ counters feed the serving reports (`cache-hit stats` in
 so the serving engine may resolve independent component-groups from worker
 threads; a racing cold build can run twice, but only one entry wins.
 
-The cache assumes the graph and the entropy vector are frozen after fit —
-exactly the offline-fit / online-serve contract of the artifact layer.
+The cache assumes the graph and the entropy vector are frozen between
+updates — the offline-fit / online-serve contract of the artifact layer.
+When the incremental pipeline applies a
+:class:`~repro.data.dataset.DatasetDelta`, :meth:`TransitionCache.apply_update`
+rebinds the cache to the updated graph with **targeted invalidation**: only
+entries whose component key intersects the touched components are evicted;
+everything else — including the prepared operators and their splu factors —
+stays warm, with eviction/retention counts surfaced in :meth:`stats`.
 """
 
 from __future__ import annotations
@@ -44,7 +50,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from repro.graph.bipartite import UserItemGraph
+from repro.graph.bipartite import GraphUpdate, UserItemGraph
 from repro.graph.subgraph import LocalSubgraph, bfs_subgraph
 from repro.solver import WalkOperator
 from repro.utils.sparse import row_normalize
@@ -128,6 +134,10 @@ class TransitionCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.invalidated_groups = 0
+        self.invalidated_bfs = 0
+        self.retained_groups = 0
+        self.retained_bfs = 0
 
     # -- generic LRU ---------------------------------------------------------
 
@@ -233,6 +243,97 @@ class TransitionCache:
 
         return self._get(self._bfs, key, build, self.max_bfs_entries)
 
+    # -- incremental updates --------------------------------------------------
+
+    def apply_update(self, update: GraphUpdate,
+                     node_entropy: np.ndarray | None = None) -> dict:
+        """Rebind the cache to an updated graph, evicting only what changed.
+
+        ``update`` comes from :meth:`UserItemGraph.apply_delta`; its
+        ``touched_components`` are exactly the component labels whose walk
+        structure the events altered (labels of untouched components are
+        stable across the update, by the graph layer's contract). Targeted
+        invalidation:
+
+        * group entries whose component key intersects the touched set are
+          evicted, as is the whole-graph pseudo-group (any event changes the
+          global transition matrix); every other group entry stays **warm**
+          — its transition matrix, prepared operator (validation, memoized
+          plans, splu factors) and entropy slice are untouched by
+          construction. When users were appended, retained entries get their
+          parent ``nodes`` remapped (item node = ``n_users + item`` shifts);
+          everything local to the subgraph is index-stable.
+        * BFS entries are per-query: evicted when their subgraph touches an
+          invalidated component — or wholesale when users were appended,
+          because their keys embed absorbing *node* ids that shifted (a
+          remapped entry could never be hit again).
+
+        ``node_entropy`` is the per-node entropy over the *new* graph
+        (defaults to zeros). Callers guarantee entropies of untouched users
+        are unchanged — true for the recommenders using this cache, whose
+        per-user entropies depend only on the user's own (untouched)
+        ratings. Returns the eviction/retention counts of this update.
+        """
+        if not isinstance(update, GraphUpdate):
+            raise ValueError(
+                f"apply_update expects a GraphUpdate; got {type(update).__name__}"
+            )
+        new_graph = update.graph
+        if node_entropy is None:
+            node_entropy = np.zeros(new_graph.n_nodes)
+        node_entropy = np.asarray(node_entropy, dtype=np.float64).ravel()
+        if node_entropy.shape[0] != new_graph.n_nodes:
+            raise ValueError(
+                f"node_entropy length {node_entropy.shape[0]} != n_nodes "
+                f"{new_graph.n_nodes}"
+            )
+        touched = set(int(c) for c in update.touched_components)
+        user_shift = update.n_new_users
+        old_n_users = self.graph.n_users
+        old_labels = self.graph.component_labels()
+        counts = {"invalidated_groups": 0, "retained_groups": 0,
+                  "invalidated_bfs": 0, "retained_bfs": 0}
+        with self._lock:
+            groups: OrderedDict[tuple, TransitionGroup] = OrderedDict()
+            for key, entry in self._groups.items():
+                if key == self.GLOBAL_KEY or touched.intersection(key[1:]):
+                    counts["invalidated_groups"] += 1
+                    continue
+                if user_shift:
+                    nodes = np.where(entry.nodes < old_n_users,
+                                     entry.nodes, entry.nodes + user_shift)
+                    entry = TransitionGroup(
+                        nodes=nodes,
+                        transition=entry.transition,
+                        user_mask=entry.user_mask,
+                        labels=entry.labels,
+                        node_entropy=entry.node_entropy,
+                        item_positions=entry.item_positions,
+                        item_indices=entry.item_indices,
+                        operator=entry.operator,
+                    )
+                groups[key] = entry
+                counts["retained_groups"] += 1
+            self._groups = groups
+
+            bfs: OrderedDict[tuple, tuple] = OrderedDict()
+            for key, (sub, operator) in self._bfs.items():
+                if user_shift or touched.intersection(
+                        int(c) for c in np.unique(old_labels[sub.nodes])):
+                    counts["invalidated_bfs"] += 1
+                    continue
+                bfs[key] = (sub, operator)
+                counts["retained_bfs"] += 1
+            self._bfs = bfs
+
+            self.graph = new_graph
+            self.node_entropy = node_entropy
+            self.invalidated_groups += counts["invalidated_groups"]
+            self.retained_groups += counts["retained_groups"]
+            self.invalidated_bfs += counts["invalidated_bfs"]
+            self.retained_bfs += counts["retained_bfs"]
+        return counts
+
     # -- introspection -------------------------------------------------------
 
     def __len__(self) -> int:
@@ -271,6 +372,10 @@ class TransitionCache:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": round(self.hit_rate, 4),
+            "invalidated_groups": self.invalidated_groups,
+            "invalidated_bfs": self.invalidated_bfs,
+            "retained_groups": self.retained_groups,
+            "retained_bfs": self.retained_bfs,
         }
         operator = self.operator_stats()
         stats["operator_validations"] = operator["validations"]
@@ -283,6 +388,10 @@ class TransitionCache:
             self._bfs.clear()
             self.hits = 0
             self.misses = 0
+            self.invalidated_groups = 0
+            self.invalidated_bfs = 0
+            self.retained_groups = 0
+            self.retained_bfs = 0
 
     def __repr__(self) -> str:
         return (

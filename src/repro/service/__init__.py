@@ -12,9 +12,10 @@ batch path in bounded-memory chunks and reports throughput.
 command-line fronts.
 """
 
-from repro.service.engine import EngineReport, ServingEngine
+from repro.service.engine import EngineReport, ServingEngine, UpdateReport
 from repro.service.serving import (
     BatchServingReport,
+    load_event_file,
     load_user_file,
     rows_from_ranked_arrays,
     serve_user_cohort,
@@ -27,6 +28,8 @@ __all__ = [
     "ServingEngine",
     "STORE_FORMAT_VERSION",
     "TopKStore",
+    "UpdateReport",
+    "load_event_file",
     "load_user_file",
     "rows_from_ranked_arrays",
     "serve_user_cohort",

@@ -21,9 +21,22 @@ keeps alive between requests. It owns:
   concurrently is score-identical to one batch call.
 
 Every cohort run returns an :class:`EngineReport` whose summary carries the
-cache-hit statistics of both layers plus per-stage wall-clock timings
-(lookup / solve / assemble) — the observability needed to size caches and
-worker pools and verify the fit-once/serve-many split actually pays.
+cache-hit statistics of both layers (entry counts included) plus per-stage
+wall-clock timings (lookup / solve / assemble) — the observability needed
+to size caches and worker pools and verify the fit-once/serve-many split
+actually pays.
+
+The engine is also the front of the **incremental update pipeline**:
+:meth:`ServingEngine.apply_updates` absorbs a batch of
+``(user, item, rating)`` events through
+:meth:`RatingDataset.extend` → :meth:`Recommender.partial_fit` — new
+users/items register live, walk graphs merge components via union-find,
+scoring-cache entries over untouched components stay warm — then evicts
+exactly the affected users' ranked lists, bumps the model version, and
+reports everything in an :class:`UpdateReport`. A ``max_pending_events``
+staleness bound triggers :meth:`consolidate` (full refit, compacting the
+incrementally grown state). ``python -m repro.cli update`` replays an event
+log against a saved artifact through this path.
 """
 
 from __future__ import annotations
@@ -49,7 +62,7 @@ from repro.utils.validation import (
     check_positive_int,
 )
 
-__all__ = ["EngineReport", "ServingEngine"]
+__all__ = ["EngineReport", "UpdateReport", "ServingEngine"]
 
 
 def _score_partition(recommender: Recommender, users: np.ndarray, k: int,
@@ -82,6 +95,14 @@ class EngineReport:
     result_cache_hits / result_cache_misses:
         Users answered from / inserted into the engine's result cache during
         this run (duplicates within a cohort count as hits).
+    result_cache_entries / scoring_cache_entries:
+        Sizes of the engine's result cache and of the recommender's
+        scoring-layer cache at the end of the run — the live footprint the
+        eviction bounds and the update pipeline's targeted invalidation act
+        on.
+    model_version:
+        The engine's model version the run was served from (bumped by every
+        applied update batch and by consolidation).
     scoring_cache:
         Hit/miss and operator counters of the recommender's scoring-layer
         cache at the end of the run (``{}`` when the algorithm has none).
@@ -99,6 +120,9 @@ class EngineReport:
     n_workers: int = 1
     result_cache_hits: int = 0
     result_cache_misses: int = 0
+    result_cache_entries: int = 0
+    scoring_cache_entries: int = 0
+    model_version: int = 1
     scoring_cache: dict = field(default_factory=dict)
     timings: dict = field(default_factory=dict)
 
@@ -124,8 +148,81 @@ class EngineReport:
             "result_hits": self.result_cache_hits,
             "result_misses": self.result_cache_misses,
             "result_hit_rate": round(self.result_cache_hit_rate, 3),
+            "result_entries": self.result_cache_entries,
             "scoring_hits": self.scoring_cache.get("hits", 0),
             "scoring_misses": self.scoring_cache.get("misses", 0),
+            "scoring_entries": self.scoring_cache_entries,
+            "version": self.model_version,
+        }
+
+
+@dataclass
+class UpdateReport:
+    """Outcome of one :meth:`ServingEngine.apply_updates` batch.
+
+    Attributes
+    ----------
+    n_events, n_new_users, n_new_items, n_replaced:
+        Shape of the applied :class:`~repro.data.dataset.DatasetDelta`
+        (``n_replaced`` counts in-place re-rates of existing pairs).
+    mode:
+        The model's update mode: ``"incremental"`` (touched state refreshed
+        in place), ``"refit"`` (the algorithm's fallback), or ``"none"``
+        (empty batch — nothing changed).
+    model_version:
+        Engine model version *after* the update.
+    n_affected_users:
+        Users whose rankings may have changed (``None`` = all) — exactly the
+        set evicted from the result cache.
+    result_rows_evicted:
+        Ranked lists dropped from the result cache by this update.
+    store_detached:
+        True when an attached :class:`TopKStore` was dropped because its
+        precomputed lists predate the update (rebuild via ``build_store``).
+    consolidated:
+        True when this batch pushed ``pending_events`` over
+        ``max_pending_events`` and the engine ran a full consolidation
+        refit afterwards.
+    pending_events:
+        Events absorbed since the last full (re)fit, after this batch.
+    seconds:
+        Wall-clock of the whole update (delta build + partial_fit +
+        eviction + consolidation when triggered).
+    scoring_cache:
+        The scoring-layer cache stats after the update — includes the
+        targeted-invalidation counters (``invalidated_*`` / ``retained_*``).
+    """
+
+    n_events: int = 0
+    n_new_users: int = 0
+    n_new_items: int = 0
+    n_replaced: int = 0
+    mode: str = "none"
+    model_version: int = 1
+    n_affected_users: int | None = 0
+    result_rows_evicted: int = 0
+    store_detached: bool = False
+    consolidated: bool = False
+    pending_events: int = 0
+    seconds: float = 0.0
+    scoring_cache: dict = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        """One summary row for reporting."""
+        return {
+            "events": self.n_events,
+            "new_users": self.n_new_users,
+            "new_items": self.n_new_items,
+            "replaced": self.n_replaced,
+            "mode": self.mode,
+            "version": self.model_version,
+            "affected_users": ("all" if self.n_affected_users is None
+                               else self.n_affected_users),
+            "results_evicted": self.result_rows_evicted,
+            "retained_groups": self.scoring_cache.get("retained_groups", 0),
+            "consolidated": self.consolidated,
+            "pending": self.pending_events,
+            "seconds": round(self.seconds, 4),
         }
 
 
@@ -161,12 +258,25 @@ class ServingEngine:
         ``"process"`` (sidesteps the GIL for pure-python scoring at the cost
         of pickling the model per task; scoring caches are rebuilt per
         worker).
+    max_pending_events:
+        Staleness policy for the incremental update pipeline: once the
+        events absorbed since the last full (re)fit reach this bound,
+        :meth:`apply_updates` triggers :meth:`consolidate` — a full refit on
+        the merged dataset that compacts the incrementally maintained
+        state (component-label space, appended rows) and rebuilds the
+        caches from scratch. ``None`` (default) never auto-consolidates.
+    update_duplicates:
+        Duplicate-pair policy handed to :meth:`RatingDataset.extend` by
+        :meth:`apply_updates`: ``"last"`` (default — a re-rate overwrites,
+        the natural live-traffic semantics) or ``"error"``.
     """
 
     def __init__(self, recommender: Recommender, store: TopKStore | None = None,
                  store_exclude_rated: bool = True,
                  result_cache_size: int = 65536,
-                 n_workers: int = 1, worker_mode: str = "thread"):
+                 n_workers: int = 1, worker_mode: str = "thread",
+                 max_pending_events: int | None = None,
+                 update_duplicates: str = "last"):
         if not isinstance(recommender, Recommender):
             raise ConfigError(
                 f"ServingEngine requires a Recommender; got {type(recommender).__name__}"
@@ -191,6 +301,17 @@ class ServingEngine:
         self.worker_mode = check_in_options(
             worker_mode, "worker_mode", ("thread", "process")
         )
+        if max_pending_events is not None:
+            max_pending_events = check_positive_int(
+                max_pending_events, "max_pending_events"
+            )
+        self.max_pending_events = max_pending_events
+        self.update_duplicates = check_in_options(
+            update_duplicates, "update_duplicates", ("last", "error")
+        )
+        self.model_version = 1
+        self.pending_events = 0
+        self.last_update: UpdateReport | None = None
         self._results: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
         self._labels = _label_array(recommender.dataset.item_labels)
         self.result_cache_hits = 0
@@ -422,7 +543,10 @@ class ServingEngine:
         report.n_solves = self._solves - solves_before
         report.result_cache_hits = self.result_cache_hits - hits_before
         report.result_cache_misses = self.result_cache_misses - misses_before
+        report.result_cache_entries = len(self._results)
         report.scoring_cache = self.recommender.scoring_cache_stats() or {}
+        report.scoring_cache_entries = report.scoring_cache.get("entries", 0)
+        report.model_version = self.model_version
         report.timings = dict(self._stage_seconds)
         return report
 
@@ -431,6 +555,100 @@ class ServingEngine:
         if users is None:
             users = np.arange(self.dataset.n_users, dtype=np.int64)
         return self.serve_cohort(users, k=k, batch_size=batch_size)
+
+    # -- incremental updates --------------------------------------------------
+
+    def apply_updates(self, events, duplicates: str | None = None) -> UpdateReport:
+        """Absorb ``(user_label, item_label, rating)`` events without a refit.
+
+        The end-to-end incremental pipeline in one call: the fitted dataset
+        is extended (new users/items register rows/columns;
+        ``update_duplicates`` governs re-rates), the model's
+        :meth:`~repro.core.base.Recommender.partial_fit` refreshes derived
+        state for the touched nodes with targeted scoring-cache
+        invalidation, and the engine evicts **only the affected users'**
+        ranked lists from its result cache — everything else keeps serving
+        warm, bit-identical to a from-scratch refit on the merged data (the
+        parity contract asserted in the test suite). An attached
+        :class:`TopKStore` predates the update and is detached (rebuild via
+        :meth:`build_store` when wanted). When ``max_pending_events`` is set
+        and the absorbed-event count reaches it, the engine runs
+        :meth:`consolidate` before returning.
+
+        Not thread-safe against concurrent serving: updates are a
+        single-writer operation, matching the one-writer/many-readers
+        deployment shape.
+        """
+        events = list(events)
+        report = UpdateReport(mode="none", model_version=self.model_version,
+                              pending_events=self.pending_events)
+        if not events:
+            self.last_update = report
+            return report
+        with Timer() as timer:
+            delta = self.dataset.extend(
+                events, duplicates=duplicates or self.update_duplicates
+            )
+            fit_report = self.recommender.partial_fit(delta)
+            self._labels = _label_array(self.dataset.item_labels)
+            report.result_rows_evicted = self._evict_results(
+                fit_report.affected_users
+            )
+            if self.store is not None:
+                self.store = None
+                report.store_detached = True
+            self.model_version += 1
+            if fit_report.mode == "refit":
+                # The fallback already refit on the merged dataset — that IS
+                # a consolidation; restarting the staleness clock avoids an
+                # immediate redundant second fit at the threshold.
+                self.pending_events = 0
+            else:
+                self.pending_events += delta.n_events
+                if (self.max_pending_events is not None
+                        and self.pending_events >= self.max_pending_events):
+                    self.consolidate()
+                    report.consolidated = True
+        report.n_events = delta.n_events
+        report.n_new_users = delta.n_new_users
+        report.n_new_items = delta.n_new_items
+        report.n_replaced = delta.n_replaced
+        report.mode = fit_report.mode
+        report.model_version = self.model_version
+        report.n_affected_users = fit_report.n_affected_users
+        report.pending_events = self.pending_events
+        report.seconds = timer.elapsed
+        report.scoring_cache = self.recommender.scoring_cache_stats() or {}
+        self.last_update = report
+        return report
+
+    def consolidate(self) -> None:
+        """Full refit on the merged dataset — the staleness-policy backstop.
+
+        Incremental updates keep serving bit-identically, but they
+        accumulate debris a refit compacts: non-contiguous component
+        labels, appended derived-state rows, invalidation-scarred caches.
+        Consolidation re-runs ``fit`` on the (already merged) dataset and
+        drops both cache layers, leaving the engine exactly as if freshly
+        booted from a refit artifact. Runs inline; schedule it off-peak or
+        bound it with ``max_pending_events``.
+        """
+        self.recommender.fit(self.recommender.dataset)
+        self._results.clear()
+        self.model_version += 1
+        self.pending_events = 0
+
+    def _evict_results(self, affected_users: np.ndarray | None) -> int:
+        """Drop affected users' ranked lists; ``None`` clears everything."""
+        if affected_users is None:
+            evicted = len(self._results)
+            self._results.clear()
+            return evicted
+        affected = set(int(u) for u in affected_users)
+        stale = [key for key in self._results if key[0] in affected]
+        for key in stale:
+            del self._results[key]
+        return len(stale)
 
     # -- store management ----------------------------------------------------
 
@@ -451,10 +669,29 @@ class ServingEngine:
     # -- introspection -------------------------------------------------------
 
     def clear_caches(self) -> None:
-        """Drop the result cache (the scoring cache stays with the model)."""
+        """Drop both cache layers: the result cache *and* the model's
+        scoring-layer cache (transition matrices, prepared operators) — a
+        running engine can now shed all warm state without being discarded.
+        """
         self._results.clear()
         self.result_cache_hits = 0
         self.result_cache_misses = 0
+        self.recommender.clear_scoring_cache()
+
+    def invalidate_user(self, user: int) -> int:
+        """Evict one user's ranked lists from the result cache.
+
+        Removes every cached ``(user, k, exclude_rated)`` variant; returns
+        the number of entries dropped. The next request for the user is
+        re-scored through the (still warm) scoring layer — the hook for
+        out-of-band signals ("this user just consumed an item") that don't
+        warrant a model update.
+        """
+        self.dataset._check_user(user)
+        stale = [key for key in self._results if key[0] == int(user)]
+        for key in stale:
+            del self._results[key]
+        return len(stale)
 
     def stats(self) -> dict:
         """Lifetime cache counters of both layers plus store presence."""
@@ -467,6 +704,8 @@ class ServingEngine:
             "worker_mode": self.worker_mode,
             "scoring_cache": self.recommender.scoring_cache_stats() or {},
             "store_attached": self.store is not None,
+            "model_version": self.model_version,
+            "pending_events": self.pending_events,
         }
 
     def __repr__(self) -> str:

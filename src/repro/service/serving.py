@@ -20,7 +20,7 @@ from repro.utils.timer import Timer
 from repro.utils.validation import as_index_array, check_positive_int
 
 __all__ = ["BatchServingReport", "serve_user_cohort", "load_user_file",
-           "rows_from_ranked_arrays"]
+           "load_event_file", "rows_from_ranked_arrays"]
 
 
 def rows_from_ranked_arrays(users: np.ndarray, items: np.ndarray,
@@ -136,6 +136,39 @@ def serve_user_cohort(recommender: Recommender, users, k: int = 10,
         )
     report.seconds = timer.elapsed
     return report
+
+
+def load_event_file(path: str) -> list[tuple[str, str, float]]:
+    """Parse a rating-event log: ``user_label item_label rating`` per line.
+
+    Tokens are whitespace-separated (labels therefore cannot contain
+    whitespace); blank lines and ``#`` comments are ignored. Labels are kept
+    as strings — matching how the CLI-fitted synthetic datasets (and any
+    CSV-loaded data) label users/items; datasets with non-string labels are
+    updated through the Python API instead. Unknown labels are *not* an
+    error: they register new users/items when the events are applied.
+    """
+    events: list[tuple[str, str, float]] = []
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise DataFormatError(
+                    f"{path}:{lineno}: expected 'user item rating', got {line!r}"
+                )
+            try:
+                rating = float(parts[2])
+            except ValueError:
+                raise DataFormatError(
+                    f"{path}:{lineno}: expected a numeric rating, got {parts[2]!r}"
+                ) from None
+            events.append((parts[0], parts[1], rating))
+    if not events:
+        raise DataFormatError(f"{path}: no rating events found")
+    return events
 
 
 def load_user_file(path: str, n_users: int) -> np.ndarray:

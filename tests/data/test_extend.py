@@ -1,0 +1,137 @@
+"""RatingDataset.extend / DatasetDelta: the mutation path of the pipeline.
+
+The container stays immutable — extend is a pure function producing the
+merged dataset plus a delta — and the merged dataset must be bit-identical
+to a from-scratch build on the combined triples (the foundation the whole
+incremental-parity contract rests on).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import DatasetDelta, RatingDataset
+from repro.exceptions import DataError
+
+
+@pytest.fixture()
+def base():
+    return RatingDataset.from_triples([
+        ("a", "w", 5.0), ("a", "x", 3.0),
+        ("b", "x", 4.0), ("b", "y", 2.0),
+        ("c", "y", 5.0), ("c", "z", 1.0), ("c", "w", 2.0),
+    ])
+
+
+class TestFromTriplesDuplicates:
+    def test_error_policy_names_labels(self):
+        with pytest.raises(DataError, match=r"user='a'.*item='x'"):
+            RatingDataset.from_triples([("a", "x", 1.0), ("a", "x", 2.0)])
+
+    def test_last_policy_keeps_latest(self):
+        dataset = RatingDataset.from_triples(
+            [("a", "x", 1.0), ("a", "y", 3.0), ("a", "x", 2.0)],
+            duplicates="last",
+        )
+        assert dataset.rating(0, 0) == 2.0
+        assert dataset.n_ratings == 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(Exception, match="duplicates"):
+            RatingDataset.from_triples([("a", "x", 1.0)], duplicates="sum")
+
+
+class TestExtend:
+    def test_new_labels_registered_in_first_appearance_order(self, base):
+        delta = base.extend([("d", "w", 1.0), ("a", "v", 2.0), ("e", "v", 3.0)])
+        merged = delta.dataset
+        assert merged.user_labels == ("a", "b", "c", "d", "e")
+        assert merged.item_labels == ("w", "x", "y", "z", "v")
+        assert delta.new_user_labels == ("d", "e")
+        assert delta.new_item_labels == ("v",)
+        assert (delta.n_new_users, delta.n_new_items) == (2, 1)
+
+    def test_existing_indices_stable(self, base):
+        delta = base.extend([("newbie", "w", 3.0)])
+        merged = delta.dataset
+        for label in base.user_labels:
+            assert merged.user_id(label) == base.user_id(label)
+        for label in base.item_labels:
+            assert merged.item_id(label) == base.item_id(label)
+
+    def test_base_untouched(self, base):
+        before = base.matrix.copy()
+        base.extend([("a", "y", 4.0)])
+        assert (base.matrix != before).nnz == 0
+        assert base.n_users == 3
+
+    def test_merged_bit_identical_to_from_scratch(self, base):
+        events = [("a", "y", 4.0), ("d", "w", 5.0), ("a", "v", 2.0),
+                  ("a", "x", 1.0)]
+        merged = base.extend(events, duplicates="last").dataset
+        triples = []
+        for u in range(base.n_users):
+            for i, r in zip(base.items_of_user(u), base.ratings_of_user(u)):
+                triples.append((base.user_labels[u], base.item_labels[int(i)], r))
+        reference = RatingDataset.from_triples(triples + events, duplicates="last")
+        assert reference.user_labels == merged.user_labels
+        assert reference.item_labels == merged.item_labels
+        for part in ("data", "indices", "indptr"):
+            np.testing.assert_array_equal(
+                getattr(reference.matrix, part), getattr(merged.matrix, part)
+            )
+
+    def test_replacement_flag_and_value(self, base):
+        delta = base.extend([("a", "x", 1.0), ("b", "w", 2.0)],
+                            duplicates="last")
+        np.testing.assert_array_equal(delta.replaced, [True, False])
+        assert delta.n_replaced == 1
+        assert delta.dataset.rating(0, 1) == 1.0
+        # A replacement adds no rating; the new pair adds one.
+        assert delta.dataset.n_ratings == base.n_ratings + 1
+
+    def test_error_policy_on_existing_pair(self, base):
+        with pytest.raises(DataError, match=r"user='a'.*item='x'"):
+            base.extend([("a", "x", 1.0)])
+
+    def test_error_policy_on_in_batch_duplicate(self, base):
+        with pytest.raises(DataError, match="duplicate event"):
+            base.extend([("d", "w", 1.0), ("d", "w", 2.0)])
+
+    def test_last_policy_coalesces_in_batch_duplicates(self, base):
+        delta = base.extend([("d", "w", 1.0), ("d", "w", 4.0)],
+                            duplicates="last")
+        assert delta.n_events == 1
+        assert delta.dataset.rating(3, 0) == 4.0
+
+    def test_rating_scale_enforced_with_labels(self, base):
+        with pytest.raises(DataError, match=r"user='a'.*outside scale"):
+            base.extend([("a", "v", 9.0)])
+
+    def test_invalid_rating_rejected(self, base):
+        with pytest.raises(DataError, match="finite"):
+            base.extend([("a", "v", float("nan"))])
+
+    def test_empty_events_are_a_noop_delta(self, base):
+        delta = base.extend([])
+        assert delta.n_events == 0
+        assert (delta.dataset.matrix != base.matrix).nnz == 0
+
+    def test_delta_base_shape_recorded(self, base):
+        delta = base.extend([("d", "v", 3.0)])
+        assert (delta.base_n_users, delta.base_n_items, delta.base_n_ratings) \
+            == (3, 4, 7)
+
+    def test_touched_indices(self, base):
+        delta = base.extend([("a", "y", 4.0), ("d", "w", 5.0)],
+                            duplicates="last")
+        np.testing.assert_array_equal(delta.touched_users(), [0, 3])
+        np.testing.assert_array_equal(delta.touched_items(), [0, 2])
+
+    def test_delta_is_frozen(self, base):
+        delta = base.extend([("d", "v", 3.0)])
+        with pytest.raises(AttributeError):
+            delta.n_events = 5
+
+    def test_repr(self, base):
+        assert "n_events=1" in repr(base.extend([("d", "v", 3.0)]))
+        assert isinstance(base.extend([]), DatasetDelta)

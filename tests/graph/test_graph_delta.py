@@ -1,0 +1,138 @@
+"""UserItemGraph.apply_delta: incremental labels must match a full recompute.
+
+The union-find maintenance never reruns ``connected_components``; these
+tests assert its labelling induces the *same partition* (labels may differ
+only by naming), that untouched components keep their exact label ids (the
+stability the cache layer keys on), and that the rebuilt adjacency is
+bit-identical to a from-scratch graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import GraphError
+from repro.graph.bipartite import GraphUpdate, UserItemGraph
+
+
+def _two_block_dataset():
+    rng = np.random.default_rng(5)
+    triples = [(f"A{u}", f"ai{i}", float(rng.integers(1, 6)))
+               for u in range(6) for i in range(5) if (u + i) % 2]
+    triples += [(f"B{u}", f"bi{i}", float(rng.integers(1, 6)))
+                for u in range(5) for i in range(4) if (u + i) % 2 == 0]
+    return RatingDataset.from_triples(triples, duplicates="last")
+
+
+def _same_partition(left: np.ndarray, right: np.ndarray) -> bool:
+    mapping: dict[int, int] = {}
+    for a, b in zip(left, right):
+        if mapping.setdefault(int(a), int(b)) != int(b):
+            return False
+    return len(set(mapping.values())) == len(mapping)
+
+
+@pytest.fixture()
+def blocks():
+    dataset = _two_block_dataset()
+    return dataset, UserItemGraph(dataset)
+
+
+class TestApplyDelta:
+    def test_adjacency_bit_identical_to_fresh_graph(self, blocks):
+        dataset, graph = blocks
+        delta = dataset.extend([("A0", "newitem", 3.0), ("newuser", "bi0", 2.0)])
+        update = graph.apply_delta(delta)
+        fresh = UserItemGraph(delta.dataset)
+        for part in ("data", "indices", "indptr"):
+            np.testing.assert_array_equal(
+                getattr(update.graph.adjacency, part),
+                getattr(fresh.adjacency, part),
+            )
+        np.testing.assert_array_equal(update.graph.degrees, fresh.degrees)
+
+    @pytest.mark.parametrize("events", [
+        [("A0", "ai1", 4.0)],                       # value change only
+        [("A99", "ai0", 3.0)],                      # new user joins block A
+        [("B0", "newitem", 2.0)],                   # new item joins block B
+        [("A0", "bi0", 5.0)],                       # bridge: blocks merge
+        [("Z", "zi", 1.0)],                         # isolated new pair
+        [("A0", "bi0", 5.0), ("Q", "ai0", 2.0), ("B1", "qi", 3.0)],
+    ], ids=["revalue", "new-user", "new-item", "bridge", "island", "mixed"])
+    def test_partition_matches_connected_components(self, blocks, events):
+        dataset, graph = blocks
+        delta = dataset.extend(events, duplicates="last")
+        update = graph.apply_delta(delta)
+        fresh = UserItemGraph(delta.dataset)
+        assert update.graph.n_components == fresh.n_components
+        assert _same_partition(update.graph.component_labels(),
+                               fresh.component_labels())
+
+    def test_untouched_component_labels_are_stable(self, blocks):
+        dataset, graph = blocks
+        old_labels = graph.component_labels()
+        delta = dataset.extend([("A0", "ai1", 4.0), ("A77", "ai0", 2.0)],
+                               duplicates="last")
+        update = graph.apply_delta(delta)
+        new_labels = update.graph.component_labels()
+        # Block B saw no event: every one of its nodes keeps its exact label
+        # (user node ids are unshifted, so compare directly).
+        for u in range(dataset.n_users):
+            if str(dataset.user_labels[u]).startswith("B"):
+                assert int(new_labels[u]) == int(old_labels[u])
+                assert int(old_labels[u]) not in update.touched_components
+
+    def test_touched_covers_merged_labels(self, blocks):
+        dataset, graph = blocks
+        old_labels = graph.component_labels()
+        label_a = int(old_labels[dataset.user_id("A0")])
+        label_b = int(old_labels[dataset.user_id("B0")])
+        update = graph.apply_delta(dataset.extend([("A0", "bi0", 5.0)],
+                                                  duplicates="last"))
+        assert {label_a, label_b} <= set(update.touched_components)
+        assert update.components_merged == 1
+
+    def test_chained_updates_stay_consistent(self, blocks):
+        dataset, graph = blocks
+        current, g = dataset, graph
+        for events in ([("A0", "ai1", 1.0)], [("N1", "ai0", 2.0)],
+                       [("A0", "bi0", 3.0)], [("N2", "ni2", 4.0)]):
+            delta = current.extend(events, duplicates="last")
+            update = g.apply_delta(delta)
+            current, g = delta.dataset, update.graph
+        fresh = UserItemGraph(current)
+        assert g.n_components == fresh.n_components
+        assert _same_partition(g.component_labels(), fresh.component_labels())
+        # Derived structures keep working on maintained (sparse) label ids.
+        sizes = g.item_component_sizes()
+        item_labels = g.component_labels()[g.n_users:]
+        assert int(sizes[item_labels].min()) >= 1
+
+    def test_affected_users_are_touched_component_users(self, blocks):
+        dataset, graph = blocks
+        delta = dataset.extend([("A0", "ai1", 2.0)], duplicates="last")
+        update = graph.apply_delta(delta)
+        affected = update.affected_users()
+        # Ground truth from a full recompute: users sharing A0's component.
+        fresh = UserItemGraph(delta.dataset).component_labels()
+        expected = np.flatnonzero(
+            fresh[:dataset.n_users] == fresh[dataset.user_id("A0")]
+        )
+        np.testing.assert_array_equal(affected, expected)
+        assert 0 < affected.size < dataset.n_users
+
+    def test_update_is_functional(self, blocks):
+        dataset, graph = blocks
+        labels_before = graph.component_labels().copy()
+        update = graph.apply_delta(dataset.extend([("Q", "qi", 2.0)]))
+        assert isinstance(update, GraphUpdate)
+        assert update.graph is not graph
+        np.testing.assert_array_equal(graph.component_labels(), labels_before)
+
+    def test_foreign_delta_rejected(self, blocks):
+        dataset, graph = blocks
+        other = RatingDataset.from_triples([("x", "y", 3.0)])
+        with pytest.raises(GraphError, match="does not match"):
+            graph.apply_delta(other.extend([("x", "z", 2.0)]))
+        with pytest.raises(GraphError, match="DatasetDelta"):
+            graph.apply_delta(dataset)

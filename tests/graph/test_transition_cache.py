@@ -14,6 +14,17 @@ def graph(small_synth):
     return UserItemGraph(small_synth.dataset)
 
 
+@pytest.fixture()
+def multi_component():
+    """Four disjoint user-item blocks -> four components to cache."""
+    from repro.data.dataset import RatingDataset
+
+    triples = [(f"u{b}{u}", f"i{b}{i}", float(1 + (u + i) % 5))
+               for b in range(4) for u in range(3) for i in range(3)]
+    dataset = RatingDataset.from_triples(triples, duplicates="last")
+    return dataset, UserItemGraph(dataset)
+
+
 class TestGroupEntries:
     def test_group_matches_direct_computation(self, graph):
         cache = TransitionCache(graph)
@@ -82,6 +93,50 @@ class TestEviction:
             cache.group((int(c),))
         assert len(cache) <= 2
 
+    def test_lru_evicts_oldest_group_under_small_bound(self, multi_component):
+        dataset, graph = multi_component
+        labels = np.unique(graph.component_labels())
+        assert labels.size >= 3
+        cache = TransitionCache(graph, max_entries=2)
+        a, b, c = (int(l) for l in labels[:3])
+        entry_a = cache.group((a,))
+        cache.group((b,))
+        cache.group((a,))  # refresh A: B is now the least-recently-used
+        cache.group((c,))  # bound 2 exceeded -> the oldest (B) is evicted
+        assert ("group", a) in cache._groups
+        assert ("group", c) in cache._groups
+        assert ("group", b) not in cache._groups
+        assert cache.group((a,)) is entry_a  # A survived, same object
+
+    def test_counters_stay_monotone_under_eviction_churn(self, multi_component):
+        dataset, graph = multi_component
+        labels = np.unique(graph.component_labels())
+        cache = TransitionCache(graph, max_entries=2)
+        seen = (0, 0)
+        for step in range(12):
+            cache.group((int(labels[step % labels.size]),))
+            now = (cache.hits, cache.misses)
+            assert now[0] >= seen[0] and now[1] >= seen[1]
+            assert sum(now) == sum(seen) + 1
+            seen = now
+
+    def test_readmission_revalidates_exactly_once_per_live_operator(
+            self, multi_component):
+        # An evicted group rebuilt later gets a fresh prepared operator that
+        # validates once — the aggregate validation count always equals the
+        # number of live operators, never more (no warm-path revalidation).
+        dataset, graph = multi_component
+        labels = np.unique(graph.component_labels())
+        cache = TransitionCache(graph, max_entries=2)
+        a, b, c = (int(l) for l in labels[:3])
+        for key in (a, b, c, a):  # the last call re-admits the evicted A
+            entry = cache.group((key,))
+            entry.operator.solve(np.array([0]), n_iterations=2)
+        stats = cache.operator_stats()
+        assert stats["operators"] == 2
+        assert stats["validations"] == stats["operators"]
+        assert stats["solves"] >= 2
+
     def test_bfs_churn_cannot_evict_group_entries(self, graph, small_synth):
         # Per-query BFS entries live in their own LRU: flooding it must leave
         # the shared group transitions untouched.
@@ -137,6 +192,90 @@ class TestRecommenderIntegration:
         second = recommender.score_users(users)
         np.testing.assert_array_equal(first, second)
         assert recommender.transition_cache.hits > hits_before
+
+
+class TestTargetedInvalidation:
+    """apply_update must evict touched components only, everything counted."""
+
+    def _update(self, dataset, graph, events):
+        delta = dataset.extend(events, duplicates="last")
+        return delta, graph.apply_delta(delta)
+
+    def test_untouched_groups_survive_touched_are_evicted(self, multi_component):
+        dataset, graph = multi_component
+        labels = graph.component_labels()
+        cache = TransitionCache(graph)
+        touched_key = (int(labels[dataset.user_id("u00")]),)
+        safe_key = (int(labels[dataset.user_id("u10")]),)
+        cache.group(touched_key)
+        safe_entry = cache.group(safe_key)
+        _, update = self._update(dataset, graph, [("u00", "i01", 3.0)])
+        counts = cache.apply_update(update)
+        assert counts == {"invalidated_groups": 1, "retained_groups": 1,
+                          "invalidated_bfs": 0, "retained_bfs": 0}
+        assert cache.group(safe_key) is safe_entry  # still warm, a hit
+        stats = cache.stats()
+        assert stats["invalidated_groups"] == 1
+        assert stats["retained_groups"] == 1
+
+    def test_global_entry_always_evicted(self, multi_component):
+        dataset, graph = multi_component
+        cache = TransitionCache(graph)
+        cache.group(None)
+        _, update = self._update(dataset, graph, [("u00", "i01", 3.0)])
+        assert cache.apply_update(update)["invalidated_groups"] == 1
+        assert len(cache) == 0
+
+    def test_user_shift_remaps_retained_nodes(self, multi_component):
+        dataset, graph = multi_component
+        labels = graph.component_labels()
+        cache = TransitionCache(graph)
+        safe_key = (int(labels[dataset.user_id("u10")]),)
+        before = cache.group(safe_key)
+        _, update = self._update(dataset, graph, [("brand-new", "i00", 2.0)])
+        cache.apply_update(update)
+        after = cache.group(safe_key)
+        assert after.operator is before.operator  # warm structures reused
+        expected = np.where(before.nodes < graph.n_users,
+                            before.nodes, before.nodes + 1)
+        np.testing.assert_array_equal(after.nodes, expected)
+        np.testing.assert_array_equal(after.item_indices, before.item_indices)
+        # And the remapped entry matches what a cold cache would build.
+        cold = TransitionCache(update.graph).group(safe_key)
+        np.testing.assert_array_equal(cold.nodes, after.nodes)
+        np.testing.assert_array_equal(cold.transition.toarray(),
+                                      after.transition.toarray())
+
+    def test_bfs_entries_evicted_on_user_shift_or_touch(self, multi_component):
+        dataset, graph = multi_component
+        cache = TransitionCache(graph)
+        seeds = dataset.items_of_user(dataset.user_id("u00"))
+        safe_seeds = dataset.items_of_user(dataset.user_id("u10"))
+        cache.bfs(0, seeds, graph.item_nodes(seeds), 2)
+        cache.bfs(3, safe_seeds, graph.item_nodes(safe_seeds), 2)
+        # Touch block 0 only: block 1's BFS entry survives.
+        _, update = self._update(dataset, graph, [("u00", "i01", 3.0)])
+        counts = cache.apply_update(update)
+        assert counts["invalidated_bfs"] == 1
+        assert counts["retained_bfs"] == 1
+        # A user shift invalidates all BFS entries (their keys embed node ids).
+        dataset2, graph2 = update.graph.dataset, update.graph
+        _, update2 = self._update(dataset2, graph2, [("someone", "i10", 2.0)])
+        assert cache.apply_update(update2)["invalidated_bfs"] == 1
+        assert cache.stats()["bfs_entries"] == 0
+
+    def test_entropy_vector_swapped_and_validated(self, multi_component):
+        dataset, graph = multi_component
+        cache = TransitionCache(graph)
+        _, update = self._update(dataset, graph, [("u00", "i01", 3.0)])
+        with pytest.raises(ValueError, match="n_nodes"):
+            cache.apply_update(update, node_entropy=np.ones(3))
+        entropy = np.arange(update.graph.n_nodes, dtype=np.float64)
+        cache.apply_update(update, node_entropy=entropy)
+        assert cache.graph is update.graph
+        np.testing.assert_array_equal(cache.node_entropy, entropy)
+        with pytest.raises(ValueError, match="GraphUpdate"):
+            cache.apply_update("nope")
 
 
 class TestPreparedOperators:
