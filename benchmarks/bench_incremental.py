@@ -39,7 +39,7 @@ import numpy as np
 from benchmarks.conftest import bench_scale, strict_assertions
 from repro import AbsorbingTimeRecommender, ServingEngine
 from repro.data.dataset import RatingDataset
-from repro.data.synthetic import SyntheticConfig, generate_dataset
+from repro.data.synthetic import federated_dataset
 from repro.utils.timer import Timer
 
 N_SHARDS = 10
@@ -50,50 +50,23 @@ _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_JSON = os.path.join(_REPO_ROOT, "BENCH_incremental.json")
 
 
-def _federated_dataset(scale: float) -> RatingDataset:
-    """N_SHARDS disjoint movielens-density blocks as one dataset.
-
-    Shards keep the MovieLens-like density as they scale (plain
-    ``movielens_like(scale/N)`` thins both dimensions *and* the fill, which
-    starves the walk solves this bench is about).
-    """
-    triples = []
-    for shard in range(N_SHARDS):
-        n_users = max(int(400 * scale), 30)
-        n_items = max(int(300 * scale), 24)
-        config = SyntheticConfig(
-            n_users=n_users, n_items=n_items,
-            n_genres=4, target_density=0.06,
-            activity_min=3, activity_max=min(40, n_items - 1),
-            name=f"shard{shard}",
-        )
-        data = generate_dataset(config, seed=100 + shard)
-        dataset = data.dataset
-        for u in range(dataset.n_users):
-            items = dataset.items_of_user(u)
-            ratings = dataset.ratings_of_user(u)
-            for i, r in zip(items, ratings):
-                triples.append((f"s{shard}:u{u}", f"s{shard}:i{int(i)}", float(r)))
-    return RatingDataset.from_triples(triples, duplicates="last")
-
-
 def _shard0_events(dataset: RatingDataset, n_events: int) -> list[tuple]:
     """Event batch confined to shard 0: re-rates, new pairs, new users/items."""
     rng = np.random.default_rng(7)
     users = [u for u in range(dataset.n_users)
-             if str(dataset.user_labels[u]).startswith("s0:")]
+             if str(dataset.user_labels[u]).startswith("t0:")]
     items = [i for i in range(dataset.n_items)
-             if str(dataset.item_labels[i]).startswith("s0:")]
+             if str(dataset.item_labels[i]).startswith("t0:")]
     events, seen = [], set()
     n_new_users = max(2, n_events // 10)
     n_new_items = max(2, n_events // 20)
     for fresh in range(n_new_users):
         item = items[int(rng.integers(len(items)))]
-        events.append((f"s0:new-u{fresh}", dataset.item_labels[item],
+        events.append((f"t0:new-u{fresh}", dataset.item_labels[item],
                        float(rng.integers(1, 6))))
     for fresh in range(n_new_items):
         user = users[int(rng.integers(len(users)))]
-        events.append((dataset.user_labels[user], f"s0:new-i{fresh}",
+        events.append((dataset.user_labels[user], f"t0:new-i{fresh}",
                        float(rng.integers(1, 6))))
     while len(events) < n_events:
         user = users[int(rng.integers(len(users)))]
@@ -108,7 +81,10 @@ def _shard0_events(dataset: RatingDataset, n_events: int) -> list[tuple]:
 
 def test_incremental_update_beats_full_refit():
     scale = bench_scale()
-    train = _federated_dataset(scale)
+    # The shared federated workload (see repro.data.synthetic): N_SHARDS
+    # disjoint movielens-density tenant blocks, comparable by construction
+    # with bench_sharded.py's catalogue.
+    train = federated_dataset(N_SHARDS, scale=scale, seed=100)
     n_events = max(8, int(EVENT_FRACTION * train.n_ratings))
     events = _shard0_events(train, n_events)
     assert len(events) <= max(0.01 * train.n_ratings, 8)

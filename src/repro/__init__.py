@@ -95,6 +95,8 @@ from repro.solver import WalkOperator
 from repro.service import (
     BatchServingReport,
     ServingEngine,
+    ShardedEngine,
+    ShardPlan,
     TopKStore,
     serve_user_cohort,
 )
@@ -156,6 +158,8 @@ __all__ = [
     # serving & artifacts
     "BatchServingReport",
     "ServingEngine",
+    "ShardPlan",
+    "ShardedEngine",
     "TopKStore",
     "serve_user_cohort",
     "save_artifact",

@@ -10,6 +10,9 @@ Usage (module form; also installed as the ``repro-experiments`` script)::
     python -m repro.cli serve --artifact at-model.npz --n-users 64 --k 10
     python -m repro.cli update --artifact at-model.npz --events events.log \
         --out at-model-updated.npz
+    python -m repro.cli shard-fit --algorithm AT --shards 4 --out fleet/
+    python -m repro.cli serve --shards fleet/ --n-users 64 --k 10
+    python -m repro.cli update --shards fleet/ --events events.log --out fleet/
 
 ``run`` maps each experiment name to its driver in :mod:`repro.experiments`
 and prints the paper-shaped text table (optionally a CSV). ``serve-batch``
@@ -51,9 +54,12 @@ from repro.experiments import (
     run_table6,
     run_tau_convergence,
 )
+from repro.data.synthetic import federated_dataset
 from repro.experiments.suite import PAPER_ORDER, make_algorithms, make_data
 from repro.service import (
     ServingEngine,
+    ShardedEngine,
+    ShardPlan,
     TopKStore,
     load_event_file,
     load_user_file,
@@ -180,12 +186,40 @@ def build_parser() -> argparse.ArgumentParser:
                           "(float32 halves walk-solver bandwidth; top-k "
                           "parity with float64 is asserted in the test suite)")
 
+    shard_fit = sub.add_parser(
+        "shard-fit",
+        help="partition the graph by component and fit one artifact per shard",
+    )
+    shard_fit.add_argument("--algorithm", default="AT",
+                           choices=sorted(PAPER_ORDER),
+                           help="recommender to fit per shard (default AT)")
+    shard_fit.add_argument("--dataset", default="federated",
+                           choices=("federated", "movielens", "douban"),
+                           help="synthetic dataset family (default federated "
+                                "— disjoint tenant blocks; the single-block "
+                                "families form one component and only "
+                                "support --shards 1)")
+    shard_fit.add_argument("--tenants", type=int, default=None,
+                           help="tenant blocks in the federated catalogue "
+                                "(default: max(--shards, 2))")
+    shard_fit.add_argument("--scale", type=float, default=0.5,
+                           help="dataset scale multiplier (default 0.5)")
+    shard_fit.add_argument("--seed", type=int, default=7, help="data seed")
+    shard_fit.add_argument("--shards", type=int, required=True,
+                           help="number of shards to balance components into")
+    shard_fit.add_argument("--out", required=True,
+                           help="output directory for plan.npz + shard-NNN.npz")
+
     online = sub.add_parser(
         "serve",
-        help="load a model artifact and serve a cohort through the engine",
+        help="load a model artifact (or sharded-artifact directory) and "
+             "serve a cohort through the engine",
     )
-    online.add_argument("--artifact", required=True,
+    online.add_argument("--artifact", default=None,
                         help="model artifact written by 'fit'")
+    online.add_argument("--shards", default=None, metavar="DIR",
+                        help="sharded-artifact directory written by "
+                             "'shard-fit' (instead of --artifact)")
     online.add_argument("--store", default=None,
                         help="optional TopKStore written by 'fit --store-out'")
     online.add_argument("--users-file", default=None,
@@ -217,8 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a rating-event log against a saved artifact — the "
              "incremental update pipeline (no refit)",
     )
-    update.add_argument("--artifact", required=True,
+    update.add_argument("--artifact", default=None,
                         help="model artifact written by 'fit'")
+    update.add_argument("--shards", default=None, metavar="DIR",
+                        help="sharded-artifact directory written by "
+                             "'shard-fit'; events are routed to the owning "
+                             "shard (instead of --artifact)")
     update.add_argument("--events", required=True,
                         help="event log: 'user_label item_label rating' per "
                              "line (# comments allowed); unknown labels "
@@ -306,25 +344,87 @@ def _fit(args) -> int:
     return 0
 
 
+def _shard_fit(args) -> int:
+    config = ExperimentConfig(scale=args.scale, data_seed=args.seed)
+    print(f"Generating {args.dataset} data (scale {args.scale}) ...", flush=True)
+    if args.dataset == "federated":
+        tenants = args.tenants if args.tenants is not None else max(args.shards, 2)
+        train = federated_dataset(tenants, scale=args.scale, seed=args.seed)
+    else:
+        train = make_data(args.dataset, config).dataset
+    print(f"   {train}")
+
+    print(f"Planning {args.shards} shard(s) by graph component ...", flush=True)
+    plan = ShardPlan.build(train, args.shards)
+    print(format_table(plan.summary(train), title="shard plan (component-balanced)"))
+
+    print(f"Fitting {args.algorithm} per shard ...", flush=True)
+    # train=None: each shard trains its own topic model over its own
+    # catalogue (a full-catalogue LDA would not match the shard's items).
+    def factory():
+        return make_algorithms(config, train=None,
+                               include=(args.algorithm,))[0]
+
+    with Timer() as fit_timer:
+        fleet = ShardedEngine.fit(train, factory, plan=plan)
+    print(f"   fitted {plan.n_shards} shard(s) in {fit_timer.elapsed:.2f}s")
+    path = fleet.save(args.out)
+    size_kib = sum(
+        os.path.getsize(os.path.join(path, name)) for name in os.listdir(path)
+    ) // 1024
+    print(f"[saved] sharded artifacts in {path}/ ({size_kib} KiB total)")
+    return 0
+
+
+def _require_one_source(args, parser_hint: str) -> bool:
+    """True when exactly one of --artifact / --shards was given."""
+    if (args.artifact is None) == (args.shards is None):
+        print(f"error: {parser_hint} needs exactly one of --artifact or "
+              "--shards", file=sys.stderr)
+        return False
+    return True
+
+
 def _serve(args) -> int:
-    print(f"Loading artifact {args.artifact} ...", flush=True)
-    with Timer() as load_timer:
-        engine = ServingEngine.from_artifact(
-            args.artifact, store_path=args.store,
-            n_workers=args.workers, worker_mode=args.worker_mode,
-        )
-    if args.dtype is not None:
-        engine.recommender.set_serving_dtype(args.dtype)
-    train = engine.dataset
-    print(f"   {engine.recommender.name} over {train} "
-          f"(loaded in {load_timer.elapsed:.2f}s, no refit, "
-          f"dtype {engine.recommender.serving_dtype}, "
-          f"workers {engine.n_workers})")
+    if not _require_one_source(args, "serve"):
+        return 2
+    if args.shards is not None:
+        print(f"Loading sharded artifacts {args.shards} ...", flush=True)
+        with Timer() as load_timer:
+            engine = ShardedEngine.from_directory(
+                args.shards, n_workers=args.workers,
+                worker_mode=args.worker_mode,
+            )
+        if args.store:
+            print("   note: --store is ignored for sharded serving")
+        if args.dtype is not None:
+            for shard_engine in engine.engines:
+                shard_engine.recommender.set_serving_dtype(args.dtype)
+        name = engine.engines[0].recommender.name
+        n_users_total = engine.n_users
+        print(f"   {name} fleet: {engine.n_shards} shard(s), "
+              f"{engine.n_users} users × {engine.n_items} items "
+              f"(loaded in {load_timer.elapsed:.2f}s, no refit)")
+    else:
+        print(f"Loading artifact {args.artifact} ...", flush=True)
+        with Timer() as load_timer:
+            engine = ServingEngine.from_artifact(
+                args.artifact, store_path=args.store,
+                n_workers=args.workers, worker_mode=args.worker_mode,
+            )
+        if args.dtype is not None:
+            engine.recommender.set_serving_dtype(args.dtype)
+        name = engine.recommender.name
+        n_users_total = engine.dataset.n_users
+        print(f"   {name} over {engine.dataset} "
+              f"(loaded in {load_timer.elapsed:.2f}s, no refit, "
+              f"dtype {engine.recommender.serving_dtype}, "
+              f"workers {engine.n_workers})")
 
     if args.users_file is not None:
-        users = load_user_file(args.users_file, train.n_users)
+        users = load_user_file(args.users_file, n_users_total)
     else:
-        users = np.arange(min(args.n_users, train.n_users))
+        users = np.arange(min(args.n_users, n_users_total))
     print(f"Serving {users.size} users (k={args.k}, "
           f"batch size {args.batch_size}, x{max(args.repeat, 1)}) ...", flush=True)
     summaries = []
@@ -333,8 +433,10 @@ def _serve(args) -> int:
         report = engine.serve_cohort(users, k=args.k, batch_size=args.batch_size)
         summaries.append({"pass": pass_number, **report.summary()})
 
-    print(format_table(summaries,
-                       title=f"serve: {engine.recommender.name} via engine"))
+    print(format_table(summaries, title=f"serve: {name} via engine"))
+    if args.shards is not None and report.per_shard:
+        print(format_table(report.shard_summaries(),
+                           title="last pass, per shard"))
     preview = report.rows[:3 * args.k]
     if preview:
         print(format_table(preview, title="first rows (full output via --out)"))
@@ -345,18 +447,32 @@ def _serve(args) -> int:
 
 
 def _update(args) -> int:
-    print(f"Loading artifact {args.artifact} ...", flush=True)
-    with Timer() as load_timer:
-        engine = ServingEngine.from_artifact(
-            args.artifact, max_pending_events=args.max_pending,
-            update_duplicates=args.duplicates,
-        )
-    train = engine.dataset
-    print(f"   {engine.recommender.name} over {train} "
-          f"(loaded in {load_timer.elapsed:.2f}s)")
+    if not _require_one_source(args, "update"):
+        return 2
+    if args.shards is not None:
+        print(f"Loading sharded artifacts {args.shards} ...", flush=True)
+        with Timer() as load_timer:
+            engine = ShardedEngine.from_directory(
+                args.shards, max_pending_events=args.max_pending,
+                update_duplicates=args.duplicates,
+            )
+        n_users_total = engine.n_users
+        print(f"   {engine.engines[0].recommender.name} fleet: "
+              f"{engine.n_shards} shard(s), {engine.n_users} users × "
+              f"{engine.n_items} items (loaded in {load_timer.elapsed:.2f}s)")
+    else:
+        print(f"Loading artifact {args.artifact} ...", flush=True)
+        with Timer() as load_timer:
+            engine = ServingEngine.from_artifact(
+                args.artifact, max_pending_events=args.max_pending,
+                update_duplicates=args.duplicates,
+            )
+        n_users_total = engine.dataset.n_users
+        print(f"   {engine.recommender.name} over {engine.dataset} "
+              f"(loaded in {load_timer.elapsed:.2f}s)")
     if args.serve_users > 0:
         # Warm the caches first so the update report shows what survives.
-        users = np.arange(min(args.serve_users, train.n_users))
+        users = np.arange(min(args.serve_users, n_users_total))
         engine.serve_cohort(users, k=10)
 
     events = load_event_file(args.events)
@@ -365,22 +481,36 @@ def _update(args) -> int:
           f"(batches of {batch_size}, duplicates={args.duplicates}) ...",
           flush=True)
     summaries = []
+    last_report = None
     for start in range(0, len(events), batch_size):
-        report = engine.apply_updates(events[start:start + batch_size])
-        summaries.append({"batch": len(summaries) + 1, **report.summary()})
+        last_report = engine.apply_updates(events[start:start + batch_size])
+        summaries.append({"batch": len(summaries) + 1, **last_report.summary()})
     print(format_table(summaries, title="update: applied event batches"))
-    print(f"   now serving {engine.dataset} at model version "
-          f"{engine.model_version}")
+    if args.shards is not None:
+        if last_report is not None and last_report.per_shard:
+            print(format_table(last_report.shard_summaries(),
+                               title="last batch, per shard"))
+        print(f"   now serving {engine.n_users} users × {engine.n_items} "
+              "items across the fleet")
+    else:
+        print(f"   now serving {engine.dataset} at model version "
+              f"{engine.model_version}")
 
     if args.serve_users > 0:
-        users = np.arange(min(args.serve_users, engine.dataset.n_users))
+        total = (engine.n_users if args.shards is not None
+                 else engine.dataset.n_users)
+        users = np.arange(min(args.serve_users, total))
         served = engine.serve_cohort(users, k=10)
         print(format_table([served.summary()],
                            title="post-update cohort (warm retention)"))
     if args.out:
-        path = engine.recommender.save(args.out)
-        print(f"[saved] updated artifact {path} "
-              f"({os.path.getsize(path) // 1024} KiB)")
+        if args.shards is not None:
+            path = engine.save(args.out)
+            print(f"[saved] updated sharded artifacts in {path}/")
+        else:
+            path = engine.recommender.save(args.out)
+            print(f"[saved] updated artifact {path} "
+                  f"({os.path.getsize(path) // 1024} KiB)")
     return 0
 
 
@@ -390,6 +520,8 @@ def main(argv=None) -> int:
         return _serve_batch(args)
     if args.command == "fit":
         return _fit(args)
+    if args.command == "shard-fit":
+        return _shard_fit(args)
     if args.command == "serve":
         return _serve(args)
     if args.command == "update":

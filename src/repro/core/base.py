@@ -410,15 +410,11 @@ class Recommender(abc.ABC):
         dataset = self._require_fitted()
         if users is None:
             return np.arange(dataset.n_users, dtype=np.int64)
-        return as_index_array(
-            np.atleast_1d(np.asarray(users)), dataset.n_users, "users"
-        )
+        return as_index_array(users, dataset.n_users, "users")
 
     def _check_candidates_array(self, candidates) -> np.ndarray:
         dataset = self._require_fitted()
-        return as_index_array(
-            np.atleast_1d(np.asarray(candidates)), dataset.n_items, "candidates"
-        )
+        return as_index_array(candidates, dataset.n_items, "candidates")
 
     def score_users(self, users: np.ndarray | None = None,
                     candidates: np.ndarray | None = None) -> np.ndarray:

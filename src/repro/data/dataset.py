@@ -21,7 +21,12 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import DataError, UnknownItemError, UnknownUserError
-from repro.utils.validation import check_in_options, check_rating_matrix
+from repro.utils.validation import (
+    as_index_array,
+    check_in_options,
+    check_rating_matrix,
+    is_index,
+)
 
 __all__ = ["RatingDataset", "DatasetDelta", "labels_to_json", "labels_from_json"]
 
@@ -241,6 +246,30 @@ class RatingDataset:
         )
         return cls(matrix, tuple(users), tuple(items), rating_scale=rating_scale)
 
+    def check_event_rating(self, user: Hashable, item: Hashable,
+                           rating) -> float:
+        """Validate one event's rating value against this dataset's scale.
+
+        The single definition of "a valid rating event", shared by
+        :meth:`extend` and the sharded tier's batch pre-pass
+        (``ShardedEngine._validate_events``) so the two layers can never
+        drift on what they accept. Raises :class:`DataError` naming the
+        event's labels; returns the rating as ``float``.
+        """
+        rating = float(rating)
+        if not np.isfinite(rating) or rating <= 0:
+            raise DataError(
+                f"invalid rating {rating!r} for (user={user!r}, item={item!r}); "
+                "ratings must be finite and > 0"
+            )
+        if self.rating_scale is not None and not (
+                self.rating_scale[0] <= rating <= self.rating_scale[1]):
+            raise DataError(
+                f"rating {rating} for (user={user!r}, item={item!r}) outside "
+                f"scale [{self.rating_scale[0]}, {self.rating_scale[1]}]"
+            )
+        return rating
+
     def extend(self, events: Iterable[tuple[Hashable, Hashable, float]],
                duplicates: str = "error") -> DatasetDelta:
         """Apply a batch of ``(user, item, rating)`` events; return the delta.
@@ -267,18 +296,7 @@ class RatingDataset:
         ev_ratings: list[float] = []
         ev_replaced: list[bool] = []
         for user, item, rating in events:
-            rating = float(rating)
-            if not np.isfinite(rating) or rating <= 0:
-                raise DataError(
-                    f"invalid rating {rating!r} for (user={user!r}, item={item!r}); "
-                    "ratings must be finite and > 0"
-                )
-            if self.rating_scale is not None and not (
-                    self.rating_scale[0] <= rating <= self.rating_scale[1]):
-                raise DataError(
-                    f"rating {rating} for (user={user!r}, item={item!r}) outside "
-                    f"scale [{self.rating_scale[0]}, {self.rating_scale[1]}]"
-                )
+            rating = self.check_event_rating(user, item, rating)
             u = user_index.setdefault(user, len(user_index))
             i = item_index.setdefault(item, len(item_index))
             position = pending.get((u, i))
@@ -498,22 +516,42 @@ class RatingDataset:
 
     def subset_users(self, users: np.ndarray) -> "RatingDataset":
         """Dataset restricted to the given user indices (items unchanged)."""
-        users = np.asarray(users, dtype=np.int64)
-        for user in users:
-            self._check_user(int(user))
+        return self.subset(users=users)
+
+    def subset(self, users: np.ndarray | None = None,
+               items: np.ndarray | None = None) -> "RatingDataset":
+        """Dataset restricted to the given user and/or item indices.
+
+        Labels are preserved (row ``r`` of the result is the user
+        ``users[r]`` of this dataset, likewise for item columns), which is
+        what lets the sharding layer route by external label and map local
+        indices back to the global catalogue. Ratings whose user is kept but
+        whose item is dropped (or vice versa) disappear from the result —
+        the shard planner never produces such cuts (components are closed
+        under rating edges) and guards against them separately.
+        ``None`` keeps the full axis.
+        """
+        matrix = self._csr
+        user_labels = self.user_labels
+        item_labels = self.item_labels
+        if users is not None:
+            users = as_index_array(users, self.n_users, "users")
+            matrix = matrix[users]
+            user_labels = tuple(self.user_labels[u] for u in users)
+        if items is not None:
+            items = as_index_array(items, self.n_items, "items")
+            matrix = matrix[:, items]
+            item_labels = tuple(self.item_labels[i] for i in items)
         return RatingDataset(
-            self._csr[users],
-            tuple(self.user_labels[u] for u in users),
-            self.item_labels,
-            rating_scale=self.rating_scale,
+            matrix, user_labels, item_labels, rating_scale=self.rating_scale
         )
 
     # -- internals -------------------------------------------------------------
 
     def _check_user(self, user: int) -> None:
-        if not isinstance(user, (int, np.integer)) or not 0 <= user < self.n_users:
+        if not is_index(user, self.n_users):
             raise UnknownUserError(user)
 
     def _check_item(self, item: int) -> None:
-        if not isinstance(item, (int, np.integer)) or not 0 <= item < self.n_items:
+        if not is_index(item, self.n_items):
             raise UnknownItemError(item)

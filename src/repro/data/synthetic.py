@@ -44,6 +44,7 @@ __all__ = [
     "SyntheticConfig",
     "SyntheticData",
     "generate_dataset",
+    "federated_dataset",
     "movielens_like",
     "douban_like",
 ]
@@ -225,6 +226,53 @@ def douban_like(scale: float = 1.0) -> SyntheticConfig:
         name=f"douban-like(x{scale:g})",
     )
     return config.scaled(scale)
+
+
+def federated_dataset(n_tenants: int, scale: float = 1.0, seed=0,
+                      base: SyntheticConfig | None = None) -> RatingDataset:
+    """``n_tenants`` disjoint rating blocks as one catalogue.
+
+    Real multi-tenant deployments (regional catalogues, per-market stores,
+    federated recommenders) produce exactly this graph shape: several
+    connected components with no cross-tenant edges. The single-block
+    generators above yield one giant component — correct for the paper's
+    MovieLens/Douban reproductions, useless for exercising anything
+    component-parallel — so the sharding tier
+    (:class:`~repro.service.sharding.ShardPlan`), its benchmark and the CLI
+    ``shard-fit`` path build their workloads here.
+
+    Each tenant is an independent :func:`generate_dataset` draw (seeded
+    ``seed + tenant``) of ``base`` (default: a movielens-density block of
+    ``400 × scale`` users by ``300 × scale`` items — the federated workload
+    ``benchmarks/bench_incremental.py`` and ``bench_sharded.py`` share);
+    labels are prefixed ``t{tenant}:`` and the rating matrix is
+    block-diagonal. A custom ``base`` is the scale-1.0 template: ``scale``
+    applies to it the same way it applies to the default block.
+    """
+    n_tenants = check_positive_int(n_tenants, "n_tenants")
+    scale = check_positive_float(scale, "scale")
+    blocks = []
+    user_labels: list = []
+    item_labels: list = []
+    for tenant in range(n_tenants):
+        if base is None:
+            n_users = max(int(400 * scale), 30)
+            n_items = max(int(300 * scale), 24)
+            config = SyntheticConfig(
+                n_users=n_users, n_items=n_items,
+                n_genres=4, target_density=0.06,
+                activity_min=3, activity_max=min(40, n_items - 1),
+                name=f"tenant{tenant}",
+            )
+        else:
+            config = replace(base.scaled(scale), name=f"tenant{tenant}")
+        dataset = generate_dataset(config, seed=seed + tenant).dataset
+        blocks.append(dataset.matrix)
+        user_labels.extend(f"t{tenant}:{label}" for label in dataset.user_labels)
+        item_labels.extend(f"t{tenant}:{label}" for label in dataset.item_labels)
+    return RatingDataset(
+        sp.block_diag(blocks, format="csr"), user_labels, item_labels
+    )
 
 
 def _build_tree(config: SyntheticConfig) -> CategoryTree:

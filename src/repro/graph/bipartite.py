@@ -220,6 +220,23 @@ class UserItemGraph:
             )
         return self._item_component_sizes
 
+    def component_nnz(self) -> np.ndarray:
+        """Number of ratings (graph edges) per component label.
+
+        Indexed by component label (length ``labels.max() + 1``, so it stays
+        valid for the non-contiguous labellings :meth:`apply_delta`
+        produces). Every rating edge has its user endpoint in exactly one
+        component, so summing per-user activity over user labels counts each
+        edge once. This is the balance measure the shard planner
+        (:class:`~repro.service.sharding.ShardPlan`) bin-packs on: walk
+        solve cost scales with component nnz, not node count.
+        """
+        labels = self.component_labels()
+        activity = self.dataset.user_activity().astype(np.float64)
+        counts = np.bincount(labels[:self.n_users], weights=activity,
+                             minlength=int(labels.max()) + 1)
+        return counts.astype(np.int64)
+
     # -- incremental updates --------------------------------------------------
 
     def apply_delta(self, delta: DatasetDelta) -> GraphUpdate:

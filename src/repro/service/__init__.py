@@ -7,9 +7,12 @@ cache, and serves single queries and chunked cohorts with cache-hit stats;
 :class:`TopKStore` precomputes every user's ranked list once and serves
 ``recommend(user, k)`` from a compact int32/float32 cache with exclusion
 re-filtering; :func:`serve_user_cohort` streams a user cohort through the
-batch path in bounded-memory chunks and reports throughput.
-``python -m repro.cli fit`` / ``serve`` / ``serve-batch`` are the
-command-line fronts.
+batch path in bounded-memory chunks and reports throughput;
+:class:`ShardPlan` / :class:`ShardedEngine` partition the graph by
+connected component into a fleet of per-shard engines (score-exact for
+the walk family) with label-routed updates, a fleet-level row cache and
+merged :class:`FleetReport`\\ s. ``python -m repro.cli fit`` / ``serve`` /
+``serve-batch`` / ``shard-fit`` are the command-line fronts.
 """
 
 from repro.service.engine import EngineReport, ServingEngine, UpdateReport
@@ -20,13 +23,25 @@ from repro.service.serving import (
     rows_from_ranked_arrays,
     serve_user_cohort,
 )
+from repro.service.sharding import (
+    SHARD_PLAN_FORMAT_VERSION,
+    FleetReport,
+    FleetUpdateReport,
+    ShardedEngine,
+    ShardPlan,
+)
 from repro.service.store import STORE_FORMAT_VERSION, TopKStore
 
 __all__ = [
     "BatchServingReport",
     "EngineReport",
+    "FleetReport",
+    "FleetUpdateReport",
     "ServingEngine",
+    "SHARD_PLAN_FORMAT_VERSION",
     "STORE_FORMAT_VERSION",
+    "ShardPlan",
+    "ShardedEngine",
     "TopKStore",
     "UpdateReport",
     "load_event_file",

@@ -41,6 +41,7 @@ log against a saved artifact through this path.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -54,8 +55,9 @@ from repro.core.base import Recommendation, Recommender
 from repro.exceptions import ConfigError, NotFittedError
 from repro.service.serving import _label_array, rows_from_ranked_arrays
 from repro.service.store import TopKStore
-from repro.utils.timer import Timer
+from repro.utils.timer import Timer, per_second
 from repro.utils.validation import (
+    as_exclude_array,
     as_index_array,
     check_in_options,
     check_non_negative_int,
@@ -128,7 +130,16 @@ class EngineReport:
 
     @property
     def users_per_second(self) -> float:
-        return self.n_users / self.seconds if self.seconds > 0 else float("inf")
+        """Throughput of the run; 0.0 when the clock resolved no time.
+
+        A fully warm cohort on a fast machine can complete within one timer
+        tick, leaving ``seconds == 0``. Reporting ``inf`` there would leak
+        ``Infinity`` through :meth:`summary` into ``json.dump`` (which
+        happily writes invalid JSON), so :func:`~repro.utils.timer.per_second`
+        clamps the degenerate case to 0.0 — "not measurable", never
+        "infinitely fast".
+        """
+        return per_second(self.n_users, self.seconds)
 
     @property
     def result_cache_hit_rate(self) -> float:
@@ -319,6 +330,10 @@ class ServingEngine:
         self._stage_seconds: dict[str, float] = {}
         self._solves = 0
         self._pool = None  # lazy persistent worker pool (see close())
+        # Guards the result cache and its counters so concurrent recommend /
+        # invalidate_user callers never corrupt the OrderedDict or lose
+        # hit/miss increments; solves run outside the lock.
+        self._lock = threading.RLock()
 
     # -- construction --------------------------------------------------------
 
@@ -387,7 +402,8 @@ class ServingEngine:
         second grouping a dict lookup, and keeping the task payload to bare
         indices is what lets the process fallback ship partitions cheaply.
         """
-        self._solves += int(users.size)
+        with self._lock:
+            self._solves += int(users.size)
         if self.n_workers == 1 or users.size <= 1:
             return _score_partition(self.recommender, users, k, exclude_rated)
         partitions = self._partitions(users)
@@ -428,12 +444,13 @@ class ServingEngine:
         if self.result_cache_size == 0:
             # No cache, but in-cohort duplicates are still solved once.
             unique, inverse = np.unique(users, return_inverse=True)
-            self.result_cache_misses += int(unique.size)
-            self.result_cache_hits += int(users.size - unique.size)
+            with self._lock:
+                self.result_cache_misses += int(unique.size)
+                self.result_cache_hits += int(users.size - unique.size)
             with self._stage("solve"):
                 items, scores = self._score_users(unique, k, exclude_rated)
             return items[inverse], scores[inverse]
-        with self._stage("lookup"):
+        with self._stage("lookup"), self._lock:
             keys = [(int(u), k, exclude_rated) for u in users]
             missing: list[int] = []
             seen: set[tuple] = set()
@@ -446,26 +463,36 @@ class ServingEngine:
                     self.result_cache_misses += 1
                 else:
                     self.result_cache_hits += 1  # duplicate within this cohort
+        fresh: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
         if missing:
+            version = self.model_version
             cohort = np.asarray(missing, dtype=np.int64)
             with self._stage("solve"):
                 new_items, new_scores = self._score_users(cohort, k, exclude_rated)
             for row, user in enumerate(missing):
-                self._results[(user, k, exclude_rated)] = (
-                    new_items[row], new_scores[row]
-                )
-            while len(self._results) > self.result_cache_size:
-                self._results.popitem(last=False)
-        with self._stage("lookup"):
+                fresh[(user, k, exclude_rated)] = (new_items[row], new_scores[row])
+            with self._lock:
+                # Solves run outside the lock; if an update landed in the
+                # meantime (version bumped, our users possibly evicted),
+                # inserting would re-cache pre-update rows — `fresh` still
+                # serves them this once, but they stay out of the cache.
+                if self.model_version == version:
+                    self._results.update(fresh)
+                    while len(self._results) > self.result_cache_size:
+                        self._results.popitem(last=False)
+        with self._stage("lookup"), self._lock:
             items = np.full((users.size, k), -1, dtype=np.int64)
             scores = np.full((users.size, k), -np.inf)
             fallback: list[int] = []
             for row, key in enumerate(keys):
                 entry = self._results.get(key)
-                if entry is None:  # evicted within this very call (tiny cache)
-                    fallback.append(row)
-                    continue
-                self._results.move_to_end(key)
+                if entry is not None:
+                    self._results.move_to_end(key)
+                else:
+                    entry = fresh.get(key)  # solved this call, not (re)cached
+                    if entry is None:  # evicted (tiny cache) mid-call
+                        fallback.append(row)
+                        continue
                 items[row], scores[row] = entry
         if fallback:
             rows = np.asarray(fallback, dtype=np.int64)
@@ -493,8 +520,7 @@ class ServingEngine:
         dataset = self.dataset
         dataset._check_user(user)
         k = check_positive_int(k, "k")
-        banned = (np.empty(0, dtype=np.int64) if exclude is None
-                  else np.asarray(list(exclude), dtype=np.int64))
+        banned = as_exclude_array(exclude)
         if (self.store is not None
                 and exclude_rated == self.store_exclude_rated
                 and self.store.depth >= k + banned.size):
@@ -512,33 +538,37 @@ class ServingEngine:
             for i, s in zip(row_items, row_scores)
         ]
 
-    def serve_cohort(self, users, k: int = 10, batch_size: int = 256,
-                     exclude_rated: bool = True) -> EngineReport:
-        """Serve a user cohort in bounded chunks through the warm caches.
+    def _serve_cohort_arrays(self, users, k: int = 10, batch_size: int = 256,
+                             exclude_rated: bool = True,
+                             ) -> tuple[EngineReport, np.ndarray, np.ndarray,
+                                        np.ndarray]:
+        """Arrays-shaped core of :meth:`serve_cohort` (no row dicts).
 
-        An empty cohort is legal (a report with zero users); cold-start
-        users contribute no rows, matching ``recommend_batch``.
+        Returns ``(report, users, items, scores)``: an :class:`EngineReport`
+        with empty ``rows`` covering the lookup/solve stages, the validated
+        cohort, and the padded ranked arrays in cohort order. The sharded
+        tier (:class:`~repro.service.sharding.ShardedEngine`) consumes this
+        directly so it can remap shard-local item indices to the global
+        catalogue and assemble the merged rows exactly once.
         """
         dataset = self.dataset
         k = check_positive_int(k, "k")
         batch_size = check_positive_int(batch_size, "batch_size")
-        users = as_index_array(
-            np.atleast_1d(np.asarray(users)), dataset.n_users, "users"
-        )
+        users = as_index_array(users, dataset.n_users, "users")
         report = EngineReport(n_users=int(users.size), k=k,
                               n_workers=self.n_workers)
         hits_before = self.result_cache_hits
         misses_before = self.result_cache_misses
         solves_before = self._solves
         self._stage_seconds = {}
+        items = np.full((users.size, k), -1, dtype=np.int64)
+        scores = np.full((users.size, k), -np.inf)
         with Timer() as timer:
             for start in range(0, users.size, batch_size):
                 chunk = users[start:start + batch_size]
-                items, scores = self._cached_arrays(chunk, k, exclude_rated)
-                with self._stage("assemble"):
-                    report.rows.extend(
-                        rows_from_ranked_arrays(chunk, items, scores, self._labels)
-                    )
+                items[start:start + batch_size], scores[start:start + batch_size] = (
+                    self._cached_arrays(chunk, k, exclude_rated)
+                )
         report.seconds = timer.elapsed
         report.n_solves = self._solves - solves_before
         report.result_cache_hits = self.result_cache_hits - hits_before
@@ -548,6 +578,26 @@ class ServingEngine:
         report.scoring_cache_entries = report.scoring_cache.get("entries", 0)
         report.model_version = self.model_version
         report.timings = dict(self._stage_seconds)
+        return report, users, items, scores
+
+    def serve_cohort(self, users, k: int = 10, batch_size: int = 256,
+                     exclude_rated: bool = True) -> EngineReport:
+        """Serve a user cohort in bounded chunks through the warm caches.
+
+        An empty cohort is legal (a report with zero users); cold-start
+        users contribute no rows, matching ``recommend_batch``.
+        """
+        report, users, items, scores = self._serve_cohort_arrays(
+            users, k=k, batch_size=batch_size, exclude_rated=exclude_rated
+        )
+        with Timer() as assemble_timer:
+            report.rows = rows_from_ranked_arrays(
+                users, items, scores, self._labels
+            )
+        report.timings["assemble"] = (
+            report.timings.get("assemble", 0.0) + assemble_timer.elapsed
+        )
+        report.seconds += assemble_timer.elapsed
         return report
 
     def warm(self, users=None, k: int = 10, batch_size: int = 256) -> EngineReport:
@@ -591,13 +641,17 @@ class ServingEngine:
             )
             fit_report = self.recommender.partial_fit(delta)
             self._labels = _label_array(self.dataset.item_labels)
+            # Bump the version BEFORE evicting: a concurrent solve that
+            # finished against the old model gates its cache insert on the
+            # version it captured, so bump-then-evict leaves no window in
+            # which stale rows can slip in after the eviction sweep.
+            self.model_version += 1
             report.result_rows_evicted = self._evict_results(
                 fit_report.affected_users
             )
             if self.store is not None:
                 self.store = None
                 report.store_detached = True
-            self.model_version += 1
             if fit_report.mode == "refit":
                 # The fallback already refit on the merged dataset — that IS
                 # a consolidation; restarting the staleness clock avoids an
@@ -634,21 +688,22 @@ class ServingEngine:
         bound it with ``max_pending_events``.
         """
         self.recommender.fit(self.recommender.dataset)
-        self._results.clear()
-        self.model_version += 1
+        self.model_version += 1  # before the sweep; see apply_updates
+        self._evict_results(None)
         self.pending_events = 0
 
     def _evict_results(self, affected_users: np.ndarray | None) -> int:
         """Drop affected users' ranked lists; ``None`` clears everything."""
-        if affected_users is None:
-            evicted = len(self._results)
-            self._results.clear()
-            return evicted
-        affected = set(int(u) for u in affected_users)
-        stale = [key for key in self._results if key[0] in affected]
-        for key in stale:
-            del self._results[key]
-        return len(stale)
+        with self._lock:
+            if affected_users is None:
+                evicted = len(self._results)
+                self._results.clear()
+                return evicted
+            affected = set(int(u) for u in affected_users)
+            stale = [key for key in self._results if key[0] in affected]
+            for key in stale:
+                del self._results[key]
+            return len(stale)
 
     # -- store management ----------------------------------------------------
 
@@ -673,9 +728,10 @@ class ServingEngine:
         scoring-layer cache (transition matrices, prepared operators) — a
         running engine can now shed all warm state without being discarded.
         """
-        self._results.clear()
-        self.result_cache_hits = 0
-        self.result_cache_misses = 0
+        with self._lock:
+            self._results.clear()
+            self.result_cache_hits = 0
+            self.result_cache_misses = 0
         self.recommender.clear_scoring_cache()
 
     def invalidate_user(self, user: int) -> int:
@@ -688,25 +744,27 @@ class ServingEngine:
         warrant a model update.
         """
         self.dataset._check_user(user)
-        stale = [key for key in self._results if key[0] == int(user)]
-        for key in stale:
-            del self._results[key]
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._results if key[0] == int(user)]
+            for key in stale:
+                del self._results[key]
+            return len(stale)
 
     def stats(self) -> dict:
         """Lifetime cache counters of both layers plus store presence."""
-        return {
-            "result_entries": len(self._results),
-            "result_hits": self.result_cache_hits,
-            "result_misses": self.result_cache_misses,
-            "solves": self._solves,
-            "workers": self.n_workers,
-            "worker_mode": self.worker_mode,
-            "scoring_cache": self.recommender.scoring_cache_stats() or {},
-            "store_attached": self.store is not None,
-            "model_version": self.model_version,
-            "pending_events": self.pending_events,
-        }
+        with self._lock:
+            return {
+                "result_entries": len(self._results),
+                "result_hits": self.result_cache_hits,
+                "result_misses": self.result_cache_misses,
+                "solves": self._solves,
+                "workers": self.n_workers,
+                "worker_mode": self.worker_mode,
+                "scoring_cache": self.recommender.scoring_cache_stats() or {},
+                "store_attached": self.store is not None,
+                "model_version": self.model_version,
+                "pending_events": self.pending_events,
+            }
 
     def __repr__(self) -> str:
         return (

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.base import Recommender
 from repro.exceptions import ConfigError, DataFormatError
-from repro.utils.timer import Timer
+from repro.utils.timer import Timer, per_second
 from repro.utils.validation import as_index_array, check_positive_int
 
 __all__ = ["BatchServingReport", "serve_user_cohort", "load_user_file",
@@ -83,7 +83,10 @@ class BatchServingReport:
 
     @property
     def users_per_second(self) -> float:
-        return self.n_users / self.seconds if self.seconds > 0 else float("inf")
+        """Throughput of the run; 0.0 when the clock resolved no time
+        (:func:`~repro.utils.timer.per_second` — ``inf`` would corrupt JSON
+        summaries)."""
+        return per_second(self.n_users, self.seconds)
 
     @property
     def mean_user_milliseconds(self) -> float:
@@ -115,7 +118,7 @@ def serve_user_cohort(recommender: Recommender, users, k: int = 10,
     dataset = recommender._require_fitted()
     k = check_positive_int(k, "k")
     batch_size = check_positive_int(batch_size, "batch_size")
-    users = as_index_array(np.atleast_1d(np.asarray(users)), dataset.n_users, "users")
+    users = as_index_array(users, dataset.n_users, "users")
 
     unique_users, inverse = np.unique(users, return_inverse=True)
     report = BatchServingReport(n_users=int(users.size),

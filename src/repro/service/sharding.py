@@ -1,0 +1,1022 @@
+"""Component-sharded serving tier: one engine per graph partition.
+
+The paper's walk recommenders (Eq. 7–10) score strictly *within* a user's
+connected component — a walk can never leave it, items outside it score
+``-inf``. The user–item graph therefore partitions naturally into
+independent shards, and a serving deployment can split one big engine into
+a fleet of small ones with **zero loss of ranking quality** for the walk
+family:
+
+* :class:`ShardPlan` partitions a :class:`~repro.data.RatingDataset` by
+  connected component into balanced shards — greedy bin-packing on
+  component nnz (the walk-solve cost measure), users/items re-indexed per
+  shard with label-preserving maps, saved/loaded as a versioned ``.npz``;
+* :class:`ShardedEngine` owns one :class:`~repro.service.ServingEngine`
+  per shard and routes every request to the owning shard:
+  ``recommend(user)`` by the user's shard, ``serve_cohort`` by splitting
+  the cohort and merging ranked arrays back in cohort order, and
+  ``apply_updates`` by event label (events on known users/items go to
+  their shard, events introducing brand-new labels go to the least-loaded
+  shard). Per-shard artifacts reuse :mod:`repro.core.artifacts`
+  (``fit`` → ``save`` → ``from_directory``, no refitting);
+* :class:`FleetReport` / :class:`FleetUpdateReport` merge the per-shard
+  :class:`~repro.service.EngineReport` / :class:`~repro.service.UpdateReport`
+  objects into one fleet-level summary with per-shard breakdowns.
+
+Why shard at all? Besides being the load-bearing step toward multi-process
+and multi-host serving (each shard is an independent, individually
+persistable unit with its own caches and update stream), sharding shrinks
+the serving working set: a cohort's dense score matrix is
+``batch × shard_items`` instead of ``batch × all_items``, so cold solves
+allocate and scan less memory (measured in ``benchmarks/bench_sharded.py``).
+
+**Semantics caveat.** Routing a user to their component's shard is
+score-exact for component-local scorers (the walk family: AT, AC1, AC2,
+HT, and the graph baselines). Globally coupled algorithms (MostPopular,
+PureSVD, kNN, LDA) rank only the shard's items when sharded — candidates
+outside the user's component disappear. That is a *semantics change* for
+those baselines; shard them only when per-tenant catalogues are the intent
+(the federated-shards deployment shape).
+
+**Cross-shard updates.** A rating event joining a user in shard A to an
+item in shard B would merge two components across shard boundaries; no
+single engine can absorb it. :meth:`ShardedEngine.apply_updates` detects
+this and raises :class:`~repro.exceptions.ConfigError` — the remedy is a
+re-plan (``repro.cli shard-fit`` on the merged data), not a silent wrong
+routing.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import Recommendation, Recommender
+from repro.data.dataset import RatingDataset
+from repro.exceptions import (
+    ArtifactError,
+    ConfigError,
+    DataError,
+    UnknownItemError,
+    UnknownUserError,
+)
+from repro.graph.bipartite import UserItemGraph
+from repro.service.engine import EngineReport, ServingEngine, UpdateReport
+from repro.service.serving import _label_array, rows_from_ranked_arrays
+from repro.utils.timer import Timer, per_second
+from repro.utils.validation import (
+    as_exclude_array,
+    as_index_array,
+    check_non_negative_int,
+    check_positive_int,
+    is_index,
+)
+
+__all__ = [
+    "SHARD_PLAN_FORMAT_VERSION",
+    "ShardPlan",
+    "FleetReport",
+    "FleetUpdateReport",
+    "ShardedEngine",
+]
+
+#: On-disk format version of saved shard plans; bump on any layout change.
+#: A plan whose version is absent or different raises
+#: :class:`~repro.exceptions.ArtifactError` — routing traffic through a
+#: stale partition must fail loudly, never silently.
+SHARD_PLAN_FORMAT_VERSION = 1
+
+_PLAN_FILENAME = "plan.npz"
+
+
+def _shard_artifact_name(shard: int) -> str:
+    return f"shard-{shard:03d}.npz"
+
+
+class ShardPlan:
+    """A partition of a dataset's users and items into serving shards.
+
+    Parameters
+    ----------
+    user_shard, item_shard:
+        Shard id per global user / item index. Every shard must own at
+        least one user and one item (a shard dataset must be non-empty).
+    n_shards:
+        Total shard count; defaults to ``max(shard ids) + 1``.
+
+    Use :meth:`build` to derive a balanced, component-closed plan from a
+    dataset; hand-written plans are validated for shape here and for
+    edge-cuts in :meth:`shard_dataset`.
+
+    Local indexing convention: within a shard, users (and items) are
+    ordered by ascending *global* index, so a one-shard plan is the
+    identity mapping — the property the score-parity tests pin down.
+    """
+
+    def __init__(self, user_shard, item_shard, n_shards: int | None = None):
+        user_shard = np.asarray(user_shard, dtype=np.int64)
+        item_shard = np.asarray(item_shard, dtype=np.int64)
+        if user_shard.ndim != 1 or item_shard.ndim != 1:
+            raise ConfigError("user_shard and item_shard must be 1-D arrays")
+        if user_shard.size == 0 or item_shard.size == 0:
+            raise ConfigError("a shard plan needs at least one user and one item")
+        if user_shard.min() < 0 or item_shard.min() < 0:
+            raise ConfigError("shard ids must be non-negative")
+        top = int(max(user_shard.max(), item_shard.max()))
+        if n_shards is None:
+            n_shards = top + 1
+        n_shards = check_positive_int(n_shards, "n_shards")
+        if top >= n_shards:
+            raise ConfigError(
+                f"shard id {top} out of range for n_shards={n_shards}"
+            )
+        user_counts = np.bincount(user_shard, minlength=n_shards)
+        item_counts = np.bincount(item_shard, minlength=n_shards)
+        empty = np.flatnonzero((user_counts == 0) | (item_counts == 0))
+        if empty.size:
+            raise ConfigError(
+                f"shard(s) {empty.tolist()} own no users or no items; every "
+                "shard must be a servable dataset"
+            )
+        self.user_shard = user_shard
+        self.item_shard = item_shard
+        self.n_shards = int(n_shards)
+        self._shard_users = [np.flatnonzero(user_shard == s)
+                             for s in range(n_shards)]
+        self._shard_items = [np.flatnonzero(item_shard == s)
+                             for s in range(n_shards)]
+        self.user_local = np.empty(user_shard.size, dtype=np.int64)
+        self.item_local = np.empty(item_shard.size, dtype=np.int64)
+        for members in self._shard_users:
+            self.user_local[members] = np.arange(members.size)
+        for members in self._shard_items:
+            self.item_local[members] = np.arange(members.size)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, dataset: RatingDataset, n_shards: int,
+              graph: UserItemGraph | None = None) -> "ShardPlan":
+        """Partition ``dataset`` into ``n_shards`` balanced shards.
+
+        Connected components are the atomic units (a walk never crosses
+        one, so splitting a component would change scores); they are
+        bin-packed greedily by descending rating count onto the
+        least-loaded shard — the classic LPT heuristic, within 4/3 of the
+        optimal makespan. Components without any rating (isolated users or
+        items) carry no solve cost, so they balance on *node* count
+        instead — otherwise they would all pile onto whichever shard holds
+        the fewest ratings. Requires at least ``n_shards`` components with
+        ratings; fewer means the graph cannot be cut without changing
+        scores, and the plan refuses.
+        """
+        if not isinstance(dataset, RatingDataset):
+            raise ConfigError(
+                f"ShardPlan.build expects a RatingDataset; "
+                f"got {type(dataset).__name__}"
+            )
+        n_shards = check_positive_int(n_shards, "n_shards")
+        if graph is None:
+            graph = UserItemGraph(dataset)
+        elif graph.dataset is not dataset:
+            raise ConfigError("graph was built over a different dataset")
+        labels = graph.component_labels()
+        nnz = graph.component_nnz()
+        n_rated = int((nnz > 0).sum())
+        if n_shards > n_rated:
+            raise ConfigError(
+                f"cannot build {n_shards} shards: the graph has only "
+                f"{n_rated} connected component(s) with ratings, and a "
+                "component cannot be split without changing walk scores"
+            )
+        present = np.zeros(nnz.size, dtype=bool)
+        present[labels] = True
+        sizes = np.bincount(labels, minlength=nnz.size)
+        order = np.argsort(-nnz, kind="stable")  # desc nnz, ties by label
+        loads = np.zeros(n_shards, dtype=np.int64)
+        node_loads = np.zeros(n_shards, dtype=np.int64)
+        component_shard = np.full(nnz.size, -1, dtype=np.int64)
+        for component in order:
+            if not present[component]:
+                continue
+            if nnz[component] > 0:
+                shard = int(np.argmin(loads))
+            else:
+                shard = int(np.argmin(node_loads))
+            component_shard[component] = shard
+            loads[shard] += int(nnz[component])
+            node_loads[shard] += int(sizes[component])
+        return cls(
+            component_shard[labels[:dataset.n_users]],
+            component_shard[labels[dataset.n_users:]],
+            n_shards=n_shards,
+        )
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        return self.user_shard.size
+
+    @property
+    def n_items(self) -> int:
+        return self.item_shard.size
+
+    def users_of_shard(self, shard: int) -> np.ndarray:
+        """Global user indices owned by ``shard``, ascending."""
+        return self._shard_users[self._check_shard(shard)]
+
+    def items_of_shard(self, shard: int) -> np.ndarray:
+        """Global item indices owned by ``shard``, ascending."""
+        return self._shard_items[self._check_shard(shard)]
+
+    def _check_shard(self, shard: int) -> int:
+        if isinstance(shard, bool) or not isinstance(shard, (int, np.integer)):
+            raise ConfigError(f"shard must be an int; got {shard!r}")
+        if not 0 <= shard < self.n_shards:
+            raise ConfigError(
+                f"shard {shard} out of range [0, {self.n_shards})"
+            )
+        return int(shard)
+
+    # -- materialisation -----------------------------------------------------
+
+    def shard_dataset(self, dataset: RatingDataset, shard: int) -> RatingDataset:
+        """The sub-dataset ``shard`` serves, labels preserved.
+
+        Guards against edge cuts: every rating of a kept user must land in
+        the shard (true by construction for :meth:`build` plans, violated
+        by hand-written plans that split a component) — a cut rating would
+        silently vanish from the shard's graph and change scores.
+        """
+        shard = self._check_shard(shard)
+        if dataset.n_users != self.n_users or dataset.n_items != self.n_items:
+            raise ConfigError(
+                f"plan covers {self.n_users} users × {self.n_items} items; "
+                f"dataset has {dataset.n_users} × {dataset.n_items}"
+            )
+        users = self._shard_users[shard]
+        items = self._shard_items[shard]
+        sub = dataset.subset(users=users, items=items)
+        expected = int(dataset.user_activity()[users].sum())
+        if sub.n_ratings != expected:
+            raise ConfigError(
+                f"shard {shard} cuts {expected - sub.n_ratings} rating(s) "
+                "across shard boundaries; a plan must keep every user's "
+                "rated items in the user's shard (use ShardPlan.build)"
+            )
+        return sub
+
+    def summary(self, dataset: RatingDataset | None = None) -> list[dict]:
+        """One row per shard: sizes (+ rating balance when ``dataset`` given)."""
+        rows = []
+        activity = dataset.user_activity() if dataset is not None else None
+        for shard in range(self.n_shards):
+            row = {
+                "shard": shard,
+                "users": int(self._shard_users[shard].size),
+                "items": int(self._shard_items[shard].size),
+            }
+            if activity is not None:
+                row["ratings"] = int(activity[self._shard_users[shard]].sum())
+            rows.append(row)
+        return rows
+
+    # -- persistence ---------------------------------------------------------
+
+    @staticmethod
+    def _npz_path(path: str) -> str:
+        return path if str(path).endswith(".npz") else f"{path}.npz"
+
+    def save(self, path: str) -> str:
+        """Persist the plan as a versioned ``.npz``; returns the path written."""
+        path = self._npz_path(path)
+        np.savez_compressed(
+            path,
+            format_version=np.array(SHARD_PLAN_FORMAT_VERSION, dtype=np.int64),
+            n_shards=np.array(self.n_shards, dtype=np.int64),
+            user_shard=self.user_shard,
+            item_shard=self.item_shard,
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "ShardPlan":
+        """Reload a plan written by :meth:`save` (strict format versioning)."""
+        try:
+            archive = np.load(cls._npz_path(path), allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise ArtifactError(f"cannot read shard plan {path!r}: {exc}") from None
+        with archive:
+            if "format_version" not in archive.files:
+                raise ArtifactError(
+                    f"{path!r} has no shard-plan format version; rebuild it "
+                    "with ShardPlan.build"
+                )
+            version = int(archive["format_version"])
+            if version != SHARD_PLAN_FORMAT_VERSION:
+                raise ArtifactError(
+                    f"{path!r} has shard-plan format version {version}; this "
+                    f"build reads {SHARD_PLAN_FORMAT_VERSION} — rebuild the plan"
+                )
+            return cls(archive["user_shard"], archive["item_shard"],
+                       n_shards=int(archive["n_shards"]))
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPlan(n_shards={self.n_shards}, n_users={self.n_users}, "
+            f"n_items={self.n_items})"
+        )
+
+
+@dataclass
+class FleetReport:
+    """One cohort run across the shard fleet, with per-shard breakdowns.
+
+    ``rows`` carry **global** user/item indices (and the global item
+    labels), in cohort order, exactly as an unsharded engine would emit
+    them. ``per_shard`` holds ``(shard_id, EngineReport)`` pairs for the
+    shards the cohort touched; the per-shard reports cover their lookup
+    and solve stages (row assembly happens once, fleet-side, and is
+    included in the fleet ``seconds``).
+    """
+
+    rows: list = field(default_factory=list)
+    n_users: int = 0
+    k: int = 10
+    seconds: float = 0.0
+    n_shards: int = 0
+    row_cache_hits: int = 0
+    row_cache_misses: int = 0
+    per_shard: list = field(default_factory=list)
+
+    @property
+    def users_per_second(self) -> float:
+        """Fleet throughput; clamped to 0.0 when the clock resolved no time
+        (:func:`~repro.utils.timer.per_second` — ``inf`` would corrupt JSON
+        summaries)."""
+        return per_second(self.n_users, self.seconds)
+
+    @property
+    def n_solves(self) -> int:
+        return sum(report.n_solves for _, report in self.per_shard)
+
+    @property
+    def result_cache_hits(self) -> int:
+        """Requests answered from a cache: the fleet's row cache plus the
+        shard engines' result caches (a fleet row-cache miss falls through
+        to a shard, where it counts again as that layer's hit or miss)."""
+        return self.row_cache_hits + sum(
+            report.result_cache_hits for _, report in self.per_shard
+        )
+
+    @property
+    def result_cache_misses(self) -> int:
+        return sum(report.result_cache_misses for _, report in self.per_shard)
+
+    @property
+    def result_cache_hit_rate(self) -> float:
+        total = self.result_cache_hits + self.result_cache_misses
+        return self.result_cache_hits / total if total else 0.0
+
+    def summary(self) -> dict:
+        """One fleet-level summary row (JSON-safe)."""
+        return {
+            "users": self.n_users,
+            "k": self.k,
+            "seconds": round(self.seconds, 4),
+            "users_per_sec": round(self.users_per_second, 1),
+            "shards": self.n_shards,
+            "shards_hit": len(self.per_shard),
+            "solves": self.n_solves,
+            "row_hits": self.row_cache_hits,
+            "result_hits": self.result_cache_hits,
+            "result_misses": self.result_cache_misses,
+            "result_hit_rate": round(self.result_cache_hit_rate, 3),
+        }
+
+    def shard_summaries(self) -> list[dict]:
+        """Per-shard summary rows, each tagged with its shard id."""
+        return [{"shard": shard, **report.summary()}
+                for shard, report in self.per_shard]
+
+
+@dataclass
+class FleetUpdateReport:
+    """One :meth:`ShardedEngine.apply_updates` batch across the fleet.
+
+    ``per_shard`` holds ``(shard_id, UpdateReport)`` pairs for the shards
+    that received events; untouched shards keep serving warm and do not
+    appear.
+    """
+
+    n_events: int = 0
+    seconds: float = 0.0
+    per_shard: list = field(default_factory=list)
+
+    @property
+    def n_shards_touched(self) -> int:
+        return len(self.per_shard)
+
+    @property
+    def n_new_users(self) -> int:
+        return sum(report.n_new_users for _, report in self.per_shard)
+
+    @property
+    def n_new_items(self) -> int:
+        return sum(report.n_new_items for _, report in self.per_shard)
+
+    @property
+    def n_replaced(self) -> int:
+        return sum(report.n_replaced for _, report in self.per_shard)
+
+    @property
+    def result_rows_evicted(self) -> int:
+        return sum(report.result_rows_evicted for _, report in self.per_shard)
+
+    def summary(self) -> dict:
+        """One fleet-level summary row (JSON-safe)."""
+        return {
+            "events": self.n_events,
+            "shards_touched": self.n_shards_touched,
+            "new_users": self.n_new_users,
+            "new_items": self.n_new_items,
+            "replaced": self.n_replaced,
+            "results_evicted": self.result_rows_evicted,
+            "seconds": round(self.seconds, 4),
+        }
+
+    def shard_summaries(self) -> list[dict]:
+        """Per-shard summary rows, each tagged with its shard id."""
+        return [{"shard": shard, **report.summary()}
+                for shard, report in self.per_shard]
+
+
+class ShardedEngine:
+    """A fleet of per-shard :class:`ServingEngine`\\ s behind one front.
+
+    The public surface mirrors the single engine — ``recommend`` /
+    ``serve_cohort`` / ``apply_updates`` / ``warm`` / ``stats`` — but every
+    request is routed to the shard that owns the user (or, for update
+    events, the shard that owns the event's labels) and answered there.
+    Global user/item indices are the *original dataset's*; users and items
+    registered later by updates are appended to the global space in shard
+    order. External labels are the stable identity across the fleet.
+
+    On top of the shard engines' own two cache layers, the fleet front
+    keeps a bounded LRU **row cache** of fully materialised response rows
+    per ``(user, k, exclude_rated)`` — the global-index remap and the row
+    assembly are work that exists only above the shard tier, so this is
+    where memoizing them pays: a fully warm cohort is answered without
+    touching a single shard (classic edge caching over a sharded backend).
+    Rows are shared across repeated serves; treat reports as read-only.
+    Updates evict the touched shard's users from the row cache (a
+    conservative superset of the affected users).
+
+    Parameters
+    ----------
+    plan:
+        The :class:`ShardPlan` the engines were fitted from.
+    engines:
+        One fitted :class:`ServingEngine` per shard, aligned with the
+        plan's shard ids. Engines whose datasets have grown beyond the
+        plan (updated artifacts) are absorbed: the extra labels join the
+        global index space.
+    result_cache_size:
+        Bound on the fleet row cache (entries are per-user ranked lists,
+        LRU-evicted beyond it); ``0`` disables it and every cohort request
+        goes through its shard engine (whose own caches still apply).
+
+    Build with :meth:`fit` (plan → per-shard fit) or
+    :meth:`from_directory` (per-shard artifacts written by :meth:`save` or
+    ``repro.cli shard-fit``).
+    """
+
+    def __init__(self, plan: ShardPlan, engines,
+                 result_cache_size: int = 65536):
+        engines = list(engines)
+        if not isinstance(plan, ShardPlan):
+            raise ConfigError(
+                f"ShardedEngine requires a ShardPlan; got {type(plan).__name__}"
+            )
+        if len(engines) != plan.n_shards:
+            raise ConfigError(
+                f"plan has {plan.n_shards} shards; got {len(engines)} engines"
+            )
+        for shard, engine in enumerate(engines):
+            if not isinstance(engine, ServingEngine):
+                raise ConfigError(
+                    f"engine {shard} is {type(engine).__name__}; "
+                    "expected ServingEngine"
+                )
+            base_users = plan.users_of_shard(shard).size
+            base_items = plan.items_of_shard(shard).size
+            if (engine.dataset.n_users < base_users
+                    or engine.dataset.n_items < base_items):
+                raise ConfigError(
+                    f"engine {shard} serves {engine.dataset.n_users} users × "
+                    f"{engine.dataset.n_items} items; the plan assigns it "
+                    f"{base_users} × {base_items} — artifact/plan mismatch"
+                )
+        self.plan = plan
+        self.engines = engines
+        self.result_cache_size = check_non_negative_int(
+            result_cache_size, "result_cache_size"
+        )
+        self._rows: OrderedDict[tuple, list] = OrderedDict()
+        self.row_cache_hits = 0
+        self.row_cache_misses = 0
+        self._lock = threading.RLock()
+        self._user_shard = plan.user_shard.copy()
+        self._user_local = plan.user_local.copy()
+        self._item_shard = plan.item_shard.copy()
+        self._item_local = plan.item_local.copy()
+        self._user_global = [plan.users_of_shard(s).copy()
+                             for s in range(plan.n_shards)]
+        self._item_global = [plan.items_of_shard(s).copy()
+                             for s in range(plan.n_shards)]
+        self._item_labels = np.empty(plan.n_items, dtype=object)
+        for shard, engine in enumerate(engines):
+            base = self._item_global[shard]
+            self._item_labels[base] = _label_array(
+                engine.dataset.item_labels[:base.size]
+            )
+        self._user_shard_by_label: dict = {}
+        self._item_shard_by_label: dict = {}
+        for shard in range(plan.n_shards):
+            self._absorb_new_labels(shard)
+        for shard, engine in enumerate(engines):
+            for label in engine.dataset.user_labels:
+                owner = self._user_shard_by_label.setdefault(label, shard)
+                if owner != shard:
+                    raise ConfigError(
+                        f"user label {label!r} appears in shards {owner} and "
+                        f"{shard}; shard datasets must be disjoint"
+                    )
+            for label in engine.dataset.item_labels:
+                owner = self._item_shard_by_label.setdefault(label, shard)
+                if owner != shard:
+                    raise ConfigError(
+                        f"item label {label!r} appears in shards {owner} and "
+                        f"{shard}; shard datasets must be disjoint"
+                    )
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def fit(cls, dataset: RatingDataset, recommender_factory,
+            n_shards: int | None = None, plan: ShardPlan | None = None,
+            **engine_kwargs) -> "ShardedEngine":
+        """Plan (unless given), fit one recommender per shard, wrap engines.
+
+        ``recommender_factory`` is a zero-argument callable returning a
+        fresh unfitted :class:`~repro.core.base.Recommender` (each shard
+        gets its own instance); ``engine_kwargs`` are forwarded to every
+        per-shard :class:`ServingEngine` (cache sizes, worker pools, update
+        policy).
+        """
+        if plan is None:
+            if n_shards is None:
+                raise ConfigError("ShardedEngine.fit needs n_shards or a plan")
+            plan = ShardPlan.build(dataset, n_shards)
+        engines = []
+        for shard in range(plan.n_shards):
+            recommender = recommender_factory()
+            if not isinstance(recommender, Recommender):
+                raise ConfigError(
+                    "recommender_factory must return a Recommender; got "
+                    f"{type(recommender).__name__}"
+                )
+            recommender.fit(plan.shard_dataset(dataset, shard))
+            engines.append(ServingEngine(recommender, **engine_kwargs))
+        return cls(plan, engines)
+
+    @classmethod
+    def from_directory(cls, path: str, **engine_kwargs) -> "ShardedEngine":
+        """Boot a fleet from a directory written by :meth:`save`.
+
+        Expects ``plan.npz`` plus one ``shard-NNN.npz`` model artifact per
+        shard (loaded through :func:`repro.core.artifacts.load_artifact`
+        via :meth:`ServingEngine.from_artifact` — no refitting).
+        """
+        plan_path = os.path.join(path, _PLAN_FILENAME)
+        if not os.path.exists(plan_path):
+            raise ArtifactError(
+                f"{path!r} is not a sharded-artifact directory "
+                f"(no {_PLAN_FILENAME})"
+            )
+        plan = ShardPlan.load(plan_path)
+        engines = [
+            ServingEngine.from_artifact(
+                os.path.join(path, _shard_artifact_name(shard)), **engine_kwargs
+            )
+            for shard in range(plan.n_shards)
+        ]
+        return cls(plan, engines)
+
+    def save(self, path: str) -> str:
+        """Write ``plan.npz`` + per-shard model artifacts into ``path``.
+
+        Reload with :meth:`from_directory`. Saving after updates persists
+        the grown shard datasets; on reload, post-update users/items rejoin
+        the global index space in shard order (their *labels* — the stable
+        identity — are unchanged).
+        """
+        os.makedirs(path, exist_ok=True)
+        self.plan.save(os.path.join(path, _PLAN_FILENAME))
+        for shard, engine in enumerate(self.engines):
+            engine.recommender.save(
+                os.path.join(path, _shard_artifact_name(shard))
+            )
+        return path
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.engines)
+
+    @property
+    def n_users(self) -> int:
+        return self._user_shard.size
+
+    @property
+    def n_items(self) -> int:
+        return self._item_shard.size
+
+    def shard_of_user(self, user: int) -> int:
+        """The shard id serving a global user index."""
+        self._check_user(user)
+        return int(self._user_shard[user])
+
+    def _check_user(self, user: int) -> None:
+        if not is_index(user, self.n_users):
+            raise UnknownUserError(user)
+
+    # -- serving -------------------------------------------------------------
+
+    def recommend(self, user: int, k: int = 10, exclude_rated: bool = True,
+                  exclude=None) -> list[Recommendation]:
+        """Top-``k`` for one global user, answered by the owning shard.
+
+        ``exclude`` takes **global** item indices; exclusions living in
+        other shards are dropped (the user's shard can never recommend
+        them) and the rest are translated to shard-local indices. Returned
+        recommendations carry global item indices and labels.
+        """
+        self._check_user(user)
+        shard = int(self._user_shard[user])
+        banned = as_exclude_array(exclude)
+        if banned.size:
+            in_range = banned[(banned >= 0) & (banned < self.n_items)]
+            mine = in_range[self._item_shard[in_range] == shard]
+            banned = self._item_local[mine]
+        ranked = self.engines[shard].recommend(
+            int(self._user_local[user]), k=k, exclude_rated=exclude_rated,
+            exclude=banned,
+        )
+        lookup = self._item_global[shard]
+        return [
+            Recommendation(int(lookup[r.item]), r.label, r.score)
+            for r in ranked
+        ]
+
+    def serve_cohort(self, users, k: int = 10, batch_size: int = 256,
+                     exclude_rated: bool = True) -> FleetReport:
+        """Serve a cohort of global user indices across the fleet.
+
+        Users with a fleet row-cache entry are answered without touching
+        any shard. The rest are split by owning shard, answered by each
+        engine's arrays path, remapped from shard-local to global item
+        indices, materialised as rows (which enter the row cache) and
+        merged back in original cohort order — byte-for-byte the shape an
+        unsharded engine's report carries.
+        """
+        k = check_positive_int(k, "k")
+        exclude_rated = bool(exclude_rated)
+        users = as_index_array(users, self.n_users, "users")
+        report = FleetReport(n_users=int(users.size), k=k,
+                             n_shards=self.n_shards)
+        with Timer() as timer:
+            per_position: list = [None] * users.size
+            if self.result_cache_size:
+                missing: list[int] = []
+                with self._lock:
+                    for position, user in enumerate(users):
+                        key = (int(user), k, exclude_rated)
+                        entry = self._rows.get(key)
+                        if entry is None:
+                            missing.append(position)
+                        else:
+                            self._rows.move_to_end(key)
+                            per_position[position] = entry
+                    report.row_cache_hits = users.size - len(missing)
+                    report.row_cache_misses = len(missing)
+                    self.row_cache_hits += report.row_cache_hits
+                    self.row_cache_misses += report.row_cache_misses
+            else:
+                missing = list(range(users.size))
+            if missing:
+                versions = [engine.model_version for engine in self.engines]
+                positions = np.asarray(missing, dtype=np.int64)
+                miss_users = users[positions]
+                items = np.full((positions.size, k), -1, dtype=np.int64)
+                scores = np.full((positions.size, k), -np.inf)
+                shard_of = self._user_shard[miss_users]
+                for shard in np.unique(shard_of):
+                    shard = int(shard)
+                    rows_of_shard = np.flatnonzero(shard_of == shard)
+                    local = self._user_local[miss_users[rows_of_shard]]
+                    shard_report, _, shard_items, shard_scores = (
+                        self.engines[shard]._serve_cohort_arrays(
+                            local, k=k, batch_size=batch_size,
+                            exclude_rated=exclude_rated,
+                        )
+                    )
+                    lookup = self._item_global[shard]
+                    valid = shard_items >= 0
+                    items[rows_of_shard] = np.where(
+                        valid, lookup[np.where(valid, shard_items, 0)], -1
+                    )
+                    scores[rows_of_shard] = shard_scores
+                    report.per_shard.append((shard, shard_report))
+                flat = rows_from_ranked_arrays(
+                    miss_users, items, scores, self._item_labels
+                )
+                bounds = np.concatenate(
+                    [[0], np.cumsum((items >= 0).sum(axis=1))]
+                )
+                for index, position in enumerate(missing):
+                    per_position[position] = flat[bounds[index]:
+                                                  bounds[index + 1]]
+                if self.result_cache_size:
+                    with self._lock:
+                        # Shard solves ran outside the lock; skip inserting
+                        # rows whose shard absorbed an update meanwhile
+                        # (version bumped, its users evicted) — re-caching
+                        # them would serve pre-update rows indefinitely.
+                        for index, position in enumerate(missing):
+                            user = int(users[position])
+                            shard = int(self._user_shard[user])
+                            if self.engines[shard].model_version != versions[shard]:
+                                continue
+                            self._rows[(user, k, exclude_rated)] = (
+                                per_position[position]
+                            )
+                        while len(self._rows) > self.result_cache_size:
+                            self._rows.popitem(last=False)
+            rows: list = []
+            for user_rows in per_position:
+                if user_rows:
+                    rows.extend(user_rows)
+            report.rows = rows
+        report.seconds = timer.elapsed
+        return report
+
+    def warm(self, users=None, k: int = 10, batch_size: int = 256) -> FleetReport:
+        """Pre-fill every shard's caches (default: every user)."""
+        if users is None:
+            users = np.arange(self.n_users, dtype=np.int64)
+        return self.serve_cohort(users, k=k, batch_size=batch_size)
+
+    # -- incremental updates --------------------------------------------------
+
+    def apply_updates(self, events, duplicates: str | None = None,
+                      ) -> FleetUpdateReport:
+        """Route ``(user_label, item_label, rating)`` events to their shards.
+
+        Routing is order-independent: the batch's events form a label
+        graph, and every connected group of labels lands on one shard
+        wherever its events sit in the batch (union-find over the batch,
+        mirroring the component semantics the tier is built on). A group
+        resolves to:
+
+        1. the single shard its known labels live in → that shard
+           (brand-new labels in the group register there too);
+        2. two *different* known shards → the batch would merge components
+           across shard boundaries; raises
+           :class:`~repro.exceptions.ConfigError` (re-plan via
+           ``shard-fit`` on the merged data);
+        3. no known label at all → the least-loaded shard (fewest ratings,
+           ties to the lowest id).
+
+        The whole batch is pre-validated (rating values and scale, the
+        ``duplicates`` policy, cross-shard edges) before any shard
+        mutates, so a bad event rejects the batch with the fleet
+        untouched. Each touched shard then absorbs its slice through
+        :meth:`ServingEngine.apply_updates` (targeted invalidation, model
+        version bump); untouched shards keep serving fully warm.
+        """
+        events = list(events)
+        report = FleetUpdateReport(n_events=len(events))
+        if not events:
+            return report
+        with Timer() as timer:
+            # Union-find over the batch's labels, namespaced "u"/"i" — a
+            # user and an item may legitimately share an external label.
+            parent: dict = {}
+
+            def find(key):
+                root = key
+                while parent.get(root, root) != root:
+                    root = parent[root]
+                while parent.get(key, key) != key:  # path compression
+                    parent[key], key = root, parent[key]
+                return root
+
+            for event in events:
+                user_root = find(("u", event[0]))
+                item_root = find(("i", event[1]))
+                if user_root != item_root:
+                    parent[item_root] = user_root
+            group_shard: dict = {}
+            group_label: dict = {}
+            for kind, position, lookup in (
+                    ("u", 0, self._user_shard_by_label),
+                    ("i", 1, self._item_shard_by_label)):
+                for event in events:
+                    label = event[position]
+                    known = lookup.get(label)
+                    if known is None:
+                        continue
+                    root = find((kind, label))
+                    owner = group_shard.setdefault(root, known)
+                    group_label.setdefault(root, label)
+                    if owner != known:
+                        raise ConfigError(
+                            f"update batch links {group_label[root]!r} "
+                            f"(shard {owner}) with {label!r} (shard {known}); "
+                            "cross-shard edges cannot be applied to a "
+                            "component-sharded tier — rebuild the plan "
+                            "(repro.cli shard-fit) on the merged data"
+                        )
+            routed: list[list] = [[] for _ in range(self.n_shards)]
+            loads = [engine.dataset.n_ratings for engine in self.engines]
+            for event in events:
+                root = find(("u", event[0]))
+                shard = group_shard.get(root)
+                if shard is None:  # every label in the group is brand-new
+                    shard = int(np.argmin(loads))
+                    group_shard[root] = shard
+                loads[shard] += 1
+                routed[shard].append(event)
+            for shard, shard_events in enumerate(routed):
+                if shard_events:
+                    self._validate_events(shard, shard_events, duplicates)
+            for shard, shard_events in enumerate(routed):
+                if not shard_events:
+                    continue
+                update = self.engines[shard].apply_updates(
+                    shard_events, duplicates=duplicates
+                )
+                self._absorb_new_labels(shard)
+                self._evict_shard_rows(shard)
+                report.per_shard.append((shard, update))
+        report.seconds = timer.elapsed
+        return report
+
+    def _validate_events(self, shard: int, events, duplicates: str | None,
+                         ) -> None:
+        """Reject a bad batch before ANY shard mutates.
+
+        Shards apply sequentially, so without this pre-pass a malformed
+        event for shard 2 would leave shards 0–1 already updated — neither
+        applied nor rejected, and retrying would double-apply. Mirrors the
+        checks :meth:`RatingDataset.extend` performs (rating value and
+        scale, plus the ``duplicates="error"`` policy against both the
+        batch and the base), raising the same :class:`DataError` shapes
+        while the fleet is still untouched.
+        """
+        engine = self.engines[shard]
+        dataset = engine.dataset
+        policy = duplicates or engine.update_duplicates
+        seen: set = set()
+        for user_label, item_label, rating in events:
+            dataset.check_event_rating(user_label, item_label, rating)
+            if policy != "error":
+                continue
+            pair = (user_label, item_label)
+            if pair in seen:
+                raise DataError(
+                    f"duplicate event for (user={user_label!r}, "
+                    f"item={item_label!r}); pass duplicates='last' to keep "
+                    "the latest value"
+                )
+            seen.add(pair)
+            try:
+                already = dataset.rating(dataset.user_id(user_label),
+                                         dataset.item_id(item_label)) != 0
+            except (UnknownUserError, UnknownItemError):
+                already = False
+            if already:
+                raise DataError(
+                    f"(user={user_label!r}, item={item_label!r}) is already "
+                    "rated; pass duplicates='last' to overwrite"
+                )
+
+    def _evict_shard_rows(self, shard: int) -> int:
+        """Drop the fleet row cache's entries for one shard's users.
+
+        A conservative superset of the update's affected users (the shard
+        engine evicts precisely; the fleet layer only knows the shard) —
+        over-eviction costs a re-route, never a stale row.
+        """
+        with self._lock:
+            stale = [key for key in self._rows
+                     if int(self._user_shard[key[0]]) == shard]
+            for key in stale:
+                del self._rows[key]
+            return len(stale)
+
+    def _absorb_new_labels(self, shard: int) -> None:
+        """Append a shard's post-update users/items to the global space."""
+        engine = self.engines[shard]
+        dataset = engine.dataset
+        known = self._user_global[shard].size
+        if dataset.n_users > known:
+            count = dataset.n_users - known
+            fresh = np.arange(self.n_users, self.n_users + count,
+                              dtype=np.int64)
+            self._user_global[shard] = np.concatenate(
+                [self._user_global[shard], fresh]
+            )
+            self._user_shard = np.concatenate(
+                [self._user_shard, np.full(count, shard, dtype=np.int64)]
+            )
+            self._user_local = np.concatenate(
+                [self._user_local,
+                 np.arange(known, dataset.n_users, dtype=np.int64)]
+            )
+            for label in dataset.user_labels[known:]:
+                self._user_shard_by_label[label] = shard
+        known = self._item_global[shard].size
+        if dataset.n_items > known:
+            count = dataset.n_items - known
+            fresh = np.arange(self.n_items, self.n_items + count,
+                              dtype=np.int64)
+            self._item_global[shard] = np.concatenate(
+                [self._item_global[shard], fresh]
+            )
+            self._item_shard = np.concatenate(
+                [self._item_shard, np.full(count, shard, dtype=np.int64)]
+            )
+            self._item_local = np.concatenate(
+                [self._item_local,
+                 np.arange(known, dataset.n_items, dtype=np.int64)]
+            )
+            self._item_labels = np.concatenate(
+                [self._item_labels, _label_array(dataset.item_labels[known:])]
+            )
+            for label in dataset.item_labels[known:]:
+                self._item_shard_by_label[label] = shard
+
+    # -- lifecycle / introspection -------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Drop the fleet row cache and both cache layers on every shard."""
+        with self._lock:
+            self._rows.clear()
+            self.row_cache_hits = 0
+            self.row_cache_misses = 0
+        for engine in self.engines:
+            engine.clear_caches()
+
+    def invalidate_user(self, user: int) -> int:
+        """Evict one global user's rows: fleet row cache + shard cache."""
+        self._check_user(user)
+        with self._lock:
+            stale = [key for key in self._rows if key[0] == int(user)]
+            for key in stale:
+                del self._rows[key]
+        return self.engines[int(self._user_shard[user])].invalidate_user(
+            int(self._user_local[user])
+        )
+
+    def close(self) -> None:
+        """Shut down every shard engine's worker pool."""
+        for engine in self.engines:
+            engine.close()
+
+    def stats(self) -> dict:
+        """Fleet shape and row-cache counters plus each shard's own stats."""
+        with self._lock:
+            fleet = {
+                "n_shards": self.n_shards,
+                "n_users": self.n_users,
+                "n_items": self.n_items,
+                "row_entries": len(self._rows),
+                "row_hits": self.row_cache_hits,
+                "row_misses": self.row_cache_misses,
+            }
+        fleet["shards"] = [engine.stats() for engine in self.engines]
+        return fleet
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEngine(n_shards={self.n_shards}, n_users={self.n_users}, "
+            f"n_items={self.n_items})"
+        )

@@ -22,7 +22,7 @@ import numpy as np
 from repro.core.base import Recommendation, Recommender
 from repro.data.dataset import labels_from_json, labels_to_json
 from repro.exceptions import ArtifactError, ConfigError, NotFittedError, UnknownUserError
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import as_exclude_array, check_positive_int, is_index
 
 __all__ = ["TopKStore", "STORE_FORMAT_VERSION"]
 
@@ -142,7 +142,7 @@ class TopKStore:
         return float((self._lengths >= k).mean())
 
     def _check_user(self, user: int) -> None:
-        if not isinstance(user, (int, np.integer)) or not 0 <= user < self.n_users:
+        if not is_index(user, self.n_users):
             raise UnknownUserError(user)
 
     # -- serving ------------------------------------------------------------
@@ -162,8 +162,8 @@ class TopKStore:
         length = int(self._lengths[user])
         row_items = self._items[user, :length]
         row_scores = self._scores[user, :length]
-        if exclude is not None:
-            banned = np.asarray(list(exclude), dtype=np.int64)
+        banned = as_exclude_array(exclude)
+        if banned.size:
             keep = ~np.isin(row_items, banned)
             row_items = row_items[keep]
             row_scores = row_scores[keep]

@@ -5,7 +5,19 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["Timer", "StopwatchStats"]
+__all__ = ["Timer", "StopwatchStats", "per_second"]
+
+
+def per_second(count: float, seconds: float) -> float:
+    """Throughput ``count / seconds``, clamped to 0.0 when no time passed.
+
+    A fast run can finish inside one timer tick (``seconds == 0``);
+    returning ``inf`` there would leak ``Infinity`` through report
+    summaries into ``json.dump``, which happily writes invalid JSON. The
+    degenerate case reads "not measurable", never "infinitely fast". One
+    helper so every report class clamps identically.
+    """
+    return count / seconds if seconds > 0 else 0.0
 
 
 class Timer:

@@ -23,7 +23,23 @@ __all__ = [
     "check_in_options",
     "check_rating_matrix",
     "as_index_array",
+    "as_exclude_array",
+    "is_index",
 ]
+
+
+def is_index(value, size: int) -> bool:
+    """True when ``value`` is a non-bool integer in ``[0, size)``.
+
+    The shared scalar-index gate behind every ``_check_user`` /
+    ``_check_item`` in the library: ``isinstance(True, int)`` holds in
+    Python (and ``np.True_`` is an integer-convertible scalar), so a stray
+    flag would silently address index 1/0 without the explicit bool
+    rejection.
+    """
+    return (not isinstance(value, (bool, np.bool_))
+            and isinstance(value, (int, np.integer))
+            and 0 <= value < size)
 
 
 def check_random_state(seed) -> np.random.Generator:
@@ -130,8 +146,35 @@ def check_rating_matrix(matrix) -> sp.csr_matrix:
 
 
 def as_index_array(indices: Sequence[int] | np.ndarray, size: int, name: str) -> np.ndarray:
-    """Convert ``indices`` to a validated int64 array of indices into ``[0, size)``."""
-    arr = np.asarray(indices)
+    """Convert ``indices`` to a validated int64 array of indices into ``[0, size)``.
+
+    A scalar is treated as a cohort of one. Booleans are rejected
+    explicitly: ``isinstance(True, int)`` holds in Python, so without the
+    check a stray flag would silently address index 1/0 — a class of bug
+    that must fail loudly at the API boundary. The scan runs on the Python
+    sequence *before* ``np.asarray``, because numpy promotes mixed
+    int/bool lists to int64 and would hide the flag — which also means
+    callers must pass their raw input here, not ``np.asarray(...)`` of it.
+    """
+    if not isinstance(indices, np.ndarray):
+        try:
+            items = list(indices)
+        except TypeError:
+            items = [indices]  # scalar → cohort of one
+        if any(isinstance(v, (bool, np.bool_)) for v in items):
+            raise ConfigError(
+                f"{name} must contain integers; got booleans (True/False "
+                "are not user/item indices)"
+            )
+        indices = items
+    arr = np.atleast_1d(np.asarray(indices))
+    if arr.dtype == np.bool_ or (arr.dtype == object
+                                 and any(isinstance(v, (bool, np.bool_))
+                                         for v in arr.ravel())):
+        raise ConfigError(
+            f"{name} must contain integers; got booleans (True/False are not "
+            "user/item indices)"
+        )
     if arr.size == 0:
         return np.empty(0, dtype=np.int64)
     if arr.ndim != 1:
@@ -147,3 +190,55 @@ def as_index_array(indices: Sequence[int] | np.ndarray, size: int, name: str) ->
             f"{name} contains out-of-range indices (valid range [0, {size}))"
         )
     return arr
+
+
+def as_exclude_array(exclude, name: str = "exclude") -> np.ndarray:
+    """Normalise an optional iterable of item indices for exclusion filters.
+
+    Exclusion sets arrive in every shape callers find convenient — ``None``,
+    ``[]``, ``set()``, generators, int or float ndarrays — and are only used
+    to *drop* items from a ranked list, so out-of-range indices are harmless
+    (they simply match nothing) and are not range-checked here. What is
+    checked: booleans are rejected (``True`` is not item 1) and float inputs
+    must be integral — ``np.asarray(list(exclude), dtype=np.int64)`` would
+    silently truncate ``1.7`` to item 1, serving a wrong exclusion.
+    Always returns an int64 array (empty for ``None``/empty input).
+    """
+    if exclude is None:
+        return np.empty(0, dtype=np.int64)
+    if isinstance(exclude, np.ndarray):
+        arr = np.atleast_1d(exclude)
+    else:
+        try:
+            items = list(exclude)
+        except TypeError:
+            raise ConfigError(
+                f"{name} must be an iterable of item indices; "
+                f"got {type(exclude).__name__}"
+            ) from None
+        # Scan before np.asarray: numpy promotes mixed int/bool lists to
+        # int64, which would let a stray True slip through as item 1.
+        if any(isinstance(v, (bool, np.bool_)) for v in items):
+            raise ConfigError(f"{name} must contain item indices; got booleans")
+        arr = np.asarray(items)
+    if arr.ndim != 1:
+        raise ConfigError(f"{name} must be 1-D; got ndim={arr.ndim}")
+    if arr.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if arr.dtype == np.bool_ or (arr.dtype == object
+                                 and any(isinstance(v, (bool, np.bool_))
+                                         for v in arr)):
+        raise ConfigError(
+            f"{name} must contain item indices; got booleans"
+        )
+    if np.issubdtype(arr.dtype, np.integer):
+        return arr.astype(np.int64)
+    if np.issubdtype(arr.dtype, np.floating):
+        cast = arr.astype(np.int64)
+        if np.all(arr == cast):
+            return cast
+        raise ConfigError(
+            f"{name} contains non-integral values; item indices must be whole "
+            "numbers"
+        )
+    raise ConfigError(f"{name} must contain integers; got dtype {arr.dtype}")

@@ -5,7 +5,12 @@ import pytest
 import scipy.sparse as sp
 
 from repro.data.dataset import RatingDataset
-from repro.exceptions import DataError, UnknownItemError, UnknownUserError
+from repro.exceptions import (
+    ConfigError,
+    DataError,
+    UnknownItemError,
+    UnknownUserError,
+)
 
 
 class TestConstruction:
@@ -105,6 +110,16 @@ class TestPerUserViews:
         with pytest.raises(UnknownItemError):
             tiny_dataset.users_of_item(-1)
 
+    def test_bool_indices_rejected(self, tiny_dataset):
+        # isinstance(True, int) holds; without an explicit gate,
+        # items_of_user(True) would silently serve user 1.
+        with pytest.raises(UnknownUserError):
+            tiny_dataset.items_of_user(True)
+        with pytest.raises(UnknownUserError):
+            tiny_dataset.items_of_user(False)
+        with pytest.raises(UnknownItemError):
+            tiny_dataset.users_of_item(np.True_)
+
 
 class TestStatistics:
     def test_item_popularity(self, tiny_dataset):
@@ -141,6 +156,23 @@ class TestTransforms:
         assert out.n_users == 2
         assert out.user_labels == ("c", "a")
         assert out.n_items == tiny_dataset.n_items
+
+    def test_subset_both_axes(self, tiny_dataset):
+        out = tiny_dataset.subset(users=np.array([0, 1]),
+                                  items=np.array([1, 2]))
+        assert out.user_labels == ("a", "b")
+        assert out.item_labels == ("x", "y")
+        assert out.rating(0, 0) == tiny_dataset.rating(0, 1)
+        assert out.rating(1, 1) == tiny_dataset.rating(1, 2)
+
+    def test_subset_none_keeps_axis(self, tiny_dataset):
+        out = tiny_dataset.subset(items=np.array([0, 3]))
+        assert out.n_users == tiny_dataset.n_users
+        assert out.item_labels == ("w", "z")
+
+    def test_subset_out_of_range_rejected(self, tiny_dataset):
+        with pytest.raises(ConfigError, match="out-of-range"):
+            tiny_dataset.subset(items=np.array([99]))
 
     def test_csr_matrix_duplicates_summed_on_init(self):
         rows = [0, 0]

@@ -1,5 +1,7 @@
 """ServingEngine: warm caches must never change results, edge cases included."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -10,7 +12,12 @@ from repro import (
     ServingEngine,
 )
 from repro.exceptions import ConfigError, NotFittedError, UnknownUserError
-from repro.service import TopKStore, serve_user_cohort
+from repro.service import (
+    BatchServingReport,
+    EngineReport,
+    TopKStore,
+    serve_user_cohort,
+)
 
 
 @pytest.fixture(scope="module")
@@ -290,3 +297,76 @@ class TestZeroRevalidation:
         # More solves ran, yet not a single extra validation.
         assert warm.scoring_cache["operator_solves"] > solves_cold
         assert warm.scoring_cache["operator_validations"] == validations_cold
+
+
+class TestReportJsonSafety:
+    """Regression: a zero-second run must stay JSON-serializable."""
+
+    def test_zero_seconds_clamps_users_per_second(self):
+        report = EngineReport(n_users=5, seconds=0.0)
+        assert report.users_per_second == 0.0
+
+    def test_summary_round_trips_through_json(self):
+        # A fully warm cohort on a fast machine can land seconds == 0;
+        # float("inf") here used to serialize as bare `Infinity`, which is
+        # not valid JSON.
+        report = EngineReport(n_users=5, seconds=0.0)
+        payload = json.dumps(report.summary())
+        assert json.loads(payload)["users_per_sec"] == 0.0
+
+    def test_batch_serving_report_clamped_too(self):
+        report = BatchServingReport(n_users=3, seconds=0.0)
+        assert report.users_per_second == 0.0
+        assert json.loads(json.dumps(report.summary()))["users_per_sec"] == 0.0
+
+    def test_live_summary_always_json_safe(self, engine):
+        report = engine.serve_cohort(np.arange(4), k=3)
+        report.seconds = 0.0  # simulate an unmeasurably fast run
+        json.loads(json.dumps(report.summary()))
+
+
+class TestInputHygiene:
+    """Regression: bool user ids and awkward exclude shapes."""
+
+    def test_bool_user_rejected(self, engine):
+        # isinstance(True, int) holds; recommend(False) must not silently
+        # serve user 0.
+        with pytest.raises(UnknownUserError):
+            engine.recommend(True)
+        with pytest.raises(UnknownUserError):
+            engine.recommend(False)
+
+    def test_bool_user_rejected_with_store(self, fitted_at):
+        engine = ServingEngine(fitted_at,
+                               store=TopKStore.from_recommender(fitted_at,
+                                                                depth=15))
+        with pytest.raises(UnknownUserError):
+            engine.recommend(True)
+
+    def test_empty_exclude_variants(self, engine):
+        base = [r.item for r in engine.recommend(3, k=5)]
+        for empty in ([], set(), (), np.array([], dtype=np.float64)):
+            assert [r.item
+                    for r in engine.recommend(3, k=5, exclude=empty)] == base
+
+    def test_float_exclude_matches_int_exclude(self, engine):
+        base = [r.item for r in engine.recommend(3, k=6)]
+        as_float = np.asarray(base[:2], dtype=np.float64)
+        assert [r.item for r in engine.recommend(3, k=4, exclude=as_float)] \
+            == [r.item for r in engine.recommend(3, k=4, exclude=base[:2])]
+
+    def test_fractional_exclude_rejected(self, engine):
+        with pytest.raises(ConfigError, match="non-integral"):
+            engine.recommend(3, exclude=np.array([1.5]))
+
+    def test_bool_exclude_rejected(self, engine):
+        with pytest.raises(ConfigError, match="boolean"):
+            engine.recommend(3, exclude=[True, False])
+
+    def test_mixed_bool_cohort_rejected(self, engine):
+        # np.asarray promotes [3, True] to int64 before any dtype check
+        # can fire; serve_cohort must hand raw input to the element scan.
+        with pytest.raises(ConfigError, match="boolean"):
+            engine.serve_cohort([3, True], k=3)
+        with pytest.raises(ConfigError, match="boolean"):
+            engine.recommender.recommend_batch([3, True], k=3)

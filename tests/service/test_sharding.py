@@ -1,0 +1,435 @@
+"""Component-sharded serving tier: planning, routing, parity, persistence.
+
+The load-bearing contract: for component-local scorers (the walk family),
+a sharded fleet serves *exactly* what one big engine serves — same items,
+same scores — because a walk can never leave its component. The plan is
+pure bookkeeping; these tests pin that down, plus the routing rules for
+updates and the fleet-report merging.
+"""
+
+import json
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import (
+    AbsorbingTimeRecommender,
+    ServingEngine,
+    ShardedEngine,
+    ShardPlan,
+)
+from repro.data.dataset import RatingDataset
+from repro.data.synthetic import federated_dataset
+from repro.exceptions import (
+    ArtifactError,
+    ConfigError,
+    DataError,
+    UnknownUserError,
+)
+from repro.graph.bipartite import UserItemGraph
+from repro.service.sharding import SHARD_PLAN_FORMAT_VERSION
+
+N_SHARDS = 3
+
+
+@pytest.fixture(scope="module")
+def federated():
+    """Five disjoint tenant blocks — several components per shard."""
+    return federated_dataset(5, scale=0.12, seed=3)
+
+
+@pytest.fixture(scope="module")
+def plan(federated):
+    return ShardPlan.build(federated, N_SHARDS)
+
+
+@pytest.fixture(scope="module")
+def single_engine(federated):
+    return ServingEngine(AbsorbingTimeRecommender().fit(federated))
+
+
+@pytest.fixture(scope="module")
+def fleet(federated, plan):
+    return ShardedEngine.fit(federated, AbsorbingTimeRecommender, plan=plan)
+
+
+class TestShardPlan:
+    def test_partition_is_exact(self, federated, plan):
+        users = np.concatenate([plan.users_of_shard(s)
+                                for s in range(plan.n_shards)])
+        items = np.concatenate([plan.items_of_shard(s)
+                                for s in range(plan.n_shards)])
+        assert np.array_equal(np.sort(users), np.arange(federated.n_users))
+        assert np.array_equal(np.sort(items), np.arange(federated.n_items))
+
+    def test_components_never_split(self, federated, plan):
+        graph = UserItemGraph(federated)
+        labels = graph.component_labels()
+        node_shard = np.concatenate([plan.user_shard, plan.item_shard])
+        for component in np.unique(labels):
+            members = node_shard[labels == component]
+            assert np.unique(members).size == 1
+
+    def test_balanced_by_nnz(self, federated, plan):
+        ratings = [row["ratings"] for row in plan.summary(federated)]
+        assert sum(ratings) == federated.n_ratings
+        # LPT greedy: no shard may carry more than half the total with 3
+        # bins over 5 similar-sized components.
+        assert max(ratings) <= 0.55 * federated.n_ratings
+
+    def test_one_shard_is_identity(self, federated):
+        plan = ShardPlan.build(federated, 1)
+        assert np.array_equal(plan.users_of_shard(0),
+                              np.arange(federated.n_users))
+        assert np.array_equal(plan.user_local, np.arange(federated.n_users))
+        assert np.array_equal(plan.item_local, np.arange(federated.n_items))
+
+    def test_isolated_nodes_spread_across_shards(self):
+        # Rating-less components carry no solve load; they must balance on
+        # node count instead of all piling onto the least-rated shard.
+        matrix = sp.lil_matrix((10, 4))
+        matrix[0, 0] = matrix[1, 0] = 5.0  # component A
+        matrix[2, 1] = matrix[3, 1] = 4.0  # component B
+        # users 4..9 are isolated
+        dataset = RatingDataset(matrix.tocsr())
+        plan = ShardPlan.build(dataset, 2)
+        isolated = plan.user_shard[4:]
+        assert np.bincount(isolated, minlength=2).max() <= 3
+
+    def test_too_many_shards_refused(self, federated):
+        with pytest.raises(ConfigError, match="component"):
+            ShardPlan.build(federated, 10**6)
+
+    def test_single_component_dataset_refuses_two_shards(self, small_synth):
+        with pytest.raises(ConfigError, match="component"):
+            ShardPlan.build(small_synth.dataset, 2)
+
+    def test_shard_dataset_preserves_labels(self, federated, plan):
+        sub = plan.shard_dataset(federated, 0)
+        users = plan.users_of_shard(0)
+        assert sub.user_labels == tuple(federated.user_labels[u] for u in users)
+        assert sub.n_ratings == plan.summary(federated)[0]["ratings"]
+
+    def test_component_cut_guarded(self, federated):
+        # A hand-written plan that splits one component across shards must
+        # be refused at materialisation: its ratings would silently vanish.
+        graph = UserItemGraph(federated)
+        labels = graph.component_labels()
+        user_shard = (labels[:federated.n_users] ==
+                      labels[0]).astype(np.int64)
+        item_shard = np.zeros(federated.n_items, dtype=np.int64)
+        item_shard[0] = 1  # shard 1 needs at least one item
+        plan = ShardPlan(user_shard, item_shard, n_shards=2)
+        with pytest.raises(ConfigError, match="cuts"):
+            plan.shard_dataset(federated, 1)
+
+    def test_empty_shard_rejected(self):
+        with pytest.raises(ConfigError, match="own no"):
+            ShardPlan(np.array([0, 0]), np.array([0, 1]), n_shards=2)
+
+    def test_shard_id_out_of_range_rejected(self):
+        with pytest.raises(ConfigError, match="out of range"):
+            ShardPlan(np.array([0, 5]), np.array([0, 5]), n_shards=2)
+
+    def test_save_load_roundtrip(self, plan, tmp_path):
+        path = plan.save(str(tmp_path / "plan"))
+        loaded = ShardPlan.load(path)
+        assert loaded.n_shards == plan.n_shards
+        assert np.array_equal(loaded.user_shard, plan.user_shard)
+        assert np.array_equal(loaded.item_shard, plan.item_shard)
+
+    def test_version_mismatch_rejected(self, plan, tmp_path):
+        path = plan.save(str(tmp_path / "plan"))
+        with np.load(path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        payload["format_version"] = np.array(SHARD_PLAN_FORMAT_VERSION + 1)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ArtifactError, match="version"):
+            ShardPlan.load(path)
+
+    def test_unversioned_plan_rejected(self, plan, tmp_path):
+        path = str(tmp_path / "stale.npz")
+        np.savez_compressed(path, user_shard=plan.user_shard,
+                            item_shard=plan.item_shard)
+        with pytest.raises(ArtifactError, match="version"):
+            ShardPlan.load(path)
+
+
+class TestShardedServingParity:
+    def test_cohort_rows_match_single_engine(self, fleet, single_engine,
+                                             federated):
+        users = np.arange(0, federated.n_users, 2)
+        assert fleet.serve_cohort(users, k=6).rows == \
+            single_engine.serve_cohort(users, k=6).rows
+
+    def test_recommend_matches_single_engine_scores(self, fleet,
+                                                    single_engine, federated):
+        for user in range(0, federated.n_users, 17):
+            sharded = fleet.recommend(user, k=5)
+            single = single_engine.recommend(user, k=5)
+            assert [(r.item, r.label, r.score) for r in sharded] == \
+                [(r.item, r.label, r.score) for r in single]
+
+    def test_one_shard_scores_bit_identical(self, federated, single_engine):
+        """The acceptance criterion: n_shards=1 is the unsharded engine."""
+        fleet = ShardedEngine.fit(federated, AbsorbingTimeRecommender,
+                                  n_shards=1)
+        everyone = np.arange(federated.n_users)
+        sharded = fleet.engines[0].recommender.score_users(everyone)
+        single = single_engine.recommender.score_users(everyone)
+        assert np.array_equal(sharded, single)
+
+    def test_global_exclusions_translated(self, fleet, single_engine):
+        user = 0
+        banned = [r.item for r in single_engine.recommend(user, k=2)]
+        sharded = fleet.recommend(user, k=3, exclude=banned)
+        single = single_engine.recommend(user, k=3, exclude=banned)
+        assert [r.item for r in sharded] == [r.item for r in single]
+        assert not set(banned) & {r.item for r in sharded}
+
+    def test_foreign_shard_exclusions_ignored(self, fleet):
+        user = 0
+        shard = fleet.shard_of_user(user)
+        foreign = [i for i in range(fleet.n_items)
+                   if int(fleet._item_shard[i]) != shard][:3]
+        assert [r.item for r in fleet.recommend(user, k=4, exclude=foreign)] \
+            == [r.item for r in fleet.recommend(user, k=4)]
+
+    def test_unknown_and_bool_users_rejected(self, fleet):
+        with pytest.raises(UnknownUserError):
+            fleet.recommend(fleet.n_users)
+        with pytest.raises(UnknownUserError):
+            fleet.recommend(True)
+
+    def test_empty_cohort(self, fleet):
+        report = fleet.serve_cohort(np.empty(0, dtype=np.int64), k=4)
+        assert report.rows == [] and report.n_users == 0
+        assert report.per_shard == []
+        assert report.users_per_second == 0.0
+
+    def test_fleet_summary_is_json_safe(self, fleet, federated):
+        report = fleet.serve_cohort(np.arange(12), k=4)
+        merged = json.dumps({"fleet": report.summary(),
+                             "shards": report.shard_summaries()})
+        assert json.loads(merged)["fleet"]["users"] == 12
+        assert report.n_solves == sum(
+            r.n_solves for _, r in report.per_shard)
+
+    def test_warm_then_hits(self, federated, plan):
+        fleet = ShardedEngine.fit(federated, AbsorbingTimeRecommender,
+                                  plan=plan)
+        fleet.warm(k=4)
+        report = fleet.serve_cohort(np.arange(federated.n_users), k=4)
+        assert report.result_cache_hit_rate == 1.0
+        assert report.n_solves == 0
+        # A fully warm cohort is answered by the fleet row cache alone —
+        # not a single shard engine is consulted.
+        assert report.row_cache_hits == federated.n_users
+        assert report.per_shard == []
+
+    def test_row_cache_disabled_stays_parity(self, federated, plan,
+                                             single_engine):
+        fleet = ShardedEngine.fit(federated, AbsorbingTimeRecommender,
+                                  plan=plan)
+        fleet.result_cache_size = 0
+        users = np.arange(0, federated.n_users, 3)
+        first = fleet.serve_cohort(users, k=5)
+        second = fleet.serve_cohort(users, k=5)
+        assert first.rows == second.rows == \
+            single_engine.serve_cohort(users, k=5).rows
+        assert second.row_cache_hits == 0  # disabled layer never answers
+
+    def test_row_cache_refuses_stale_insert(self, federated, plan):
+        # A shard update landing while its slice is being solved must keep
+        # those pre-update rows out of the fleet row cache.
+        fleet = ShardedEngine.fit(federated, AbsorbingTimeRecommender,
+                                  plan=plan)
+        shard_engine = fleet.engines[0]
+        original = shard_engine._serve_cohort_arrays
+
+        def bump_mid_solve(*args, **kwargs):
+            shard_engine.model_version += 1
+            return original(*args, **kwargs)
+
+        shard_engine._serve_cohort_arrays = bump_mid_solve
+        user = int(plan.users_of_shard(0)[0])
+        report = fleet.serve_cohort(np.array([user]), k=3)
+        shard_engine._serve_cohort_arrays = original
+        assert report.rows  # served, caching refused
+        assert all(key[0] != user for key in fleet._rows)
+
+    def test_row_cache_entries_bounded(self, federated, plan):
+        fleet = ShardedEngine.fit(federated, AbsorbingTimeRecommender,
+                                  plan=plan)
+        fleet.result_cache_size = 8
+        fleet.serve_cohort(np.arange(32), k=3)
+        assert fleet.stats()["row_entries"] <= 8
+
+
+class TestShardedUpdates:
+    def _fresh(self, federated, plan):
+        return ShardedEngine.fit(federated, AbsorbingTimeRecommender,
+                                 plan=plan)
+
+    def test_events_touch_only_owning_shard(self, federated, plan):
+        fleet = self._fresh(federated, plan)
+        fleet.warm(k=4)
+        user = int(plan.users_of_shard(0)[0])
+        rated = federated.items_of_user(user)
+        item = int(plan.items_of_shard(0)[
+            ~np.isin(plan.items_of_shard(0), rated)][0])
+        report = fleet.apply_updates([
+            (federated.user_labels[user], federated.item_labels[item], 4.0)
+        ])
+        assert [shard for shard, _ in report.per_shard] == [0]
+        # Untouched shards keep serving fully warm.
+        other_users = plan.users_of_shard(1)
+        served = fleet.serve_cohort(other_users, k=4)
+        assert served.n_solves == 0
+        assert served.result_cache_hit_rate == 1.0
+
+    def test_update_parity_with_single_engine(self, federated, plan):
+        fleet = self._fresh(federated, plan)
+        single = ServingEngine(AbsorbingTimeRecommender().fit(federated))
+        fleet.warm(k=6)  # force the row cache to prove its eviction
+        events = [
+            (federated.user_labels[0], federated.item_labels[1], 4.0),
+            ("fresh-user", federated.item_labels[2], 5.0),
+        ]
+        fleet.apply_updates(events)
+        single.apply_updates(events)
+        # The warmed row cache must not serve pre-update rows for the
+        # touched shard: cohort rows agree with the updated single engine.
+        base_users = np.arange(federated.n_users)
+        assert fleet.serve_cohort(base_users, k=6).rows == \
+            single.serve_cohort(base_users, k=6).rows
+        fresh_single = single.dataset.user_id("fresh-user")
+        fresh_fleet = next(
+            u for u in range(fleet.n_users)
+            if fleet.engines[fleet.shard_of_user(u)].dataset.user_labels[
+                int(fleet._user_local[u])] == "fresh-user"
+        )
+        for fleet_user, single_user in ((0, 0), (fresh_fleet, fresh_single)):
+            assert [(r.label, r.score) for r in fleet.recommend(fleet_user, k=6)] \
+                == [(r.label, r.score) for r in single.recommend(single_user, k=6)]
+
+    def test_brand_new_labels_go_to_least_loaded_shard(self, federated, plan):
+        fleet = self._fresh(federated, plan)
+        least = int(np.argmin([e.dataset.n_ratings for e in fleet.engines]))
+        report = fleet.apply_updates([("nobody", "nothing", 3.0)])
+        assert [shard for shard, _ in report.per_shard] == [least]
+        assert fleet.shard_of_user(fleet.n_users - 1) == least
+        # Later batches route the now-known labels back to the same shard.
+        again = fleet.apply_updates([("nobody", "nothing-else", 2.0)])
+        assert [shard for shard, _ in again.per_shard] == [least]
+
+    def test_cross_shard_event_rejected(self, federated, plan):
+        fleet = self._fresh(federated, plan)
+        user = int(plan.users_of_shard(0)[0])
+        item = int(plan.items_of_shard(1)[0])
+        with pytest.raises(ConfigError, match="cross-shard"):
+            fleet.apply_updates([
+                (federated.user_labels[user], federated.item_labels[item], 3.0)
+            ])
+
+    def test_routing_is_order_independent(self, federated, plan):
+        # A brand-new pair followed by an event tying the new user to a
+        # known shard must not trap the pair on a provisional shard: the
+        # whole label group belongs to the known shard, in either order.
+        known_item = federated.item_labels[int(plan.items_of_shard(2)[0])]
+        events = [("order-u", "order-i", 5.0), ("order-u", known_item, 4.0)]
+        for batch in (events, events[::-1]):
+            fleet = self._fresh(federated, plan)
+            report = fleet.apply_updates(batch)
+            assert [shard for shard, _ in report.per_shard] == [2]
+
+    def test_indirect_cross_shard_batch_rejected(self, federated, plan):
+        # user(shard 0) -- new item -- new user -- item(shard 1): the batch
+        # transitively merges two shards even though no single event does.
+        fleet = self._fresh(federated, plan)
+        user0 = federated.user_labels[int(plan.users_of_shard(0)[0])]
+        item1 = federated.item_labels[int(plan.items_of_shard(1)[0])]
+        with pytest.raises(ConfigError, match="cross-shard"):
+            fleet.apply_updates([
+                (user0, "bridge-item", 3.0),
+                ("bridge-user", "bridge-item", 4.0),
+                ("bridge-user", item1, 5.0),
+            ])
+
+    def test_bad_event_rejects_batch_before_any_shard_mutates(self, federated,
+                                                              plan):
+        fleet = self._fresh(federated, plan)
+        good = (federated.user_labels[int(plan.users_of_shard(0)[0])],
+                federated.item_labels[int(plan.items_of_shard(0)[0])], 4.0)
+        bad_for_other_shard = (
+            federated.user_labels[int(plan.users_of_shard(1)[0])],
+            federated.item_labels[int(plan.items_of_shard(1)[0])], 999.0,
+        )
+        with pytest.raises(DataError, match="scale"):
+            fleet.apply_updates([good, bad_for_other_shard])
+        # Atomic rejection: no shard applied anything, retry is safe.
+        assert [engine.model_version for engine in fleet.engines] == \
+            [1] * fleet.n_shards
+
+    def test_mixed_bool_cohort_rejected(self, fleet):
+        with pytest.raises(ConfigError, match="boolean"):
+            fleet.serve_cohort([3, True], k=3)
+
+    def test_empty_batch(self, fleet):
+        report = fleet.apply_updates([])
+        assert report.n_events == 0 and report.per_shard == []
+        assert json.loads(json.dumps(report.summary()))["events"] == 0
+
+    def test_fleet_update_summary_json_safe(self, federated, plan):
+        fleet = self._fresh(federated, plan)
+        report = fleet.apply_updates([
+            (federated.user_labels[0], federated.item_labels[1], 4.0),
+            ("somebody-new", "something-new", 2.0),
+        ])
+        payload = json.dumps({"fleet": report.summary(),
+                              "shards": report.shard_summaries()})
+        assert json.loads(payload)["fleet"]["new_users"] == 1
+
+
+class TestPersistence:
+    def test_save_from_directory_roundtrip(self, fleet, federated, tmp_path):
+        path = fleet.save(str(tmp_path / "fleet"))
+        reloaded = ShardedEngine.from_directory(path)
+        assert reloaded.n_shards == fleet.n_shards
+        users = np.arange(0, federated.n_users, 5)
+        assert reloaded.serve_cohort(users, k=5).rows == \
+            fleet.serve_cohort(users, k=5).rows
+
+    def test_roundtrip_after_updates(self, federated, plan, tmp_path):
+        fleet = ShardedEngine.fit(federated, AbsorbingTimeRecommender,
+                                  plan=plan)
+        fleet.apply_updates([("late-user", federated.item_labels[0], 5.0)])
+        path = fleet.save(str(tmp_path / "fleet"))
+        reloaded = ShardedEngine.from_directory(path)
+        assert reloaded.n_users == fleet.n_users
+        fresh = next(
+            u for u in range(reloaded.n_users)
+            if reloaded.engines[reloaded.shard_of_user(u)].dataset.user_labels[
+                int(reloaded._user_local[u])] == "late-user"
+        )
+        assert [r.label for r in reloaded.recommend(fresh, k=4)] == \
+            [r.label for r in fleet.recommend(fresh, k=4)]
+
+    def test_missing_plan_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="plan"):
+            ShardedEngine.from_directory(str(tmp_path))
+
+
+class TestConstructionErrors:
+    def test_engine_count_must_match_plan(self, fleet, plan):
+        with pytest.raises(ConfigError, match="engines"):
+            ShardedEngine(plan, fleet.engines[:-1])
+
+    def test_factory_must_return_recommender(self, federated):
+        with pytest.raises(ConfigError, match="Recommender"):
+            ShardedEngine.fit(federated, lambda: "nope", n_shards=2)
+
+    def test_fit_needs_shards_or_plan(self, federated):
+        with pytest.raises(ConfigError, match="n_shards"):
+            ShardedEngine.fit(federated, AbsorbingTimeRecommender)

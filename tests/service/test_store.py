@@ -130,3 +130,43 @@ class TestFormatVersioning:
         )
         with pytest.raises(ArtifactError, match="rebuild"):
             TopKStore.load(path)
+
+
+class TestInputHygiene:
+    """Regression tests: bool indices and awkward exclude shapes."""
+
+    def test_bool_user_rejected(self, store):
+        # True is an int subclass; it must not silently serve user 1.
+        with pytest.raises(UnknownUserError):
+            store.recommend(True)
+        with pytest.raises(UnknownUserError):
+            store.recommend(False)
+        with pytest.raises(UnknownUserError):
+            store.recommend_items(np.True_)
+
+    def test_empty_exclude_variants(self, store):
+        base = store.recommend_items(0, k=5)
+        for empty in ([], set(), (), np.array([], dtype=np.float64)):
+            np.testing.assert_array_equal(
+                store.recommend_items(0, k=5, exclude=empty), base
+            )
+
+    def test_float_exclude_matches_int_exclude(self, store):
+        full = store.recommend_items(0, k=6)
+        as_float = np.asarray(full[:2], dtype=np.float64)
+        np.testing.assert_array_equal(
+            store.recommend_items(0, k=4, exclude=as_float),
+            store.recommend_items(0, k=4, exclude=full[:2]),
+        )
+
+    def test_fractional_exclude_rejected(self, store):
+        # int64 coercion would silently truncate 0.5 -> item 0.
+        with pytest.raises(ConfigError, match="non-integral"):
+            store.recommend(0, exclude=np.array([0.5]))
+
+    def test_exclude_as_set_accepted(self, store):
+        full = store.recommend_items(0, k=6)
+        np.testing.assert_array_equal(
+            store.recommend_items(0, k=4, exclude=set(full[:2].tolist())),
+            full[2:6],
+        )

@@ -6,6 +6,7 @@ import scipy.sparse as sp
 
 from repro.exceptions import ConfigError, DataError
 from repro.utils.validation import (
+    as_exclude_array,
     as_index_array,
     check_fraction,
     check_in_options,
@@ -163,3 +164,73 @@ class TestAsIndexArray:
     def test_two_dimensional_rejected(self):
         with pytest.raises(ConfigError, match="1-D"):
             as_index_array(np.zeros((2, 2), dtype=int), 3, "idx")
+
+    def test_bool_array_rejected(self):
+        # isinstance(True, int) holds, so booleans need an explicit gate:
+        # [True, False] must not silently address indices 1 and 0.
+        with pytest.raises(ConfigError, match="boolean"):
+            as_index_array(np.array([True, False]), 3, "idx")
+
+    def test_bool_list_rejected(self):
+        with pytest.raises(ConfigError, match="boolean"):
+            as_index_array([True, False], 3, "idx")
+
+    def test_object_array_with_bools_rejected(self):
+        with pytest.raises(ConfigError, match="boolean"):
+            as_index_array(np.array([1, True], dtype=object), 3, "idx")
+
+    def test_mixed_int_bool_list_rejected(self):
+        # numpy promotes [1, True] to int64 before any dtype check can
+        # fire; the element scan must catch the flag first.
+        with pytest.raises(ConfigError, match="boolean"):
+            as_index_array([1, True], 3, "idx")
+        with pytest.raises(ConfigError, match="boolean"):
+            as_index_array([1, np.True_], 3, "idx")
+
+
+class TestAsExcludeArray:
+    def test_none_is_empty(self):
+        out = as_exclude_array(None)
+        assert out.size == 0 and out.dtype == np.int64
+
+    def test_empty_list_and_set(self):
+        for empty in ([], set(), (), np.array([], dtype=np.float64)):
+            out = as_exclude_array(empty)
+            assert out.size == 0 and out.dtype == np.int64
+
+    def test_set_and_generator_accepted(self):
+        assert sorted(as_exclude_array({3, 1}).tolist()) == [1, 3]
+        assert as_exclude_array(i for i in (2, 4)).tolist() == [2, 4]
+
+    def test_integral_float_array_cast(self):
+        out = as_exclude_array(np.array([1.0, 4.0]))
+        assert out.dtype == np.int64 and out.tolist() == [1, 4]
+
+    def test_fractional_floats_rejected(self):
+        # int64 coercion would silently truncate 1.7 -> item 1.
+        with pytest.raises(ConfigError, match="non-integral"):
+            as_exclude_array(np.array([1.7]))
+
+    def test_bools_rejected(self):
+        with pytest.raises(ConfigError, match="boolean"):
+            as_exclude_array([True])
+        with pytest.raises(ConfigError, match="boolean"):
+            as_exclude_array(np.array([True, False]))
+
+    def test_mixed_int_bool_rejected(self):
+        with pytest.raises(ConfigError, match="boolean"):
+            as_exclude_array([2, True])
+        with pytest.raises(ConfigError, match="boolean"):
+            as_exclude_array([2, np.True_])
+
+    def test_zero_dim_array_accepted(self):
+        assert as_exclude_array(np.array(5)).tolist() == [5]
+
+    def test_non_iterable_rejected(self):
+        with pytest.raises(ConfigError, match="iterable"):
+            as_exclude_array(7)
+
+    def test_out_of_range_tolerated(self):
+        # Exclusions only drop items; a stale index matches nothing and is
+        # not an error.
+        assert as_exclude_array([10**9]).tolist() == [10**9]
