@@ -81,9 +81,11 @@ from repro.exceptions import (
     ConvergenceError,
     DataError,
     DataFormatError,
+    DeadlineExceededError,
     DisconnectedGraphError,
     GraphError,
     NotFittedError,
+    OverloadedError,
     ReproError,
     UnknownItemError,
     UnknownUserError,
@@ -93,7 +95,10 @@ from repro.exceptions import ArtifactError
 from repro.graph import TransitionCache, UserItemGraph
 from repro.solver import WalkOperator
 from repro.service import (
+    BatchingServer,
     BatchServingReport,
+    HttpFrontend,
+    ServerReport,
     ServingEngine,
     ShardedEngine,
     ShardPlan,
@@ -157,6 +162,9 @@ __all__ = [
     "WalkOperator",
     # serving & artifacts
     "BatchServingReport",
+    "BatchingServer",
+    "HttpFrontend",
+    "ServerReport",
     "ServingEngine",
     "ShardPlan",
     "ShardedEngine",
@@ -172,6 +180,8 @@ __all__ = [
     "bootstrap_recall",
     "bootstrap_recall_difference",
     # errors
+    "OverloadedError",
+    "DeadlineExceededError",
     "ReproError",
     "ArtifactError",
     "ConfigError",

@@ -32,6 +32,8 @@ cache invalidation — and can save the updated artifact back.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import os
 import sys
 
@@ -56,7 +58,10 @@ from repro.experiments import (
 )
 from repro.data.synthetic import federated_dataset
 from repro.experiments.suite import PAPER_ORDER, make_algorithms, make_data
+from repro.exceptions import ReproError
 from repro.service import (
+    BatchingServer,
+    HttpFrontend,
     ServingEngine,
     ShardedEngine,
     ShardPlan,
@@ -245,6 +250,50 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default thread)")
     online.add_argument("--out", default=None,
                         help="optional CSV path for the full (user, rank, item) rows")
+
+    http = sub.add_parser(
+        "serve-http",
+        help="serve concurrent single-user requests over HTTP through the "
+             "micro-batching front end (artifact or sharded fleet)",
+    )
+    http.add_argument("--artifact", default=None,
+                      help="model artifact written by 'fit'")
+    http.add_argument("--shards", default=None, metavar="DIR",
+                      help="sharded-artifact directory written by "
+                           "'shard-fit' (instead of --artifact)")
+    http.add_argument("--store", default=None,
+                      help="optional TopKStore written by 'fit --store-out' "
+                           "(single-artifact serving only)")
+    http.add_argument("--host", default="127.0.0.1",
+                      help="bind address (default 127.0.0.1)")
+    http.add_argument("--port", type=int, default=8377,
+                      help="TCP port; 0 picks an ephemeral port "
+                           "(default 8377)")
+    http.add_argument("--max-batch", type=int, default=32,
+                      help="most requests coalesced into one cohort solve "
+                           "(default 32; 1 disables batching)")
+    http.add_argument("--max-delay-ms", type=float, default=2.0,
+                      help="longest wait for stragglers after a batch opens "
+                           "(default 2.0)")
+    http.add_argument("--max-queue", type=int, default=1024,
+                      help="admission-queue bound; arrivals beyond it are "
+                           "shed with HTTP 429 (default 1024)")
+    http.add_argument("--timeout-ms", type=float, default=None,
+                      help="default per-request deadline; a miss answers "
+                           "HTTP 504 (default: none)")
+    http.add_argument("--workers", type=int, default=1,
+                      help="engine worker-pool size per cohort solve "
+                           "(default 1)")
+    http.add_argument("--duration", type=float, default=0.0,
+                      help="serve for this many seconds then print the "
+                           "server report and exit (default 0 = forever)")
+    http.add_argument("--self-test", type=int, default=0, metavar="N",
+                      help="boot, fire N concurrent HTTP requests against "
+                           "the live socket, assert responses bit-identical "
+                           "to direct engine.recommend, print the report, "
+                           "exit non-zero on mismatch")
+    http.add_argument("--k", type=int, default=10,
+                      help="list length for --self-test requests (default 10)")
 
     update = sub.add_parser(
         "update",
@@ -446,6 +495,123 @@ def _serve(args) -> int:
     return 0
 
 
+async def _http_get(host: str, port: int, path: str) -> tuple[int, dict]:
+    """One GET against the live frontend, JSON body decoded."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n".encode("latin-1")
+        )
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        status = int(head.split()[1])
+        length = 0
+        for line in head.decode("latin-1").split("\r\n"):
+            if line.lower().startswith("content-length:"):
+                length = int(line.split(":", 1)[1])
+        body = await reader.readexactly(length)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return status, json.loads(body)
+
+
+async def _http_self_test(engine, host: str, port: int, n: int, k: int,
+                          n_users_total: int) -> int:
+    """Fire ``n`` concurrent requests; count responses that differ from the
+    direct engine answer (0 = bit-identical across the wire)."""
+    users = [i % n_users_total for i in range(n)]
+    responses = await asyncio.gather(*[
+        _http_get(host, port, f"/recommend?user={user}&k={k}")
+        for user in users
+    ])
+    mismatches = 0
+    for user, (status, payload) in zip(users, responses):
+        expected = engine.recommend(user, k=k)
+        if (status != 200
+                or payload["items"] != [r.item for r in expected]
+                or payload["scores"] != [r.score for r in expected]):
+            mismatches += 1
+    return mismatches
+
+
+def _serve_http(args) -> int:
+    if not _require_one_source(args, "serve-http"):
+        return 2
+    if args.shards is not None:
+        print(f"Loading sharded artifacts {args.shards} ...", flush=True)
+        with Timer() as load_timer:
+            engine = ShardedEngine.from_directory(args.shards,
+                                                  n_workers=args.workers)
+        if args.store:
+            print("   note: --store is ignored for sharded serving")
+        name = engine.engines[0].recommender.name
+        n_users_total = engine.n_users
+        print(f"   {name} fleet: {engine.n_shards} shard(s), "
+              f"{engine.n_users} users × {engine.n_items} items "
+              f"(loaded in {load_timer.elapsed:.2f}s, no refit)")
+    else:
+        print(f"Loading artifact {args.artifact} ...", flush=True)
+        with Timer() as load_timer:
+            engine = ServingEngine.from_artifact(
+                args.artifact, store_path=args.store, n_workers=args.workers,
+            )
+        name = engine.recommender.name
+        n_users_total = engine.dataset.n_users
+        print(f"   {name} over {engine.dataset} "
+              f"(loaded in {load_timer.elapsed:.2f}s, no refit)")
+
+    async def _run() -> int:
+        server = BatchingServer(
+            engine, max_batch_size=args.max_batch,
+            max_delay_ms=args.max_delay_ms, max_queue=args.max_queue,
+            timeout_ms=args.timeout_ms,
+        )
+        async with server:
+            async with HttpFrontend(server, host=args.host,
+                                    port=args.port) as front:
+                print(f"[serve-http] {name} listening on "
+                      f"http://{args.host}:{front.port} "
+                      f"(max_batch={args.max_batch}, "
+                      f"max_delay={args.max_delay_ms:g}ms, "
+                      f"max_queue={args.max_queue})", flush=True)
+                status = 0
+                if args.self_test > 0:
+                    mismatches = await _http_self_test(
+                        engine, args.host, front.port, args.self_test,
+                        args.k, n_users_total,
+                    )
+                    if mismatches:
+                        print(f"[self-test] FAILED: {mismatches}/"
+                              f"{args.self_test} responses differ from "
+                              "direct engine.recommend", file=sys.stderr)
+                        status = 1
+                    else:
+                        print(f"[self-test] OK: {args.self_test} concurrent "
+                              "responses bit-identical to engine.recommend")
+                elif args.duration > 0:
+                    await asyncio.sleep(args.duration)
+                else:
+                    try:
+                        await asyncio.Event().wait()  # serve until Ctrl-C
+                    except asyncio.CancelledError:
+                        pass
+            report = server.report()
+        print(format_table([report.summary()],
+                           title=f"serve-http: {name} front-end report"))
+        return status
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\n[serve-http] interrupted; shutting down")
+        return 0
+
+
 def _update(args) -> int:
     if not _require_one_source(args, "update"):
         return 2
@@ -516,6 +682,17 @@ def _update(args) -> int:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        # Operator-facing failures (missing artifact dir, format-version
+        # mismatch, bad flag values) are reported as one clean line, not a
+        # traceback: the message already names the path and the remedy.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args) -> int:
     if args.command == "serve-batch":
         return _serve_batch(args)
     if args.command == "fit":
@@ -524,6 +701,8 @@ def main(argv=None) -> int:
         return _shard_fit(args)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "serve-http":
+        return _serve_http(args)
     if args.command == "update":
         return _update(args)
     if args.command == "list":

@@ -46,6 +46,20 @@ class ArtifactError(ReproError):
     (missing/mismatched format version, unregistered class, corrupt file)."""
 
 
+class OverloadedError(ReproError):
+    """The serving front end shed this request: its bounded admission queue
+    is full. A typed rejection so callers can tell deliberate load shedding
+    (retry later, route elsewhere) apart from a genuine failure."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request missed its deadline before a result could be produced.
+
+    Raised by the micro-batching front end when a per-request (or
+    server-default) timeout elapses while the request is queued or
+    in-flight; the pending solve result, if any, is discarded."""
+
+
 class UnknownUserError(ReproError):
     """A user id was not found in the dataset.
 

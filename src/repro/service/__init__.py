@@ -23,6 +23,12 @@ from repro.service.serving import (
     rows_from_ranked_arrays,
     serve_user_cohort,
 )
+from repro.service.server import (
+    BatchingServer,
+    HttpFrontend,
+    ServerReport,
+    percentile,
+)
 from repro.service.sharding import (
     SHARD_PLAN_FORMAT_VERSION,
     FleetReport,
@@ -34,9 +40,12 @@ from repro.service.store import STORE_FORMAT_VERSION, TopKStore
 
 __all__ = [
     "BatchServingReport",
+    "BatchingServer",
     "EngineReport",
     "FleetReport",
     "FleetUpdateReport",
+    "HttpFrontend",
+    "ServerReport",
     "ServingEngine",
     "SHARD_PLAN_FORMAT_VERSION",
     "STORE_FORMAT_VERSION",
@@ -46,6 +55,7 @@ __all__ = [
     "UpdateReport",
     "load_event_file",
     "load_user_file",
+    "percentile",
     "rows_from_ranked_arrays",
     "serve_user_cohort",
 ]

@@ -538,6 +538,68 @@ class ServingEngine:
             for i, s in zip(row_items, row_scores)
         ]
 
+    def recommend_many(self, users, k: int = 10, exclude_rated: bool = True,
+                       excludes=None) -> list[list[Recommendation]]:
+        """A batch of independent single-user requests, coalesced per solve.
+
+        The hook the micro-batching front end
+        (:class:`~repro.service.server.BatchingServer`) fans a drained
+        admission queue into: ``users`` is a sequence of user indices (one
+        per request — duplicates legal) and ``excludes`` an optional
+        parallel sequence of per-request exclusion sets. Responses are
+        **bit-identical** to calling :meth:`recommend` once per request
+        (asserted in the test suite): store-eligible requests go to the
+        attached :class:`TopKStore` exactly as :meth:`recommend` routes
+        them, and the rest are grouped by effective list depth
+        (``k + len(exclude)``) so each group is one
+        :meth:`_cached_arrays` call — the same call, with the same
+        arguments, that :meth:`recommend` would make per user, but with
+        the uncached users of the whole group answered in a single
+        multi-RHS solve (in-group duplicates deduplicated by the result
+        cache's lookup pass).
+        """
+        users = list(users)
+        if excludes is None:
+            excludes = [None] * len(users)
+        else:
+            excludes = list(excludes)
+            if len(excludes) != len(users):
+                raise ConfigError(
+                    f"excludes has {len(excludes)} entries for "
+                    f"{len(users)} users"
+                )
+        dataset = self.dataset
+        k = check_positive_int(k, "k")
+        banned = [as_exclude_array(exclude) for exclude in excludes]
+        for user in users:
+            dataset._check_user(user)
+        out: list = [None] * len(users)
+        by_depth: dict[int, list[int]] = {}
+        for position, (user, bans) in enumerate(zip(users, banned)):
+            if (self.store is not None
+                    and exclude_rated == self.store_exclude_rated
+                    and self.store.depth >= k + bans.size):
+                out[position] = self.store.recommend(user, k, exclude=bans)
+            else:
+                by_depth.setdefault(k + int(bans.size), []).append(position)
+        for depth, positions in by_depth.items():
+            cohort = np.asarray([int(users[p]) for p in positions],
+                                dtype=np.int64)
+            items, scores = self._cached_arrays(cohort, depth, exclude_rated)
+            for row, position in enumerate(positions):
+                row_items, row_scores = items[row], scores[row]
+                keep = row_items >= 0
+                bans = banned[position]
+                if bans.size:
+                    keep &= ~np.isin(row_items, bans)
+                row_items = row_items[keep][:k]
+                row_scores = row_scores[keep][:k]
+                out[position] = [
+                    Recommendation(int(i), self._labels[int(i)], float(s))
+                    for i, s in zip(row_items, row_scores)
+                ]
+        return out
+
     def _serve_cohort_arrays(self, users, k: int = 10, batch_size: int = 256,
                              exclude_rated: bool = True,
                              ) -> tuple[EngineReport, np.ndarray, np.ndarray,

@@ -685,6 +685,59 @@ class ShardedEngine:
             for r in ranked
         ]
 
+    def recommend_many(self, users, k: int = 10, exclude_rated: bool = True,
+                       excludes=None) -> list[list[Recommendation]]:
+        """A batch of independent single-user requests, routed per shard.
+
+        The fleet-side half of the micro-batching hook: requests are
+        grouped by owning shard, each shard answers its slice through
+        :meth:`ServingEngine.recommend_many` (one coalesced solve per
+        depth group), and item indices are remapped shard-local → global.
+        Exclusions are translated exactly as :meth:`recommend` translates
+        them (out-of-shard bans dropped — the shard can never recommend
+        them), so responses are bit-identical to calling :meth:`recommend`
+        once per request.
+        """
+        users = list(users)
+        if excludes is None:
+            excludes = [None] * len(users)
+        else:
+            excludes = list(excludes)
+            if len(excludes) != len(users):
+                raise ConfigError(
+                    f"excludes has {len(excludes)} entries for "
+                    f"{len(users)} users"
+                )
+        k = check_positive_int(k, "k")
+        out: list = [None] * len(users)
+        by_shard: dict[int, tuple[list, list, list]] = {}
+        for position, (user, exclude) in enumerate(zip(users, excludes)):
+            self._check_user(user)
+            shard = int(self._user_shard[user])
+            banned = as_exclude_array(exclude)
+            if banned.size:
+                in_range = banned[(banned >= 0) & (banned < self.n_items)]
+                mine = in_range[self._item_shard[in_range] == shard]
+                banned = self._item_local[mine]
+            positions, local_users, local_bans = by_shard.setdefault(
+                shard, ([], [], [])
+            )
+            positions.append(position)
+            local_users.append(int(self._user_local[user]))
+            local_bans.append(banned)
+        for shard, (positions, local_users, local_bans) in by_shard.items():
+            ranked_lists = self.engines[shard].recommend_many(
+                local_users, k=k, exclude_rated=exclude_rated,
+                excludes=local_bans,
+            )
+            lookup = self._item_global[shard]
+            for position, ranked in zip(positions, ranked_lists):
+                out[position] = [
+                    Recommendation(int(lookup[r.item]), r.label, r.score)
+                    for r in ranked
+                ]
+        return out
+
     def serve_cohort(self, users, k: int = 10, batch_size: int = 256,
                      exclude_rated: bool = True) -> FleetReport:
         """Serve a cohort of global user indices across the fleet.

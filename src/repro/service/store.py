@@ -213,7 +213,18 @@ class TopKStore:
         a stale precompute must be rebuilt, not served. Labels are
         JSON-encoded, so loading never unpickles anything.
         """
-        with np.load(cls._npz_path(path), allow_pickle=False) as archive:
+        npz_path = cls._npz_path(path)
+        try:
+            archive_ctx = np.load(npz_path, allow_pickle=False)
+        except OSError as exc:
+            raise ArtifactError(
+                f"cannot read top-K store {npz_path!r}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise ArtifactError(
+                f"{npz_path!r} is not a valid top-K store archive: {exc}"
+            ) from exc
+        with archive_ctx as archive:
             if "format_version" not in archive.files:
                 raise ArtifactError(
                     f"{path!r} has no store format version (stale pre-versioning "

@@ -95,8 +95,78 @@ class TestFitServe:
             header = handle.readline().strip()
         assert header == "user,rank,item,label,score"
 
-    def test_serve_missing_artifact_raises(self, tmp_path):
-        from repro.exceptions import ArtifactError
+class TestOperatorErrors:
+    """Operator mistakes answer with one clean 'error:' line and exit 1 —
+    never a FileNotFoundError traceback (the ArtifactError family is
+    caught at the main() boundary)."""
 
-        with pytest.raises(ArtifactError):
-            main(["serve", "--artifact", str(tmp_path / "absent.npz")])
+    def _assert_clean_failure(self, capsys, argv, needle):
+        assert main(argv) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert needle in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_serve_missing_artifact(self, tmp_path, capsys):
+        self._assert_clean_failure(
+            capsys, ["serve", "--artifact", str(tmp_path / "absent.npz")],
+            "cannot read artifact")
+
+    def test_serve_http_missing_artifact(self, tmp_path, capsys):
+        self._assert_clean_failure(
+            capsys,
+            ["serve-http", "--artifact", str(tmp_path / "absent.npz"),
+             "--port", "0", "--self-test", "1"],
+            "cannot read artifact")
+
+    def test_serve_http_missing_shard_directory(self, tmp_path, capsys):
+        self._assert_clean_failure(
+            capsys,
+            ["serve-http", "--shards", str(tmp_path / "no-fleet"),
+             "--port", "0", "--self-test", "1"],
+            "not a sharded-artifact directory")
+
+    def test_serve_missing_store(self, tmp_path, capsys):
+        artifact = str(tmp_path / "model.npz")
+        assert main(["fit", "--algorithm", "AT", "--scale", "0.15",
+                     "--out", artifact]) == 0
+        capsys.readouterr()
+        self._assert_clean_failure(
+            capsys,
+            ["serve", "--artifact", artifact,
+             "--store", str(tmp_path / "absent-store.npz"),
+             "--n-users", "2"],
+            "cannot read top-K store")
+
+    def test_update_missing_artifact(self, tmp_path, capsys):
+        events = tmp_path / "events.log"
+        events.write_text("u0\ti0\t4.0\n")
+        self._assert_clean_failure(
+            capsys,
+            ["update", "--artifact", str(tmp_path / "absent.npz"),
+             "--events", str(events)],
+            "cannot read artifact")
+
+
+class TestServeHttp:
+    def test_requires_one_source(self, capsys):
+        assert main(["serve-http", "--self-test", "1"]) == 2
+
+    def test_self_test_round_trip_single_artifact(self, tmp_path, capsys):
+        artifact = str(tmp_path / "model.npz")
+        assert main(["fit", "--algorithm", "AT", "--scale", "0.15",
+                     "--out", artifact]) == 0
+        assert main(["serve-http", "--artifact", artifact, "--port", "0",
+                     "--self-test", "12", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        assert "front-end report" in out
+
+    def test_self_test_round_trip_sharded_fleet(self, tmp_path, capsys):
+        fleet_dir = str(tmp_path / "fleet")
+        assert main(["shard-fit", "--algorithm", "AT", "--scale", "0.15",
+                     "--shards", "2", "--out", fleet_dir]) == 0
+        assert main(["serve-http", "--shards", fleet_dir, "--port", "0",
+                     "--self-test", "8", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
