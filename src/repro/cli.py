@@ -56,10 +56,11 @@ from repro.experiments import (
     run_table6,
     run_tau_convergence,
 )
-from repro.data.synthetic import federated_dataset
+from repro.data.synthetic import federated_dataset, giant_component
 from repro.experiments.suite import PAPER_ORDER, make_algorithms, make_data
 from repro.exceptions import ReproError
 from repro.service import (
+    PARTITIONERS,
     BatchingServer,
     HttpFrontend,
     ServingEngine,
@@ -199,11 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=sorted(PAPER_ORDER),
                            help="recommender to fit per shard (default AT)")
     shard_fit.add_argument("--dataset", default="federated",
-                           choices=("federated", "movielens", "douban"),
+                           choices=("federated", "giant", "movielens",
+                                    "douban"),
                            help="synthetic dataset family (default federated "
-                                "— disjoint tenant blocks; the single-block "
-                                "families form one component and only "
-                                "support --shards 1)")
+                                "— disjoint tenant blocks; 'giant' is one "
+                                "single-component ring catalogue; the other "
+                                "single-block families form one component "
+                                "and need --partitioner edge-cut for "
+                                "--shards > 1)")
     shard_fit.add_argument("--tenants", type=int, default=None,
                            help="tenant blocks in the federated catalogue "
                                 "(default: max(--shards, 2))")
@@ -212,6 +216,15 @@ def build_parser() -> argparse.ArgumentParser:
     shard_fit.add_argument("--seed", type=int, default=7, help="data seed")
     shard_fit.add_argument("--shards", type=int, required=True,
                            help="number of shards to balance components into")
+    shard_fit.add_argument("--partitioner", default="component",
+                           choices=PARTITIONERS,
+                           help="'component' balances whole graph components "
+                                "(rejects cutting one); 'edge-cut' splits a "
+                                "giant component with k-hop halos "
+                                "(default component)")
+    shard_fit.add_argument("--halo-hops", type=int, default=2,
+                           help="ghost-node depth around each edge-cut shard "
+                                "(--partitioner edge-cut only; default 2)")
     shard_fit.add_argument("--out", required=True,
                            help="output directory for plan.npz + shard-NNN.npz")
 
@@ -399,13 +412,25 @@ def _shard_fit(args) -> int:
     if args.dataset == "federated":
         tenants = args.tenants if args.tenants is not None else max(args.shards, 2)
         train = federated_dataset(tenants, scale=args.scale, seed=args.seed)
+    elif args.dataset == "giant":
+        train = giant_component(scale=args.scale, seed=args.seed)
     else:
         train = make_data(args.dataset, config).dataset
     print(f"   {train}")
 
-    print(f"Planning {args.shards} shard(s) by graph component ...", flush=True)
-    plan = ShardPlan.build(train, args.shards)
-    print(format_table(plan.summary(train), title="shard plan (component-balanced)"))
+    if args.partitioner == "edge-cut":
+        print(f"Planning {args.shards} shard(s) by balanced edge cut "
+              f"({args.halo_hops}-hop halos) ...", flush=True)
+        plan = ShardPlan.build_edge_cut(train, args.shards,
+                                        halo_hops=args.halo_hops)
+        print(format_table(plan.summary(train),
+                           title="shard plan (edge-cut, k-hop halos)"))
+    else:
+        print(f"Planning {args.shards} shard(s) by graph component ...",
+              flush=True)
+        plan = ShardPlan.build(train, args.shards)
+        print(format_table(plan.summary(train),
+                           title="shard plan (component-balanced)"))
 
     print(f"Fitting {args.algorithm} per shard ...", flush=True)
     # train=None: each shard trains its own topic model over its own

@@ -66,6 +66,40 @@ def labels_from_json(encoded) -> tuple:
     return tuple(_tuplify(v) for v in decoded)
 
 
+def _pad_deficit(deficit: np.ndarray | None, count: int) -> np.ndarray | None:
+    if deficit is None or deficit.size == count:
+        return deficit
+    padded = np.zeros(count, dtype=np.float64)
+    padded[:deficit.size] = deficit
+    return padded
+
+
+def _check_deficit(deficit, count: int, axis: str) -> np.ndarray | None:
+    """Validate a per-user/per-item degree-deficit array (``None`` if zero).
+
+    A deficit records rating mass that exists in some *larger* dataset this
+    one was cut out of (see :meth:`RatingDataset.subset` with
+    ``track_cut_degrees=True``): entry ``d[v]`` is the summed rating weight of
+    ``v``'s edges that were severed by the cut. The graph layer adds it back
+    when normalising transition rows, so a halo shard's walk operator divides
+    by *global* degrees and boundary rows become substochastic instead of
+    redistributing leaked mass (DESIGN.md §12). An all-zero deficit is
+    canonicalised to ``None`` so ordinary datasets pay nothing.
+    """
+    if deficit is None:
+        return None
+    deficit = np.asarray(deficit, dtype=np.float64).ravel()
+    if deficit.size != count:
+        raise DataError(
+            f"{axis} degree-deficit length {deficit.size} != {axis} count {count}"
+        )
+    if deficit.size and (not np.all(np.isfinite(deficit)) or deficit.min() < 0):
+        raise DataError(f"{axis} degree deficits must be finite and >= 0")
+    if not deficit.any():
+        return None
+    return deficit
+
+
 def _make_labels(labels, count: int, prefix: str) -> tuple:
     if labels is None:
         return tuple(f"{prefix}{i}" for i in range(count))
@@ -180,8 +214,14 @@ class RatingDataset:
 
     def __init__(self, matrix, user_labels: Sequence[Hashable] | None = None,
                  item_labels: Sequence[Hashable] | None = None,
-                 rating_scale: tuple[float, float] | None = (1.0, 5.0)):
+                 rating_scale: tuple[float, float] | None = (1.0, 5.0),
+                 user_degree_deficit: np.ndarray | None = None,
+                 item_degree_deficit: np.ndarray | None = None):
         self._csr = check_rating_matrix(matrix)
+        self._user_deficit = _check_deficit(
+            user_degree_deficit, self._csr.shape[0], "user")
+        self._item_deficit = _check_deficit(
+            item_degree_deficit, self._csr.shape[1], "item")
         if rating_scale is not None:
             low, high = float(rating_scale[0]), float(rating_scale[1])
             if not low <= high:
@@ -344,9 +384,17 @@ class RatingDataset:
               np.concatenate([old_cols.astype(np.int64), items]))),
             shape=shape,
         )
+        # A halo shard keeps its frozen deficit across updates: an event that
+        # lands inside the shard raises the local row sum while the deficit is
+        # unchanged, so local + deficit still equals the new global degree.
+        # New rows/columns appended by the batch have no cut edges (zeros).
+        user_deficit = _pad_deficit(self._user_deficit, shape[0])
+        item_deficit = _pad_deficit(self._item_deficit, shape[1])
         merged = RatingDataset(
             matrix, tuple(user_index), tuple(item_index),
             rating_scale=self.rating_scale,
+            user_degree_deficit=user_deficit,
+            item_degree_deficit=item_deficit,
         )
         return DatasetDelta(
             base_n_users=self.n_users,
@@ -379,6 +427,21 @@ class RatingDataset:
     @property
     def n_ratings(self) -> int:
         return self._csr.nnz
+
+    @property
+    def user_degree_deficit(self) -> np.ndarray | None:
+        """Per-user cut rating mass (``None`` when this is not a halo cut)."""
+        return self._user_deficit
+
+    @property
+    def item_degree_deficit(self) -> np.ndarray | None:
+        """Per-item cut rating mass (``None`` when this is not a halo cut)."""
+        return self._item_deficit
+
+    @property
+    def has_degree_deficit(self) -> bool:
+        """Whether any node carries cut-edge mass (degree-true halo mode)."""
+        return self._user_deficit is not None or self._item_deficit is not None
 
     @property
     def density(self) -> float:
@@ -466,7 +529,7 @@ class RatingDataset:
         scale = (np.empty(0, dtype=np.float64) if self.rating_scale is None
                  else np.array([self.rating_scale[0], self.rating_scale[1]],
                                dtype=np.float64))
-        return {
+        arrays = {
             "data": self._csr.data,
             "indices": self._csr.indices,
             "indptr": self._csr.indptr,
@@ -475,6 +538,13 @@ class RatingDataset:
             "item_labels": labels_to_json(self.item_labels),
             "rating_scale": scale,
         }
+        # Optional keys: only halo-cut shard datasets carry deficits, and
+        # readers that predate them ignore unknown npz keys.
+        if self._user_deficit is not None:
+            arrays["user_degree_deficit"] = self._user_deficit
+        if self._item_deficit is not None:
+            arrays["item_degree_deficit"] = self._item_deficit
+        return arrays
 
     @classmethod
     def from_arrays(cls, arrays: Mapping) -> "RatingDataset":
@@ -492,7 +562,11 @@ class RatingDataset:
         except KeyError as exc:
             raise DataError(f"dataset arrays missing key {exc.args[0]!r}") from None
         rating_scale = None if scale.size == 0 else (float(scale[0]), float(scale[1]))
-        return cls(matrix, user_labels, item_labels, rating_scale=rating_scale)
+        user_deficit = arrays.get("user_degree_deficit")
+        item_deficit = arrays.get("item_degree_deficit")
+        return cls(matrix, user_labels, item_labels, rating_scale=rating_scale,
+                   user_degree_deficit=user_deficit,
+                   item_degree_deficit=item_deficit)
 
     # -- transforms ----------------------------------------------------------
 
@@ -519,7 +593,8 @@ class RatingDataset:
         return self.subset(users=users)
 
     def subset(self, users: np.ndarray | None = None,
-               items: np.ndarray | None = None) -> "RatingDataset":
+               items: np.ndarray | None = None,
+               track_cut_degrees: bool = False) -> "RatingDataset":
         """Dataset restricted to the given user and/or item indices.
 
         Labels are preserved (row ``r`` of the result is the user
@@ -527,23 +602,48 @@ class RatingDataset:
         what lets the sharding layer route by external label and map local
         indices back to the global catalogue. Ratings whose user is kept but
         whose item is dropped (or vice versa) disappear from the result —
-        the shard planner never produces such cuts (components are closed
-        under rating edges) and guards against them separately.
+        the component shard planner never produces such cuts and guards
+        against them separately, while the edge-cut planner *expects* them
+        and passes ``track_cut_degrees=True`` so each kept node remembers the
+        rating mass its severed edges carried (as a degree deficit, see
+        :attr:`user_degree_deficit`). Any deficit this dataset already
+        carries is sliced through either way, so cuts compose.
         ``None`` keeps the full axis.
         """
         matrix = self._csr
         user_labels = self.user_labels
         item_labels = self.item_labels
+        user_deficit = self._user_deficit
+        item_deficit = self._item_deficit
         if users is not None:
             users = as_index_array(users, self.n_users, "users")
             matrix = matrix[users]
             user_labels = tuple(self.user_labels[u] for u in users)
+            if user_deficit is not None:
+                user_deficit = user_deficit[users]
         if items is not None:
             items = as_index_array(items, self.n_items, "items")
             matrix = matrix[:, items]
             item_labels = tuple(self.item_labels[i] for i in items)
+            if item_deficit is not None:
+                item_deficit = item_deficit[items]
+        if track_cut_degrees:
+            full_user_mass = np.asarray(self._csr.sum(axis=1)).ravel()
+            full_item_mass = np.asarray(self._csr.sum(axis=0)).ravel()
+            kept_user_mass = np.asarray(matrix.sum(axis=1)).ravel()
+            kept_item_mass = np.asarray(matrix.sum(axis=0)).ravel()
+            cut_user = full_user_mass[users] - kept_user_mass if users is not None \
+                else full_user_mass - kept_user_mass
+            cut_item = full_item_mass[items] - kept_item_mass if items is not None \
+                else full_item_mass - kept_item_mass
+            # Tiny negative residue from float summation order is noise.
+            cut_user = np.maximum(cut_user, 0.0)
+            cut_item = np.maximum(cut_item, 0.0)
+            user_deficit = cut_user if user_deficit is None else user_deficit + cut_user
+            item_deficit = cut_item if item_deficit is None else item_deficit + cut_item
         return RatingDataset(
-            matrix, user_labels, item_labels, rating_scale=self.rating_scale
+            matrix, user_labels, item_labels, rating_scale=self.rating_scale,
+            user_degree_deficit=user_deficit, item_degree_deficit=item_deficit,
         )
 
     # -- internals -------------------------------------------------------------

@@ -21,9 +21,35 @@ from scipy.sparse.csgraph import connected_components
 
 from repro.data.dataset import DatasetDelta, RatingDataset
 from repro.exceptions import GraphError
-from repro.utils.sparse import bipartite_adjacency, degree_vector, row_normalize
+from repro.utils.sparse import (
+    bipartite_adjacency,
+    degree_vector,
+    row_normalize,
+    safe_divide_rows,
+)
 
 __all__ = ["UserItemGraph", "GraphUpdate"]
+
+
+def _node_degrees(dataset: RatingDataset, adjacency: sp.csr_matrix) -> np.ndarray:
+    """Node degree vector, including any cut-edge deficit the dataset carries.
+
+    For an ordinary dataset this is the plain adjacency row sum. For a
+    halo-cut shard dataset (:meth:`RatingDataset.subset` with
+    ``track_cut_degrees=True``) each node's severed rating mass is added
+    back, so the degrees equal the *global* degrees of the uncut graph and
+    transition rows divide by them (DESIGN.md §12): interior rows stay
+    exactly stochastic while boundary rows become substochastic — a walk
+    stepping across the cut is absorbed with zero further cost instead of
+    having its mass redistributed over the surviving edges.
+    """
+    degrees = degree_vector(adjacency)
+    if dataset.has_degree_deficit:
+        if dataset.user_degree_deficit is not None:
+            degrees[:dataset.n_users] += dataset.user_degree_deficit
+        if dataset.item_degree_deficit is not None:
+            degrees[dataset.n_users:] += dataset.item_degree_deficit
+    return degrees
 
 
 @dataclass(frozen=True)
@@ -104,7 +130,7 @@ class UserItemGraph:
         self.n_users = dataset.n_users
         self.n_items = dataset.n_items
         self.adjacency: sp.csr_matrix = bipartite_adjacency(dataset.matrix)
-        self.degrees: np.ndarray = degree_vector(self.adjacency)
+        self.degrees: np.ndarray = _node_degrees(dataset, self.adjacency)
         self._transition: sp.csr_matrix | None = None
         self._components: tuple[int, np.ndarray] | None = None
         self._item_component_sizes: np.ndarray | None = None
@@ -161,14 +187,29 @@ class UserItemGraph:
 
     # -- random-walk structure ---------------------------------------------
 
+    @property
+    def substochastic(self) -> bool:
+        """Whether transition rows may sum to < 1 (degree-true halo mode).
+
+        True exactly when the underlying dataset carries a cut-edge degree
+        deficit: rows are divided by global degrees, so boundary nodes leak
+        walk mass across the cut instead of renormalising it away.
+        """
+        return self.dataset.has_degree_deficit
+
     def transition_matrix(self) -> sp.csr_matrix:
         """Row-stochastic single-step transition matrix ``P`` (Eq. 1).
 
         Isolated nodes (degree 0) keep an all-zero row; the absorbing-chain
-        solvers treat them as unreachable.
+        solvers treat them as unreachable. On a halo-cut shard
+        (:attr:`substochastic`) rows divide by global degrees, so boundary
+        rows sum to less than one — the walk is absorbed at the cut.
         """
         if self._transition is None:
-            self._transition = row_normalize(self.adjacency, allow_zero_rows=True)
+            if self.substochastic:
+                self._transition = safe_divide_rows(self.adjacency, self.degrees)
+            else:
+                self._transition = row_normalize(self.adjacency, allow_zero_rows=True)
         return self._transition
 
     def stationary_distribution(self) -> np.ndarray:
@@ -327,7 +368,7 @@ class UserItemGraph:
         graph.n_users = merged.n_users
         graph.n_items = merged.n_items
         graph.adjacency = bipartite_adjacency(merged.matrix)
-        graph.degrees = degree_vector(graph.adjacency)
+        graph.degrees = _node_degrees(merged, graph.adjacency)
         graph._transition = None
         graph._components = (
             old_count + n_new_users + n_new_items - merges, labels
@@ -387,7 +428,7 @@ class UserItemGraph:
                 f"component labels shape {labels.shape} != ({n_nodes},)"
             )
         graph.adjacency = adjacency
-        graph.degrees = degree_vector(adjacency)
+        graph.degrees = _node_degrees(dataset, adjacency)
         graph._transition = None
         graph._components = (count, labels)
         graph._item_component_sizes = None

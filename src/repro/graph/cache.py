@@ -53,7 +53,7 @@ import scipy.sparse as sp
 from repro.graph.bipartite import GraphUpdate, UserItemGraph
 from repro.graph.subgraph import LocalSubgraph, bfs_subgraph
 from repro.solver import WalkOperator
-from repro.utils.sparse import row_normalize
+from repro.utils.sparse import row_normalize, safe_divide_rows
 from repro.utils.validation import check_positive_int
 
 __all__ = ["TransitionGroup", "TransitionCache"]
@@ -189,6 +189,7 @@ class TransitionCache:
         operator = WalkOperator(
             transition, labels=labels, user_mask=user_mask,
             node_entropy=node_entropy,
+            substochastic=self.graph.substochastic,
         )
         return TransitionGroup(
             nodes=nodes,
@@ -208,12 +209,26 @@ class TransitionCache:
             nodes, graph.transition_matrix(), graph.component_labels()
         )
 
+    def _subgraph_transition(self, sub: sp.csr_matrix,
+                             nodes: np.ndarray) -> sp.csr_matrix:
+        """Transition rows for a node-sliced subgraph.
+
+        Ordinary graphs renormalise over the surviving edges (a component
+        slice loses none, so the result is exactly the global rows). A
+        degree-true halo graph instead divides by the parent's degree vector
+        — which already includes each node's cut-edge deficit — so boundary
+        rows stay substochastic instead of inflating the surviving edges.
+        """
+        if self.graph.substochastic:
+            return safe_divide_rows(sub, self.graph.degrees[nodes])
+        return row_normalize(sub, allow_zero_rows=True)
+
     def _build_group(self, components: tuple[int, ...]) -> TransitionGroup:
         graph = self.graph
         labels = graph.component_labels()
         nodes = np.flatnonzero(np.isin(labels, np.array(components)))
-        transition = row_normalize(
-            graph.adjacency[nodes][:, nodes].tocsr(), allow_zero_rows=True
+        transition = self._subgraph_transition(
+            graph.adjacency[nodes][:, nodes].tocsr(), nodes
         )
         return self._finish_group(nodes, transition, labels[nodes])
 
@@ -233,11 +248,12 @@ class TransitionCache:
 
         def build():
             sub = bfs_subgraph(self.graph, seed_items, max_items)
-            transition = row_normalize(sub.adjacency, allow_zero_rows=True)
+            transition = self._subgraph_transition(sub.adjacency, sub.nodes)
             operator = WalkOperator(
                 transition,
                 user_mask=sub.nodes < self.graph.n_users,
                 node_entropy=self.node_entropy[sub.nodes],
+                substochastic=self.graph.substochastic,
             )
             return (sub, operator)
 

@@ -30,6 +30,8 @@ from repro.service.server import (
     percentile,
 )
 from repro.service.sharding import (
+    EDGE_CUT_HINT,
+    PARTITIONERS,
     SHARD_PLAN_FORMAT_VERSION,
     FleetReport,
     FleetUpdateReport,
@@ -41,7 +43,9 @@ from repro.service.store import STORE_FORMAT_VERSION, TopKStore
 __all__ = [
     "BatchServingReport",
     "BatchingServer",
+    "EDGE_CUT_HINT",
     "EngineReport",
+    "PARTITIONERS",
     "FleetReport",
     "FleetUpdateReport",
     "HttpFrontend",

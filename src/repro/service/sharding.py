@@ -38,12 +38,31 @@ outside the user's component disappear. That is a *semantics change* for
 those baselines; shard them only when per-tenant catalogues are the intent
 (the federated-shards deployment shape).
 
-**Cross-shard updates.** A rating event joining a user in shard A to an
-item in shard B would merge two components across shard boundaries; no
-single engine can absorb it. :meth:`ShardedEngine.apply_updates` detects
-this and raises :class:`~repro.exceptions.ConfigError` — the remedy is a
-re-plan (``repro.cli shard-fit`` on the merged data), not a silent wrong
-routing.
+**Cross-shard updates.** On a component plan, a rating event joining a
+user in shard A to an item in shard B would merge two components across
+shard boundaries; no single engine can absorb it.
+:meth:`ShardedEngine.apply_updates` detects this and raises
+:class:`~repro.exceptions.ConfigError` naming the offending edge — the
+remedy is a re-plan (``repro.cli shard-fit``, ideally with
+``--partitioner edge-cut``), not a silent wrong routing.
+
+**Edge-cut plans with k-hop halos.** A realistic MovieLens-shaped graph
+has one giant component, so component sharding degenerates to a single
+shard. :meth:`ShardPlan.build_edge_cut` splits components by a greedy
+balanced edge-cut (seeded BFS growth + boundary vertex moves minimising
+cut nnz under an LPT-style balance constraint) and attaches to each shard
+the **k-hop halo** of ghost users/items around its owned nodes. Each
+shard's dataset keeps the ghost rows and tracks the rating mass of edges
+severed at the halo boundary as a *degree deficit*
+(:meth:`~repro.data.RatingDataset.subset` with
+``track_cut_degrees=True``), so the shard's walk operator divides by
+global degrees and boundary rows absorb leaked mass exactly instead of
+renormalising it — the τ-truncated walk then matches the unsharded solve
+bit-for-bit wherever the halo saturates the walk's reach, and is a
+one-sided bounded-error underestimate otherwise (DESIGN.md §12). Events
+whose endpoints are co-located in at least one shard apply exactly (the
+frozen deficit stays correct); updates that only some replicas see leave
+those ghost copies stale, surfaced via ``FleetUpdateReport.hint``.
 """
 
 from __future__ import annotations
@@ -54,6 +73,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy.sparse.csgraph import breadth_first_order
 
 from repro.core.base import Recommendation, Recommender
 from repro.data.dataset import RatingDataset
@@ -71,6 +91,7 @@ from repro.utils.timer import Timer, per_second
 from repro.utils.validation import (
     as_exclude_array,
     as_index_array,
+    check_in_options,
     check_non_negative_int,
     check_positive_int,
     is_index,
@@ -78,6 +99,8 @@ from repro.utils.validation import (
 
 __all__ = [
     "SHARD_PLAN_FORMAT_VERSION",
+    "PARTITIONERS",
+    "EDGE_CUT_HINT",
     "ShardPlan",
     "FleetReport",
     "FleetUpdateReport",
@@ -87,14 +110,187 @@ __all__ = [
 #: On-disk format version of saved shard plans; bump on any layout change.
 #: A plan whose version is absent or different raises
 #: :class:`~repro.exceptions.ArtifactError` — routing traffic through a
-#: stale partition must fail loudly, never silently.
-SHARD_PLAN_FORMAT_VERSION = 1
+#: stale partition must fail loudly, never silently. Version 2 added the
+#: edge-cut partitioner's halo metadata (ghost users/items per shard,
+#: ``halo_hops``, ``partitioner``); version-1 files predate halos and are
+#: rejected rather than silently served without ghost translation.
+SHARD_PLAN_FORMAT_VERSION = 2
 
 _PLAN_FILENAME = "plan.npz"
+
+#: The partition strategies a plan can carry.
+PARTITIONERS = ("component", "edge-cut")
+
+#: Hint appended to cross-shard rejection errors and stale-halo reports.
+EDGE_CUT_HINT = (
+    "re-plan with `repro shard-fit --partitioner edge-cut --halo-hops K` "
+    "on the merged data"
+)
 
 
 def _shard_artifact_name(shard: int) -> str:
     return f"shard-{shard:03d}.npz"
+
+
+def _concat_ragged(arrays: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack a list of int arrays as (values, offsets) for npz storage."""
+    offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
+    offsets[1:] = np.cumsum([a.size for a in arrays])
+    values = (np.concatenate(arrays).astype(np.int64) if offsets[-1]
+              else np.empty(0, dtype=np.int64))
+    return values, offsets
+
+
+def _split_ragged(values: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
+    """Inverse of :func:`_concat_ragged`."""
+    values = np.asarray(values, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    return [values[offsets[i]:offsets[i + 1]].copy()
+            for i in range(offsets.size - 1)]
+
+
+def _lpt_order(weights: np.ndarray) -> np.ndarray:
+    """Deterministic LPT processing order: descending weight, ties by label.
+
+    ``np.lexsort`` sorts by its *last* key first, so this is primary
+    descending weight with an explicit ascending-index secondary key —
+    weight ties always resolve to the lower component label, making plan
+    construction byte-reproducible across runs and platforms (regression
+    pinned in the test suite).
+    """
+    weights = np.asarray(weights)
+    return np.lexsort((np.arange(weights.size), -weights))
+
+
+def _split_component(graph: UserItemGraph, comp_nodes: np.ndarray,
+                     count: int, refine_passes: int) -> list[np.ndarray]:
+    """Split one connected component into ``count`` balanced node parts.
+
+    Seeded BFS growth: breadth-first order from the component's
+    highest-degree node (ties to the lowest index), sliced where the
+    cumulative degree mass crosses each balanced boundary — contiguous BFS
+    slices keep most edges internal. A fix-up guarantees every part owns at
+    least one user and one item, then ``refine_passes`` greedy sweeps move
+    boundary vertices to the neighboring part holding the strict majority
+    of their edge weight (reducing cut nnz) whenever the move respects the
+    LPT-style balance cap and the bipartite floor. Fully deterministic.
+    """
+    adjacency = graph.adjacency
+    degrees = graph.degrees
+    n_users = graph.n_users
+    local = np.lexsort((np.arange(comp_nodes.size), -degrees[comp_nodes]))
+    seed = int(comp_nodes[local[0]])
+    order = np.asarray(
+        breadth_first_order(adjacency, seed, directed=False,
+                            return_predecessors=False),
+        dtype=np.int64,
+    )
+    if order.size != comp_nodes.size:
+        raise ConfigError(
+            "BFS did not cover the component; graph labels are inconsistent"
+        )
+    weights = degrees[order]
+    cum = np.cumsum(weights)
+    total = float(cum[-1])
+    split_at: list[int] = []
+    prev = 0
+    for j in range(1, count):
+        position = int(np.searchsorted(cum, total * j / count))
+        position = max(position, prev + 1)
+        position = min(position, order.size - (count - j))
+        split_at.append(position)
+        prev = position
+    part_of = np.full(graph.n_nodes, -1, dtype=np.int64)
+    for j, piece in enumerate(np.split(order, split_at)):
+        part_of[piece] = j
+
+    part_weight = np.bincount(part_of[order], weights=weights,
+                              minlength=count)
+    user_nodes = order[order < n_users]
+    item_nodes = order[order >= n_users]
+    part_users = np.bincount(part_of[user_nodes], minlength=count)
+    part_items = np.bincount(part_of[item_nodes], minlength=count)
+
+    def rebalance_kind(kind_nodes: np.ndarray, kind_counts: np.ndarray) -> None:
+        # Give every part at least one node of this kind, stealing the
+        # BFS-latest such node from the richest part (ties to lower id).
+        while True:
+            starved = np.flatnonzero(kind_counts == 0)
+            if starved.size == 0:
+                return
+            donor = int(np.argmax(kind_counts))
+            taken = kind_nodes[part_of[kind_nodes] == donor][-1]
+            receiver = int(starved[0])
+            part_weight[donor] -= degrees[taken]
+            part_weight[receiver] += degrees[taken]
+            kind_counts[donor] -= 1
+            kind_counts[receiver] += 1
+            part_of[taken] = receiver
+
+    rebalance_kind(user_nodes, part_users)
+    rebalance_kind(item_nodes, part_items)
+
+    cap = 1.2 * total / count  # LPT-style balance: ≤120% of the fair share
+    for _ in range(refine_passes):
+        moved = 0
+        for node in order:
+            node = int(node)
+            current = int(part_of[node])
+            start, end = adjacency.indptr[node], adjacency.indptr[node + 1]
+            neighbor_parts = part_of[adjacency.indices[start:end]]
+            inside = neighbor_parts >= 0
+            gains = np.bincount(neighbor_parts[inside],
+                                weights=adjacency.data[start:end][inside],
+                                minlength=count)
+            best = int(np.argmax(gains))  # ties resolve to the lower part id
+            if best == current or gains[best] <= gains[current]:
+                continue
+            weight = float(degrees[node])
+            if part_weight[best] + weight > cap:
+                continue
+            if node < n_users:
+                if part_users[current] <= 1:
+                    continue
+                part_users[current] -= 1
+                part_users[best] += 1
+            else:
+                if part_items[current] <= 1:
+                    continue
+                part_items[current] -= 1
+                part_items[best] += 1
+            part_of[node] = best
+            part_weight[current] -= weight
+            part_weight[best] += weight
+            moved += 1
+        if not moved:
+            break
+    return [order[part_of[order] == j] for j in range(count)]
+
+
+def _khop_ghosts(graph: UserItemGraph, node_shard: np.ndarray,
+                 n_shards: int, hops: int) -> tuple[list, list]:
+    """Per-shard k-hop ghost users/items around the owned node sets.
+
+    Grown by sparse boolean mat-vec over the full adjacency (O(nnz) per
+    hop per shard); stops early when a halo saturates its components —
+    which is exactly when the shard's solves become bit-identical to the
+    unsharded ones (no edges left to cut).
+    """
+    adjacency = graph.adjacency
+    ghost_users: list[np.ndarray] = []
+    ghost_items: list[np.ndarray] = []
+    for shard in range(n_shards):
+        owned = node_shard == shard
+        mask = owned.copy()
+        for _ in range(hops):
+            grown = mask | ((adjacency @ mask.astype(np.float64)) > 0)
+            if np.array_equal(grown, mask):
+                break
+            mask = grown
+        ghosts = np.flatnonzero(mask & ~owned)
+        ghost_users.append(ghosts[ghosts < graph.n_users])
+        ghost_items.append(ghosts[ghosts >= graph.n_users] - graph.n_users)
+    return ghost_users, ghost_items
 
 
 class ShardPlan:
@@ -107,17 +303,33 @@ class ShardPlan:
         least one user and one item (a shard dataset must be non-empty).
     n_shards:
         Total shard count; defaults to ``max(shard ids) + 1``.
+    ghost_users, ghost_items:
+        Optional halo metadata (one global-index array per shard): the
+        k-hop ghost nodes each shard keeps *in addition to* its owned
+        nodes so walk sweeps stay local. Requires ``halo_hops``.
+    halo_hops:
+        The halo radius ``k`` the ghosts were computed with (``None`` for
+        component plans — no ghosts, no cut edges).
+    partitioner:
+        ``"component"`` (components atomic, :meth:`build`) or
+        ``"edge-cut"`` (components splittable, :meth:`build_edge_cut`).
 
     Use :meth:`build` to derive a balanced, component-closed plan from a
-    dataset; hand-written plans are validated for shape here and for
-    edge-cuts in :meth:`shard_dataset`.
+    dataset, or :meth:`build_edge_cut` for a halo-carrying edge-cut plan;
+    hand-written plans are validated for shape here and for edge-cuts in
+    :meth:`shard_dataset`.
 
-    Local indexing convention: within a shard, users (and items) are
-    ordered by ascending *global* index, so a one-shard plan is the
-    identity mapping — the property the score-parity tests pin down.
+    Local indexing convention: within a shard, owned users (and items)
+    come first, ordered by ascending *global* index — so a one-shard plan
+    is the identity mapping, the property the score-parity tests pin down
+    — and ghost nodes are appended after them, also ascending.
     """
 
-    def __init__(self, user_shard, item_shard, n_shards: int | None = None):
+    def __init__(self, user_shard, item_shard, n_shards: int | None = None,
+                 ghost_users: list | None = None,
+                 ghost_items: list | None = None,
+                 halo_hops: int | None = None,
+                 partitioner: str = "component"):
         user_shard = np.asarray(user_shard, dtype=np.int64)
         item_shard = np.asarray(item_shard, dtype=np.int64)
         if user_shard.ndim != 1 or item_shard.ndim != 1:
@@ -155,6 +367,47 @@ class ShardPlan:
             self.user_local[members] = np.arange(members.size)
         for members in self._shard_items:
             self.item_local[members] = np.arange(members.size)
+        self.partitioner = check_in_options(
+            partitioner, "partitioner", PARTITIONERS
+        )
+        if halo_hops is None:
+            if ghost_users or ghost_items:
+                raise ConfigError("ghost arrays require halo_hops")
+            self.halo_hops: int | None = None
+            self._ghost_users = [np.empty(0, dtype=np.int64)
+                                 for _ in range(self.n_shards)]
+            self._ghost_items = [np.empty(0, dtype=np.int64)
+                                 for _ in range(self.n_shards)]
+        else:
+            self.halo_hops = check_positive_int(halo_hops, "halo_hops")
+            self._ghost_users = self._check_ghosts(
+                ghost_users, self._shard_users, self.user_shard, "user"
+            )
+            self._ghost_items = self._check_ghosts(
+                ghost_items, self._shard_items, self.item_shard, "item"
+            )
+
+    def _check_ghosts(self, ghosts, owned, shard_of, axis: str) -> list:
+        if ghosts is None:
+            ghosts = [np.empty(0, dtype=np.int64)] * self.n_shards
+        ghosts = [np.asarray(g, dtype=np.int64).ravel() for g in ghosts]
+        if len(ghosts) != self.n_shards:
+            raise ConfigError(
+                f"ghost_{axis}s has {len(ghosts)} entries for "
+                f"{self.n_shards} shards"
+            )
+        checked = []
+        for shard, members in enumerate(ghosts):
+            members = np.unique(members)  # ascending, deduplicated
+            if members.size and (members[0] < 0
+                                 or members[-1] >= shard_of.size):
+                raise ConfigError(f"shard {shard} ghost {axis}s out of range")
+            if members.size and np.any(shard_of[members] == shard):
+                raise ConfigError(
+                    f"shard {shard} lists owned {axis}s as ghosts"
+                )
+            checked.append(members)
+        return checked
 
     # -- construction --------------------------------------------------------
 
@@ -196,7 +449,7 @@ class ShardPlan:
         present = np.zeros(nnz.size, dtype=bool)
         present[labels] = True
         sizes = np.bincount(labels, minlength=nnz.size)
-        order = np.argsort(-nnz, kind="stable")  # desc nnz, ties by label
+        order = _lpt_order(nnz)  # desc nnz, ties broken by ascending label
         loads = np.zeros(n_shards, dtype=np.int64)
         node_loads = np.zeros(n_shards, dtype=np.int64)
         component_shard = np.full(nnz.size, -1, dtype=np.int64)
@@ -216,6 +469,124 @@ class ShardPlan:
             n_shards=n_shards,
         )
 
+    @classmethod
+    def build_edge_cut(cls, dataset: RatingDataset, n_shards: int,
+                       halo_hops: int = 2,
+                       graph: UserItemGraph | None = None,
+                       refine_passes: int = 2) -> "ShardPlan":
+        """Partition ``dataset`` into ``n_shards`` by a greedy edge-cut.
+
+        Unlike :meth:`build`, connected components are *splittable*: a
+        component too big for one shard is divided by seeded BFS growth
+        (hub-seeded breadth-first order sliced at balanced degree-mass
+        boundaries) followed by ``refine_passes`` sweeps of greedy boundary
+        vertex moves that reduce cut nnz while an LPT-style balance
+        constraint holds. Shard parts are then LPT bin-packed exactly like
+        :meth:`build`. The returned plan carries, per shard, the
+        ``halo_hops``-hop **ghost** users/items around its owned nodes —
+        the extra rows :meth:`shard_dataset` keeps (with cut-edge degree
+        deficits) so each shard's τ-truncated walk solves are exact where
+        the halo saturates the walk's reach and a one-sided bounded-error
+        underestimate otherwise (DESIGN.md §12). ``halo_hops >= 1``
+        guarantees every owned user's full rating row stays in its shard,
+        which keeps absorbing sets and ``exclude_rated`` exact.
+
+        A one-shard edge-cut plan owns everything, has no ghosts, and is
+        the identity mapping — bit-identical to unsharded serving.
+        """
+        if not isinstance(dataset, RatingDataset):
+            raise ConfigError(
+                f"ShardPlan.build_edge_cut expects a RatingDataset; "
+                f"got {type(dataset).__name__}"
+            )
+        n_shards = check_positive_int(n_shards, "n_shards")
+        halo_hops = check_positive_int(halo_hops, "halo_hops")
+        refine_passes = check_non_negative_int(refine_passes, "refine_passes")
+        if graph is None:
+            graph = UserItemGraph(dataset)
+        elif graph.dataset is not dataset:
+            raise ConfigError("graph was built over a different dataset")
+        labels = graph.component_labels()
+        nnz = graph.component_nnz()
+        present = np.zeros(nnz.size, dtype=bool)
+        present[labels] = True
+        sizes = np.bincount(labels, minlength=nnz.size)
+        user_counts = np.bincount(labels[:dataset.n_users], minlength=nnz.size)
+        item_counts = np.bincount(labels[dataset.n_users:], minlength=nnz.size)
+        rated = np.flatnonzero(present & (nnz > 0))
+        if rated.size == 0:
+            raise ConfigError("dataset has no rated components to shard")
+
+        # How many parts each rated component contributes. Every component
+        # starts atomic; when there are fewer components than shards the
+        # remaining parts go one at a time to the component with the
+        # largest nnz-per-part quotient (highest-averages apportionment —
+        # deterministic, ties to the lower label), capped by how many
+        # user+item-bearing parts the component can actually yield.
+        parts_of = {int(c): 1 for c in rated}
+        caps = {int(c): max(1, min(int(user_counts[c]), int(item_counts[c])))
+                for c in rated}
+        extra = n_shards - rated.size
+        while extra > 0:
+            candidates = [c for c in parts_of if parts_of[c] < caps[c]]
+            if not candidates:
+                raise ConfigError(
+                    f"cannot build {n_shards} shards: the graph's rated "
+                    "components only support "
+                    f"{sum(caps.values())} user+item-bearing parts"
+                )
+            best = max(candidates,
+                       key=lambda c: (nnz[c] / parts_of[c], -c))
+            parts_of[best] += 1
+            extra -= 1
+
+        node_shard = np.full(graph.n_nodes, -1, dtype=np.int64)
+        part_nodes: list[np.ndarray] = []
+        part_weights: list[int] = []
+        for component in rated:
+            comp_nodes = np.flatnonzero(labels == component)
+            count = parts_of[int(component)]
+            if count == 1:
+                pieces = [comp_nodes]
+            else:
+                pieces = _split_component(graph, comp_nodes, count,
+                                          refine_passes)
+            for piece in pieces:
+                part_nodes.append(piece)
+                part_weights.append(int(graph.degrees[piece].sum()))
+
+        # LPT-pack the parts onto shards (identical policy to `build`).
+        loads = np.zeros(n_shards, dtype=np.int64)
+        node_loads = np.zeros(n_shards, dtype=np.int64)
+        for index in _lpt_order(np.asarray(part_weights)):
+            shard = int(np.argmin(loads))
+            nodes = part_nodes[index]
+            node_shard[nodes] = shard
+            loads[shard] += part_weights[index]
+            node_loads[shard] += nodes.size
+        # Zero-nnz components (isolated nodes) carry no solve cost or cut
+        # edges; spread them by node count, as in `build`.
+        for component in _lpt_order(sizes):
+            if not present[component] or nnz[component] > 0:
+                continue
+            shard = int(np.argmin(node_loads))
+            nodes = np.flatnonzero(labels == component)
+            node_shard[nodes] = shard
+            node_loads[shard] += nodes.size
+
+        ghost_users, ghost_items = _khop_ghosts(
+            graph, node_shard, n_shards, halo_hops
+        )
+        return cls(
+            node_shard[:dataset.n_users],
+            node_shard[dataset.n_users:],
+            n_shards=n_shards,
+            ghost_users=ghost_users,
+            ghost_items=ghost_items,
+            halo_hops=halo_hops,
+            partitioner="edge-cut",
+        )
+
     # -- shape ---------------------------------------------------------------
 
     @property
@@ -226,6 +597,11 @@ class ShardPlan:
     def n_items(self) -> int:
         return self.item_shard.size
 
+    @property
+    def has_halos(self) -> bool:
+        """Whether this is an edge-cut plan carrying ghost metadata."""
+        return self.halo_hops is not None
+
     def users_of_shard(self, shard: int) -> np.ndarray:
         """Global user indices owned by ``shard``, ascending."""
         return self._shard_users[self._check_shard(shard)]
@@ -233,6 +609,26 @@ class ShardPlan:
     def items_of_shard(self, shard: int) -> np.ndarray:
         """Global item indices owned by ``shard``, ascending."""
         return self._shard_items[self._check_shard(shard)]
+
+    def ghost_users_of_shard(self, shard: int) -> np.ndarray:
+        """Global user indices ``shard`` keeps as halo ghosts, ascending."""
+        return self._ghost_users[self._check_shard(shard)]
+
+    def ghost_items_of_shard(self, shard: int) -> np.ndarray:
+        """Global item indices ``shard`` keeps as halo ghosts, ascending."""
+        return self._ghost_items[self._check_shard(shard)]
+
+    def shard_users(self, shard: int) -> np.ndarray:
+        """Owned-then-ghost global user indices — the shard dataset's rows."""
+        shard = self._check_shard(shard)
+        return np.concatenate([self._shard_users[shard],
+                               self._ghost_users[shard]])
+
+    def shard_items(self, shard: int) -> np.ndarray:
+        """Owned-then-ghost global item indices — the shard dataset's columns."""
+        shard = self._check_shard(shard)
+        return np.concatenate([self._shard_items[shard],
+                               self._ghost_items[shard]])
 
     def _check_shard(self, shard: int) -> int:
         if isinstance(shard, bool) or not isinstance(shard, (int, np.integer)):
@@ -248,10 +644,22 @@ class ShardPlan:
     def shard_dataset(self, dataset: RatingDataset, shard: int) -> RatingDataset:
         """The sub-dataset ``shard`` serves, labels preserved.
 
-        Guards against edge cuts: every rating of a kept user must land in
-        the shard (true by construction for :meth:`build` plans, violated
-        by hand-written plans that split a component) — a cut rating would
-        silently vanish from the shard's graph and change scores.
+        Component plans guard against edge cuts: every rating of a kept
+        user must land in the shard (true by construction for
+        :meth:`build` plans, violated by hand-written plans that split a
+        component) — a cut rating would silently vanish from the shard's
+        graph and change scores. The error names one offending edge.
+
+        Edge-cut plans instead keep each shard's ghost rows/columns
+        (owned first, ghosts appended, both ascending by global index) and
+        *expect* cuts at the halo boundary: the subset tracks the severed
+        rating mass as degree deficits, which the graph layer adds back
+        into its degree vector so boundary transition rows absorb leaked
+        walk mass exactly (DESIGN.md §12). Owned users must still keep
+        every rated item inside the halo — guaranteed by
+        ``halo_hops >= 1`` for built plans, checked here for hand-written
+        ones (a truncated absorbing set would change ranking semantics,
+        not just add bounded error).
         """
         shard = self._check_shard(shard)
         if dataset.n_users != self.n_users or dataset.n_items != self.n_items:
@@ -259,20 +667,55 @@ class ShardPlan:
                 f"plan covers {self.n_users} users × {self.n_items} items; "
                 f"dataset has {dataset.n_users} × {dataset.n_items}"
             )
-        users = self._shard_users[shard]
+        owned_users = self._shard_users[shard]
+        if self.has_halos:
+            users = self.shard_users(shard)
+            items = self.shard_items(shard)
+            sub = dataset.subset(users=users, items=items,
+                                 track_cut_degrees=True)
+            deficit = sub.user_degree_deficit
+            if deficit is not None and deficit[:owned_users.size].any():
+                bad = int(np.flatnonzero(deficit[:owned_users.size])[0])
+                raise ConfigError(
+                    f"shard {shard} cuts rating(s) of owned user "
+                    f"{dataset.user_labels[owned_users[bad]]!r}; a halo plan "
+                    "must keep every owned user's rated items inside the "
+                    "halo (use ShardPlan.build_edge_cut with halo_hops >= 1)"
+                )
+            return sub
         items = self._shard_items[shard]
-        sub = dataset.subset(users=users, items=items)
-        expected = int(dataset.user_activity()[users].sum())
+        sub = dataset.subset(users=owned_users, items=items)
+        expected = int(dataset.user_activity()[owned_users].sum())
         if sub.n_ratings != expected:
+            user, item = self._find_cut_edge(dataset, shard)
             raise ConfigError(
                 f"shard {shard} cuts {expected - sub.n_ratings} rating(s) "
-                "across shard boundaries; a plan must keep every user's "
-                "rated items in the user's shard (use ShardPlan.build)"
+                "across shard boundaries — e.g. user "
+                f"{dataset.user_labels[user]!r} (shard {shard}) rated item "
+                f"{dataset.item_labels[item]!r} "
+                f"(shard {int(self.item_shard[item])}); a component plan "
+                "must keep every user's rated items in the user's shard — "
+                f"use ShardPlan.build, or {EDGE_CUT_HINT}"
             )
         return sub
 
+    def _find_cut_edge(self, dataset: RatingDataset,
+                       shard: int) -> tuple[int, int]:
+        """First (user, item) rating this shard's cut severs (global ids)."""
+        matrix = dataset.matrix
+        for user in self._shard_users[shard]:
+            row = matrix.indices[matrix.indptr[user]:matrix.indptr[user + 1]]
+            outside = row[self.item_shard[row] != shard]
+            if outside.size:
+                return int(user), int(outside[0])
+        raise ConfigError(f"shard {shard} has no cut edges")  # pragma: no cover
+
     def summary(self, dataset: RatingDataset | None = None) -> list[dict]:
-        """One row per shard: sizes (+ rating balance when ``dataset`` given)."""
+        """One row per shard: sizes (+ rating balance when ``dataset`` given).
+
+        Edge-cut plans add ghost counts and, with a dataset, the number of
+        ratings the halo boundary cuts (the shard's bounded-error surface).
+        """
         rows = []
         activity = dataset.user_activity() if dataset is not None else None
         for shard in range(self.n_shards):
@@ -281,8 +724,22 @@ class ShardPlan:
                 "users": int(self._shard_users[shard].size),
                 "items": int(self._shard_items[shard].size),
             }
+            if self.has_halos:
+                row["ghost_users"] = int(self._ghost_users[shard].size)
+                row["ghost_items"] = int(self._ghost_items[shard].size)
             if activity is not None:
                 row["ratings"] = int(activity[self._shard_users[shard]].sum())
+                if self.has_halos:
+                    sub = dataset.subset(
+                        users=self.shard_users(shard),
+                        items=self.shard_items(shard),
+                        track_cut_degrees=True,
+                    )
+                    halo_activity = int(
+                        dataset.user_activity()[self.shard_users(shard)].sum()
+                    )
+                    row["halo_ratings"] = int(sub.n_ratings) - row["ratings"]
+                    row["cut_ratings"] = halo_activity - int(sub.n_ratings)
             rows.append(row)
         return rows
 
@@ -293,20 +750,44 @@ class ShardPlan:
         return path if str(path).endswith(".npz") else f"{path}.npz"
 
     def save(self, path: str) -> str:
-        """Persist the plan as a versioned ``.npz``; returns the path written."""
+        """Persist the plan as a versioned ``.npz``; returns the path written.
+
+        Format version 2: the component fields of version 1 plus the halo
+        metadata — ``partitioner`` (index into :data:`PARTITIONERS`),
+        ``halo_hops`` (``-1`` for component plans) and the per-shard ghost
+        arrays packed as concatenated values + offsets.
+        """
         path = self._npz_path(path)
+        ghost_user_values, ghost_user_offsets = _concat_ragged(self._ghost_users)
+        ghost_item_values, ghost_item_offsets = _concat_ragged(self._ghost_items)
         np.savez_compressed(
             path,
             format_version=np.array(SHARD_PLAN_FORMAT_VERSION, dtype=np.int64),
             n_shards=np.array(self.n_shards, dtype=np.int64),
             user_shard=self.user_shard,
             item_shard=self.item_shard,
+            partitioner=np.array(PARTITIONERS.index(self.partitioner),
+                                 dtype=np.int64),
+            halo_hops=np.array(
+                -1 if self.halo_hops is None else self.halo_hops,
+                dtype=np.int64,
+            ),
+            ghost_user_values=ghost_user_values,
+            ghost_user_offsets=ghost_user_offsets,
+            ghost_item_values=ghost_item_values,
+            ghost_item_offsets=ghost_item_offsets,
         )
         return path
 
     @classmethod
     def load(cls, path: str) -> "ShardPlan":
-        """Reload a plan written by :meth:`save` (strict format versioning)."""
+        """Reload a plan written by :meth:`save` (strict format versioning).
+
+        Version-1 plans (pre-halo) are rejected with
+        :class:`~repro.exceptions.ArtifactError`: halo-aware code paths
+        must never route through a plan that cannot say which nodes are
+        ghosts — rebuild the plan instead.
+        """
         try:
             archive = np.load(cls._npz_path(path), allow_pickle=False)
         except (OSError, ValueError) as exc:
@@ -323,13 +804,28 @@ class ShardPlan:
                     f"{path!r} has shard-plan format version {version}; this "
                     f"build reads {SHARD_PLAN_FORMAT_VERSION} — rebuild the plan"
                 )
-            return cls(archive["user_shard"], archive["item_shard"],
-                       n_shards=int(archive["n_shards"]))
+            halo_hops = int(archive["halo_hops"])
+            partitioner = PARTITIONERS[int(archive["partitioner"])]
+            if halo_hops < 0:
+                return cls(archive["user_shard"], archive["item_shard"],
+                           n_shards=int(archive["n_shards"]),
+                           partitioner=partitioner)
+            return cls(
+                archive["user_shard"], archive["item_shard"],
+                n_shards=int(archive["n_shards"]),
+                ghost_users=_split_ragged(archive["ghost_user_values"],
+                                          archive["ghost_user_offsets"]),
+                ghost_items=_split_ragged(archive["ghost_item_values"],
+                                          archive["ghost_item_offsets"]),
+                halo_hops=halo_hops,
+                partitioner=partitioner,
+            )
 
     def __repr__(self) -> str:
+        halo = f", halo_hops={self.halo_hops}" if self.has_halos else ""
         return (
             f"ShardPlan(n_shards={self.n_shards}, n_users={self.n_users}, "
-            f"n_items={self.n_items})"
+            f"n_items={self.n_items}, partitioner={self.partitioner!r}{halo})"
         )
 
 
@@ -411,12 +907,18 @@ class FleetUpdateReport:
 
     ``per_shard`` holds ``(shard_id, UpdateReport)`` pairs for the shards
     that received events; untouched shards keep serving warm and do not
-    appear.
+    appear. On an edge-cut (halo) fleet, ``hint`` is set when some events
+    could not reach every replica of their endpoints — the untouched ghost
+    copies are now stale (bounded drift, DESIGN.md §12) and a re-plan
+    refreshes them; component fleets never set it (they reject cross-shard
+    edges outright instead).
     """
 
     n_events: int = 0
     seconds: float = 0.0
     per_shard: list = field(default_factory=list)
+    stale_ghost_events: int = 0
+    hint: str | None = None
 
     @property
     def n_shards_touched(self) -> int:
@@ -440,7 +942,7 @@ class FleetUpdateReport:
 
     def summary(self) -> dict:
         """One fleet-level summary row (JSON-safe)."""
-        return {
+        row = {
             "events": self.n_events,
             "shards_touched": self.n_shards_touched,
             "new_users": self.n_new_users,
@@ -449,6 +951,10 @@ class FleetUpdateReport:
             "results_evicted": self.result_rows_evicted,
             "seconds": round(self.seconds, 4),
         }
+        if self.hint is not None:
+            row["stale_ghost_events"] = self.stale_ghost_events
+            row["hint"] = self.hint
+        return row
 
     def shard_summaries(self) -> list[dict]:
         """Per-shard summary rows, each tagged with its shard id."""
@@ -513,14 +1019,15 @@ class ShardedEngine:
                     f"engine {shard} is {type(engine).__name__}; "
                     "expected ServingEngine"
                 )
-            base_users = plan.users_of_shard(shard).size
-            base_items = plan.items_of_shard(shard).size
+            base_users = plan.shard_users(shard).size
+            base_items = plan.shard_items(shard).size
             if (engine.dataset.n_users < base_users
                     or engine.dataset.n_items < base_items):
                 raise ConfigError(
                     f"engine {shard} serves {engine.dataset.n_users} users × "
                     f"{engine.dataset.n_items} items; the plan assigns it "
-                    f"{base_users} × {base_items} — artifact/plan mismatch"
+                    f"{base_users} × {base_items} (owned + ghosts) — "
+                    "artifact/plan mismatch"
                 )
         self.plan = plan
         self.engines = engines
@@ -535,35 +1042,72 @@ class ShardedEngine:
         self._user_local = plan.user_local.copy()
         self._item_shard = plan.item_shard.copy()
         self._item_local = plan.item_local.copy()
-        self._user_global = [plan.users_of_shard(s).copy()
-                             for s in range(plan.n_shards)]
-        self._item_global = [plan.items_of_shard(s).copy()
-                             for s in range(plan.n_shards)]
+        # Per-shard local → global translation covers owned nodes first,
+        # then halo ghosts (matching the shard dataset's row/column order),
+        # then anything updates appended later.
+        self._user_global = [plan.shard_users(s) for s in range(plan.n_shards)]
+        self._item_global = [plan.shard_items(s) for s in range(plan.n_shards)]
         self._item_labels = np.empty(plan.n_items, dtype=object)
         for shard, engine in enumerate(engines):
             base = self._item_global[shard]
             self._item_labels[base] = _label_array(
                 engine.dataset.item_labels[:base.size]
             )
+        # Halo plans additionally keep a dense global→local item map per
+        # shard (−1 where absent) so exclusions translate for ghost items
+        # too; component shards translate through the owner maps instead.
+        self._item_local_in_shard: list[np.ndarray] | None = (
+            [np.empty(0, dtype=np.int64)] * plan.n_shards
+            if plan.has_halos else None
+        )
         self._user_shard_by_label: dict = {}
         self._item_shard_by_label: dict = {}
         for shard in range(plan.n_shards):
             self._absorb_new_labels(shard)
+        # Label ownership: every *non-ghost* label (owned by the plan, or
+        # appended by absorbed updates) must live in exactly one shard;
+        # ghost labels are replicas and must be owned elsewhere.
         for shard, engine in enumerate(engines):
-            for label in engine.dataset.user_labels:
-                owner = self._user_shard_by_label.setdefault(label, shard)
-                if owner != shard:
-                    raise ConfigError(
-                        f"user label {label!r} appears in shards {owner} and "
-                        f"{shard}; shard datasets must be disjoint"
-                    )
-            for label in engine.dataset.item_labels:
-                owner = self._item_shard_by_label.setdefault(label, shard)
-                if owner != shard:
-                    raise ConfigError(
-                        f"item label {label!r} appears in shards {owner} and "
-                        f"{shard}; shard datasets must be disjoint"
-                    )
+            for axis, labels, lookup, ghost_count, owned_count in (
+                    ("user", engine.dataset.user_labels,
+                     self._user_shard_by_label,
+                     plan.ghost_users_of_shard(shard).size,
+                     plan.users_of_shard(shard).size),
+                    ("item", engine.dataset.item_labels,
+                     self._item_shard_by_label,
+                     plan.ghost_items_of_shard(shard).size,
+                     plan.items_of_shard(shard).size)):
+                for position, label in enumerate(labels):
+                    if owned_count <= position < owned_count + ghost_count:
+                        continue  # ghost replica; verified below
+                    owner = lookup.setdefault(label, shard)
+                    if owner != shard:
+                        raise ConfigError(
+                            f"{axis} label {label!r} appears in shards "
+                            f"{owner} and {shard}; shard datasets must be "
+                            "disjoint"
+                        )
+        if plan.has_halos:
+            for shard, engine in enumerate(engines):
+                for axis, labels, lookup, ghost_count, owned_count in (
+                        ("user", engine.dataset.user_labels,
+                         self._user_shard_by_label,
+                         plan.ghost_users_of_shard(shard).size,
+                         plan.users_of_shard(shard).size),
+                        ("item", engine.dataset.item_labels,
+                         self._item_shard_by_label,
+                         plan.ghost_items_of_shard(shard).size,
+                         plan.items_of_shard(shard).size)):
+                    for label in labels[owned_count:owned_count + ghost_count]:
+                        owner = lookup.get(label)
+                        if owner is None or owner == shard:
+                            raise ConfigError(
+                                f"ghost {axis} label {label!r} in shard "
+                                f"{shard} is not owned by any other shard — "
+                                "plan/artifact mismatch"
+                            )
+            for shard in range(plan.n_shards):
+                self._rebuild_item_map(shard)
 
     # -- construction --------------------------------------------------------
 
@@ -657,6 +1201,30 @@ class ShardedEngine:
         if not is_index(user, self.n_users):
             raise UnknownUserError(user)
 
+    def _rebuild_item_map(self, shard: int) -> None:
+        """Recompute one shard's dense global→local item map (halo plans)."""
+        lookup = np.full(self.n_items, -1, dtype=np.int64)
+        lookup[self._item_global[shard]] = np.arange(
+            self._item_global[shard].size, dtype=np.int64
+        )
+        self._item_local_in_shard[shard] = lookup
+
+    def _translate_exclusions(self, shard: int,
+                              banned: np.ndarray) -> np.ndarray:
+        """Global exclusion indices → the shard's local item indices.
+
+        Exclusions the shard cannot see (other shards' items outside its
+        halo) are dropped — the shard can never recommend them anyway. On
+        halo plans the map covers ghost items too, so a ban on an item the
+        shard merely replicates still suppresses it.
+        """
+        in_range = banned[(banned >= 0) & (banned < self.n_items)]
+        if self._item_local_in_shard is not None:
+            local = self._item_local_in_shard[shard][in_range]
+            return local[local >= 0]
+        mine = in_range[self._item_shard[in_range] == shard]
+        return self._item_local[mine]
+
     # -- serving -------------------------------------------------------------
 
     def recommend(self, user: int, k: int = 10, exclude_rated: bool = True,
@@ -672,9 +1240,7 @@ class ShardedEngine:
         shard = int(self._user_shard[user])
         banned = as_exclude_array(exclude)
         if banned.size:
-            in_range = banned[(banned >= 0) & (banned < self.n_items)]
-            mine = in_range[self._item_shard[in_range] == shard]
-            banned = self._item_local[mine]
+            banned = self._translate_exclusions(shard, banned)
         ranked = self.engines[shard].recommend(
             int(self._user_local[user]), k=k, exclude_rated=exclude_rated,
             exclude=banned,
@@ -716,9 +1282,7 @@ class ShardedEngine:
             shard = int(self._user_shard[user])
             banned = as_exclude_array(exclude)
             if banned.size:
-                in_range = banned[(banned >= 0) & (banned < self.n_items)]
-                mine = in_range[self._item_shard[in_range] == shard]
-                banned = self._item_local[mine]
+                banned = self._translate_exclusions(shard, banned)
             positions, local_users, local_bans = by_shard.setdefault(
                 shard, ([], [], [])
             )
@@ -842,20 +1406,32 @@ class ShardedEngine:
                       ) -> FleetUpdateReport:
         """Route ``(user_label, item_label, rating)`` events to their shards.
 
-        Routing is order-independent: the batch's events form a label
-        graph, and every connected group of labels lands on one shard
-        wherever its events sit in the batch (union-find over the batch,
-        mirroring the component semantics the tier is built on). A group
-        resolves to:
+        **Component plans** route order-independently: the batch's events
+        form a label graph, and every connected group of labels lands on
+        one shard wherever its events sit in the batch (union-find over
+        the batch, mirroring the component semantics the tier is built
+        on). A group resolves to:
 
         1. the single shard its known labels live in → that shard
            (brand-new labels in the group register there too);
         2. two *different* known shards → the batch would merge components
            across shard boundaries; raises
-           :class:`~repro.exceptions.ConfigError` (re-plan via
-           ``shard-fit`` on the merged data);
+           :class:`~repro.exceptions.ConfigError` naming the offending
+           edge and hinting the edge-cut partitioner;
         3. no known label at all → the least-loaded shard (fewest ratings,
            ties to the lowest id).
+
+        **Edge-cut (halo) plans** route per event: an event whose two
+        endpoints are co-located in at least one shard is applied to
+        *every* shard holding both (owner and ghost replicas alike — a
+        co-located apply keeps the frozen degree deficit exact, so those
+        shards stay degree-true). An event introducing a new label lands
+        on the known endpoint's owner shard; replicas that hold only one
+        endpoint cannot see the new edge and their ghost copies go stale
+        within the documented error bound — counted in
+        ``FleetUpdateReport.stale_ghost_events`` with a re-plan ``hint``.
+        An edge between two known labels co-located *nowhere* exceeds
+        what the halo covers and raises :class:`ConfigError`.
 
         The whole batch is pre-validated (rating values and scale, the
         ``duplicates`` policy, cross-shard edges) before any shard
@@ -869,54 +1445,11 @@ class ShardedEngine:
         if not events:
             return report
         with Timer() as timer:
-            # Union-find over the batch's labels, namespaced "u"/"i" — a
-            # user and an item may legitimately share an external label.
-            parent: dict = {}
-
-            def find(key):
-                root = key
-                while parent.get(root, root) != root:
-                    root = parent[root]
-                while parent.get(key, key) != key:  # path compression
-                    parent[key], key = root, parent[key]
-                return root
-
-            for event in events:
-                user_root = find(("u", event[0]))
-                item_root = find(("i", event[1]))
-                if user_root != item_root:
-                    parent[item_root] = user_root
-            group_shard: dict = {}
-            group_label: dict = {}
-            for kind, position, lookup in (
-                    ("u", 0, self._user_shard_by_label),
-                    ("i", 1, self._item_shard_by_label)):
-                for event in events:
-                    label = event[position]
-                    known = lookup.get(label)
-                    if known is None:
-                        continue
-                    root = find((kind, label))
-                    owner = group_shard.setdefault(root, known)
-                    group_label.setdefault(root, label)
-                    if owner != known:
-                        raise ConfigError(
-                            f"update batch links {group_label[root]!r} "
-                            f"(shard {owner}) with {label!r} (shard {known}); "
-                            "cross-shard edges cannot be applied to a "
-                            "component-sharded tier — rebuild the plan "
-                            "(repro.cli shard-fit) on the merged data"
-                        )
-            routed: list[list] = [[] for _ in range(self.n_shards)]
-            loads = [engine.dataset.n_ratings for engine in self.engines]
-            for event in events:
-                root = find(("u", event[0]))
-                shard = group_shard.get(root)
-                if shard is None:  # every label in the group is brand-new
-                    shard = int(np.argmin(loads))
-                    group_shard[root] = shard
-                loads[shard] += 1
-                routed[shard].append(event)
+            if self.plan.has_halos:
+                routed, stale = self._route_events_halo(events)
+            else:
+                routed = self._route_events_component(events)
+                stale = 0
             for shard, shard_events in enumerate(routed):
                 if shard_events:
                     self._validate_events(shard, shard_events, duplicates)
@@ -929,8 +1462,174 @@ class ShardedEngine:
                 self._absorb_new_labels(shard)
                 self._evict_shard_rows(shard)
                 report.per_shard.append((shard, update))
+            if stale:
+                report.stale_ghost_events = stale
+                report.hint = (
+                    f"{stale} event(s) could not reach every halo replica "
+                    "of their endpoints; the untouched ghost copies drift "
+                    f"within the documented bound — {EDGE_CUT_HINT}"
+                )
         report.seconds = timer.elapsed
         return report
+
+    def _route_events_component(self, events) -> list[list]:
+        """Union-find routing for component plans (see :meth:`apply_updates`)."""
+        # Union-find over the batch's labels, namespaced "u"/"i" — a
+        # user and an item may legitimately share an external label.
+        parent: dict = {}
+
+        def find(key):
+            root = key
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(key, key) != key:  # path compression
+                parent[key], key = root, parent[key]
+            return root
+
+        for event in events:
+            user_root = find(("u", event[0]))
+            item_root = find(("i", event[1]))
+            if user_root != item_root:
+                parent[item_root] = user_root
+        group_shard: dict = {}
+        group_label: dict = {}
+        for kind, position, lookup in (
+                ("u", 0, self._user_shard_by_label),
+                ("i", 1, self._item_shard_by_label)):
+            for event in events:
+                label = event[position]
+                known = lookup.get(label)
+                if known is None:
+                    continue
+                root = find((kind, label))
+                owner = group_shard.setdefault(root, known)
+                group_label.setdefault(root, label)
+                if owner != known:
+                    raise ConfigError(
+                        self._cross_shard_message(
+                            events, group_label[root], owner, label, known
+                        )
+                    )
+        routed: list[list] = [[] for _ in range(self.n_shards)]
+        loads = [engine.dataset.n_ratings for engine in self.engines]
+        for event in events:
+            root = find(("u", event[0]))
+            shard = group_shard.get(root)
+            if shard is None:  # every label in the group is brand-new
+                shard = int(np.argmin(loads))
+                group_shard[root] = shard
+            loads[shard] += 1
+            routed[shard].append(event)
+        return routed
+
+    def _cross_shard_message(self, events, label_a, shard_a, label_b,
+                             shard_b) -> str:
+        """Name the offending cross-shard edge as concretely as possible.
+
+        Prefers an actual event from the batch whose two endpoints live in
+        different shards (the direct cut edge); falls back to the two
+        conflicting group labels when the link is transitive through
+        brand-new labels.
+        """
+        for user_label, item_label, _ in events:
+            user_owner = self._user_shard_by_label.get(user_label)
+            item_owner = self._item_shard_by_label.get(item_label)
+            if (user_owner is not None and item_owner is not None
+                    and user_owner != item_owner):
+                return (
+                    f"update event (user={user_label!r}, "
+                    f"item={item_label!r}) is a cross-shard edge: the user "
+                    f"lives in shard {user_owner}, the item in shard "
+                    f"{item_owner}; a component-sharded tier cannot apply "
+                    f"it — {EDGE_CUT_HINT}"
+                )
+        return (
+            f"update batch links {label_a!r} (shard {shard_a}) with "
+            f"{label_b!r} (shard {shard_b}) through new labels; "
+            "cross-shard edges cannot be applied to a component-sharded "
+            f"tier — {EDGE_CUT_HINT}"
+        )
+
+    def _route_events_halo(self, events) -> tuple[list[list], int]:
+        """Per-event replica routing for edge-cut plans.
+
+        Returns ``(routed, stale)`` where ``routed[shard]`` is the
+        shard's event slice (one event may appear in several shards) and
+        ``stale`` counts events some replica of whose endpoints could not
+        be updated. ``pending_*`` track labels registered earlier in this
+        batch so later events in the same batch route consistently.
+        """
+        routed: list[list] = [[] for _ in range(self.n_shards)]
+        loads = [engine.dataset.n_ratings for engine in self.engines]
+        pending_users: dict = {}
+        pending_items: dict = {}
+        stale = 0
+        for event in events:
+            user_label, item_label = event[0], event[1]
+            user_shards = self._shards_with(
+                user_label, "user", pending_users)
+            item_shards = self._shards_with(
+                item_label, "item", pending_items)
+            if user_shards and item_shards:
+                both = sorted(user_shards & item_shards)
+                if not both:
+                    user_owner = self._user_shard_by_label.get(
+                        user_label, pending_users.get(user_label))
+                    item_owner = self._item_shard_by_label.get(
+                        item_label, pending_items.get(item_label))
+                    raise ConfigError(
+                        f"update event (user={user_label!r}, "
+                        f"item={item_label!r}) joins shard {user_owner} to "
+                        f"shard {item_owner} but no shard holds both "
+                        "endpoints — the edge exceeds the plan's "
+                        f"{self.plan.halo_hops}-hop halo; {EDGE_CUT_HINT}"
+                    )
+                for shard in both:
+                    routed[shard].append(event)
+                    loads[shard] += 1
+                if (user_shards | item_shards) - set(both):
+                    stale += 1
+            elif user_shards or item_shards:
+                # One endpoint is brand-new: register it on the known
+                # endpoint's owner shard (the authoritative copy).
+                if user_shards:
+                    owner = self._user_shard_by_label.get(
+                        user_label, pending_users.get(user_label))
+                    pending_items[item_label] = owner
+                    replicas = user_shards
+                else:
+                    owner = self._item_shard_by_label.get(
+                        item_label, pending_items.get(item_label))
+                    pending_users[user_label] = owner
+                    replicas = item_shards
+                routed[owner].append(event)
+                loads[owner] += 1
+                if replicas - {owner}:
+                    stale += 1
+            else:
+                shard = int(np.argmin(loads))
+                routed[shard].append(event)
+                loads[shard] += 1
+                pending_users[user_label] = shard
+                pending_items[item_label] = shard
+        return routed, stale
+
+    def _shards_with(self, label, axis: str, pending: dict) -> set:
+        """Every shard whose dataset holds ``label`` (owned or ghost),
+        plus a registration pending earlier in the current batch."""
+        shards = set()
+        for shard, engine in enumerate(self.engines):
+            try:
+                if axis == "user":
+                    engine.dataset.user_id(label)
+                else:
+                    engine.dataset.item_id(label)
+            except (UnknownUserError, UnknownItemError):
+                continue
+            shards.add(shard)
+        if label in pending:
+            shards.add(pending[label])
+        return shards
 
     def _validate_events(self, shard: int, events, duplicates: str | None,
                          ) -> None:
@@ -1026,6 +1725,11 @@ class ShardedEngine:
             )
             for label in dataset.item_labels[known:]:
                 self._item_shard_by_label[label] = shard
+            if self._item_local_in_shard is not None:
+                # The global item space grew: every shard's dense
+                # global→local map must cover the new tail indices.
+                for other in range(self.n_shards):
+                    self._rebuild_item_map(other)
 
     # -- lifecycle / introspection -------------------------------------------
 

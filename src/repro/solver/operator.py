@@ -93,9 +93,10 @@ class WalkOperator:
                  node_entropy: np.ndarray | None = None,
                  dtype: str = "float64", chunk_size: int = 1024,
                  validate: bool = True, plan_cache_size: int = 32,
-                 factor_cache_size: int = 8):
+                 factor_cache_size: int = 8, substochastic: bool = False):
         self.dtype = check_in_options(dtype, "dtype", SOLVE_DTYPES)
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        self.substochastic = bool(substochastic)
         self.validations = 0
         self.solves = 0
         self.columns_solved = 0
@@ -105,6 +106,19 @@ class WalkOperator:
             self.transition = self._validate(transition)
         else:
             self.transition = self._as_csr64(transition)
+        # Per-node leaked walk mass (substochastic row shortfall). The
+        # τ-sweep charges it the *remaining walk budget* each iteration —
+        # pessimistic completion: a walk escaping the halo is billed as if
+        # it wandered for every step truncation still allows, so halo
+        # values are one-sided overestimates of the full-graph values and
+        # an item can only ever be *demoted* by sharding, never promoted.
+        # (Zero rows get leak 1, but they are unreachable and masked to
+        # inf by every solve path, so the charge is inert.)
+        if self.substochastic:
+            shortfall = 1.0 - np.asarray(self.transition.sum(axis=1)).ravel()
+            self._leak = np.where(shortfall > 1e-12, shortfall, 0.0)
+        else:
+            self._leak = None
         n = self.transition.shape[0]
         if labels is not None:
             labels = np.asarray(labels).ravel()
@@ -149,11 +163,23 @@ class WalkOperator:
         if p.nnz and (p.data.min() < 0):
             raise GraphError("transition matrix has negative entries")
         sums = np.asarray(p.sum(axis=1)).ravel()
+        if self.substochastic:
+            # Degree-true halo mode (DESIGN.md §12): boundary rows leak walk
+            # mass across the shard cut, so any row sum in [0, 1] is legal —
+            # only mass *creation* would corrupt the sweep.
+            bad = np.flatnonzero(sums > 1.0 + 1e-6)
+            if bad.size:
+                raise GraphError(
+                    f"{bad.size} rows exceed unit mass in substochastic mode "
+                    f"(first offender: row {bad[0]}, sum {sums[bad[0]]:.6f})"
+                )
+            return p
         bad = np.flatnonzero((sums > 1e-9) & (np.abs(sums - 1.0) > 1e-6))
         if bad.size:
             raise GraphError(
                 f"{bad.size} rows are neither zero nor stochastic "
-                f"(first offender: row {bad[0]}, sum {sums[bad[0]]:.6f})"
+                f"(first offender: row {bad[0]}, sum {sums[bad[0]]:.6f}); "
+                "pass substochastic=True for degree-true halo transitions"
             )
         return p
 
@@ -306,19 +332,29 @@ class WalkOperator:
     def _sweep_chunk(self, p: sp.csr_matrix, costs: np.ndarray,
                      n_iterations: int, pin_rows: np.ndarray,
                      pin_cols: np.ndarray, x: np.ndarray,
-                     y: np.ndarray) -> np.ndarray:
+                     y: np.ndarray,
+                     leak_costs: np.ndarray | None = None) -> np.ndarray:
         """Run the τ-sweep for one chunk through the (x, y) ping-pong pair.
 
         The first sweep of the classical loop computes ``c + P·0`` — its
         result is just the pinned cost column — so the iteration starts
         there and runs ``τ − 1`` SpMMs, bit-identical to τ sweeps from zero.
+
+        ``leak_costs`` (substochastic mode) is the per-node escaped mass
+        scaled by the per-step cost bound; sweep ``k`` (computing the
+        ``k+1``-step values) adds ``leak_costs · k`` — the upper bound on
+        what an escaped walk could still cost with ``k`` budget steps left.
+        By induction the chunk's result dominates the full-graph truncated
+        values entrywise.
         """
         col = costs[:, None]
         x[:] = col
         x[pin_rows, pin_cols] = 0
-        for _ in range(n_iterations - 1):
+        for step in range(1, n_iterations):
             self._spmm_into(p, x, y)
             y += col
+            if leak_costs is not None:
+                y += leak_costs[:, None] * step
             y[pin_rows, pin_cols] = 0
             x, y = y, x
         return x
@@ -366,6 +402,12 @@ class WalkOperator:
         np_dtype = np.float32 if dtype == "float32" else np.float64
         p = self.matrix(dtype)
         solve_costs = costs.astype(np_dtype, copy=False)
+        leak_costs = None
+        if self._leak is not None and self._leak.any():
+            # Pessimistic completion rate: escaped mass billed at the local
+            # per-step cost ceiling (exactly 1 for unit-cost AT/HT; the
+            # shard-local max is the bound proxy for entropy cost models).
+            leak_costs = (self._leak * float(costs.max())).astype(np_dtype)
 
         out = np.empty((n, n_sets))
         width = min(chunk, n_sets)
@@ -384,7 +426,8 @@ class WalkOperator:
                 xb = np.empty((n, m), dtype=np_dtype)
                 yb = np.empty((n, m), dtype=np_dtype)
             result = self._sweep_chunk(p, solve_costs, n_iterations,
-                                       rows, cols, xb, yb)
+                                       rows, cols, xb, yb,
+                                       leak_costs=leak_costs)
             out[:, lo:hi] = result
         out[~reachable] = np.inf
         out[plan.pin_rows, plan.pin_cols] = 0.0

@@ -1,0 +1,127 @@
+"""Degree-deficit bookkeeping on RatingDataset (halo shard views).
+
+``subset(..., track_cut_degrees=True)`` freezes the rating mass the
+subset boundary cuts away from each kept row/column, so a halo shard can
+keep *degree-true* transitions (divide by the global degree) instead of
+renormalizing leaked mass into the surviving edges. These tests pin the
+arithmetic, the persistence round trip and the extend() behaviour.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import DataError
+from repro.graph.bipartite import UserItemGraph
+
+
+@pytest.fixture()
+def dataset():
+    matrix = np.array([
+        [5.0, 3.0, 0.0, 1.0],
+        [0.0, 2.0, 4.0, 0.0],
+        [1.0, 0.0, 2.0, 3.0],
+    ])
+    return RatingDataset(sp.csr_matrix(matrix),
+                         user_labels=("a", "b", "c"),
+                         item_labels=("w", "x", "y", "z"))
+
+
+class TestTrackCutDegrees:
+    def test_deficit_equals_cut_mass(self, dataset):
+        sub = dataset.subset(users=[0, 1], items=[0, 1],
+                             track_cut_degrees=True)
+        assert sub.has_degree_deficit
+        # user a loses the rating 1.0 on z; user b loses 4.0 on y.
+        np.testing.assert_allclose(sub.user_degree_deficit, [1.0, 4.0])
+        # item w loses user c's 1.0; item x loses nothing.
+        np.testing.assert_allclose(sub.item_degree_deficit, [1.0, 0.0])
+
+    def test_no_cut_means_no_deficit(self, dataset):
+        sub = dataset.subset(users=[0, 1, 2], items=[0, 1, 2, 3],
+                             track_cut_degrees=True)
+        assert not sub.has_degree_deficit
+        assert sub.user_degree_deficit is None
+
+    def test_untracked_subset_has_no_deficit(self, dataset):
+        sub = dataset.subset(users=[0], items=[0, 1])
+        assert not sub.has_degree_deficit
+
+    def test_nested_subsets_accumulate(self, dataset):
+        outer = dataset.subset(users=[0, 1, 2], items=[0, 1, 2],
+                               track_cut_degrees=True)
+        inner = outer.subset(users=[0, 1], items=[0, 1, 2],
+                             track_cut_degrees=True)
+        # user a: z (1.0) cut by outer, nothing more by inner.
+        # user b: loses nothing outer, nothing inner (w,x,y kept).
+        np.testing.assert_allclose(inner.user_degree_deficit, [1.0, 0.0])
+        # item w: outer cut nothing (all users kept), inner cut user c's 1.0.
+        np.testing.assert_allclose(inner.item_degree_deficit,
+                                   [1.0, 0.0, 2.0])
+
+    def test_graph_degrees_match_parent(self, dataset):
+        full = UserItemGraph(dataset)
+        sub = dataset.subset(users=[0, 1], items=[0, 1, 2],
+                             track_cut_degrees=True)
+        local = UserItemGraph(sub)
+        assert local.substochastic
+        nodes = np.array([0, 1, 3, 4, 5])  # users a,b + items w,x,y
+        np.testing.assert_allclose(local.degrees, full.degrees[nodes])
+
+    def test_transition_rows_substochastic(self, dataset):
+        sub = dataset.subset(users=[0, 1], items=[0, 1],
+                             track_cut_degrees=True)
+        sums = np.asarray(
+            UserItemGraph(sub).transition_matrix().sum(axis=1)
+        ).ravel()
+        assert np.all(sums <= 1.0 + 1e-12)
+        assert sums[0] == pytest.approx(8.0 / 9.0)  # user a: 8 of 9 kept
+
+
+class TestDeficitLifecycle:
+    def _tracked(self, dataset):
+        return dataset.subset(users=[0, 1], items=[0, 1],
+                              track_cut_degrees=True)
+
+    def test_arrays_round_trip(self, dataset):
+        sub = self._tracked(dataset)
+        clone = RatingDataset.from_arrays(sub.to_arrays())
+        assert clone.has_degree_deficit
+        np.testing.assert_allclose(clone.user_degree_deficit,
+                                   sub.user_degree_deficit)
+        np.testing.assert_allclose(clone.item_degree_deficit,
+                                   sub.item_degree_deficit)
+
+    def test_deficit_free_arrays_round_trip(self, dataset):
+        arrays = dataset.to_arrays()
+        assert "user_degree_deficit" not in arrays
+        assert not RatingDataset.from_arrays(arrays).has_degree_deficit
+
+    def test_extend_pads_new_rows_with_zero_deficit(self, dataset):
+        sub = self._tracked(dataset)
+        grown = sub.extend([("a", "new-item", 4.0),
+                            ("new-user", "w", 2.0)]).dataset
+        np.testing.assert_allclose(grown.user_degree_deficit,
+                                   [1.0, 4.0, 0.0])
+        np.testing.assert_allclose(grown.item_degree_deficit,
+                                   [1.0, 0.0, 0.0])
+
+    def test_extend_keeps_deficit_frozen_on_new_edges(self, dataset):
+        """A co-located new rating raises the local degree; the frozen
+        deficit then totals exactly the new global degree."""
+        sub = self._tracked(dataset)
+        grown = sub.extend([("b", "w", 3.0)]).dataset
+        degrees = UserItemGraph(grown).degrees
+        # user b: local 2+3, deficit 4 -> 9 == new global degree.
+        assert degrees[1] == pytest.approx(9.0)
+
+    def test_bad_deficit_rejected(self, dataset):
+        with pytest.raises(DataError):
+            RatingDataset(dataset.matrix, dataset.user_labels,
+                          dataset.item_labels,
+                          user_degree_deficit=np.array([1.0]))  # wrong length
+        with pytest.raises(DataError):
+            RatingDataset(dataset.matrix, dataset.user_labels,
+                          dataset.item_labels,
+                          user_degree_deficit=np.array([-1.0, 0.0, 0.0]))

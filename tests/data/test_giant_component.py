@@ -1,0 +1,81 @@
+"""The single giant-component generator behind the edge-cut workloads."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import giant_component
+from repro.exceptions import ConfigError
+from repro.graph.bipartite import UserItemGraph
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return giant_component(scale=0.1, seed=3)
+
+
+class TestGiantComponent:
+    def test_single_connected_component(self, dataset):
+        assert UserItemGraph(dataset).n_components == 1
+
+    def test_single_component_across_seeds(self):
+        for seed in (0, 1, 17, 99):
+            dataset = giant_component(scale=0.05, seed=seed)
+            assert UserItemGraph(dataset).n_components == 1
+
+    def test_deterministic_given_seed(self):
+        a = giant_component(scale=0.05, seed=12)
+        b = giant_component(scale=0.05, seed=12)
+        assert (a.matrix != b.matrix).nnz == 0
+        assert a.user_labels == b.user_labels
+
+    def test_different_seeds_differ(self):
+        a = giant_component(scale=0.05, seed=1)
+        b = giant_component(scale=0.05, seed=2)
+        assert (a.matrix != b.matrix).nnz > 0
+
+    def test_scale_controls_size(self):
+        small = giant_component(scale=0.05, seed=0)
+        large = giant_component(scale=0.2, seed=0)
+        assert large.n_users > small.n_users
+        assert large.n_items > small.n_items
+        # Floors keep tiny scales usable.
+        assert small.n_users >= 40 and small.n_items >= 30
+
+    def test_every_user_and_item_active(self, dataset):
+        user_activity = np.diff(dataset.matrix.indptr)
+        assert np.all(user_activity >= 1)
+        item_counts = np.asarray((dataset.matrix != 0).sum(axis=0)).ravel()
+        assert np.all(item_counts >= 1)
+
+    def test_ratings_on_star_scale(self, dataset):
+        values = dataset.matrix.data
+        assert values.min() >= 1.0 and values.max() <= 5.0
+
+    def test_edges_are_ring_local(self, dataset):
+        """No global hubs: every rating stays within the locality window."""
+        n_users, n_items = dataset.n_users, dataset.n_items
+        coo = dataset.matrix.tocoo()
+        centers = np.floor(coo.row * n_items / n_users).astype(np.int64)
+        distance = np.abs(coo.col - centers)
+        distance = np.minimum(distance, n_items - distance)
+        # window=0.08 default, plus the minimum half-width floor.
+        half = max(int(round(0.08 * n_items / 2.0)), 2)
+        assert distance.max() <= half + 1
+
+    def test_popularity_is_skewed(self):
+        dataset = giant_component(scale=0.3, seed=5)
+        counts = np.sort(
+            np.asarray((dataset.matrix != 0).sum(axis=0)).ravel()
+        )[::-1]
+        top_decile = counts[: max(len(counts) // 10, 1)].sum()
+        # Zipf attractiveness inside each window: the head carries far
+        # more than its uniform share (10%).
+        assert top_decile / counts.sum() > 0.15
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            giant_component(scale=0.0)
+        with pytest.raises(ConfigError):
+            giant_component(window=1.5)
+        with pytest.raises(ConfigError):
+            giant_component(activity_min=10, activity_max=10)

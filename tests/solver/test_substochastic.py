@@ -1,0 +1,111 @@
+"""Substochastic (degree-true halo) solves: validation + pessimistic bound.
+
+A halo shard's transition rows divide the surviving edges by the *global*
+degree, so boundary rows sum below one. The operator's substochastic mode
+accepts them and bills the leaked mass the full remaining walk budget
+each sweep ("pessimistic completion"), making every halo value an upper
+bound on the full-graph truncated value — the property the edge-cut
+serving tier's error contract stands on. These tests pin the mode's
+validation envelope and the bound itself on a graph small enough to
+check by hand.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.solver import WalkOperator
+from repro.utils.sparse import row_normalize, safe_divide_rows
+
+
+def _path_adjacency(n: int) -> sp.csr_matrix:
+    """Undirected path graph 0—1—…—(n−1), unit weights."""
+    rows = np.arange(n - 1)
+    data = np.ones(n - 1)
+    upper = sp.csr_matrix((data, (rows, rows + 1)), shape=(n, n))
+    return (upper + upper.T).tocsr()
+
+
+class TestValidation:
+    def test_default_mode_rejects_substochastic_rows(self):
+        p = sp.csr_matrix(np.array([[0.0, 0.5], [0.5, 0.5]]))
+        with pytest.raises(GraphError, match="substochastic=True"):
+            WalkOperator(p)
+
+    def test_substochastic_mode_accepts_leaky_rows(self):
+        p = sp.csr_matrix(np.array([[0.0, 0.5], [0.5, 0.5]]))
+        operator = WalkOperator(p, substochastic=True)
+        assert operator.substochastic
+        np.testing.assert_allclose(operator._leak, [0.5, 0.0])
+
+    def test_substochastic_mode_still_rejects_mass_creation(self):
+        p = sp.csr_matrix(np.array([[0.6, 0.6], [0.5, 0.5]]))
+        with pytest.raises(GraphError, match="exceed unit mass"):
+            WalkOperator(p, substochastic=True)
+
+    def test_stochastic_matrix_has_no_leak_in_either_mode(self):
+        p = row_normalize(_path_adjacency(4))
+        assert WalkOperator(p)._leak is None
+        leak = WalkOperator(p, substochastic=True)._leak
+        np.testing.assert_allclose(leak, 0.0)
+
+
+class TestPessimisticCompletion:
+    """Halo values dominate the full-graph values, entrywise."""
+
+    N = 9
+    HALO = 6  # nodes 0..5 kept; edges to node 6 are cut
+
+    def _operators(self):
+        adjacency = _path_adjacency(self.N)
+        full = WalkOperator(row_normalize(adjacency))
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        kept = np.arange(self.HALO)
+        sub = adjacency[kept][:, kept].tocsr()
+        halo = WalkOperator(safe_divide_rows(sub, degrees[kept]),
+                            substochastic=True)
+        return full, halo
+
+    @pytest.mark.parametrize("tau", [3, 7, 15])
+    def test_upper_bound_at_every_truncation(self, tau):
+        full, halo = self._operators()
+        absorbing = np.array([0])
+        x_full = full.solve(absorbing, n_iterations=tau)
+        x_halo = halo.solve(absorbing, n_iterations=tau)
+        assert np.all(x_halo[: self.HALO] >= x_full[: self.HALO] - 1e-12)
+        # ... and still a *truncated* value: never above the budget.
+        assert np.all(x_halo[np.isfinite(x_halo)] <= tau + 1e-12)
+
+    def test_interior_nodes_unaffected_by_short_walks(self):
+        """With τ too small to reach the cut, halo == full exactly."""
+        full, halo = self._operators()
+        absorbing = np.array([0])
+        x_full = full.solve(absorbing, n_iterations=3)
+        x_halo = halo.solve(absorbing, n_iterations=3)
+        # Nodes 0-2: every ≤3-step path stays ≥2 hops from the cut edge.
+        np.testing.assert_allclose(x_halo[:3], x_full[:3], rtol=0, atol=1e-12)
+
+    def test_stochastic_substochastic_flag_is_inert(self):
+        p = row_normalize(_path_adjacency(5))
+        absorbing = np.array([0])
+        a = WalkOperator(p).solve(absorbing, n_iterations=9)
+        b = WalkOperator(p, substochastic=True).solve(absorbing, n_iterations=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_float32_path_applies_the_bound_too(self):
+        full, halo = self._operators()
+        absorbing = np.array([0])
+        x64 = halo.solve(absorbing, n_iterations=15)
+        x32 = halo.solve(absorbing, n_iterations=15, dtype="float32")
+        np.testing.assert_allclose(x32[np.isfinite(x64)],
+                                   x64[np.isfinite(x64)], rtol=1e-4)
+
+    def test_multi_rhs_matches_single(self):
+        _, halo = self._operators()
+        sets = [np.array([0]), np.array([5]), np.array([0, 3])]
+        multi = halo.solve_multi(sets, n_iterations=11)
+        for column, absorbing in enumerate(sets):
+            np.testing.assert_array_equal(
+                multi[:, column], halo.solve(absorbing, n_iterations=11)
+            )
