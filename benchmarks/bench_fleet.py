@@ -1,0 +1,179 @@
+"""Process-fleet serving: parity receipts, recovery latency, WAL replay.
+
+The multi-process fleet's promise is *robustness at bounded cost*: the
+same answers as the in-process :class:`ShardedEngine` (the workers run
+identical engine code behind a pipe), with supervision that turns a
+SIGKILLed worker into a restart + write-ahead-log replay instead of an
+outage. This bench measures what that costs and proves what it preserves:
+
+* **boot** — spawning one worker process per shard from saved artifacts
+  vs loading the same artifacts in-process;
+* **cold / warm serve** — full-cohort serving through pipe RPCs vs
+  in-process calls. The warm path hits the supervisor's own row cache,
+  so it pays no RPC at all; the cold path pays one pipe round-trip per
+  shard group. The ratio is *reported, not gated* — this box may have a
+  single CPU, where process parallelism cannot win by construction;
+* **recovery** — a worker SIGKILLed externally, timed from the kill to
+  ``restart_shard`` returning a healthy row (artifact re-boot + WAL
+  replay included);
+* **crash-mid-update parity** — a scripted ``"after-apply"`` SIGKILL
+  (the double-apply hazard: state mutated, ack never sent) must leave
+  ranked lists bit-identical to a fleet that never crashed.
+
+Asserted at any scale: row parity for cold and warm serving, recovery
+parity after the mid-update crash, exactly one restart and one replayed
+batch for the scripted crash. Results land in ``BENCH_fleet.json`` at the
+repo root.
+"""
+
+import json
+import os
+import signal
+import tempfile
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale
+from repro import AbsorbingTimeRecommender, ShardedEngine
+from repro.data.synthetic import federated_dataset
+from repro.service import FaultSpec, ProcessShardFleet
+from repro.utils.timer import Timer
+
+N_TENANTS = 6
+N_SHARDS = 3
+K = 10
+REPEATS = 5
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(_REPO_ROOT, "BENCH_fleet.json")
+
+
+def _best_cold(engine, cohort) -> tuple[float, list]:
+    best, rows = float("inf"), None
+    for _ in range(REPEATS):
+        engine.clear_caches()
+        with Timer() as timer:
+            report = engine.serve_cohort(cohort, k=K)
+        if timer.elapsed < best:
+            best, rows = timer.elapsed, report.rows
+    return best, rows
+
+
+def _best_warm(engine, cohort) -> tuple[float, list]:
+    engine.serve_cohort(cohort, k=K)
+    best, rows = float("inf"), None
+    for _ in range(REPEATS):
+        with Timer() as timer:
+            report = engine.serve_cohort(cohort, k=K)
+        if timer.elapsed < best:
+            best, rows = timer.elapsed, report.rows
+    return best, rows
+
+
+def _topk(fleet, users):
+    return {user: [(r.item, r.label, r.score)
+                   for r in fleet.recommend(user, k=K)]
+            for user in users}
+
+
+def test_fleet_parity_recovery_and_throughput():
+    scale = bench_scale()
+    train = federated_dataset(N_TENANTS, scale=scale, seed=11)
+    cohort = np.arange(train.n_users)
+
+    fitted = ShardedEngine.fit(train, AbsorbingTimeRecommender,
+                               n_shards=N_SHARDS)
+    with tempfile.TemporaryDirectory() as workdir:
+        artifacts = os.path.join(workdir, "artifacts")
+        fitted.save(artifacts)
+
+        with Timer() as inproc_boot:
+            inproc = ShardedEngine.from_directory(artifacts)
+        with Timer() as fleet_boot:
+            fleet = ProcessShardFleet.from_directory(
+                artifacts, wal_dir=os.path.join(workdir, "wal"))
+
+        with fleet:
+            cold_inproc_s, inproc_rows = _best_cold(inproc, cohort)
+            cold_fleet_s, fleet_rows = _best_cold(fleet, cohort)
+            cold_parity = fleet_rows == inproc_rows
+
+            warm_inproc_s, inproc_warm_rows = _best_warm(inproc, cohort)
+            warm_fleet_s, fleet_warm_rows = _best_warm(fleet, cohort)
+            warm_parity = fleet_warm_rows == inproc_warm_rows
+
+            # Recovery latency: SIGKILL a live worker, time the heal —
+            # crash cleanup, artifact re-boot, (empty) WAL replay, ping.
+            victim = fleet.shard_of_user(0)
+            os.kill(fleet.worker_pid(victim), signal.SIGKILL)
+            with Timer() as recovery:
+                row = fleet.restart_shard(victim)
+            assert row["state"] == "up"
+            restarts_after_kill = fleet.restarts
+
+        # Crash-mid-update parity: scripted after-apply SIGKILL vs a
+        # fleet that never crashed, same events, fresh WALs each.
+        events = [
+            (train.user_labels[0], train.item_labels[0], 5.0),
+            ("fleet-bench-new-user", train.item_labels[0], 4.0),
+        ]
+        probe = list(range(0, train.n_users, max(1, train.n_users // 16)))
+        with ProcessShardFleet.from_directory(
+                artifacts, wal_dir=os.path.join(workdir, "wal-clean"),
+        ) as clean:
+            shard = clean.shard_of_user(0)
+            clean.apply_updates(events, duplicates="last")
+            clean_top = _topk(clean, probe + [clean.n_users - 1])
+        with ProcessShardFleet.from_directory(
+                artifacts, wal_dir=os.path.join(workdir, "wal-crash"),
+                faults={shard: FaultSpec(crash_mid_update="after-apply")},
+        ) as crashed:
+            with Timer() as crash_recovery:
+                report = crashed.apply_updates(events, duplicates="last")
+            replayed = report.replayed_batches
+            crash_restarts = crashed.restarts
+            recovery_parity = (
+                _topk(crashed, probe + [crashed.n_users - 1]) == clean_top
+            )
+
+    payload = {
+        "bench": "fleet",
+        "algorithm": "AT",
+        "scale": scale,
+        "n_tenants": N_TENANTS,
+        "n_shards": N_SHARDS,
+        "n_users": int(train.n_users),
+        "n_items": int(train.n_items),
+        "n_ratings": int(train.n_ratings),
+        "k": K,
+        "inproc_boot_s": round(inproc_boot.elapsed, 4),
+        "fleet_boot_s": round(fleet_boot.elapsed, 4),
+        "cold_inproc_s": round(cold_inproc_s, 4),
+        "cold_fleet_s": round(cold_fleet_s, 4),
+        "cold_fleet_vs_inproc": round(
+            cold_inproc_s / cold_fleet_s if cold_fleet_s > 0 else 1.0, 2),
+        "warm_inproc_s": round(warm_inproc_s, 4),
+        "warm_fleet_s": round(warm_fleet_s, 4),
+        "warm_fleet_vs_inproc": round(
+            warm_inproc_s / warm_fleet_s if warm_fleet_s > 0 else 1.0, 2),
+        "restart_to_healthy_s": round(recovery.elapsed, 4),
+        "crash_mid_update_recovery_s": round(crash_recovery.elapsed, 4),
+        "cold_row_parity": cold_parity,
+        "warm_row_parity": warm_parity,
+        "recovery_parity": recovery_parity,
+        "restarts_after_sigkill": restarts_after_kill,
+        "replayed_batches": replayed,
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nfleet bench: {json.dumps(payload, indent=2, sort_keys=True)}")
+
+    # Robustness gates hold at every scale; throughput ratios are
+    # reported only (a 1-CPU runner cannot show a parallelism win).
+    assert cold_parity and warm_parity
+    assert recovery_parity
+    assert restarts_after_kill == 1
+    assert crash_restarts == 1
+    assert replayed == 1
+    assert payload["restart_to_healthy_s"] < 30.0

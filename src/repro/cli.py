@@ -12,6 +12,7 @@ Usage (module form; also installed as the ``repro-experiments`` script)::
         --out at-model-updated.npz
     python -m repro.cli shard-fit --algorithm AT --shards 4 --out fleet/
     python -m repro.cli serve --shards fleet/ --n-users 64 --k 10
+    python -m repro.cli serve --shards fleet/ --fleet-procs 4 --n-users 64
     python -m repro.cli update --shards fleet/ --events events.log --out fleet/
 
 ``run`` maps each experiment name to its driver in :mod:`repro.experiments`
@@ -27,6 +28,11 @@ is the incremental half: it replays a rating-event log (new users, new
 items, re-rates) against a saved artifact through
 :meth:`~repro.service.ServingEngine.apply_updates` — no refit, targeted
 cache invalidation — and can save the updated artifact back.
+``--fleet-procs N`` on ``serve`` / ``serve-http`` runs a sharded fleet as
+one supervised worker process per shard (crash restarts, write-ahead-log
+replay, degraded serving while a shard is down); ``serve-http`` stops
+admission, drains in-flight requests, and prints its report when it
+receives SIGTERM or SIGINT.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ import argparse
 import asyncio
 import json
 import os
+import signal
 import sys
 
 import numpy as np
@@ -58,11 +65,13 @@ from repro.experiments import (
 )
 from repro.data.synthetic import federated_dataset, giant_component
 from repro.experiments.suite import PAPER_ORDER, make_algorithms, make_data
-from repro.exceptions import ReproError
+from repro.core.artifacts import peek_artifact
+from repro.exceptions import ConfigError, ReproError
 from repro.service import (
     PARTITIONERS,
     BatchingServer,
     HttpFrontend,
+    ProcessShardFleet,
     ServingEngine,
     ShardedEngine,
     ShardPlan,
@@ -238,6 +247,11 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--shards", default=None, metavar="DIR",
                         help="sharded-artifact directory written by "
                              "'shard-fit' (instead of --artifact)")
+    online.add_argument("--fleet-procs", type=int, default=0, metavar="N",
+                        help="with --shards: run the fleet as N supervised "
+                             "worker processes (one per shard; N must equal "
+                             "the plan's shard count) with crash restarts "
+                             "and WAL recovery; 0 = in-process (default)")
     online.add_argument("--store", default=None,
                         help="optional TopKStore written by 'fit --store-out'")
     online.add_argument("--users-file", default=None,
@@ -274,6 +288,12 @@ def build_parser() -> argparse.ArgumentParser:
     http.add_argument("--shards", default=None, metavar="DIR",
                       help="sharded-artifact directory written by "
                            "'shard-fit' (instead of --artifact)")
+    http.add_argument("--fleet-procs", type=int, default=0, metavar="N",
+                      help="with --shards: run the fleet as N supervised "
+                           "worker processes (one per shard; N must equal "
+                           "the plan's shard count); degraded shards answer "
+                           "HTTP 503 until restarted; 0 = in-process "
+                           "(default)")
     http.add_argument("--store", default=None,
                       help="optional TopKStore written by 'fit --store-out' "
                            "(single-artifact serving only)")
@@ -456,13 +476,59 @@ def _require_one_source(args, parser_hint: str) -> bool:
         print(f"error: {parser_hint} needs exactly one of --artifact or "
               "--shards", file=sys.stderr)
         return False
+    if getattr(args, "fleet_procs", 0) and args.shards is None:
+        print(f"error: {parser_hint} --fleet-procs requires --shards",
+              file=sys.stderr)
+        return False
     return True
+
+
+def _boot_fleet(args) -> ProcessShardFleet:
+    """Boot a supervised multi-process fleet from ``--shards``.
+
+    ``--fleet-procs`` must equal the plan's shard count — the fleet runs
+    exactly one worker process per shard, so any other value is a config
+    mistake, not a tunable.
+    """
+    plan = ShardPlan.load(os.path.join(args.shards, "plan.npz"))
+    if args.fleet_procs != plan.n_shards:
+        raise ConfigError(
+            f"--fleet-procs {args.fleet_procs} does not match the plan's "
+            f"{plan.n_shards} shard(s); the fleet runs exactly one worker "
+            "process per shard (use --fleet-procs "
+            f"{plan.n_shards}, or 0 for in-process serving)"
+        )
+    kwargs = {}
+    workers = getattr(args, "workers", 1)
+    if workers and workers > 1:
+        kwargs["engine_kwargs"] = {"n_workers": workers}
+    return ProcessShardFleet.from_directory(args.shards, **kwargs)
+
+
+def _fleet_name(args) -> str:
+    """Recommender name from the first shard's artifact header (O(open))."""
+    return peek_artifact(os.path.join(args.shards, "shard-000.npz"))["name"]
 
 
 def _serve(args) -> int:
     if not _require_one_source(args, "serve"):
         return 2
-    if args.shards is not None:
+    if args.shards is not None and args.fleet_procs:
+        print(f"Loading sharded artifacts {args.shards} "
+              "(multi-process fleet) ...", flush=True)
+        with Timer() as load_timer:
+            engine = _boot_fleet(args)
+        if args.store:
+            print("   note: --store is ignored for sharded serving")
+        if args.dtype is not None:
+            print("   note: --dtype is ignored for --fleet-procs; workers "
+                  "boot with the artifact's saved precision policy")
+        name = _fleet_name(args)
+        n_users_total = engine.n_users
+        print(f"   {name} fleet: {engine.n_shards} worker process(es), "
+              f"{engine.n_users} users × {engine.n_items} items "
+              f"(booted in {load_timer.elapsed:.2f}s, no refit)")
+    elif args.shards is not None:
         print(f"Loading sharded artifacts {args.shards} ...", flush=True)
         with Timer() as load_timer:
             engine = ShardedEngine.from_directory(
@@ -517,6 +583,8 @@ def _serve(args) -> int:
     if args.out:
         write_csv(report.rows, args.out)
         print(f"[saved] {args.out}")
+    if isinstance(engine, ProcessShardFleet):
+        engine.close()
     return 0
 
 
@@ -567,7 +635,19 @@ async def _http_self_test(engine, host: str, port: int, n: int, k: int,
 def _serve_http(args) -> int:
     if not _require_one_source(args, "serve-http"):
         return 2
-    if args.shards is not None:
+    if args.shards is not None and args.fleet_procs:
+        print(f"Loading sharded artifacts {args.shards} "
+              "(multi-process fleet) ...", flush=True)
+        with Timer() as load_timer:
+            engine = _boot_fleet(args)
+        if args.store:
+            print("   note: --store is ignored for sharded serving")
+        name = _fleet_name(args)
+        n_users_total = engine.n_users
+        print(f"   {name} fleet: {engine.n_shards} worker process(es), "
+              f"{engine.n_users} users × {engine.n_items} items "
+              f"(booted in {load_timer.elapsed:.2f}s, no refit)")
+    elif args.shards is not None:
         print(f"Loading sharded artifacts {args.shards} ...", flush=True)
         with Timer() as load_timer:
             engine = ShardedEngine.from_directory(args.shards,
@@ -618,13 +698,37 @@ def _serve_http(args) -> int:
                     else:
                         print(f"[self-test] OK: {args.self_test} concurrent "
                               "responses bit-identical to engine.recommend")
-                elif args.duration > 0:
-                    await asyncio.sleep(args.duration)
                 else:
+                    # Clean drain on SIGTERM/SIGINT: the signal only sets
+                    # an event; leaving the HttpFrontend context then stops
+                    # admission (closes the listener) and leaving the
+                    # BatchingServer context finishes every in-flight
+                    # request before the report below is flushed.
+                    stop = asyncio.Event()
+                    loop = asyncio.get_running_loop()
+                    hooked = []
+                    for signum in (signal.SIGINT, signal.SIGTERM):
+                        try:
+                            loop.add_signal_handler(signum, stop.set)
+                        except (NotImplementedError, RuntimeError,
+                                ValueError):
+                            continue  # non-main thread / platform limits
+                        hooked.append(signum)
                     try:
-                        await asyncio.Event().wait()  # serve until Ctrl-C
-                    except asyncio.CancelledError:
-                        pass
+                        if args.duration > 0:
+                            try:
+                                await asyncio.wait_for(stop.wait(),
+                                                       timeout=args.duration)
+                            except asyncio.TimeoutError:
+                                pass
+                        else:
+                            await stop.wait()  # serve until a signal lands
+                        if stop.is_set():
+                            print("\n[serve-http] signal received; draining "
+                                  "in-flight requests ...", flush=True)
+                    finally:
+                        for signum in hooked:
+                            loop.remove_signal_handler(signum)
             report = server.report()
         print(format_table([report.summary()],
                            title=f"serve-http: {name} front-end report"))
@@ -633,8 +737,13 @@ def _serve_http(args) -> int:
     try:
         return asyncio.run(_run())
     except KeyboardInterrupt:
+        # Fallback for platforms where add_signal_handler is unavailable;
+        # on the normal path SIGINT is absorbed by the drain above.
         print("\n[serve-http] interrupted; shutting down")
         return 0
+    finally:
+        if isinstance(engine, ProcessShardFleet):
+            engine.close()
 
 
 def _update(args) -> int:

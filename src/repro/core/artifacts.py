@@ -41,6 +41,7 @@ __all__ = [
     "registered_recommenders",
     "save_artifact",
     "load_artifact",
+    "peek_artifact",
 ]
 
 
@@ -196,6 +197,45 @@ def save_artifact(recommender: Recommender, path: str) -> str:
     path = _npz_path(path)
     np.savez_compressed(path, **payload)
     return path
+
+
+def peek_artifact(path: str) -> dict:
+    """Read an artifact's JSON header without constructing the model.
+
+    Returns ``{"format_version", "class", "name", "config"}`` after the
+    same validation :func:`load_artifact` applies (readable file, meta
+    header present, supported format version, registered class) — but
+    touches only the header member of the archive, so a supervisor can
+    verify every shard artifact it may later restart from in O(open)
+    instead of O(parse).
+    """
+    try:
+        archive = np.load(_npz_path(path), allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(f"cannot read artifact {path!r}: {exc}") from None
+    with archive:
+        if _META_KEY not in archive.files:
+            raise ArtifactError(
+                f"{path!r} is not a model artifact (no meta header)"
+            )
+        try:
+            meta = json.loads(str(archive[_META_KEY]))
+            version = meta["format_version"]
+            class_name = meta["class"]
+            meta["config"]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ArtifactError(f"corrupt artifact header in {path!r}: {exc}") from None
+    if version != ARTIFACT_FORMAT_VERSION:
+        raise ArtifactError(
+            f"artifact format version {version} != supported "
+            f"{ARTIFACT_FORMAT_VERSION}; re-fit and re-save the model"
+        )
+    if class_name not in RECOMMENDER_REGISTRY:
+        raise ArtifactError(
+            f"artifact class {class_name!r} is not in the recommender "
+            f"registry ({sorted(RECOMMENDER_REGISTRY)})"
+        )
+    return meta
 
 
 def load_artifact(path: str) -> Recommender:

@@ -60,6 +60,27 @@ class DeadlineExceededError(ReproError):
     in-flight; the pending solve result, if any, is discarded."""
 
 
+class ShardUnavailableError(ReproError):
+    """A request was routed to a shard whose worker process is down.
+
+    Raised by the multi-process fleet's degraded-serving mode: the
+    supervisor exhausted its restart budget (or the shard is mid-restart
+    and the request cannot wait), so requests owned by that shard fail
+    with this typed error while every healthy shard keeps answering.
+    Recover with ``ProcessShardFleet.restart_shard``.
+
+    Attributes
+    ----------
+    shard:
+        The unavailable shard id.
+    """
+
+    def __init__(self, shard: int, reason: str = ""):
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"shard {shard} is unavailable{detail}")
+        self.shard = shard
+
+
 class UnknownUserError(ReproError):
     """A user id was not found in the dataset.
 

@@ -11,11 +11,19 @@ batch path in bounded-memory chunks and reports throughput;
 :class:`ShardPlan` / :class:`ShardedEngine` partition the graph by
 connected component into a fleet of per-shard engines (score-exact for
 the walk family) with label-routed updates, a fleet-level row cache and
-merged :class:`FleetReport`\\ s. ``python -m repro.cli fit`` / ``serve`` /
-``serve-batch`` / ``shard-fit`` are the command-line fronts.
+merged :class:`FleetReport`\\ s; :class:`ProcessShardFleet` runs the same
+fleet with one *worker process per shard* under a supervisor — health
+checks, bounded-backoff restarts, a per-shard write-ahead log replayed on
+recovery, and degraded serving (healthy shards keep answering while a dead
+shard raises :class:`~repro.exceptions.ShardUnavailableError`), with
+:class:`FaultSpec` scripting deterministic crashes for failure-injection
+tests. ``python -m repro.cli fit`` / ``serve`` / ``serve-batch`` /
+``shard-fit`` are the command-line fronts.
 """
 
 from repro.service.engine import EngineReport, ServingEngine, UpdateReport
+from repro.service.faults import CRASH_POINTS, FaultSpec
+from repro.service.fleet import ProcessShardFleet
 from repro.service.serving import (
     BatchServingReport,
     load_event_file,
@@ -37,18 +45,22 @@ from repro.service.sharding import (
     FleetUpdateReport,
     ShardedEngine,
     ShardPlan,
+    validate_shard_events,
 )
 from repro.service.store import STORE_FORMAT_VERSION, TopKStore
 
 __all__ = [
     "BatchServingReport",
     "BatchingServer",
+    "CRASH_POINTS",
     "EDGE_CUT_HINT",
     "EngineReport",
+    "FaultSpec",
     "PARTITIONERS",
     "FleetReport",
     "FleetUpdateReport",
     "HttpFrontend",
+    "ProcessShardFleet",
     "ServerReport",
     "ServingEngine",
     "SHARD_PLAN_FORMAT_VERSION",
@@ -62,4 +74,5 @@ __all__ = [
     "percentile",
     "rows_from_ranked_arrays",
     "serve_user_cohort",
+    "validate_shard_events",
 ]

@@ -812,6 +812,17 @@ class ServingEngine:
                 del self._results[key]
             return len(stale)
 
+    def health(self) -> dict:
+        """Liveness in the shape the HTTP ``/health`` probe serves.
+
+        A single in-process engine is healthy whenever it can run at all;
+        the hook exists so every engine flavour (single, in-process fleet,
+        process fleet) answers the same probe — the process fleet's
+        version reports real per-shard up/down state and degrades the
+        HTTP status to 503.
+        """
+        return {"status": "ok", "shards": []}
+
     def stats(self) -> dict:
         """Lifetime cache counters of both layers plus store presence."""
         with self._lock:

@@ -1,0 +1,1535 @@
+"""Fault-tolerant multi-process shard fleet: supervisor, WAL, degraded serving.
+
+The in-process :class:`~repro.service.sharding.ShardedEngine` shares one
+fate with its shards: a segfault, a poisoned update or a wedged solve in
+any shard takes the whole tier down. This module moves each shard into its
+**own worker process** and puts a supervisor in front, so the failure
+domain shrinks from "the fleet" to "one shard":
+
+* :class:`ProcessShardFleet` runs one worker per shard over a
+  ``multiprocessing`` pipe (stdlib only — no new dependencies). Each
+  worker boots its :class:`~repro.service.ServingEngine` from the shard's
+  saved artifact (:func:`~repro.core.artifacts.load_artifact`, no
+  refitting) and answers a small RPC vocabulary: serve, validate, apply,
+  save, stats, ping.
+* **Supervision.** Every request runs under a per-request timeout with a
+  fast-path crash detector (the supervisor polls the pipe in 50 ms slices
+  and checks ``Process.is_alive()``, so a SIGKILL'd worker is noticed in
+  milliseconds, not after the full timeout). A dead or wedged worker is
+  restarted from its artifact with bounded exponential backoff; read-only
+  requests are retried on the replacement, and when the retry budget runs
+  out the shard is marked *down*.
+* **Write-ahead log.** Update batches are appended (JSON line, flushed
+  and ``fsync``'d) to a per-shard WAL *after* worker-side validation and
+  *before* dispatch, so the WAL only ever holds batches that are
+  guaranteed to replay cleanly. A worker killed mid-update is restarted
+  and the WAL replayed in order — the engine's model version and ranking
+  state come back **bit-identical** to a never-crashed worker, whether
+  the crash hit before or after the mutation (apply RPCs are never
+  re-sent over the wire; the replay *is* the retry, so a batch can never
+  double-apply). :meth:`save` checkpoints every shard and then truncates
+  the WALs — on the next boot there is nothing to replay.
+* **Degraded serving.** A shard that exhausts its restart budget stops
+  the fleet for *its* users only: ``recommend`` / ``serve_cohort`` raise
+  :class:`~repro.exceptions.ShardUnavailableError`, ``recommend_many``
+  returns that error object at the down positions, and every healthy
+  shard keeps answering. :meth:`health` reports per-shard state (surfaced
+  as HTTP 503 by :class:`~repro.service.server.HttpFrontend`) and
+  :meth:`restart_shard` brings a shard back — replaying any update
+  batches that were stranded in its WAL.
+
+Durability boundary: the WAL makes *worker* crashes lossless. If the
+supervisor itself dies between a shard's ``save`` checkpoint and the WAL
+truncation that follows it, the next boot replays batches the checkpoint
+already contains — detectable (the replayed model version overshoots) but
+not auto-healed; the window is a few milliseconds and closing it needs a
+WAL sequence number in the artifact, noted in DESIGN.md §13. A torn final
+WAL line (supervisor killed mid-append) is safely dropped: appends are
+fsync'd before dispatch, so a torn line was never applied anywhere.
+
+Scripted failures for tests live in :mod:`repro.service.faults`; the
+fleet wires a :class:`~repro.service.faults.FaultSpec` into the target
+shard's first worker incarnation (every incarnation when ``persistent``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+import repro.exceptions as _exceptions
+from repro.core.artifacts import peek_artifact
+from repro.core.base import Recommendation
+from repro.exceptions import (
+    ArtifactError,
+    ConfigError,
+    ReproError,
+    ShardUnavailableError,
+    UnknownItemError,
+    UnknownUserError,
+)
+from repro.service.faults import FaultSpec
+from repro.service.serving import _label_array, rows_from_ranked_arrays
+from repro.service.sharding import (
+    EDGE_CUT_HINT,
+    FleetReport,
+    FleetUpdateReport,
+    ShardPlan,
+    _PLAN_FILENAME,
+    _shard_artifact_name,
+    validate_shard_events,
+)
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    as_exclude_array,
+    as_index_array,
+    check_non_negative_int,
+    check_positive_int,
+    is_index,
+)
+
+__all__ = ["ProcessShardFleet"]
+
+#: RPC methods that count as *serving* requests for FaultSpec triggers
+#: (pings and supervision traffic must never perturb a scripted failure).
+_SERVING_METHODS = frozenset({"recommend", "recommend_many", "serve_cohort"})
+
+#: Sentinel returned by the non-retryable request path when the worker
+#: crashed mid-apply and the batch was recovered through WAL replay — the
+#: caller reads the replayed response off the worker handle instead.
+_REPLAYED = object()
+
+
+class _WorkerCrashed(Exception):
+    """Internal: the worker process died under a request (exit, EOF, pipe)."""
+
+
+class _WorkerHung(Exception):
+    """Internal: the worker stayed alive but missed the request deadline."""
+
+
+# -- error marshalling ---------------------------------------------------------
+#
+# Exceptions cross the pipe as plain dicts, not pickled exception objects:
+# default pickling re-calls ``cls(formatted_message)``, which double-wraps
+# the constructor-formatting errors (``UnknownUserError("unknown user: 'x'")``
+# would render "unknown user: \"unknown user: 'x'\""), and a worker raising
+# something unpicklable must not take the supervisor down with it.
+
+
+def _marshal_error(exc: BaseException) -> dict:
+    payload = {"type": type(exc).__name__, "message": str(exc)}
+    if isinstance(exc, UnknownUserError):
+        payload["user"] = exc.user
+    if isinstance(exc, UnknownItemError):
+        payload["item"] = exc.item
+    return payload
+
+
+def _unmarshal_error(payload: dict) -> Exception:
+    name = payload.get("type", "")
+    message = payload.get("message", "")
+    if name == "UnknownUserError":
+        return UnknownUserError(payload.get("user"))
+    if name == "UnknownItemError":
+        return UnknownItemError(payload.get("item"))
+    cls = getattr(_exceptions, name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        try:
+            return cls(message)
+        except TypeError:
+            return ReproError(message)
+    return RuntimeError(f"shard worker failed ({name}): {message}")
+
+
+# -- worker process ------------------------------------------------------------
+
+
+def _worker_main(conn, shard: int, artifact_path: str,
+                 engine_kwargs: dict | None, fault: FaultSpec | None) -> None:
+    """One shard's process: boot the engine, answer RPCs until shutdown.
+
+    Protocol: the worker first sends a *hello* (``("ok", {...})`` with the
+    dataset shape and full label lists — the supervisor builds its routing
+    tables from it), then answers each received ``(method, payload)`` with
+    ``("ok", result)`` or ``("error", marshalled)``. Errors never kill the
+    loop; only a closed pipe, a shutdown RPC or an injected fault does.
+    """
+    import repro  # noqa: F401  (populates RECOMMENDER_REGISTRY under spawn)
+    from repro.service.engine import ServingEngine
+
+    # The supervisor owns lifecycle; a Ctrl-C on the terminal must reach
+    # the parent's drain logic, not SIGINT every worker mid-request.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        engine = ServingEngine.from_artifact(artifact_path,
+                                             **(engine_kwargs or {}))
+    except BaseException as exc:  # boot failure is the hello
+        try:
+            conn.send(("error", _marshal_error(exc)))
+        except (BrokenPipeError, OSError):
+            pass
+        conn.close()
+        return
+    dataset = engine.dataset
+    conn.send(("ok", {
+        "type": "hello",
+        "pid": os.getpid(),
+        "n_users": int(dataset.n_users),
+        "n_items": int(dataset.n_items),
+        "n_ratings": int(dataset.n_ratings),
+        "user_labels": list(dataset.user_labels),
+        "item_labels": list(dataset.item_labels),
+        "model_version": engine.model_version,
+    }))
+    served = 0
+    while True:
+        try:
+            method, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if method == "shutdown":
+            try:
+                conn.send(("ok", None))
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        if method in _SERVING_METHODS:
+            served += 1
+            if fault is not None:
+                if fault.kill_at_request == served:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if fault.hang_at_request == served:
+                    time.sleep(fault.hang_seconds)
+        try:
+            result = _worker_handle(engine, method, payload, fault)
+            conn.send(("ok", result))
+        except BaseException as exc:
+            try:
+                conn.send(("error", _marshal_error(exc)))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()
+
+
+def _worker_handle(engine, method: str, payload: dict,
+                   fault: FaultSpec | None):
+    """Dispatch one RPC against the worker's engine."""
+    if method == "ping":
+        return {"pid": os.getpid(), "model_version": engine.model_version}
+    if method == "recommend":
+        ranked = engine.recommend(
+            payload["user"], k=payload["k"],
+            exclude_rated=payload["exclude_rated"],
+            exclude=payload["exclude"],
+        )
+        return [(int(r.item), r.label, float(r.score)) for r in ranked]
+    if method == "recommend_many":
+        ranked_lists = engine.recommend_many(
+            payload["users"], k=payload["k"],
+            exclude_rated=payload["exclude_rated"],
+            excludes=payload["excludes"],
+        )
+        return [[(int(r.item), r.label, float(r.score)) for r in ranked]
+                for ranked in ranked_lists]
+    if method == "serve_cohort":
+        report, _, items, scores = engine._serve_cohort_arrays(
+            payload["users"], k=payload["k"],
+            batch_size=payload["batch_size"],
+            exclude_rated=payload["exclude_rated"],
+        )
+        return {"report": report, "items": items, "scores": scores}
+    if method == "validate_events":
+        validate_shard_events(
+            engine.dataset, payload["events"],
+            payload["duplicates"] or engine.update_duplicates,
+        )
+        return None
+    if method == "apply_updates":
+        if fault is not None and fault.crash_mid_update == "before-apply":
+            os.kill(os.getpid(), signal.SIGKILL)
+        report = engine.apply_updates(payload["events"],
+                                      duplicates=payload["duplicates"])
+        if fault is not None and fault.crash_mid_update == "after-apply":
+            # The hard recovery case: state mutated, ack never sent.
+            os.kill(os.getpid(), signal.SIGKILL)
+        dataset = engine.dataset
+        return {
+            "report": report,
+            "new_user_labels": list(dataset.user_labels[payload["known_users"]:]),
+            "new_item_labels": list(dataset.item_labels[payload["known_items"]:]),
+            "model_version": engine.model_version,
+            "n_users": int(dataset.n_users),
+            "n_items": int(dataset.n_items),
+            "n_ratings": int(dataset.n_ratings),
+        }
+    if method == "save":
+        return engine.recommender.save(payload["path"])
+    if method == "stats":
+        return engine.stats()
+    if method == "clear_caches":
+        engine.clear_caches()
+        return None
+    raise ConfigError(f"unknown fleet worker method {method!r}")
+
+
+# -- supervisor ----------------------------------------------------------------
+
+
+class _ShardWorker:
+    """Supervisor-side handle for one shard's worker process.
+
+    ``user_labels`` / ``item_labels`` mirror the worker's dataset label
+    lists (hello + every absorbed apply response); the mirror is what
+    keeps WAL replay idempotent at the routing layer — labels a replayed
+    batch re-announces land below the fleet's known count and register
+    nothing twice.
+    """
+
+    def __init__(self, shard: int, artifact_path: str):
+        self.shard = shard
+        self.artifact_path = artifact_path
+        self.process = None
+        self.conn = None
+        self.lock = threading.Lock()
+        self.state = "down"
+        self.down_reason = ""
+        self.incarnation = 0
+        self.restarts = 0
+        self.replayed_batches = 0
+        self.request_failures = 0
+        self.model_version = 0
+        self.n_users = 0
+        self.n_items = 0
+        self.n_ratings = 0
+        self.user_labels: list = []
+        self.item_labels: list = []
+        self.last_replay_result: dict | None = None
+
+
+class ProcessShardFleet:
+    """A supervised multi-process shard fleet with WAL-backed updates.
+
+    The serving surface mirrors :class:`~repro.service.sharding.ShardedEngine`
+    — ``recommend`` / ``recommend_many`` / ``serve_cohort`` / ``warm`` /
+    ``apply_updates`` / ``save`` / ``stats`` / ``health`` — with identical
+    routing semantics (component union-find or halo replica routing,
+    global index space, fleet-level LRU row cache), but each shard lives
+    in its own worker process restarted on failure (module docstring).
+
+    Parameters
+    ----------
+    plan:
+        The fleet's :class:`~repro.service.sharding.ShardPlan`.
+    artifact_paths:
+        One saved model artifact per shard — the recovery point every
+        restart boots from. Validated up front via
+        :func:`~repro.core.artifacts.peek_artifact` (O(open) per shard);
+        a supervisor that cannot restart a shard should refuse to start.
+    wal_dir:
+        Directory for the per-shard write-ahead logs
+        (``shard-NNN.wal.jsonl``); created if missing. Leftover logs from
+        a previous run are replayed at boot.
+    request_timeout_s, boot_timeout_s:
+        Per-request and per-boot deadlines. A worker that misses a
+        request deadline while alive is *hung*: it is killed and
+        restarted (a wedged solve never blocks the tier forever).
+    max_restart_attempts:
+        Spawn attempts per restart, with exponential backoff
+        ``min(backoff_max_s, backoff_base_s * 2**attempt)`` between them;
+        exhausted means the shard is marked down.
+    max_request_retries:
+        How many times a *read-only* request is re-sent to a restarted
+        replacement before the shard is marked down. Apply requests are
+        never re-sent: the WAL replay performed by the restart **is** the
+        retry (re-sending could double-apply).
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default,
+        fork on Linux — workers then skip re-importing the package).
+    faults:
+        ``{shard: FaultSpec}`` scripted failures for tests
+        (:mod:`repro.service.faults`).
+    result_cache_size:
+        Fleet-level LRU row cache bound, exactly as in ``ShardedEngine``
+        (``0`` disables it).
+    engine_kwargs:
+        Forwarded to every worker's
+        :meth:`~repro.service.engine.ServingEngine.from_artifact`.
+    """
+
+    def __init__(self, plan: ShardPlan, artifact_paths, wal_dir: str, *,
+                 request_timeout_s: float = 30.0,
+                 boot_timeout_s: float = 120.0,
+                 max_restart_attempts: int = 3,
+                 max_request_retries: int = 2,
+                 backoff_base_s: float = 0.05,
+                 backoff_max_s: float = 2.0,
+                 start_method: str | None = None,
+                 faults: dict | None = None,
+                 result_cache_size: int = 65536,
+                 engine_kwargs: dict | None = None):
+        if not isinstance(plan, ShardPlan):
+            raise ConfigError(
+                f"ProcessShardFleet requires a ShardPlan; "
+                f"got {type(plan).__name__}"
+            )
+        artifact_paths = [str(p) for p in artifact_paths]
+        if len(artifact_paths) != plan.n_shards:
+            raise ConfigError(
+                f"plan has {plan.n_shards} shards; "
+                f"got {len(artifact_paths)} artifact paths"
+            )
+        for name, value in (("request_timeout_s", request_timeout_s),
+                            ("boot_timeout_s", boot_timeout_s),
+                            ("backoff_base_s", backoff_base_s),
+                            ("backoff_max_s", backoff_max_s)):
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value <= 0:
+                raise ConfigError(f"{name} must be a positive number; "
+                                  f"got {value!r}")
+        self.plan = plan
+        self.request_timeout_s = float(request_timeout_s)
+        self.boot_timeout_s = float(boot_timeout_s)
+        self.max_restart_attempts = check_positive_int(
+            max_restart_attempts, "max_restart_attempts"
+        )
+        self.max_request_retries = check_non_negative_int(
+            max_request_retries, "max_request_retries"
+        )
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.result_cache_size = check_non_negative_int(
+            result_cache_size, "result_cache_size"
+        )
+        self._engine_kwargs = dict(engine_kwargs or {})
+        self._faults: dict[int, FaultSpec] = {}
+        for shard, spec in (faults or {}).items():
+            shard = plan._check_shard(shard)
+            if not isinstance(spec, FaultSpec):
+                raise ConfigError(
+                    f"faults[{shard}] must be a FaultSpec; "
+                    f"got {type(spec).__name__}"
+                )
+            if not spec.is_noop:
+                self._faults[shard] = spec
+        # Restart must always find a loadable artifact: validate every
+        # header now, before any process spawns.
+        for path in artifact_paths:
+            peek_artifact(path)
+        self.wal_dir = str(wal_dir)
+        os.makedirs(self.wal_dir, exist_ok=True)
+        self._ctx = multiprocessing.get_context(start_method)
+        self._closed = False
+        self._rows: OrderedDict[tuple, list] = OrderedDict()
+        self.row_cache_hits = 0
+        self.row_cache_misses = 0
+        self._lock = threading.RLock()       # row cache + counters
+        self._update_lock = threading.RLock()  # serialises updates/saves
+
+        self._workers = [_ShardWorker(shard, artifact_paths[shard])
+                         for shard in range(plan.n_shards)]
+        try:
+            for worker in self._workers:
+                with worker.lock:
+                    self._spawn_locked(worker)  # boot failure raises
+                    worker.state = "up"
+            self._build_routing()
+            # Replay WALs a previous supervisor left behind (it died after
+            # dispatching batches but before checkpointing them).
+            for worker in self._workers:
+                with worker.lock:
+                    try:
+                        self._replay_wal_locked(worker)
+                    except (_WorkerCrashed, _WorkerHung):
+                        self._restart_locked(worker)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_directory(cls, path: str, wal_dir: str | None = None,
+                       **kwargs) -> "ProcessShardFleet":
+        """Boot a fleet from a :meth:`ShardedEngine.save`-layout directory.
+
+        Expects ``plan.npz`` plus one ``shard-NNN.npz`` artifact per
+        shard; the WAL directory defaults to ``<path>/wal`` so crash
+        recovery state lives next to the artifacts it replays onto.
+        """
+        plan_path = os.path.join(path, _PLAN_FILENAME)
+        if not os.path.exists(plan_path):
+            raise ArtifactError(
+                f"{path!r} is not a sharded-artifact directory "
+                f"(no {_PLAN_FILENAME})"
+            )
+        plan = ShardPlan.load(plan_path)
+        artifact_paths = [os.path.join(path, _shard_artifact_name(shard))
+                          for shard in range(plan.n_shards)]
+        if wal_dir is None:
+            wal_dir = os.path.join(path, "wal")
+        return cls(plan, artifact_paths, wal_dir, **kwargs)
+
+    # -- process lifecycle -----------------------------------------------------
+
+    def _arm_fault(self, worker: _ShardWorker) -> FaultSpec | None:
+        fault = self._faults.get(worker.shard)
+        if fault is None:
+            return None
+        if worker.incarnation == 0 or fault.persistent:
+            return fault
+        return None
+
+    def _spawn_locked(self, worker: _ShardWorker) -> None:
+        """Start one worker process and consume its hello (lock held)."""
+        fault = self._arm_fault(worker)
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, worker.shard, worker.artifact_path,
+                  self._engine_kwargs, fault),
+            daemon=True,
+            name=f"repro-shard-{worker.shard}",
+        )
+        process.start()
+        child_conn.close()
+        worker.process = process
+        worker.conn = parent_conn
+        worker.incarnation += 1
+        hello = self._recv_reply(worker, self.boot_timeout_s)
+        worker.model_version = hello["model_version"]
+        worker.n_users = hello["n_users"]
+        worker.n_items = hello["n_items"]
+        worker.n_ratings = hello["n_ratings"]
+        worker.user_labels = list(hello["user_labels"])
+        worker.item_labels = list(hello["item_labels"])
+        worker.last_replay_result = None
+
+    def _cleanup_locked(self, worker: _ShardWorker) -> None:
+        """Tear down a dead/wedged worker's process and pipe (lock held)."""
+        if worker.conn is not None:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.conn = None
+        process = worker.process
+        if process is not None:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=2.0)
+            else:
+                process.join(timeout=2.0)
+            worker.process = None
+
+    def _mark_down_locked(self, worker: _ShardWorker, reason: str) -> None:
+        self._cleanup_locked(worker)
+        worker.state = "down"
+        worker.down_reason = reason
+
+    def _restart_locked(self, worker: _ShardWorker) -> bool:
+        """Respawn a crashed worker and replay its WAL (lock held).
+
+        Up to ``max_restart_attempts`` spawn+replay attempts with
+        exponential backoff; success counts one restart and returns True,
+        exhaustion marks the shard down and returns False. A persistent
+        fault re-arms in the replacement, so a scripted always-crash
+        deterministically drives the shard down.
+        """
+        self._cleanup_locked(worker)
+        failure = "unknown"
+        for attempt in range(self.max_restart_attempts):
+            if attempt:
+                time.sleep(min(self.backoff_max_s,
+                               self.backoff_base_s * (2 ** (attempt - 1))))
+            try:
+                self._spawn_locked(worker)
+                self._replay_wal_locked(worker)
+            except (_WorkerCrashed, _WorkerHung, ReproError) as exc:
+                failure = f"{type(exc).__name__}: {exc}"
+                self._cleanup_locked(worker)
+                continue
+            worker.restarts += 1
+            worker.state = "up"
+            worker.down_reason = ""
+            return True
+        self._mark_down_locked(
+            worker,
+            f"restart failed after {self.max_restart_attempts} attempt(s) "
+            f"(last: {failure})",
+        )
+        return False
+
+    def restart_shard(self, shard: int, clear_fault: bool = True) -> dict:
+        """Operator hook: bring a down (or running) shard's worker back.
+
+        Replays any update batches stranded in the shard's WAL, so an
+        apply that died with the shard also completes here. Clears the
+        shard's scripted fault by default (the operator fixed the cause).
+        Returns the shard's post-restart health row; raises
+        :class:`~repro.exceptions.ShardUnavailableError` when the restart
+        budget fails again.
+        """
+        shard = self.plan._check_shard(shard)
+        with self._update_lock:
+            worker = self._workers[shard]
+            with worker.lock:
+                if clear_fault:
+                    self._faults.pop(shard, None)
+                if not self._restart_locked(worker):
+                    raise ShardUnavailableError(shard, worker.down_reason)
+        return self.health()["shards"][shard]
+
+    def close(self) -> None:
+        """Shut every worker down (graceful RPC, then terminate). Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            with worker.lock:
+                if (worker.conn is not None and worker.process is not None
+                        and worker.process.is_alive()):
+                    try:
+                        worker.conn.send(("shutdown", None))
+                        worker.conn.poll(1.0)
+                    except (BrokenPipeError, OSError):
+                        pass
+                self._cleanup_locked(worker)
+                worker.state = "down"
+                worker.down_reason = "fleet closed"
+
+    def __enter__(self) -> "ProcessShardFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort: don't leak worker processes
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- request plumbing ------------------------------------------------------
+
+    def _recv_reply(self, worker: _ShardWorker, timeout: float):
+        """Wait for one reply, detecting crash fast and hang at deadline."""
+        conn = worker.conn
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _WorkerHung(
+                    f"shard {worker.shard} missed its {timeout:.1f}s deadline"
+                )
+            try:
+                ready = conn.poll(min(0.05, remaining))
+            except (BrokenPipeError, OSError):
+                raise _WorkerCrashed("pipe closed") from None
+            if ready:
+                try:
+                    status, result = conn.recv()
+                except (EOFError, OSError):
+                    raise _WorkerCrashed("pipe closed mid-reply") from None
+                if status == "ok":
+                    return result
+                raise _unmarshal_error(result)
+            if worker.process is not None and not worker.process.is_alive():
+                # Drain a reply that raced the exit before declaring death.
+                try:
+                    if conn.poll(0):
+                        status, result = conn.recv()
+                        if status == "ok":
+                            return result
+                        raise _unmarshal_error(result)
+                except (EOFError, OSError):
+                    pass
+                code = worker.process.exitcode
+                raise _WorkerCrashed(f"worker exited with code {code}")
+
+    def _send_recv(self, worker: _ShardWorker, method: str, payload,
+                   timeout: float):
+        try:
+            worker.conn.send((method, payload))
+        except (BrokenPipeError, OSError):
+            raise _WorkerCrashed("pipe closed on send") from None
+        return self._recv_reply(worker, timeout)
+
+    def _request(self, shard: int, method: str, payload,
+                 retryable: bool = True):
+        worker = self._workers[shard]
+        with worker.lock:
+            return self._request_locked(worker, method, payload, retryable)
+
+    def _request_locked(self, worker: _ShardWorker, method: str, payload,
+                        retryable: bool):
+        """One supervised RPC: crash/hang → restart (+WAL replay) → retry.
+
+        Read-only requests are re-sent to the replacement up to
+        ``max_request_retries`` times. Apply requests return the
+        ``_REPLAYED`` sentinel instead — the restart already replayed the
+        batch off the WAL, and re-sending it could double-apply.
+        """
+        if worker.state != "up":
+            raise ShardUnavailableError(
+                worker.shard, worker.down_reason or "worker is down"
+            )
+        attempts = 0
+        while True:
+            try:
+                return self._send_recv(worker, method, payload,
+                                       self.request_timeout_s)
+            except _WorkerHung:
+                worker.request_failures += 1
+            except _WorkerCrashed:
+                worker.request_failures += 1
+            if not self._restart_locked(worker):
+                raise ShardUnavailableError(worker.shard, worker.down_reason)
+            if not retryable:
+                return _REPLAYED
+            attempts += 1
+            if attempts > self.max_request_retries:
+                self._mark_down_locked(
+                    worker,
+                    f"request failed {attempts} time(s); retry budget "
+                    "exhausted",
+                )
+                raise ShardUnavailableError(worker.shard, worker.down_reason)
+
+    # -- write-ahead log -------------------------------------------------------
+
+    def _wal_path(self, shard: int) -> str:
+        return os.path.join(self.wal_dir, f"shard-{shard:03d}.wal.jsonl")
+
+    def _wal_append(self, shard: int, events, duplicates: str | None) -> None:
+        """Durably append one batch (flush + fsync) before it is dispatched."""
+        try:
+            line = json.dumps({
+                "events": [[user, item, float(rating)]
+                           for user, item, rating in events],
+                "duplicates": duplicates,
+            })
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(
+                "update event labels must be JSON-serializable so the "
+                f"write-ahead log can replay them: {exc}"
+            ) from None
+        with open(self._wal_path(shard), "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _wal_read(self, shard: int) -> list[dict]:
+        """The shard's pending batches, oldest first.
+
+        A torn final line (supervisor killed mid-append) is dropped: the
+        append is fsync'd *before* dispatch, so a torn batch was never
+        applied anywhere and the caller simply resubmits it.
+        """
+        path = self._wal_path(shard)
+        if not os.path.exists(path):
+            return []
+        batches: list[dict] = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break
+                batches.append(record)
+        return batches
+
+    def _wal_truncate(self, shard: int) -> None:
+        with open(self._wal_path(shard), "w", encoding="utf-8") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _replay_wal_locked(self, worker: _ShardWorker) -> int:
+        """Re-apply the shard's WAL to a freshly booted worker (lock held).
+
+        Replies are absorbed exactly like live apply responses — the label
+        mirror makes already-known labels no-ops, so replay is idempotent
+        at the routing layer — and the final reply is parked on
+        ``last_replay_result`` for the apply path that triggered the
+        restart. Raises ``_WorkerCrashed`` / ``_WorkerHung`` upward into
+        the restart loop if the replacement dies mid-replay.
+        """
+        replayed = 0
+        for record in self._wal_read(worker.shard):
+            response = self._send_recv(worker, "apply_updates", {
+                "events": [tuple(event) for event in record["events"]],
+                "duplicates": record.get("duplicates"),
+                "known_users": len(worker.user_labels),
+                "known_items": len(worker.item_labels),
+            }, self.request_timeout_s)
+            self._absorb_apply_response(worker, response)
+            worker.last_replay_result = response
+            replayed += 1
+        worker.replayed_batches += replayed
+        return replayed
+
+    # -- routing state ---------------------------------------------------------
+
+    def _build_routing(self) -> None:
+        """Mirror of ``ShardedEngine.__init__``'s routing tables, built from
+        worker hellos instead of in-process engine datasets."""
+        plan = self.plan
+        for shard, worker in enumerate(self._workers):
+            base_users = plan.shard_users(shard).size
+            base_items = plan.shard_items(shard).size
+            if worker.n_users < base_users or worker.n_items < base_items:
+                raise ConfigError(
+                    f"shard {shard} artifact serves {worker.n_users} users × "
+                    f"{worker.n_items} items; the plan assigns it "
+                    f"{base_users} × {base_items} (owned + ghosts) — "
+                    "artifact/plan mismatch"
+                )
+        self._user_shard = plan.user_shard.copy()
+        self._user_local = plan.user_local.copy()
+        self._item_shard = plan.item_shard.copy()
+        self._item_local = plan.item_local.copy()
+        self._user_global = [plan.shard_users(s) for s in range(plan.n_shards)]
+        self._item_global = [plan.shard_items(s) for s in range(plan.n_shards)]
+        self._item_labels = np.empty(plan.n_items, dtype=object)
+        for shard, worker in enumerate(self._workers):
+            base = self._item_global[shard]
+            self._item_labels[base] = _label_array(
+                worker.item_labels[:base.size]
+            )
+        self._item_local_in_shard: list[np.ndarray] | None = (
+            [np.empty(0, dtype=np.int64)] * plan.n_shards
+            if plan.has_halos else None
+        )
+        self._user_shard_by_label: dict = {}
+        self._item_shard_by_label: dict = {}
+        for shard in range(plan.n_shards):
+            self._absorb_new_labels(shard)
+        for shard, worker in enumerate(self._workers):
+            for axis, labels, lookup, ghost_count, owned_count in (
+                    ("user", worker.user_labels, self._user_shard_by_label,
+                     plan.ghost_users_of_shard(shard).size,
+                     plan.users_of_shard(shard).size),
+                    ("item", worker.item_labels, self._item_shard_by_label,
+                     plan.ghost_items_of_shard(shard).size,
+                     plan.items_of_shard(shard).size)):
+                for position, label in enumerate(labels):
+                    if owned_count <= position < owned_count + ghost_count:
+                        continue  # ghost replica; verified below
+                    owner = lookup.setdefault(label, shard)
+                    if owner != shard:
+                        raise ConfigError(
+                            f"{axis} label {label!r} appears in shards "
+                            f"{owner} and {shard}; shard datasets must be "
+                            "disjoint"
+                        )
+        if plan.has_halos:
+            for shard, worker in enumerate(self._workers):
+                for axis, labels, lookup, ghost_count, owned_count in (
+                        ("user", worker.user_labels,
+                         self._user_shard_by_label,
+                         plan.ghost_users_of_shard(shard).size,
+                         plan.users_of_shard(shard).size),
+                        ("item", worker.item_labels,
+                         self._item_shard_by_label,
+                         plan.ghost_items_of_shard(shard).size,
+                         plan.items_of_shard(shard).size)):
+                    for label in labels[owned_count:owned_count + ghost_count]:
+                        owner = lookup.get(label)
+                        if owner is None or owner == shard:
+                            raise ConfigError(
+                                f"ghost {axis} label {label!r} in shard "
+                                f"{shard} is not owned by any other shard — "
+                                "plan/artifact mismatch"
+                            )
+            for shard in range(plan.n_shards):
+                self._rebuild_item_map(shard)
+        # Halo routing needs "which shards hold this label at all" (owned
+        # or ghost); the in-process tier probes each engine's dataset, the
+        # fleet keeps explicit holder sets fed by hellos + absorbed labels.
+        self._user_label_shards: dict = {}
+        self._item_label_shards: dict = {}
+        for shard, worker in enumerate(self._workers):
+            for label in worker.user_labels:
+                self._user_label_shards.setdefault(label, set()).add(shard)
+            for label in worker.item_labels:
+                self._item_label_shards.setdefault(label, set()).add(shard)
+
+    def _rebuild_item_map(self, shard: int) -> None:
+        lookup = np.full(self.n_items, -1, dtype=np.int64)
+        lookup[self._item_global[shard]] = np.arange(
+            self._item_global[shard].size, dtype=np.int64
+        )
+        self._item_local_in_shard[shard] = lookup
+
+    def _absorb_new_labels(self, shard: int) -> None:
+        """Append a shard's post-known users/items to the global space.
+
+        The source of truth is the worker's label *mirror*; anything
+        beyond the fleet's per-shard translation arrays is new. During
+        WAL replay the mirror re-grows along the exact same path as the
+        original incarnation, so re-announced labels sit below the known
+        count and this is a no-op for them — replay never double-registers.
+        """
+        worker = self._workers[shard]
+        known = self._user_global[shard].size
+        if len(worker.user_labels) > known:
+            count = len(worker.user_labels) - known
+            fresh = np.arange(self.n_users, self.n_users + count,
+                              dtype=np.int64)
+            self._user_global[shard] = np.concatenate(
+                [self._user_global[shard], fresh]
+            )
+            self._user_shard = np.concatenate(
+                [self._user_shard, np.full(count, shard, dtype=np.int64)]
+            )
+            self._user_local = np.concatenate(
+                [self._user_local,
+                 np.arange(known, known + count, dtype=np.int64)]
+            )
+            for label in worker.user_labels[known:]:
+                self._user_shard_by_label[label] = shard
+                if hasattr(self, "_user_label_shards"):
+                    self._user_label_shards.setdefault(label, set()).add(shard)
+        known = self._item_global[shard].size
+        if len(worker.item_labels) > known:
+            count = len(worker.item_labels) - known
+            fresh = np.arange(self.n_items, self.n_items + count,
+                              dtype=np.int64)
+            self._item_global[shard] = np.concatenate(
+                [self._item_global[shard], fresh]
+            )
+            self._item_shard = np.concatenate(
+                [self._item_shard, np.full(count, shard, dtype=np.int64)]
+            )
+            self._item_local = np.concatenate(
+                [self._item_local,
+                 np.arange(known, known + count, dtype=np.int64)]
+            )
+            self._item_labels = np.concatenate(
+                [self._item_labels,
+                 _label_array(worker.item_labels[known:])]
+            )
+            for label in worker.item_labels[known:]:
+                self._item_shard_by_label[label] = shard
+                if hasattr(self, "_item_label_shards"):
+                    self._item_label_shards.setdefault(label, set()).add(shard)
+            if self._item_local_in_shard is not None:
+                for other in range(self.n_shards):
+                    self._rebuild_item_map(other)
+
+    def _absorb_apply_response(self, worker: _ShardWorker,
+                               response: dict) -> None:
+        """Fold one apply reply into the mirror + fleet routing state."""
+        worker.user_labels.extend(response["new_user_labels"])
+        worker.item_labels.extend(response["new_item_labels"])
+        worker.model_version = response["model_version"]
+        worker.n_users = response["n_users"]
+        worker.n_items = response["n_items"]
+        worker.n_ratings = response["n_ratings"]
+        self._absorb_new_labels(worker.shard)
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._workers)
+
+    @property
+    def n_users(self) -> int:
+        return self._user_shard.size
+
+    @property
+    def n_items(self) -> int:
+        return self._item_shard.size
+
+    @property
+    def restarts(self) -> int:
+        """Lifetime successful worker restarts across the fleet."""
+        return sum(worker.restarts for worker in self._workers)
+
+    @property
+    def replayed_batches(self) -> int:
+        """Lifetime WAL batches replayed into restarted workers."""
+        return sum(worker.replayed_batches for worker in self._workers)
+
+    def shard_of_user(self, user: int) -> int:
+        self._check_user(user)
+        return int(self._user_shard[user])
+
+    def worker_pid(self, shard: int) -> int | None:
+        """The shard worker's current OS pid (for tests/benchmarks that
+        inject real signals), or ``None`` when the shard is down."""
+        worker = self._workers[self.plan._check_shard(shard)]
+        process = worker.process
+        return process.pid if process is not None and process.is_alive() \
+            else None
+
+    def _check_user(self, user: int) -> None:
+        if not is_index(user, self.n_users):
+            raise UnknownUserError(user)
+
+    def _translate_exclusions(self, shard: int,
+                              banned: np.ndarray) -> np.ndarray:
+        in_range = banned[(banned >= 0) & (banned < self.n_items)]
+        if self._item_local_in_shard is not None:
+            local = self._item_local_in_shard[shard][in_range]
+            return local[local >= 0]
+        mine = in_range[self._item_shard[in_range] == shard]
+        return self._item_local[mine]
+
+    # -- serving ---------------------------------------------------------------
+
+    def recommend(self, user: int, k: int = 10, exclude_rated: bool = True,
+                  exclude=None) -> list[Recommendation]:
+        """Top-``k`` for one global user, answered by the owning shard's
+        worker; raises :class:`~repro.exceptions.ShardUnavailableError`
+        when that shard is down (degraded mode)."""
+        self._check_user(user)
+        k = check_positive_int(k, "k")
+        shard = int(self._user_shard[user])
+        banned = as_exclude_array(exclude)
+        if banned.size:
+            banned = self._translate_exclusions(shard, banned)
+        ranked = self._request(shard, "recommend", {
+            "user": int(self._user_local[user]),
+            "k": k,
+            "exclude_rated": bool(exclude_rated),
+            "exclude": banned,
+        })
+        lookup = self._item_global[shard]
+        return [Recommendation(int(lookup[item]), label, float(score))
+                for item, label, score in ranked]
+
+    def recommend_many(self, users, k: int = 10, exclude_rated: bool = True,
+                       excludes=None) -> list:
+        """Batch of independent requests, routed per shard worker.
+
+        Degraded mode is per-position: a request owned by a down shard
+        yields a :class:`~repro.exceptions.ShardUnavailableError`
+        *instance* at its position (the micro-batching front end turns it
+        into that request's error) while every healthy shard's positions
+        carry normal ranked lists.
+        """
+        users = list(users)
+        if excludes is None:
+            excludes = [None] * len(users)
+        else:
+            excludes = list(excludes)
+            if len(excludes) != len(users):
+                raise ConfigError(
+                    f"excludes has {len(excludes)} entries for "
+                    f"{len(users)} users"
+                )
+        k = check_positive_int(k, "k")
+        out: list = [None] * len(users)
+        by_shard: dict[int, tuple[list, list, list]] = {}
+        for position, (user, exclude) in enumerate(zip(users, excludes)):
+            self._check_user(user)
+            shard = int(self._user_shard[user])
+            banned = as_exclude_array(exclude)
+            if banned.size:
+                banned = self._translate_exclusions(shard, banned)
+            positions, local_users, local_bans = by_shard.setdefault(
+                shard, ([], [], [])
+            )
+            positions.append(position)
+            local_users.append(int(self._user_local[user]))
+            local_bans.append(banned)
+        for shard, (positions, local_users, local_bans) in by_shard.items():
+            try:
+                ranked_lists = self._request(shard, "recommend_many", {
+                    "users": local_users,
+                    "k": k,
+                    "exclude_rated": bool(exclude_rated),
+                    "excludes": local_bans,
+                })
+            except ShardUnavailableError as exc:
+                for position in positions:
+                    out[position] = exc
+                continue
+            lookup = self._item_global[shard]
+            for position, ranked in zip(positions, ranked_lists):
+                out[position] = [
+                    Recommendation(int(lookup[item]), label, float(score))
+                    for item, label, score in ranked
+                ]
+        return out
+
+    def serve_cohort(self, users, k: int = 10, batch_size: int = 256,
+                     exclude_rated: bool = True) -> FleetReport:
+        """Serve a cohort across the worker fleet (row cache → shard RPCs).
+
+        Identical shape and routing to
+        :meth:`ShardedEngine.serve_cohort`; additionally stamps the
+        report with the fleet's supervision counters and the per-shard
+        health it was served under. A cohort touching a down shard raises
+        :class:`~repro.exceptions.ShardUnavailableError` — trim the
+        cohort to healthy users (or ``restart_shard``) to proceed
+        degraded.
+        """
+        k = check_positive_int(k, "k")
+        exclude_rated = bool(exclude_rated)
+        users = as_index_array(users, self.n_users, "users")
+        report = FleetReport(n_users=int(users.size), k=k,
+                             n_shards=self.n_shards)
+        with Timer() as timer:
+            per_position: list = [None] * users.size
+            if self.result_cache_size:
+                missing: list[int] = []
+                with self._lock:
+                    for position, user in enumerate(users):
+                        key = (int(user), k, exclude_rated)
+                        entry = self._rows.get(key)
+                        if entry is None:
+                            missing.append(position)
+                        else:
+                            self._rows.move_to_end(key)
+                            per_position[position] = entry
+                    report.row_cache_hits = users.size - len(missing)
+                    report.row_cache_misses = len(missing)
+                    self.row_cache_hits += report.row_cache_hits
+                    self.row_cache_misses += report.row_cache_misses
+            else:
+                missing = list(range(users.size))
+            if missing:
+                versions = [worker.model_version for worker in self._workers]
+                positions = np.asarray(missing, dtype=np.int64)
+                miss_users = users[positions]
+                items = np.full((positions.size, k), -1, dtype=np.int64)
+                scores = np.full((positions.size, k), -np.inf)
+                shard_of = self._user_shard[miss_users]
+                for shard in np.unique(shard_of):
+                    shard = int(shard)
+                    rows_of_shard = np.flatnonzero(shard_of == shard)
+                    local = self._user_local[miss_users[rows_of_shard]]
+                    result = self._request(shard, "serve_cohort", {
+                        "users": local,
+                        "k": k,
+                        "batch_size": batch_size,
+                        "exclude_rated": exclude_rated,
+                    })
+                    lookup = self._item_global[shard]
+                    shard_items = result["items"]
+                    valid = shard_items >= 0
+                    items[rows_of_shard] = np.where(
+                        valid, lookup[np.where(valid, shard_items, 0)], -1
+                    )
+                    scores[rows_of_shard] = result["scores"]
+                    report.per_shard.append((shard, result["report"]))
+                flat = rows_from_ranked_arrays(
+                    miss_users, items, scores, self._item_labels
+                )
+                bounds = np.concatenate(
+                    [[0], np.cumsum((items >= 0).sum(axis=1))]
+                )
+                for index, position in enumerate(missing):
+                    per_position[position] = flat[bounds[index]:
+                                                  bounds[index + 1]]
+                if self.result_cache_size:
+                    with self._lock:
+                        # Same version gate as the in-process tier: a shard
+                        # that absorbed an update (or restarted) while the
+                        # RPCs were in flight must not have pre-update rows
+                        # re-cached behind its eviction.
+                        for index, position in enumerate(missing):
+                            user = int(users[position])
+                            shard = int(self._user_shard[user])
+                            worker = self._workers[shard]
+                            if worker.model_version != versions[shard]:
+                                continue
+                            self._rows[(user, k, exclude_rated)] = (
+                                per_position[position]
+                            )
+                        while len(self._rows) > self.result_cache_size:
+                            self._rows.popitem(last=False)
+            rows: list = []
+            for user_rows in per_position:
+                if user_rows:
+                    rows.extend(user_rows)
+            report.rows = rows
+        report.seconds = timer.elapsed
+        report.restarts = self.restarts
+        report.replayed_batches = self.replayed_batches
+        report.shard_health = self.health()["shards"]
+        return report
+
+    def warm(self, users=None, k: int = 10,
+             batch_size: int = 256) -> FleetReport:
+        """Pre-fill the row cache and every worker's caches."""
+        if users is None:
+            users = np.arange(self.n_users, dtype=np.int64)
+        return self.serve_cohort(users, k=k, batch_size=batch_size)
+
+    # -- incremental updates ---------------------------------------------------
+
+    def apply_updates(self, events, duplicates: str | None = None,
+                      ) -> FleetUpdateReport:
+        """Route, WAL-log and dispatch an update batch across the workers.
+
+        Routing (component union-find / halo replica fan-out) is
+        byte-identical to :meth:`ShardedEngine.apply_updates`. The fleet
+        then, per touched shard: validates the slice *worker-side*
+        (mutating nothing — a bad batch rejects with the fleet untouched
+        and nothing logged), appends it to the shard's WAL (fsync'd), and
+        dispatches it. A worker crashing mid-apply is restarted and
+        recovers the batch from the WAL — ``replayed_batches`` on the
+        report says it happened; the merged reports are identical either
+        way. All touched shards must be *up* when the batch starts; a
+        shard going down mid-batch leaves its slice durably in its WAL,
+        applied by the next successful ``restart_shard``.
+        """
+        events = list(events)
+        report = FleetUpdateReport(n_events=len(events))
+        if not events:
+            return report
+        with Timer() as timer:
+            with self._update_lock:
+                if self.plan.has_halos:
+                    routed, stale = self._route_events_halo(events)
+                else:
+                    routed = self._route_events_component(events)
+                    stale = 0
+                touched = [shard for shard in range(self.n_shards)
+                           if routed[shard]]
+                for shard in touched:
+                    worker = self._workers[shard]
+                    if worker.state != "up":
+                        raise ShardUnavailableError(
+                            shard, worker.down_reason or "worker is down"
+                        )
+                for shard in touched:
+                    self._request(shard, "validate_events", {
+                        "events": routed[shard],
+                        "duplicates": duplicates,
+                    })
+                replayed_before = self.replayed_batches
+                for shard in touched:
+                    update = self._dispatch_apply(shard, routed[shard],
+                                                  duplicates)
+                    report.per_shard.append((shard, update))
+                report.replayed_batches = (self.replayed_batches
+                                           - replayed_before)
+                # One eviction pass after all touched shards applied (all
+                # worker versions already advanced, so serve_cohort's
+                # version-gated insert cannot re-admit stale rows).
+                report.fleet_rows_evicted = self._evict_shard_rows(touched)
+                if stale:
+                    report.stale_ghost_events = stale
+                    report.hint = (
+                        f"{stale} event(s) could not reach every halo "
+                        "replica of their endpoints; the untouched ghost "
+                        "copies drift within the documented bound — "
+                        f"{EDGE_CUT_HINT}"
+                    )
+        report.seconds = timer.elapsed
+        return report
+
+    def _dispatch_apply(self, shard: int, shard_events,
+                        duplicates: str | None):
+        """WAL-append then dispatch one shard's slice; recover via replay."""
+        worker = self._workers[shard]
+        self._wal_append(shard, shard_events, duplicates)
+        with worker.lock:
+            worker.last_replay_result = None
+            result = self._request_locked(worker, "apply_updates", {
+                "events": shard_events,
+                "duplicates": duplicates,
+                "known_users": len(worker.user_labels),
+                "known_items": len(worker.item_labels),
+            }, retryable=False)
+            if result is _REPLAYED:
+                # The restart's WAL replay applied this batch (it was the
+                # log's tail); its reply was parked on the handle, and the
+                # replay already absorbed the labels.
+                response = worker.last_replay_result
+                if response is None:  # pragma: no cover - defensive
+                    raise ShardUnavailableError(
+                        shard, "batch lost during crash recovery"
+                    )
+            else:
+                response = result
+                self._absorb_apply_response(worker, response)
+        return response["report"]
+
+    def _route_events_component(self, events) -> list[list]:
+        """Union-find batch routing — the in-process tier's policy verbatim
+        (see :meth:`ShardedEngine.apply_updates`), with shard load read
+        from the worker handles."""
+        parent: dict = {}
+
+        def find(key):
+            root = key
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(key, key) != key:  # path compression
+                parent[key], key = root, parent[key]
+            return root
+
+        for event in events:
+            user_root = find(("u", event[0]))
+            item_root = find(("i", event[1]))
+            if user_root != item_root:
+                parent[item_root] = user_root
+        group_shard: dict = {}
+        group_label: dict = {}
+        for kind, position, lookup in (
+                ("u", 0, self._user_shard_by_label),
+                ("i", 1, self._item_shard_by_label)):
+            for event in events:
+                label = event[position]
+                known = lookup.get(label)
+                if known is None:
+                    continue
+                root = find((kind, label))
+                owner = group_shard.setdefault(root, known)
+                group_label.setdefault(root, label)
+                if owner != known:
+                    raise ConfigError(
+                        self._cross_shard_message(
+                            events, group_label[root], owner, label, known
+                        )
+                    )
+        routed: list[list] = [[] for _ in range(self.n_shards)]
+        loads = [worker.n_ratings for worker in self._workers]
+        for event in events:
+            root = find(("u", event[0]))
+            shard = group_shard.get(root)
+            if shard is None:  # every label in the group is brand-new
+                shard = int(np.argmin(loads))
+                group_shard[root] = shard
+            loads[shard] += 1
+            routed[shard].append(event)
+        return routed
+
+    def _cross_shard_message(self, events, label_a, shard_a, label_b,
+                             shard_b) -> str:
+        for user_label, item_label, _ in events:
+            user_owner = self._user_shard_by_label.get(user_label)
+            item_owner = self._item_shard_by_label.get(item_label)
+            if (user_owner is not None and item_owner is not None
+                    and user_owner != item_owner):
+                return (
+                    f"update event (user={user_label!r}, "
+                    f"item={item_label!r}) is a cross-shard edge: the user "
+                    f"lives in shard {user_owner}, the item in shard "
+                    f"{item_owner}; a component-sharded tier cannot apply "
+                    f"it — {EDGE_CUT_HINT}"
+                )
+        return (
+            f"update batch links {label_a!r} (shard {shard_a}) with "
+            f"{label_b!r} (shard {shard_b}) through new labels; "
+            "cross-shard edges cannot be applied to a component-sharded "
+            f"tier — {EDGE_CUT_HINT}"
+        )
+
+    def _route_events_halo(self, events) -> tuple[list[list], int]:
+        """Per-event replica routing for edge-cut plans — the in-process
+        tier's policy verbatim, with label-holder sets standing in for
+        probing each shard dataset."""
+        routed: list[list] = [[] for _ in range(self.n_shards)]
+        loads = [worker.n_ratings for worker in self._workers]
+        pending_users: dict = {}
+        pending_items: dict = {}
+        stale = 0
+        for event in events:
+            user_label, item_label = event[0], event[1]
+            user_shards = self._shards_with(user_label, "user", pending_users)
+            item_shards = self._shards_with(item_label, "item", pending_items)
+            if user_shards and item_shards:
+                both = sorted(user_shards & item_shards)
+                if not both:
+                    user_owner = self._user_shard_by_label.get(
+                        user_label, pending_users.get(user_label))
+                    item_owner = self._item_shard_by_label.get(
+                        item_label, pending_items.get(item_label))
+                    raise ConfigError(
+                        f"update event (user={user_label!r}, "
+                        f"item={item_label!r}) joins shard {user_owner} to "
+                        f"shard {item_owner} but no shard holds both "
+                        "endpoints — the edge exceeds the plan's "
+                        f"{self.plan.halo_hops}-hop halo; {EDGE_CUT_HINT}"
+                    )
+                for shard in both:
+                    routed[shard].append(event)
+                    loads[shard] += 1
+                if (user_shards | item_shards) - set(both):
+                    stale += 1
+            elif user_shards or item_shards:
+                if user_shards:
+                    owner = self._user_shard_by_label.get(
+                        user_label, pending_users.get(user_label))
+                    pending_items[item_label] = owner
+                    replicas = user_shards
+                else:
+                    owner = self._item_shard_by_label.get(
+                        item_label, pending_items.get(item_label))
+                    pending_users[user_label] = owner
+                    replicas = item_shards
+                routed[owner].append(event)
+                loads[owner] += 1
+                if replicas - {owner}:
+                    stale += 1
+            else:
+                shard = int(np.argmin(loads))
+                routed[shard].append(event)
+                loads[shard] += 1
+                pending_users[user_label] = shard
+                pending_items[item_label] = shard
+        return routed, stale
+
+    def _shards_with(self, label, axis: str, pending: dict) -> set:
+        lookup = (self._user_label_shards if axis == "user"
+                  else self._item_label_shards)
+        shards = set(lookup.get(label, ()))
+        if label in pending:
+            shards.add(pending[label])
+        return shards
+
+    def _evict_shard_rows(self, shards) -> int:
+        touched = set(int(s) for s in shards)
+        if not touched:
+            return 0
+        with self._lock:
+            stale = [key for key in self._rows
+                     if int(self._user_shard[key[0]]) in touched]
+            for key in stale:
+                del self._rows[key]
+            return len(stale)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str) -> str:
+        """Checkpoint the fleet: plan + per-shard artifacts, then WAL reset.
+
+        Every shard saves first; only when *all* succeed are the WALs
+        truncated and the restart artifacts re-pointed at the checkpoint
+        — a failed save leaves every WAL (and the old restart points)
+        intact. Reload with :meth:`from_directory` or hand the directory
+        to :meth:`ShardedEngine.from_directory` (the formats are shared).
+        """
+        with self._update_lock:
+            os.makedirs(path, exist_ok=True)
+            self.plan.save(os.path.join(path, _PLAN_FILENAME))
+            written: list[tuple[int, str]] = []
+            for shard in range(self.n_shards):
+                target = os.path.join(path, _shard_artifact_name(shard))
+                self._request(shard, "save", {"path": target})
+                written.append((shard, target))
+            for shard, target in written:
+                self._wal_truncate(shard)
+                self._workers[shard].artifact_path = target
+        return path
+
+    # -- lifecycle / introspection ---------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Drop the fleet row cache and each live worker's cache layers."""
+        with self._lock:
+            self._rows.clear()
+            self.row_cache_hits = 0
+            self.row_cache_misses = 0
+        for shard in range(self.n_shards):
+            try:
+                self._request(shard, "clear_caches", {})
+            except ShardUnavailableError:
+                continue
+
+    def invalidate_user(self, user: int) -> int:
+        """Evict one global user's rows from the fleet row cache."""
+        self._check_user(user)
+        with self._lock:
+            stale = [key for key in self._rows if key[0] == int(user)]
+            for key in stale:
+                del self._rows[key]
+        return len(stale)
+
+    def health(self, ping: bool = False) -> dict:
+        """Fleet health: ``status`` plus one row per shard.
+
+        ``ping=False`` (the default, and what the HTTP probe uses) is
+        non-blocking: state comes from the supervisor's book-keeping plus
+        a liveness peek at each process, so a worker that died since its
+        last request shows ``"crashed"`` without waiting a timeout.
+        ``ping=True`` actively round-trips every shard — which *heals*:
+        a crashed worker is restarted (or marked down) on the spot.
+        """
+        if ping:
+            for shard in range(self.n_shards):
+                if self._workers[shard].state != "up":
+                    continue
+                try:
+                    self._request(shard, "ping", {})
+                except ShardUnavailableError:
+                    pass
+        status = "ok"
+        shards = []
+        for worker in self._workers:
+            state = worker.state
+            if state == "up" and (worker.process is None
+                                  or not worker.process.is_alive()):
+                state = "crashed"
+            entry = {
+                "shard": worker.shard,
+                "state": state,
+                "model_version": worker.model_version,
+                "restarts": worker.restarts,
+                "replayed_batches": worker.replayed_batches,
+                "pid": (worker.process.pid
+                        if worker.process is not None
+                        and worker.process.is_alive() else None),
+            }
+            if state != "up":
+                status = "degraded"
+                if worker.down_reason:
+                    entry["reason"] = worker.down_reason
+            shards.append(entry)
+        return {
+            "status": status,
+            "shards": shards,
+            "restarts": self.restarts,
+            "replayed_batches": self.replayed_batches,
+        }
+
+    def stats(self) -> dict:
+        """Fleet shape, row-cache and supervision counters + worker stats."""
+        with self._lock:
+            fleet = {
+                "n_shards": self.n_shards,
+                "n_users": self.n_users,
+                "n_items": self.n_items,
+                "row_entries": len(self._rows),
+                "row_hits": self.row_cache_hits,
+                "row_misses": self.row_cache_misses,
+                "restarts": self.restarts,
+                "replayed_batches": self.replayed_batches,
+            }
+        shards = []
+        for shard in range(self.n_shards):
+            try:
+                worker_stats = self._request(shard, "stats", {})
+            except ShardUnavailableError:
+                worker_stats = {"state": "down"}
+            shards.append({"shard": shard, **worker_stats})
+        fleet["shards"] = shards
+        return fleet
+
+    def __repr__(self) -> str:
+        down = sum(1 for worker in self._workers if worker.state != "up")
+        return (
+            f"ProcessShardFleet(n_shards={self.n_shards}, "
+            f"n_users={self.n_users}, n_items={self.n_items}, "
+            f"down={down}, restarts={self.restarts})"
+        )

@@ -59,6 +59,7 @@ from repro.exceptions import (
     DeadlineExceededError,
     OverloadedError,
     ReproError,
+    ShardUnavailableError,
 )
 from repro.utils.timer import per_second
 from repro.utils.validation import (
@@ -474,6 +475,14 @@ class BatchingServer:
             for request, ranked in zip(requests, ranked_lists):
                 if request.future.done():
                     continue  # deadline fired mid-solve; discard the rows
+                if isinstance(ranked, Exception):
+                    # Per-position failure (the process fleet's degraded
+                    # mode returns ShardUnavailableError at positions a
+                    # down shard owns): only those requests fail; the
+                    # rest of the cohort completes normally.
+                    self.n_failed += 1
+                    request.future.set_exception(ranked)
+                    continue
                 request.future.set_result(ranked)
                 self.n_completed += 1
                 self._record(now - request.enqueued)
@@ -540,11 +549,16 @@ class HttpFrontend:
       "labels", "scores"}``, bit-identical to ``engine.recommend`` (JSON
       floats round-trip exactly — the parity the CLI self-test asserts).
     * ``/report`` → the server's :meth:`BatchingServer.report` summary.
-    * ``/health`` → ``{"status": "ok"}`` — a liveness probe that skips the
-      admission queue.
+    * ``/health`` → the engine's ``health()`` payload when it has one
+      (per-shard state, restart counters), else ``{"status": "ok"}``.
+      Skips the admission queue; answers **503** whenever the engine
+      reports anything but ``"ok"`` — a degraded process fleet flips the
+      probe while its healthy shards keep serving ``/recommend``.
 
     Typed errors map to status codes: bad parameters → 400, unknown
     user/path → 404, :class:`~repro.exceptions.OverloadedError` → 429,
+    :class:`~repro.exceptions.ShardUnavailableError` → 503 (degraded
+    fleet; the payload names the down shard),
     :class:`~repro.exceptions.DeadlineExceededError` → 504, anything
     else → 500. Connections are keep-alive unless the client sends
     ``Connection: close``. Deliberately stdlib-only: the transport is a
@@ -635,7 +649,14 @@ class HttpFrontend:
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         if path == "/health":
-            await self._respond(writer, 200, {"status": "ok"}, close=close)
+            # Engines with a health hook (sharded tiers, the process
+            # fleet) report per-shard state; a degraded fleet answers 503
+            # so load balancers stop routing here while healthy shards
+            # keep serving the /recommend traffic they own.
+            probe = getattr(self.server.engine, "health", None)
+            payload = probe() if callable(probe) else {"status": "ok"}
+            status = 200 if payload.get("status") == "ok" else 503
+            await self._respond(writer, status, payload, close=close)
             return True
         if path == "/report":
             await self._respond(writer, 200, self.server.report().summary(),
@@ -658,6 +679,10 @@ class HttpFrontend:
             return True
         except DeadlineExceededError as exc:
             await self._respond(writer, 504, {"error": str(exc)}, close=close)
+            return True
+        except ShardUnavailableError as exc:
+            await self._respond(writer, 503, {"error": str(exc),
+                                              "shard": exc.shard}, close=close)
             return True
         except ReproError as exc:
             status = 404 if "unknown user" in str(exc) else 400
@@ -743,7 +768,8 @@ class HttpFrontend:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    405: "Method Not Allowed", 429: "Too Many Requests",
                    431: "Request Header Fields Too Large",
-                   500: "Internal Server Error", 504: "Gateway Timeout"}
+                   500: "Internal Server Error",
+                   503: "Service Unavailable", 504: "Gateway Timeout"}
         body = json.dumps(payload).encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"

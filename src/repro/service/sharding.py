@@ -105,6 +105,7 @@ __all__ = [
     "FleetReport",
     "FleetUpdateReport",
     "ShardedEngine",
+    "validate_shard_events",
 ]
 
 #: On-disk format version of saved shard plans; bump on any layout change.
@@ -130,6 +131,46 @@ EDGE_CUT_HINT = (
 
 def _shard_artifact_name(shard: int) -> str:
     return f"shard-{shard:03d}.npz"
+
+
+def validate_shard_events(dataset: RatingDataset, events,
+                          policy: str) -> None:
+    """Validate one shard's event slice against its dataset, mutating nothing.
+
+    The shared pre-pass both fleet tiers run before any shard absorbs a
+    batch (see :meth:`ShardedEngine.apply_updates`): rating values checked
+    against the dataset's scale via
+    :meth:`~repro.data.RatingDataset.check_event_rating`, and under
+    ``policy == "error"`` duplicate pairs — within the batch or against
+    already-stored ratings — rejected with the same
+    :class:`~repro.exceptions.DataError` shapes :meth:`RatingDataset.extend`
+    would raise. The multi-process fleet additionally runs it worker-side
+    before a batch enters the write-ahead log, so the WAL only ever holds
+    batches that are guaranteed to replay cleanly.
+    """
+    seen: set = set()
+    for user_label, item_label, rating in events:
+        dataset.check_event_rating(user_label, item_label, rating)
+        if policy != "error":
+            continue
+        pair = (user_label, item_label)
+        if pair in seen:
+            raise DataError(
+                f"duplicate event for (user={user_label!r}, "
+                f"item={item_label!r}); pass duplicates='last' to keep "
+                "the latest value"
+            )
+        seen.add(pair)
+        try:
+            already = dataset.rating(dataset.user_id(user_label),
+                                     dataset.item_id(item_label)) != 0
+        except (UnknownUserError, UnknownItemError):
+            already = False
+        if already:
+            raise DataError(
+                f"(user={user_label!r}, item={item_label!r}) is already "
+                "rated; pass duplicates='last' to overwrite"
+            )
 
 
 def _concat_ragged(arrays: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
@@ -849,6 +890,14 @@ class FleetReport:
     row_cache_hits: int = 0
     row_cache_misses: int = 0
     per_shard: list = field(default_factory=list)
+    #: Process-fleet supervision counters (always zero / empty for the
+    #: in-process ShardedEngine): lifetime worker restarts, WAL batches
+    #: replayed into restarted workers, and the per-shard health rows the
+    #: run was served under. ``summary()`` surfaces them only when
+    #: ``shard_health`` is populated, so in-process summaries are unchanged.
+    restarts: int = 0
+    replayed_batches: int = 0
+    shard_health: list = field(default_factory=list)
 
     @property
     def users_per_second(self) -> float:
@@ -881,7 +930,7 @@ class FleetReport:
 
     def summary(self) -> dict:
         """One fleet-level summary row (JSON-safe)."""
-        return {
+        row = {
             "users": self.n_users,
             "k": self.k,
             "seconds": round(self.seconds, 4),
@@ -894,6 +943,14 @@ class FleetReport:
             "result_misses": self.result_cache_misses,
             "result_hit_rate": round(self.result_cache_hit_rate, 3),
         }
+        if self.shard_health:
+            row["restarts"] = self.restarts
+            row["replayed_batches"] = self.replayed_batches
+            row["shards_down"] = sum(
+                1 for entry in self.shard_health
+                if entry.get("state") != "up"
+            )
+        return row
 
     def shard_summaries(self) -> list[dict]:
         """Per-shard summary rows, each tagged with its shard id."""
@@ -919,6 +976,14 @@ class FleetUpdateReport:
     per_shard: list = field(default_factory=list)
     stale_ghost_events: int = 0
     hint: str | None = None
+    #: Rows dropped from the fleet-level row cache by this batch — one
+    #: eviction pass over the cache after every touched shard has applied
+    #: (not one per shard), so a batch spanning S shards costs one cache
+    #: scan instead of S.
+    fleet_rows_evicted: int = 0
+    #: WAL batches replayed because a worker crashed while this batch was
+    #: in flight (multi-process fleet only; always 0 in-process).
+    replayed_batches: int = 0
 
     @property
     def n_shards_touched(self) -> int:
@@ -949,8 +1014,11 @@ class FleetUpdateReport:
             "new_items": self.n_new_items,
             "replaced": self.n_replaced,
             "results_evicted": self.result_rows_evicted,
+            "fleet_rows_evicted": self.fleet_rows_evicted,
             "seconds": round(self.seconds, 4),
         }
+        if self.replayed_batches:
+            row["replayed_batches"] = self.replayed_batches
         if self.hint is not None:
             row["stale_ghost_events"] = self.stale_ghost_events
             row["hint"] = self.hint
@@ -1460,8 +1528,15 @@ class ShardedEngine:
                     shard_events, duplicates=duplicates
                 )
                 self._absorb_new_labels(shard)
-                self._evict_shard_rows(shard)
                 report.per_shard.append((shard, update))
+            # One row-cache eviction pass for the whole batch, after every
+            # touched shard has applied (all model versions already bumped,
+            # so the version-gated insert in serve_cohort cannot re-admit a
+            # pre-update row behind this sweep) — a batch spanning S shards
+            # costs one cache scan, not S.
+            report.fleet_rows_evicted = self._evict_shard_rows(
+                shard for shard, _ in report.per_shard
+            )
             if stale:
                 report.stale_ghost_events = stale
                 report.hint = (
@@ -1644,42 +1719,24 @@ class ShardedEngine:
         while the fleet is still untouched.
         """
         engine = self.engines[shard]
-        dataset = engine.dataset
-        policy = duplicates or engine.update_duplicates
-        seen: set = set()
-        for user_label, item_label, rating in events:
-            dataset.check_event_rating(user_label, item_label, rating)
-            if policy != "error":
-                continue
-            pair = (user_label, item_label)
-            if pair in seen:
-                raise DataError(
-                    f"duplicate event for (user={user_label!r}, "
-                    f"item={item_label!r}); pass duplicates='last' to keep "
-                    "the latest value"
-                )
-            seen.add(pair)
-            try:
-                already = dataset.rating(dataset.user_id(user_label),
-                                         dataset.item_id(item_label)) != 0
-            except (UnknownUserError, UnknownItemError):
-                already = False
-            if already:
-                raise DataError(
-                    f"(user={user_label!r}, item={item_label!r}) is already "
-                    "rated; pass duplicates='last' to overwrite"
-                )
+        validate_shard_events(engine.dataset, events,
+                              duplicates or engine.update_duplicates)
 
-    def _evict_shard_rows(self, shard: int) -> int:
-        """Drop the fleet row cache's entries for one shard's users.
+    def _evict_shard_rows(self, shards) -> int:
+        """Drop the fleet row cache's entries for the given shards' users.
 
         A conservative superset of the update's affected users (the shard
-        engine evicts precisely; the fleet layer only knows the shard) —
-        over-eviction costs a re-route, never a stale row.
+        engines evict precisely; the fleet layer only knows the shards) —
+        over-eviction costs a re-route, never a stale row. Takes the whole
+        touched-shard set at once so an update batch pays a single scan of
+        the cache, under a single lock acquisition.
         """
+        touched = set(int(s) for s in shards)
+        if not touched:
+            return 0
         with self._lock:
             stale = [key for key in self._rows
-                     if int(self._user_shard[key[0]]) == shard]
+                     if int(self._user_shard[key[0]]) in touched]
             for key in stale:
                 del self._rows[key]
             return len(stale)
@@ -1757,6 +1814,25 @@ class ShardedEngine:
         """Shut down every shard engine's worker pool."""
         for engine in self.engines:
             engine.close()
+
+    def health(self) -> dict:
+        """Per-shard health, in the shape the HTTP ``/health`` probe serves.
+
+        In-process shards share the front's fate — they cannot be
+        individually down — so the status is always ``"ok"``; the
+        multi-process :class:`~repro.service.fleet.ProcessShardFleet`
+        implements the same hook with real up/down/restart state, and
+        :class:`~repro.service.server.HttpFrontend` answers 503 whenever
+        the hook reports anything but ``"ok"``.
+        """
+        return {
+            "status": "ok",
+            "shards": [
+                {"shard": shard, "state": "up",
+                 "model_version": engine.model_version}
+                for shard, engine in enumerate(self.engines)
+            ],
+        }
 
     def stats(self) -> dict:
         """Fleet shape and row-cache counters plus each shard's own stats."""

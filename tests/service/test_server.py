@@ -474,7 +474,9 @@ class TestHttpFrontend:
                     return health, report, missing, bad_k, unknown, lost
 
         health, report, missing, bad_k, unknown, lost = run(scenario())
-        assert health == (200, {"status": "ok"})
+        assert health[0] == 200
+        assert health[1]["status"] == "ok"
+        assert health[1]["shards"] == []  # single engine: nothing to degrade
         assert report[0] == 200 and report[1]["completed"] == 1
         assert missing[0] == 400 and "user" in missing[1]["error"]
         assert bad_k[0] == 400
