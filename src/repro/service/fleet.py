@@ -44,8 +44,10 @@ truncation that follows it, the next boot replays batches the checkpoint
 already contains — detectable (the replayed model version overshoots) but
 not auto-healed; the window is a few milliseconds and closing it needs a
 WAL sequence number in the artifact, noted in DESIGN.md §13. A torn final
-WAL line (supervisor killed mid-append) is safely dropped: appends are
-fsync'd before dispatch, so a torn line was never applied anywhere.
+WAL line (supervisor killed mid-append) is safely dropped — appends are
+fsync'd before dispatch, so a torn line was never applied anywhere — and
+the file is truncated back to the last whole record, so later appends
+can never fuse with the fragment into an unparseable line.
 
 Scripted failures for tests live in :mod:`repro.service.faults`; the
 fleet wires a :class:`~repro.service.faults.FaultSpec` into the target
@@ -432,6 +434,13 @@ class ProcessShardFleet:
         self.row_cache_misses = 0
         self._lock = threading.RLock()       # row cache + counters
         self._update_lock = threading.RLock()  # serialises updates/saves
+        # Innermost lock guarding the fleet routing tables (_user_shard,
+        # _user_global, label dicts, …). Mutation happens under it in
+        # _absorb_new_labels — reachable with only a *worker* lock held,
+        # via read-triggered restarts replaying a WAL — and readers take
+        # it to snapshot a consistent view. Ordering: _update_lock →
+        # worker.lock → _routing_lock; never acquire outward while held.
+        self._routing_lock = threading.Lock()
 
         self._workers = [_ShardWorker(shard, artifact_paths[shard])
                          for shard in range(plan.n_shards)]
@@ -555,7 +564,11 @@ class ProcessShardFleet:
             try:
                 self._spawn_locked(worker)
                 self._replay_wal_locked(worker)
-            except (_WorkerCrashed, _WorkerHung, ReproError) as exc:
+            except Exception as exc:
+                # Not just _WorkerCrashed/_WorkerHung/ReproError: a boot
+                # failure unmarshals to whatever the hello error carried
+                # (RuntimeError for non-Repro types), and any escape here
+                # would leave state "up" with a dead process behind it.
                 failure = f"{type(exc).__name__}: {exc}"
                 self._cleanup_locked(worker)
                 continue
@@ -730,26 +743,40 @@ class ProcessShardFleet:
             os.fsync(handle.fileno())
 
     def _wal_read(self, shard: int) -> list[dict]:
-        """The shard's pending batches, oldest first.
+        """The shard's pending batches, oldest first — repairing torn tails.
 
         A torn final line (supervisor killed mid-append) is dropped: the
         append is fsync'd *before* dispatch, so a torn batch was never
-        applied anywhere and the caller simply resubmits it.
+        applied anywhere and the caller simply resubmits it. Dropping is
+        not enough, though — the fragment has no trailing newline, so a
+        later append in ``"a"`` mode would fuse a valid batch onto it
+        into one permanently unparseable line that replay would silently
+        skip past, losing acknowledged updates. The file is therefore
+        truncated back to the last whole valid record before the WAL
+        accepts any further appends.
         """
         path = self._wal_path(shard)
         if not os.path.exists(path):
             return []
         batches: list[dict] = []
-        with open(path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
+        with open(path, "rb") as handle:
+            data = handle.read()
+        valid_end = 0
+        for raw in data.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                break  # incomplete final line: crash mid-append
+            stripped = raw.strip()
+            if stripped:
                 try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
+                    record = json.loads(stripped.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
                     break
                 batches.append(record)
+            valid_end += len(raw)
+        if valid_end < len(data):
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_end)
+                os.fsync(handle.fileno())
         return batches
 
     def _wal_truncate(self, shard: int) -> None:
@@ -883,6 +910,10 @@ class ProcessShardFleet:
         original incarnation, so re-announced labels sit below the known
         count and this is a no-op for them — replay never double-registers.
         """
+        with self._routing_lock:
+            self._absorb_new_labels_routing_locked(shard)
+
+    def _absorb_new_labels_routing_locked(self, shard: int) -> None:
         worker = self._workers[shard]
         known = self._user_global[shard].size
         if len(worker.user_labels) > known:
@@ -999,16 +1030,22 @@ class ProcessShardFleet:
         when that shard is down (degraded mode)."""
         self._check_user(user)
         k = check_positive_int(k, "k")
-        shard = int(self._user_shard[user])
         banned = as_exclude_array(exclude)
-        if banned.size:
-            banned = self._translate_exclusions(shard, banned)
+        with self._routing_lock:
+            shard = int(self._user_shard[user])
+            local = int(self._user_local[user])
+            if banned.size:
+                banned = self._translate_exclusions(shard, banned)
         ranked = self._request(shard, "recommend", {
-            "user": int(self._user_local[user]),
+            "user": local,
             "k": k,
             "exclude_rated": bool(exclude_rated),
             "exclude": banned,
         })
+        # Read *after* the RPC: an apply absorbed before our request took
+        # the worker lock may have grown the shard's item space, and the
+        # reply can reference those items. Growth is append-only, so the
+        # current array is always a superset of what the worker knew.
         lookup = self._item_global[shard]
         return [Recommendation(int(lookup[item]), label, float(score))
                 for item, label, score in ranked]
@@ -1036,18 +1073,19 @@ class ProcessShardFleet:
         k = check_positive_int(k, "k")
         out: list = [None] * len(users)
         by_shard: dict[int, tuple[list, list, list]] = {}
-        for position, (user, exclude) in enumerate(zip(users, excludes)):
-            self._check_user(user)
-            shard = int(self._user_shard[user])
-            banned = as_exclude_array(exclude)
-            if banned.size:
-                banned = self._translate_exclusions(shard, banned)
-            positions, local_users, local_bans = by_shard.setdefault(
-                shard, ([], [], [])
-            )
-            positions.append(position)
-            local_users.append(int(self._user_local[user]))
-            local_bans.append(banned)
+        with self._routing_lock:
+            for position, (user, exclude) in enumerate(zip(users, excludes)):
+                self._check_user(user)
+                shard = int(self._user_shard[user])
+                banned = as_exclude_array(exclude)
+                if banned.size:
+                    banned = self._translate_exclusions(shard, banned)
+                positions, local_users, local_bans = by_shard.setdefault(
+                    shard, ([], [], [])
+                )
+                positions.append(position)
+                local_users.append(int(self._user_local[user]))
+                local_bans.append(banned)
         for shard, (positions, local_users, local_bans) in by_shard.items():
             try:
                 ranked_lists = self._request(shard, "recommend_many", {
@@ -1110,13 +1148,19 @@ class ProcessShardFleet:
                 miss_users = users[positions]
                 items = np.full((positions.size, k), -1, dtype=np.int64)
                 scores = np.full((positions.size, k), -np.inf)
-                shard_of = self._user_shard[miss_users]
+                with self._routing_lock:
+                    shard_of = self._user_shard[miss_users]
+                    locals_of_shard = {
+                        int(shard): self._user_local[
+                            miss_users[np.flatnonzero(shard_of == shard)]
+                        ]
+                        for shard in np.unique(shard_of)
+                    }
                 for shard in np.unique(shard_of):
                     shard = int(shard)
                     rows_of_shard = np.flatnonzero(shard_of == shard)
-                    local = self._user_local[miss_users[rows_of_shard]]
                     result = self._request(shard, "serve_cohort", {
-                        "users": local,
+                        "users": locals_of_shard[shard],
                         "k": k,
                         "batch_size": batch_size,
                         "exclude_rated": exclude_rated,
@@ -1129,8 +1173,13 @@ class ProcessShardFleet:
                     )
                     scores[rows_of_shard] = result["scores"]
                     report.per_shard.append((shard, result["report"]))
+                # Under the routing lock no absorb is mid-flight, so this
+                # label array covers every global id the (post-RPC,
+                # append-only) lookups above could have produced.
+                with self._routing_lock:
+                    item_labels = self._item_labels
                 flat = rows_from_ranked_arrays(
-                    miss_users, items, scores, self._item_labels
+                    miss_users, items, scores, item_labels
                 )
                 bounds = np.concatenate(
                     [[0], np.cumsum((items >= 0).sum(axis=1))]
@@ -1197,11 +1246,15 @@ class ProcessShardFleet:
             return report
         with Timer() as timer:
             with self._update_lock:
-                if self.plan.has_halos:
-                    routed, stale = self._route_events_halo(events)
-                else:
-                    routed = self._route_events_component(events)
-                    stale = 0
+                # Routing reads the label dicts a read-triggered WAL
+                # replay may be growing concurrently (it holds only a
+                # worker lock, not _update_lock).
+                with self._routing_lock:
+                    if self.plan.has_halos:
+                        routed, stale = self._route_events_halo(events)
+                    else:
+                        routed = self._route_events_component(events)
+                        stale = 0
                 touched = [shard for shard in range(self.n_shards)
                            if routed[shard]]
                 for shard in touched:
@@ -1239,10 +1292,17 @@ class ProcessShardFleet:
 
     def _dispatch_apply(self, shard: int, shard_events,
                         duplicates: str | None):
-        """WAL-append then dispatch one shard's slice; recover via replay."""
+        """WAL-append then dispatch one shard's slice; recover via replay.
+
+        The append happens *inside* ``worker.lock``: a batch may only
+        enter the WAL while no restart can replay it. Appending outside
+        the lock would let a read request that crashed the worker replay
+        the just-logged batch during its restart, after which the dispatch
+        below would apply it a second time.
+        """
         worker = self._workers[shard]
-        self._wal_append(shard, shard_events, duplicates)
         with worker.lock:
+            self._wal_append(shard, shard_events, duplicates)
             worker.last_replay_result = None
             result = self._request_locked(worker, "apply_updates", {
                 "events": shard_events,
@@ -1478,8 +1538,12 @@ class ProcessShardFleet:
         shards = []
         for worker in self._workers:
             state = worker.state
-            if state == "up" and (worker.process is None
-                                  or not worker.process.is_alive()):
+            # One read into a local: a concurrent _cleanup_locked may set
+            # worker.process to None between checks, and the probe must
+            # never raise from its own race.
+            process = worker.process
+            alive = process is not None and process.is_alive()
+            if state == "up" and not alive:
                 state = "crashed"
             entry = {
                 "shard": worker.shard,
@@ -1487,9 +1551,7 @@ class ProcessShardFleet:
                 "model_version": worker.model_version,
                 "restarts": worker.restarts,
                 "replayed_batches": worker.replayed_batches,
-                "pid": (worker.process.pid
-                        if worker.process is not None
-                        and worker.process.is_alive() else None),
+                "pid": process.pid if alive else None,
             }
             if state != "up":
                 status = "degraded"

@@ -237,6 +237,34 @@ class TestCheckpointAndWal:
                                               wal_dir=wal_dir) as second:
             assert second.replayed_batches == 1  # whole record only
             second.recommend(0, k=5)
+            # Boot repaired the file: the fragment is physically gone, so
+            # the next append starts on a fresh line.
+            with open(wal_path, encoding="utf-8") as handle:
+                assert "torn" not in handle.read()
+
+    def test_append_after_torn_tail_does_not_lose_batches(
+            self, federated, artifacts_dir, tmp_path):
+        # The dangerous sequence: torn tail → repair on boot-replay →
+        # *new acknowledged batch appended*. Without truncation the new
+        # batch would fuse onto the fragment into one unparseable line
+        # and every later replay would silently discard it.
+        wal_dir = str(tmp_path / "wal")
+        event = (federated.user_labels[0], federated.item_labels[0], 3.5)
+        with ProcessShardFleet.from_directory(artifacts_dir,
+                                              wal_dir=wal_dir) as first:
+            shard = first.shard_of_user(0)
+            wal_path = first._wal_path(shard)
+            with open(wal_path, "a", encoding="utf-8") as handle:
+                handle.write('{"events": [["torn')  # crash mid-append
+            first.restart_shard(shard)  # replay path repairs the tail
+            first.apply_updates([event], duplicates="last")
+            expected = [(r.item, r.score) for r in first.recommend(0, k=5)]
+            assert len(first._wal_read(shard)) == 1
+        with ProcessShardFleet.from_directory(artifacts_dir,
+                                              wal_dir=wal_dir) as second:
+            assert second.replayed_batches == 1
+            assert [(r.item, r.score)
+                    for r in second.recommend(0, k=5)] == expected
 
 
 class TestLifecycle:
