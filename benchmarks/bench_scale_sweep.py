@@ -1,0 +1,304 @@
+"""Scale sweep: zero-copy artifacts from 10^5 to 10^6 users.
+
+The tentpole claim of the v3 artifact format is that worker boot cost
+stops scaling with model size: ``load_artifact(path, mmap=True)`` maps
+every array off the page cache in O(open) instead of parsing,
+decompressing and copying O(model) bytes. This sweep measures that claim
+end to end on multi-tenant workloads growing to a million users:
+
+* **cold boot** — ``load_artifact`` wall time for the legacy v1
+  (compressed) format, the v3 eager path and the v3 mmap path, best of
+  ``REPEATS``; at 10^5+ users the mmap path must be >= 5x faster than
+  either eager parse (gated);
+* **restart-to-healthy** — SIGKILL a fleet worker and time
+  ``restart_shard`` (the supervisor's own ``last_restart_s`` stat),
+  mmap vs eager, at the PR-8 baseline workload (federated scale 1.0,
+  ~2400 users) where the prior eager fleet measured ~12.5 ms;
+* **warm serving** — users/sec through the fleet row cache at every
+  scale (the request path must not regress from lazy loading);
+* **memory sharing** — per-worker Rss/Pss from ``/proc`` for the mmap
+  fleet vs the eager fleet: N mapped workers share one physical copy of
+  the artifact pages, so mapped Pss per worker stays far below eager Rss;
+* **mmap parity** — every registered recommender, eager vs mapped
+  scores bit-identical on a small probe (gated at every scale).
+
+Standalone (not a pytest bench — a sweep point at scale 1.0 generates a
+million-user dataset):
+
+    python benchmarks/bench_scale_sweep.py              # full sweep
+    python benchmarks/bench_scale_sweep.py --scale 0.05 # CI smoke
+
+Results land in ``BENCH_scale.json`` at the repo root.
+"""
+
+import argparse
+import json
+import os
+import signal
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro import AbsorbingTimeRecommender, ShardedEngine  # noqa: E402
+from repro.core.artifacts import (  # noqa: E402
+    LEGACY_ARTIFACT_FORMAT_VERSION,
+    load_artifact,
+    registered_recommenders,
+    save_artifact,
+)
+from repro.data.synthetic import federated_dataset  # noqa: E402
+from repro.service import ProcessShardFleet  # noqa: E402
+from repro.utils.timer import Timer  # noqa: E402
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(_REPO_ROOT, "BENCH_scale.json")
+
+#: Users per target point at ``--scale 1.0`` (sqrt-spaced decade).
+TARGET_USERS = (100_000, 316_000, 1_000_000)
+USERS_PER_TENANT = 400  # the default federated block
+N_SHARDS = 4
+K = 10
+REPEATS = 3
+WARM_COHORT = 5_000
+#: The ``--scale``-independent gate thresholds.
+MMAP_SPEEDUP_GATE = 5.0       # at points with >= GATE_MIN_USERS users
+GATE_MIN_USERS = 100_000
+RESTART_BASELINE_S = 0.0125   # PR-8 eager fleet, federated scale 1.0
+
+
+def _log(message: str) -> None:
+    print(message, flush=True)
+
+
+def _best(fn, repeats=REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        with Timer() as timer:
+            fn()
+        best = min(best, timer.elapsed)
+    return best
+
+
+def _proc_mem_kb(pid: int) -> dict:
+    """Rss/Pss/shared split for one process, in kB (Linux smaps_rollup)."""
+    wanted = ("Rss", "Pss", "Shared_Clean", "Shared_Dirty")
+    fields = dict.fromkeys(wanted, 0)
+    try:
+        with open(f"/proc/{pid}/smaps_rollup") as handle:
+            for line in handle:
+                key = line.split(":", 1)[0]
+                if key in fields:
+                    fields[key] = int(line.split()[1])
+    except OSError:
+        return {}
+    return fields
+
+
+def _fleet_memory(fleet) -> dict:
+    workers = []
+    for shard in range(fleet.n_shards):
+        pid = fleet.worker_pid(shard)
+        if pid is None:
+            continue
+        mem = _proc_mem_kb(pid)
+        if not mem:
+            continue
+        workers.append({
+            "shard": shard,
+            "rss_mb": round(mem["Rss"] / 1024, 1),
+            "pss_mb": round(mem["Pss"] / 1024, 1),
+            "shared_mb": round((mem["Shared_Clean"] + mem["Shared_Dirty"])
+                               / 1024, 1),
+        })
+    return {
+        "workers": workers,
+        "rss_total_mb": round(sum(w["rss_mb"] for w in workers), 1),
+        "pss_total_mb": round(sum(w["pss_mb"] for w in workers), 1),
+    }
+
+
+def _fleet_metrics(artifacts: str, wal_dir: str, cohort: np.ndarray,
+                   mmap: bool) -> dict:
+    engine_kwargs = {"mmap": True} if mmap else {}
+    with Timer() as boot:
+        fleet = ProcessShardFleet.from_directory(
+            artifacts, wal_dir=wal_dir, engine_kwargs=engine_kwargs)
+    with fleet:
+        fleet.serve_cohort(cohort, k=K)  # fill the row cache
+        with Timer() as warm:
+            fleet.serve_cohort(cohort, k=K)
+        victim = fleet.shard_of_user(int(cohort[0]))
+        restart = float("inf")
+        for _ in range(REPEATS):
+            os.kill(fleet.worker_pid(victim), signal.SIGKILL)
+            row = fleet.restart_shard(victim)
+            assert row["state"] == "up"
+            restart = min(restart, row["last_restart_s"])
+        memory = _fleet_memory(fleet)
+    return {
+        "boot_s": round(boot.elapsed, 4),
+        "restart_to_healthy_s": round(restart, 5),
+        "warm_users_per_s": round(cohort.size / max(warm.elapsed, 1e-9)),
+        **memory,
+    }
+
+
+def run_point(target_users: int, workdir: str, seed: int = 29) -> dict:
+    n_tenants = max(2, round(target_users / USERS_PER_TENANT))
+    _log(f"[point {target_users:>9,} users] generating {n_tenants} tenants "
+         "...")
+    with Timer() as gen:
+        train = federated_dataset(n_tenants, scale=1.0, seed=seed)
+    _log(f"   {train.n_users:,} users x {train.n_items:,} items, "
+         f"{train.n_ratings:,} ratings ({gen.elapsed:.1f}s)")
+
+    with Timer() as fit_timer:
+        fitted = AbsorbingTimeRecommender().fit(train)
+    v1_path = save_artifact(fitted, os.path.join(workdir, "model-v1"),
+                            version=LEGACY_ARTIFACT_FORMAT_VERSION)
+    v3_path = save_artifact(fitted, os.path.join(workdir, "model-v3"))
+    point = {
+        "target_users": target_users,
+        "n_users": train.n_users,
+        "n_items": train.n_items,
+        "n_ratings": train.n_ratings,
+        "n_tenants": n_tenants,
+        "fit_s": round(fit_timer.elapsed, 2),
+        "artifact_v1_mb": round(os.path.getsize(v1_path) / 2**20, 1),
+        "artifact_v3_mb": round(os.path.getsize(v3_path) / 2**20, 1),
+    }
+
+    # Warm the page cache once so every path pays memory bandwidth, not
+    # disk — the mmap win under test is skipped parse/copy, not skipped IO.
+    with open(v3_path, "rb") as handle:
+        while handle.read(1 << 24):
+            pass
+    load = {
+        "v1_eager_s": _best(lambda: load_artifact(v1_path)),
+        "v3_eager_s": _best(lambda: load_artifact(v3_path)),
+        "v3_mmap_s": _best(lambda: load_artifact(v3_path, mmap=True)),
+    }
+    point["cold_boot"] = {k: round(v, 4) for k, v in load.items()}
+    point["cold_boot"]["mmap_speedup_vs_v1"] = round(
+        load["v1_eager_s"] / load["v3_mmap_s"], 1)
+    point["cold_boot"]["mmap_speedup_vs_v3_eager"] = round(
+        load["v3_eager_s"] / load["v3_mmap_s"], 1)
+    _log(f"   cold boot: v1 {load['v1_eager_s']:.3f}s  "
+         f"v3-eager {load['v3_eager_s']:.3f}s  "
+         f"v3-mmap {load['v3_mmap_s']:.4f}s  "
+         f"({point['cold_boot']['mmap_speedup_vs_v1']}x / "
+         f"{point['cold_boot']['mmap_speedup_vs_v3_eager']}x)")
+    if train.n_users >= GATE_MIN_USERS:
+        assert load["v1_eager_s"] / load["v3_mmap_s"] >= MMAP_SPEEDUP_GATE, \
+            f"mmap boot gate: {load}"
+        assert load["v3_eager_s"] / load["v3_mmap_s"] >= MMAP_SPEEDUP_GATE, \
+            f"mmap boot gate: {load}"
+
+    del fitted
+    _log(f"   fitting {N_SHARDS}-shard fleet ...")
+    sharded = ShardedEngine.fit(train, AbsorbingTimeRecommender,
+                                n_shards=N_SHARDS)
+    artifacts = os.path.join(workdir, "artifacts")
+    sharded.save(artifacts)
+    del sharded, train
+
+    cohort = np.arange(min(point["n_users"], WARM_COHORT), dtype=np.int64)
+    point["fleet_mmap"] = _fleet_metrics(
+        artifacts, os.path.join(workdir, "wal-mmap"), cohort, mmap=True)
+    point["fleet_eager"] = _fleet_metrics(
+        artifacts, os.path.join(workdir, "wal-eager"), cohort, mmap=False)
+    for mode in ("fleet_mmap", "fleet_eager"):
+        stats = point[mode]
+        _log(f"   {mode}: boot {stats['boot_s']:.2f}s  restart "
+             f"{stats['restart_to_healthy_s'] * 1e3:.1f}ms  warm "
+             f"{stats['warm_users_per_s']:,} users/s  rss {stats['rss_total_mb']}MB "
+             f"pss {stats['pss_total_mb']}MB")
+    return point
+
+
+def run_parity_probe(workdir: str) -> dict:
+    """Every registered recommender: mapped load scores == eager scores."""
+    train = federated_dataset(3, scale=0.15, seed=5)
+    cohort = np.arange(0, train.n_users, 7, dtype=np.int64)
+    results = {}
+    for name, cls in sorted(registered_recommenders().items()):
+        path = save_artifact(cls().fit(train),
+                             os.path.join(workdir, f"parity-{name}"))
+        eager = load_artifact(path).score_users(cohort)
+        mapped = load_artifact(path, mmap=True).score_users(cohort)
+        results[name] = bool(np.array_equal(eager, mapped))
+    assert all(results.values()), \
+        f"mmap parity broken: {[n for n, ok in results.items() if not ok]}"
+    return {"recommenders": len(results), "all_identical": True}
+
+
+def run_restart_gate(workdir: str, full_scale: bool) -> dict:
+    """Restart-to-healthy at the PR-8 baseline workload (~2400 users)."""
+    train = federated_dataset(6, scale=1.0, seed=11)
+    sharded = ShardedEngine.fit(train, AbsorbingTimeRecommender, n_shards=3)
+    artifacts = os.path.join(workdir, "gate-artifacts")
+    sharded.save(artifacts)
+    del sharded
+    cohort = np.arange(min(train.n_users, 512), dtype=np.int64)
+    gate = {
+        "n_users": train.n_users,
+        "baseline_pr8_s": RESTART_BASELINE_S,
+        "mmap": _fleet_metrics(artifacts, os.path.join(workdir, "gate-wal-m"),
+                               cohort, mmap=True),
+        "eager": _fleet_metrics(artifacts, os.path.join(workdir, "gate-wal-e"),
+                                cohort, mmap=False),
+    }
+    _log(f"[restart gate] mmap {gate['mmap']['restart_to_healthy_s'] * 1e3:.1f}ms "
+         f"vs eager {gate['eager']['restart_to_healthy_s'] * 1e3:.1f}ms "
+         f"(PR-8 baseline {RESTART_BASELINE_S * 1e3:.1f}ms)")
+    assert gate["mmap"]["restart_to_healthy_s"] < 30.0
+    if full_scale:
+        assert gate["mmap"]["restart_to_healthy_s"] < RESTART_BASELINE_S, \
+            "mmap restart-to-healthy regressed past the PR-8 eager baseline"
+    return gate
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="multiplier on every target user count "
+                             "(default 1.0 = sweep to 10^6 users)")
+    parser.add_argument("--out", default=BENCH_JSON,
+                        help=f"output JSON path (default {BENCH_JSON})")
+    args = parser.parse_args(argv)
+    if args.scale <= 0:
+        parser.error("--scale must be positive")
+
+    payload = {
+        "bench": "scale_sweep",
+        "scale": args.scale,
+        "n_shards": N_SHARDS,
+        "k": K,
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    with Timer() as total, tempfile.TemporaryDirectory() as workdir:
+        payload["parity"] = run_parity_probe(workdir)
+        _log(f"[parity] {payload['parity']['recommenders']} recommenders "
+             "eager == mmap")
+        payload["restart_gate"] = run_restart_gate(
+            workdir, full_scale=args.scale >= 1.0)
+        payload["points"] = []
+        for target in TARGET_USERS:
+            scaled = max(1_000, int(target * args.scale))
+            with tempfile.TemporaryDirectory(dir=workdir) as point_dir:
+                payload["points"].append(run_point(scaled, point_dir))
+    payload["total_seconds"] = round(total.elapsed, 1)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    _log(f"[saved] {args.out} ({total.elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

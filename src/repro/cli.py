@@ -275,6 +275,11 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("thread", "process"),
                         help="worker pool flavour for --workers > 1 "
                              "(default thread)")
+    online.add_argument("--mmap", action="store_true",
+                        help="memory-map the artifact arrays (v3 artifacts) "
+                             "instead of materialising them: O(open) boot, "
+                             "copy-on-first-write, pages shared across "
+                             "processes")
     online.add_argument("--out", default=None,
                         help="optional CSV path for the full (user, rank, item) rows")
 
@@ -317,6 +322,9 @@ def build_parser() -> argparse.ArgumentParser:
     http.add_argument("--workers", type=int, default=1,
                       help="engine worker-pool size per cohort solve "
                            "(default 1)")
+    http.add_argument("--mmap", action="store_true",
+                      help="memory-map the artifact arrays (v3 artifacts) "
+                           "instead of materialising them")
     http.add_argument("--duration", type=float, default=0.0,
                       help="serve for this many seconds then print the "
                            "server report and exit (default 0 = forever)")
@@ -356,6 +364,9 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument("--serve-users", type=int, default=0,
                         help="serve the first N users after updating, showing "
                              "the retained warm-cache stats")
+    update.add_argument("--mmap", action="store_true",
+                        help="memory-map the artifact arrays (v3 artifacts); "
+                             "updates copy only the pages they touch")
     update.add_argument("--out", default=None,
                         help="save the updated model artifact here")
     return parser
@@ -498,10 +509,13 @@ def _boot_fleet(args) -> ProcessShardFleet:
             "process per shard (use --fleet-procs "
             f"{plan.n_shards}, or 0 for in-process serving)"
         )
-    kwargs = {}
+    engine_kwargs = {}
     workers = getattr(args, "workers", 1)
     if workers and workers > 1:
-        kwargs["engine_kwargs"] = {"n_workers": workers}
+        engine_kwargs["n_workers"] = workers
+    if getattr(args, "mmap", False):
+        engine_kwargs["mmap"] = True
+    kwargs = {"engine_kwargs": engine_kwargs} if engine_kwargs else {}
     return ProcessShardFleet.from_directory(args.shards, **kwargs)
 
 
@@ -533,7 +547,7 @@ def _serve(args) -> int:
         with Timer() as load_timer:
             engine = ShardedEngine.from_directory(
                 args.shards, n_workers=args.workers,
-                worker_mode=args.worker_mode,
+                worker_mode=args.worker_mode, mmap=args.mmap,
             )
         if args.store:
             print("   note: --store is ignored for sharded serving")
@@ -551,6 +565,7 @@ def _serve(args) -> int:
             engine = ServingEngine.from_artifact(
                 args.artifact, store_path=args.store,
                 n_workers=args.workers, worker_mode=args.worker_mode,
+                mmap=args.mmap,
             )
         if args.dtype is not None:
             engine.recommender.set_serving_dtype(args.dtype)
@@ -651,7 +666,8 @@ def _serve_http(args) -> int:
         print(f"Loading sharded artifacts {args.shards} ...", flush=True)
         with Timer() as load_timer:
             engine = ShardedEngine.from_directory(args.shards,
-                                                  n_workers=args.workers)
+                                                  n_workers=args.workers,
+                                                  mmap=args.mmap)
         if args.store:
             print("   note: --store is ignored for sharded serving")
         name = engine.engines[0].recommender.name
@@ -664,6 +680,7 @@ def _serve_http(args) -> int:
         with Timer() as load_timer:
             engine = ServingEngine.from_artifact(
                 args.artifact, store_path=args.store, n_workers=args.workers,
+                mmap=args.mmap,
             )
         name = engine.recommender.name
         n_users_total = engine.dataset.n_users
@@ -754,7 +771,7 @@ def _update(args) -> int:
         with Timer() as load_timer:
             engine = ShardedEngine.from_directory(
                 args.shards, max_pending_events=args.max_pending,
-                update_duplicates=args.duplicates,
+                update_duplicates=args.duplicates, mmap=args.mmap,
             )
         n_users_total = engine.n_users
         print(f"   {engine.engines[0].recommender.name} fleet: "
@@ -765,7 +782,7 @@ def _update(args) -> int:
         with Timer() as load_timer:
             engine = ServingEngine.from_artifact(
                 args.artifact, max_pending_events=args.max_pending,
-                update_duplicates=args.duplicates,
+                update_duplicates=args.duplicates, mmap=args.mmap,
             )
         n_users_total = engine.dataset.n_users
         print(f"   {engine.recommender.name} over {engine.dataset} "

@@ -3,12 +3,13 @@
 A fitted :class:`~repro.core.base.Recommender` is, by contract, a JSON-able
 config plus a flat dict of numpy/scipy arrays plus its training dataset
 (:meth:`~repro.core.base.Recommender.state_dict`). This module turns that
-contract into a single compressed ``.npz`` file — the **artifact** — and
-back:
+contract into a single ``.npz`` file — the **artifact** — and back:
 
 * :func:`save_artifact` writes ``meta`` (a JSON header: format version,
   class name, config), the dataset arrays and the per-algorithm state
-  arrays; sparse matrices are stored as their CSR triplets;
+  arrays; sparse matrices are stored as their CSR triplets. Writes are
+  atomic (temp file + ``os.replace`` + directory fsync), so a crash
+  mid-save can never leave a torn artifact under the final name;
 * :func:`load_artifact` validates the format version, resolves the class
   through the :data:`RECOMMENDER_REGISTRY`, instantiates it from the saved
   config and restores the fitted arrays — no refitting, byte-identical
@@ -17,14 +18,30 @@ back:
   recommender registers itself with, so artifacts saved by any algorithm in
   the library round-trip without import-order gymnastics.
 
-Format versioning is strict: an artifact written by a different (older or
-newer) format raises :class:`~repro.exceptions.ArtifactError` instead of
-deserializing garbage into the request path.
+**Format v3 (current): zero-copy memory mapping.** Members are stored
+*uncompressed* — each member of the zip is a verbatim ``np.save`` file at
+a known offset — so ``load_artifact(path, mmap=True)`` maps every
+dataset/state array straight off the page cache instead of materialising
+it: CSR matrices are reconstructed as views over the mapped
+``data``/``indices``/``indptr`` triplets, and every map is opened
+copy-on-write (``mmap`` mode ``"c"``), so an array a recommender later
+mutates is copied page-by-page on first write while untouched pages stay
+shared — N worker processes booting from one artifact share one physical
+copy. Worker boot drops from O(parse + decompress + copy) to O(open).
+
+**Format v1 (legacy)** is the original ``np.savez_compressed`` layout;
+it still loads (eagerly — compressed members cannot be mapped; a
+``mmap=True`` request falls back to the eager path) and re-saving the
+loaded model migrates it to v3. Any *other* version raises
+:class:`~repro.exceptions.ArtifactError` instead of deserializing garbage
+into the request path.
 """
 
 from __future__ import annotations
 
 import json
+import struct
+import zipfile
 
 import numpy as np
 import scipy.sparse as sp
@@ -32,9 +49,11 @@ import scipy.sparse as sp
 from repro.core.base import PartialFitReport, Recommender
 from repro.exceptions import ArtifactError
 from repro.graph.bipartite import UserItemGraph
+from repro.utils.atomic import atomic_savez
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
+    "LEGACY_ARTIFACT_FORMAT_VERSION",
     "RECOMMENDER_REGISTRY",
     "GraphStateMixin",
     "register_recommender",
@@ -82,8 +101,17 @@ class GraphStateMixin:
             touched_components=tuple(sorted(update.touched_components)),
         )
 
-#: On-disk artifact format version; bump on any incompatible layout change.
-ARTIFACT_FORMAT_VERSION = 1
+#: On-disk artifact format version written by :func:`save_artifact`:
+#: uncompressed, memory-mappable members. Bump on any incompatible change.
+ARTIFACT_FORMAT_VERSION = 3
+
+#: The original compressed layout; still readable (eagerly). Migrate by
+#: loading and re-saving — the arrays are identical, only the container
+#: changed.
+LEGACY_ARTIFACT_FORMAT_VERSION = 1
+
+#: Every format version :func:`load_artifact` accepts.
+_SUPPORTED_VERSIONS = (LEGACY_ARTIFACT_FORMAT_VERSION, ARTIFACT_FORMAT_VERSION)
 
 #: class name -> class, for every recommender that can round-trip to disk.
 RECOMMENDER_REGISTRY: dict[str, type[Recommender]] = {}
@@ -92,6 +120,11 @@ _META_KEY = "meta"
 _DATASET_PREFIX = "dataset."
 _STATE_PREFIX = "state."
 _CSR_MARKER = ".csr."
+
+#: Zip local-file-header layout (PK\x03\x04): the filename/extra lengths
+#: sit at bytes 26..30; member data starts right after both fields.
+_ZIP_LOCAL_HEADER_SIZE = 30
+_ZIP_LOCAL_MAGIC = b"PK\x03\x04"
 
 
 def register_recommender(cls: type[Recommender]) -> type[Recommender]:
@@ -131,19 +164,26 @@ def _encode_arrays(mapping: dict, prefix: str, payload: dict) -> None:
             payload[f"{prefix}{key}"] = np.asarray(value)
 
 
-def _decode_arrays(archive, prefix: str) -> dict:
-    """Inverse of :func:`_encode_arrays` for one prefix of an npz archive."""
+def _decode_arrays(members: dict, prefix: str) -> dict:
+    """Inverse of :func:`_encode_arrays` for one prefix of a member dict.
+
+    ``members`` maps member name to an already-materialised (or mapped)
+    array, so the same decoder serves the eager and the mmap reader. CSR
+    matrices are rebuilt from the triplet *views* — scipy's triplet
+    constructor wraps arrays of the right dtype without copying, which is
+    what keeps a mapped adjacency zero-copy.
+    """
     arrays: dict = {}
     sparse_parts: dict[str, dict[str, np.ndarray]] = {}
-    for member in archive.files:
+    for member, value in members.items():
         if not member.startswith(prefix):
             continue
         key = member[len(prefix):]
         if _CSR_MARKER in key:
             name, part = key.rsplit(_CSR_MARKER, 1)
-            sparse_parts.setdefault(name, {})[part] = archive[member]
+            sparse_parts.setdefault(name, {})[part] = value
         else:
-            arrays[key] = archive[member]
+            arrays[key] = value
     for name, parts in sparse_parts.items():
         try:
             arrays[name] = sp.csr_matrix(
@@ -157,6 +197,72 @@ def _decode_arrays(archive, prefix: str) -> dict:
     return arrays
 
 
+# -- zero-copy member mapping -------------------------------------------------
+
+
+def _map_members(path: str, zf: zipfile.ZipFile) -> dict:
+    """Map every array member of an *uncompressed* npz without reading it.
+
+    Each stored (``ZIP_STORED``) member is a verbatim ``.npy`` file inside
+    the archive: seek to its data offset, parse the npy header for
+    dtype/shape, and hand the payload region to :class:`numpy.memmap` in
+    mode ``"c"`` (copy-on-write: a page is copied only when first written,
+    untouched pages stay shared with the OS page cache — and with every
+    other process that mapped the same artifact). A compressed member —
+    possible only in a hand-modified archive — falls back to an eager
+    in-memory read, preserving correctness at the cost of that member's
+    laziness.
+    """
+    members: dict = {}
+    with open(path, "rb") as raw:
+        for info in zf.infolist():
+            name = info.filename
+            key = name[:-4] if name.endswith(".npy") else name
+            if info.compress_type != zipfile.ZIP_STORED:
+                with zf.open(info) as member:
+                    members[key] = np.lib.format.read_array(
+                        member, allow_pickle=False
+                    )
+                continue
+            raw.seek(info.header_offset)
+            local = raw.read(_ZIP_LOCAL_HEADER_SIZE)
+            if (len(local) != _ZIP_LOCAL_HEADER_SIZE
+                    or local[:4] != _ZIP_LOCAL_MAGIC):
+                raise ArtifactError(
+                    f"corrupt zip member {name!r} in artifact {path!r}"
+                )
+            name_len, extra_len = struct.unpack("<HH", local[26:30])
+            raw.seek(info.header_offset + _ZIP_LOCAL_HEADER_SIZE
+                     + name_len + extra_len)
+            try:
+                version = np.lib.format.read_magic(raw)
+                if version == (1, 0):
+                    shape, fortran, dtype = \
+                        np.lib.format.read_array_header_1_0(raw)
+                elif version == (2, 0):
+                    shape, fortran, dtype = \
+                        np.lib.format.read_array_header_2_0(raw)
+                else:
+                    raise ValueError(f"npy format version {version}")
+            except ValueError as exc:
+                raise ArtifactError(
+                    f"cannot map member {name!r} of artifact {path!r}: {exc}"
+                ) from None
+            if dtype.hasobject:
+                raise ArtifactError(
+                    f"artifact member {name!r} has object dtype; a valid "
+                    "artifact never pickles"
+                )
+            if int(np.prod(shape)) == 0:
+                members[key] = np.empty(shape, dtype=dtype)
+            else:
+                members[key] = np.memmap(
+                    path, dtype=dtype, mode="c", offset=raw.tell(),
+                    shape=shape, order="F" if fortran else "C",
+                )
+    return members
+
+
 # -- save / load --------------------------------------------------------------
 
 
@@ -166,66 +272,29 @@ def _npz_path(path: str) -> str:
     return path if str(path).endswith(".npz") else f"{path}.npz"
 
 
-def save_artifact(recommender: Recommender, path: str) -> str:
-    """Write a fitted recommender as a versioned ``.npz`` artifact.
+def _validate_header(archive, path: str) -> dict:
+    """Parse + validate an open archive's JSON header; returns the meta dict.
 
-    Returns the path actually written. The artifact embeds the training
-    dataset, so :func:`load_artifact` yields a recommender that can serve
-    (including rated-item exclusion) with no other inputs.
+    The single gatekeeper shared by :func:`peek_artifact`,
+    :func:`load_artifact` and the v3 mmap reader: meta member present and
+    JSON-decodable, format version supported, class registered. Raises
+    :class:`~repro.exceptions.ArtifactError` on every failure mode — a
+    stale or foreign artifact must fail loudly, never serve wrong rankings.
     """
-    state = recommender.state_dict()
-    if type(recommender).__name__ not in RECOMMENDER_REGISTRY:
+    if _META_KEY not in archive.files:
         raise ArtifactError(
-            f"{type(recommender).__name__} is not registered; decorate it "
-            "with @register_recommender so the artifact can be loaded back"
+            f"{path!r} is not a model artifact (no meta header)"
         )
-    config = state["config"]
     try:
-        meta = json.dumps({
-            "format_version": ARTIFACT_FORMAT_VERSION,
-            "class": state["class"],
-            "name": recommender.name,
-            "config": config,
-        })
-    except (TypeError, ValueError) as exc:
+        meta = json.loads(str(archive[_META_KEY]))
+        version = meta["format_version"]
+        class_name = meta["class"]
+        meta["config"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
         raise ArtifactError(
-            f"{state['class']}.get_config() is not JSON-serializable: {exc}"
+            f"corrupt artifact header in {path!r}: {exc}"
         ) from None
-    payload: dict = {_META_KEY: np.array(meta)}
-    _encode_arrays(state["dataset"], _DATASET_PREFIX, payload)
-    _encode_arrays(state["arrays"], _STATE_PREFIX, payload)
-    path = _npz_path(path)
-    np.savez_compressed(path, **payload)
-    return path
-
-
-def peek_artifact(path: str) -> dict:
-    """Read an artifact's JSON header without constructing the model.
-
-    Returns ``{"format_version", "class", "name", "config"}`` after the
-    same validation :func:`load_artifact` applies (readable file, meta
-    header present, supported format version, registered class) — but
-    touches only the header member of the archive, so a supervisor can
-    verify every shard artifact it may later restart from in O(open)
-    instead of O(parse).
-    """
-    try:
-        archive = np.load(_npz_path(path), allow_pickle=False)
-    except (OSError, ValueError) as exc:
-        raise ArtifactError(f"cannot read artifact {path!r}: {exc}") from None
-    with archive:
-        if _META_KEY not in archive.files:
-            raise ArtifactError(
-                f"{path!r} is not a model artifact (no meta header)"
-            )
-        try:
-            meta = json.loads(str(archive[_META_KEY]))
-            version = meta["format_version"]
-            class_name = meta["class"]
-            meta["config"]
-        except (json.JSONDecodeError, KeyError, TypeError) as exc:
-            raise ArtifactError(f"corrupt artifact header in {path!r}: {exc}") from None
-    if version != ARTIFACT_FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ArtifactError(
             f"artifact format version {version} != supported "
             f"{ARTIFACT_FORMAT_VERSION}; re-fit and re-save the model"
@@ -238,49 +307,129 @@ def peek_artifact(path: str) -> dict:
     return meta
 
 
-def load_artifact(path: str) -> Recommender:
-    """Reload a fitted recommender saved by :func:`save_artifact`.
+def save_artifact(recommender: Recommender, path: str, *,
+                  version: int = ARTIFACT_FORMAT_VERSION,
+                  extra_meta: dict | None = None) -> str:
+    """Write a fitted recommender as a versioned ``.npz`` artifact.
 
-    Raises :class:`~repro.exceptions.ArtifactError` on a missing/mismatched
-    format version or an unregistered class — a stale or foreign artifact
-    must fail loudly, never serve wrong rankings.
+    Returns the path actually written. The artifact embeds the training
+    dataset, so :func:`load_artifact` yields a recommender that can serve
+    (including rated-item exclusion) with no other inputs. The write is
+    atomic: a crash mid-save leaves the previous file (or nothing), never
+    a torn archive.
+
+    Parameters
+    ----------
+    version:
+        :data:`ARTIFACT_FORMAT_VERSION` (default; uncompressed,
+        memory-mappable) or :data:`LEGACY_ARTIFACT_FORMAT_VERSION`
+        (compressed — smaller on disk, cannot be mapped; kept for
+        migration tests and size-sensitive archival).
+    extra_meta:
+        Optional JSON-able dict stored under ``"extra"`` in the header,
+        readable via :func:`peek_artifact` in O(open). The process fleet
+        folds its WAL checkpoint seqno in here so replay can skip batches
+        a checkpoint already contains.
+    """
+    state = recommender.state_dict()
+    if type(recommender).__name__ not in RECOMMENDER_REGISTRY:
+        raise ArtifactError(
+            f"{type(recommender).__name__} is not registered; decorate it "
+            "with @register_recommender so the artifact can be loaded back"
+        )
+    if version not in _SUPPORTED_VERSIONS:
+        raise ArtifactError(
+            f"cannot write artifact format version {version}; supported: "
+            f"{sorted(_SUPPORTED_VERSIONS)}"
+        )
+    config = state["config"]
+    header = {
+        "format_version": version,
+        "class": state["class"],
+        "name": recommender.name,
+        "config": config,
+    }
+    if extra_meta is not None:
+        header["extra"] = dict(extra_meta)
+    try:
+        meta = json.dumps(header)
+    except (TypeError, ValueError) as exc:
+        raise ArtifactError(
+            f"{state['class']}.get_config() is not JSON-serializable (or "
+            f"extra_meta is not): {exc}"
+        ) from None
+    payload: dict = {_META_KEY: np.array(meta)}
+    _encode_arrays(state["dataset"], _DATASET_PREFIX, payload)
+    _encode_arrays(state["arrays"], _STATE_PREFIX, payload)
+    path = _npz_path(path)
+    atomic_savez(path, payload,
+                 compressed=(version == LEGACY_ARTIFACT_FORMAT_VERSION))
+    return path
+
+
+def peek_artifact(path: str) -> dict:
+    """Read an artifact's JSON header without constructing the model.
+
+    Returns ``{"format_version", "class", "name", "config"}`` (plus
+    ``"extra"`` when the writer attached one) after the same validation
+    :func:`load_artifact` applies (readable file, meta header present,
+    supported format version, registered class) — but touches only the
+    header member of the archive, so a supervisor can verify every shard
+    artifact it may later restart from in O(open) instead of O(parse).
     """
     try:
-        # Labels and metadata are JSON-encoded strings, so nothing in a valid
-        # artifact needs pickling — and a hostile file cannot execute code.
         archive = np.load(_npz_path(path), allow_pickle=False)
     except (OSError, ValueError) as exc:
         raise ArtifactError(f"cannot read artifact {path!r}: {exc}") from None
     with archive:
-        if _META_KEY not in archive.files:
-            raise ArtifactError(
-                f"{path!r} is not a model artifact (no meta header)"
-            )
-        try:
-            meta = json.loads(str(archive[_META_KEY]))
-            version = meta["format_version"]
-            class_name = meta["class"]
-            config = meta["config"]
-        except (json.JSONDecodeError, KeyError, TypeError) as exc:
-            raise ArtifactError(f"corrupt artifact header in {path!r}: {exc}") from None
-        if version != ARTIFACT_FORMAT_VERSION:
-            raise ArtifactError(
-                f"artifact format version {version} != supported "
-                f"{ARTIFACT_FORMAT_VERSION}; re-fit and re-save the model"
-            )
-        cls = RECOMMENDER_REGISTRY.get(class_name)
-        if cls is None:
-            raise ArtifactError(
-                f"artifact class {class_name!r} is not in the recommender "
-                f"registry ({sorted(RECOMMENDER_REGISTRY)})"
-            )
-        dataset_arrays = _decode_arrays(archive, _DATASET_PREFIX)
-        state_arrays = _decode_arrays(archive, _STATE_PREFIX)
-    recommender = cls(**config)
+        return _validate_header(archive, path)
+
+
+def load_artifact(path: str, mmap: bool = False) -> Recommender:
+    """Reload a fitted recommender saved by :func:`save_artifact`.
+
+    With ``mmap=True`` (and a v3 artifact) every array member is
+    memory-mapped copy-on-write instead of materialised: load cost is
+    O(open), the arrays page in lazily, and concurrent processes serving
+    the same artifact share the physical pages. The loaded model's
+    rankings are bit-identical to an eager load (gated in CI for every
+    registered recommender); an array the recommender mutates is copied
+    page-wise on first write, leaving the file untouched. Legacy (v1,
+    compressed) artifacts cannot be mapped and fall back to the eager
+    path — re-save to migrate.
+
+    Raises :class:`~repro.exceptions.ArtifactError` on a missing or
+    unsupported format version or an unregistered class — a stale or
+    foreign artifact must fail loudly, never serve wrong rankings.
+    """
+    npz_path = _npz_path(path)
+    try:
+        # Labels and metadata are JSON-encoded strings, so nothing in a valid
+        # artifact needs pickling — and a hostile file cannot execute code.
+        archive = np.load(npz_path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(f"cannot read artifact {path!r}: {exc}") from None
+    with archive:
+        meta = _validate_header(archive, path)
+        mapped = mmap and meta["format_version"] >= ARTIFACT_FORMAT_VERSION
+        if mapped:
+            members = _map_members(npz_path, archive.zip)
+        else:
+            members = {name: archive[name] for name in archive.files
+                       if name != _META_KEY}
+    class_name = meta["class"]
+    config = meta["config"]
+    dataset_arrays = _decode_arrays(members, _DATASET_PREFIX)
+    state_arrays = _decode_arrays(members, _STATE_PREFIX)
+    recommender = RECOMMENDER_REGISTRY[class_name](**config)
     recommender.load_state_dict({
         "class": class_name,
         "config": config,
         "dataset": dataset_arrays,
         "arrays": state_arrays,
+        # A mapped load trusts its own save (validated then): dataset
+        # reconstruction skips the O(nnz) canonicalisation scans that
+        # would otherwise page the whole mapping in at boot.
+        "trusted": mapped,
     })
     return recommender

@@ -239,7 +239,13 @@ class Recommender(abc.ABC):
                 f"state dict was saved by {saved_class!r}; "
                 f"cannot load into {type(self).__name__!r}"
             )
-        self.dataset = RatingDataset.from_arrays(dataset_arrays)
+        # A state dict flagged "trusted" (set by the artifact loader for
+        # memory-mapped loads of this library's own saves) skips dataset
+        # re-validation — the scans would page the whole mapping in and
+        # re-prove what save_artifact already proved.
+        self.dataset = RatingDataset.from_arrays(
+            dataset_arrays, validate=not state.get("trusted", False)
+        )
         self._load_state_arrays(dict(arrays))
         return self
 

@@ -232,15 +232,54 @@ class RatingDataset:
                     f"found range [{self._csr.data.min()}, {self._csr.data.max()}]"
                 )
         self.rating_scale = rating_scale
-        self.user_labels = _make_labels(user_labels, self._csr.shape[0], "u")
-        self.item_labels = _make_labels(item_labels, self._csr.shape[1], "i")
-        self._user_index: Mapping[Hashable, int] = {
-            label: i for i, label in enumerate(self.user_labels)
-        }
-        self._item_index: Mapping[Hashable, int] = {
-            label: i for i, label in enumerate(self.item_labels)
-        }
+        self._user_labels_cache: tuple | None = _make_labels(
+            user_labels, self._csr.shape[0], "u")
+        self._item_labels_cache: tuple | None = _make_labels(
+            item_labels, self._csr.shape[1], "i")
+        self._user_labels_raw = None
+        self._item_labels_raw = None
+        self._user_index_cache: Mapping[Hashable, int] | None = None
+        self._item_index_cache: Mapping[Hashable, int] | None = None
         self._csc: sp.csc_matrix | None = None
+
+    # Labels decode lazily on the trusted load path: a v3 artifact stores
+    # them as one JSON string whose parse is O(n) — paying it at load time
+    # would make an otherwise O(open) mmap boot linear in the user count.
+    # The raw encoded array is stashed and decoded on first label access;
+    # index-addressed serving never triggers it.
+    @property
+    def user_labels(self) -> tuple:
+        if self._user_labels_cache is None:
+            self._user_labels_cache = labels_from_json(self._user_labels_raw)
+            self._user_labels_raw = None
+        return self._user_labels_cache
+
+    @property
+    def item_labels(self) -> tuple:
+        if self._item_labels_cache is None:
+            self._item_labels_cache = labels_from_json(self._item_labels_raw)
+            self._item_labels_raw = None
+        return self._item_labels_cache
+
+    # Label -> index dicts are built on first *label* lookup, not at
+    # construction: index-addressed serving (the entire sharded/fleet hot
+    # path) never needs them, and building two million-entry dicts at
+    # worker boot would dominate an otherwise O(open) mmap load.
+    @property
+    def _user_index(self) -> Mapping[Hashable, int]:
+        if self._user_index_cache is None:
+            self._user_index_cache = {
+                label: i for i, label in enumerate(self.user_labels)
+            }
+        return self._user_index_cache
+
+    @property
+    def _item_index(self) -> Mapping[Hashable, int]:
+        if self._item_index_cache is None:
+            self._item_index_cache = {
+                label: i for i, label in enumerate(self.item_labels)
+            }
+        return self._item_index_cache
 
     # -- construction -----------------------------------------------------
 
@@ -534,8 +573,14 @@ class RatingDataset:
             "indices": self._csr.indices,
             "indptr": self._csr.indptr,
             "shape": np.array(self._csr.shape, dtype=np.int64),
-            "user_labels": labels_to_json(self.user_labels),
-            "item_labels": labels_to_json(self.item_labels),
+            # A still-undecoded raw encoding round-trips verbatim — no
+            # decode/re-encode cycle when checkpointing a mapped dataset.
+            "user_labels": (np.array(np.asarray(self._user_labels_raw)[()])
+                            if self._user_labels_cache is None
+                            else labels_to_json(self.user_labels)),
+            "item_labels": (np.array(np.asarray(self._item_labels_raw)[()])
+                            if self._item_labels_cache is None
+                            else labels_to_json(self.item_labels)),
             "rating_scale": scale,
         }
         # Optional keys: only halo-cut shard datasets carry deficits, and
@@ -547,8 +592,19 @@ class RatingDataset:
         return arrays
 
     @classmethod
-    def from_arrays(cls, arrays: Mapping) -> "RatingDataset":
-        """Rebuild a dataset from :meth:`to_arrays` output."""
+    def from_arrays(cls, arrays: Mapping,
+                    validate: bool = True) -> "RatingDataset":
+        """Rebuild a dataset from :meth:`to_arrays` output.
+
+        ``validate=False`` is the trusted fast path for arrays that came
+        out of this class's own :meth:`to_arrays` (a versioned artifact —
+        validated when it was written): the CSR is wrapped as-is from the
+        triplet views and the O(nnz) canonicalisation/range scans and the
+        O(n) duplicate-label check are skipped. That keeps a memory-mapped
+        artifact load O(open) — a validating load would page every array
+        in just to re-prove what ``save`` already proved. Never pass
+        untrusted input with ``validate=False``.
+        """
         try:
             shape = tuple(int(s) for s in np.asarray(arrays["shape"]).ravel())
             matrix = sp.csr_matrix(
@@ -557,16 +613,41 @@ class RatingDataset:
                 shape=shape,
             )
             scale = np.asarray(arrays["rating_scale"], dtype=np.float64).ravel()
-            user_labels = labels_from_json(arrays["user_labels"])
-            item_labels = labels_from_json(arrays["item_labels"])
+            user_labels_raw = arrays["user_labels"]
+            item_labels_raw = arrays["item_labels"]
         except KeyError as exc:
             raise DataError(f"dataset arrays missing key {exc.args[0]!r}") from None
         rating_scale = None if scale.size == 0 else (float(scale[0]), float(scale[1]))
         user_deficit = arrays.get("user_degree_deficit")
         item_deficit = arrays.get("item_degree_deficit")
-        return cls(matrix, user_labels, item_labels, rating_scale=rating_scale,
-                   user_degree_deficit=user_deficit,
-                   item_degree_deficit=item_deficit)
+        if validate:
+            return cls(matrix,
+                       labels_from_json(user_labels_raw),
+                       labels_from_json(item_labels_raw),
+                       rating_scale=rating_scale,
+                       user_degree_deficit=user_deficit,
+                       item_degree_deficit=item_deficit)
+        self = object.__new__(cls)
+        self._csr = matrix
+        self._user_deficit = (
+            None if user_deficit is None
+            else np.asarray(user_deficit, dtype=np.float64).ravel()
+        )
+        self._item_deficit = (
+            None if item_deficit is None
+            else np.asarray(item_deficit, dtype=np.float64).ravel()
+        )
+        self.rating_scale = rating_scale
+        # Defer the O(n) JSON decode to first label access (see the
+        # user_labels property) — trusted loads stay O(open).
+        self._user_labels_cache = None
+        self._item_labels_cache = None
+        self._user_labels_raw = user_labels_raw
+        self._item_labels_raw = item_labels_raw
+        self._user_index_cache = None
+        self._item_index_cache = None
+        self._csc = None
+        return self
 
     # -- transforms ----------------------------------------------------------
 

@@ -130,10 +130,19 @@ class UserItemGraph:
         self.n_users = dataset.n_users
         self.n_items = dataset.n_items
         self.adjacency: sp.csr_matrix = bipartite_adjacency(dataset.matrix)
-        self.degrees: np.ndarray = _node_degrees(dataset, self.adjacency)
+        self._degrees: np.ndarray | None = _node_degrees(dataset, self.adjacency)
         self._transition: sp.csr_matrix | None = None
         self._components: tuple[int, np.ndarray] | None = None
         self._item_component_sizes: np.ndarray | None = None
+
+    # The degree vector is an O(nnz) row reduction; an artifact load defers
+    # it (see from_arrays) so a memory-mapped boot stays O(open) — the
+    # first walk-structure access pays it instead.
+    @property
+    def degrees(self) -> np.ndarray:
+        if self._degrees is None:
+            self._degrees = _node_degrees(self.dataset, self.adjacency)
+        return self._degrees
 
     # -- node indexing ------------------------------------------------------
 
@@ -368,7 +377,7 @@ class UserItemGraph:
         graph.n_users = merged.n_users
         graph.n_items = merged.n_items
         graph.adjacency = bipartite_adjacency(merged.matrix)
-        graph.degrees = _node_degrees(merged, graph.adjacency)
+        graph._degrees = _node_degrees(merged, graph.adjacency)
         graph._transition = None
         graph._components = (
             old_count + n_new_users + n_new_items - merges, labels
@@ -428,7 +437,7 @@ class UserItemGraph:
                 f"component labels shape {labels.shape} != ({n_nodes},)"
             )
         graph.adjacency = adjacency
-        graph.degrees = _node_degrees(dataset, adjacency)
+        graph._degrees = None  # deferred: see the degrees property
         graph._transition = None
         graph._components = (count, labels)
         graph._item_component_sizes = None

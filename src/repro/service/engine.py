@@ -339,15 +339,21 @@ class ServingEngine:
 
     @classmethod
     def from_artifact(cls, path: str, store_path: str | None = None,
-                      **kwargs) -> "ServingEngine":
+                      mmap: bool = False, **kwargs) -> "ServingEngine":
         """Boot an engine from a saved model artifact (+ optional store).
 
         This is the online half of the offline-fit / online-serve split:
         ``repro.cli fit`` writes the artifact, ``repro.cli serve`` calls
-        this. No training happens here.
+        this. No training happens here. ``mmap=True`` memory-maps the
+        artifact's arrays (and the store's, when given) copy-on-write
+        instead of materialising them — boot cost drops to O(open) and
+        engines in separate processes share the physical pages; rankings
+        are bit-identical to an eager load (see
+        :func:`~repro.core.artifacts.load_artifact`).
         """
-        recommender = load_artifact(path)
-        store = TopKStore.load(store_path) if store_path is not None else None
+        recommender = load_artifact(path, mmap=mmap)
+        store = (TopKStore.load(store_path, mmap=mmap)
+                 if store_path is not None else None)
         return cls(recommender, store=store, **kwargs)
 
     @property

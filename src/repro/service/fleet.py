@@ -38,16 +38,19 @@ domain shrinks from "the fleet" to "one shard":
   :meth:`restart_shard` brings a shard back — replaying any update
   batches that were stranded in its WAL.
 
-Durability boundary: the WAL makes *worker* crashes lossless. If the
-supervisor itself dies between a shard's ``save`` checkpoint and the WAL
-truncation that follows it, the next boot replays batches the checkpoint
-already contains — detectable (the replayed model version overshoots) but
-not auto-healed; the window is a few milliseconds and closing it needs a
-WAL sequence number in the artifact, noted in DESIGN.md §13. A torn final
-WAL line (supervisor killed mid-append) is safely dropped — appends are
-fsync'd before dispatch, so a torn line was never applied anywhere — and
-the file is truncated back to the last whole record, so later appends
-can never fuse with the fragment into an unparseable line.
+Durability boundary: the WAL makes *worker* crashes lossless, and the
+checkpoint **seqno** makes supervisor crashes lossless too. Every WAL
+record carries a per-shard monotone sequence number; :meth:`save` folds
+each shard's last *applied* seqno into the checkpoint artifact's header
+(``extra.wal_seq``, readable in O(open) via ``peek_artifact``), so if the
+supervisor dies between a shard's checkpoint and the WAL truncation that
+follows it, the next boot *skips* the batches the checkpoint already
+contains instead of double-replaying them — counted as
+``skipped_replay_batches`` in ``health()``/``stats()``/reports. A torn
+final WAL line (supervisor killed mid-append) is safely dropped —
+appends are fsync'd before dispatch, so a torn line was never applied
+anywhere — and the file is truncated back to the last whole record, so
+later appends can never fuse with the fragment into an unparseable line.
 
 Scripted failures for tests live in :mod:`repro.service.faults`; the
 fleet wires a :class:`~repro.service.faults.FaultSpec` into the target
@@ -273,7 +276,13 @@ def _worker_handle(engine, method: str, payload: dict,
             "n_ratings": int(dataset.n_ratings),
         }
     if method == "save":
-        return engine.recommender.save(payload["path"])
+        from repro.core.artifacts import save_artifact
+
+        # The supervisor folds the shard's last applied WAL seqno into the
+        # checkpoint header; a future boot skips replaying batches the
+        # checkpoint already contains (supervisor-death window, §13).
+        return save_artifact(engine.recommender, payload["path"],
+                             extra_meta={"wal_seq": payload["wal_seq"]})
     if method == "stats":
         return engine.stats()
     if method == "clear_caches":
@@ -295,7 +304,8 @@ class _ShardWorker:
     nothing twice.
     """
 
-    def __init__(self, shard: int, artifact_path: str):
+    def __init__(self, shard: int, artifact_path: str,
+                 checkpoint_seq: int = 0):
         self.shard = shard
         self.artifact_path = artifact_path
         self.process = None
@@ -314,6 +324,19 @@ class _ShardWorker:
         self.user_labels: list = []
         self.item_labels: list = []
         self.last_replay_result: dict | None = None
+        # WAL sequencing: ``checkpoint_seq`` is the last seqno the shard's
+        # boot artifact contains (from its header; 0 for a fresh fit),
+        # ``applied_seq`` the last seqno applied to the live worker,
+        # ``next_seq`` the number the next appended batch takes. Replay
+        # skips records with seq <= checkpoint_seq.
+        self.checkpoint_seq = checkpoint_seq
+        self.applied_seq = checkpoint_seq
+        self.next_seq = checkpoint_seq + 1
+        self.skipped_replay_batches = 0
+        # Most recent successful restart: wall seconds and a monotonic
+        # stamp (for "latest across the fleet" in health()).
+        self.last_restart_s: float | None = None
+        self.last_restart_at = 0.0
 
 
 class ProcessShardFleet:
@@ -422,9 +445,15 @@ class ProcessShardFleet:
             if not spec.is_noop:
                 self._faults[shard] = spec
         # Restart must always find a loadable artifact: validate every
-        # header now, before any process spawns.
+        # header now, before any process spawns. The same O(open) peek
+        # yields each checkpoint's recorded WAL seqno (0 when absent —
+        # fresh fits and legacy artifacts), the floor below which replay
+        # skips.
+        checkpoint_seqs = []
         for path in artifact_paths:
-            peek_artifact(path)
+            meta = peek_artifact(path)
+            extra = meta.get("extra") or {}
+            checkpoint_seqs.append(int(extra.get("wal_seq", 0)))
         self.wal_dir = str(wal_dir)
         os.makedirs(self.wal_dir, exist_ok=True)
         self._ctx = multiprocessing.get_context(start_method)
@@ -442,7 +471,8 @@ class ProcessShardFleet:
         # worker.lock → _routing_lock; never acquire outward while held.
         self._routing_lock = threading.Lock()
 
-        self._workers = [_ShardWorker(shard, artifact_paths[shard])
+        self._workers = [_ShardWorker(shard, artifact_paths[shard],
+                                      checkpoint_seq=checkpoint_seqs[shard])
                          for shard in range(plan.n_shards)]
         try:
             for worker in self._workers:
@@ -555,6 +585,7 @@ class ProcessShardFleet:
         fault re-arms in the replacement, so a scripted always-crash
         deterministically drives the shard down.
         """
+        began = time.monotonic()
         self._cleanup_locked(worker)
         failure = "unknown"
         for attempt in range(self.max_restart_attempts):
@@ -575,6 +606,10 @@ class ProcessShardFleet:
             worker.restarts += 1
             worker.state = "up"
             worker.down_reason = ""
+            # Restart-to-healthy wall time: kill detection to replayed
+            # replacement, the fleet's recovery SLO (health()/FleetReport).
+            worker.last_restart_at = time.monotonic()
+            worker.last_restart_s = worker.last_restart_at - began
             return True
         self._mark_down_locked(
             worker,
@@ -724,10 +759,17 @@ class ProcessShardFleet:
     def _wal_path(self, shard: int) -> str:
         return os.path.join(self.wal_dir, f"shard-{shard:03d}.wal.jsonl")
 
-    def _wal_append(self, shard: int, events, duplicates: str | None) -> None:
-        """Durably append one batch (flush + fsync) before it is dispatched."""
+    def _wal_append(self, shard: int, events, duplicates: str | None,
+                    seq: int) -> None:
+        """Durably append one batch (flush + fsync) before it is dispatched.
+
+        ``seq`` is the shard's monotone batch number; a checkpoint that
+        contains this batch records it (``extra.wal_seq`` in the artifact
+        header), and replay skips any record at or below that floor.
+        """
         try:
             line = json.dumps({
+                "seq": int(seq),
                 "events": [[user, item, float(rating)]
                            for user, item, rating in events],
                 "duplicates": duplicates,
@@ -795,7 +837,19 @@ class ProcessShardFleet:
         the restart loop if the replacement dies mid-replay.
         """
         replayed = 0
+        skipped = 0
+        top_seq = worker.checkpoint_seq
         for record in self._wal_read(worker.shard):
+            seq = record.get("seq")
+            if seq is not None:
+                seq = int(seq)
+                top_seq = max(top_seq, seq)
+                if seq <= worker.checkpoint_seq:
+                    # The boot artifact is a checkpoint that already
+                    # contains this batch (supervisor died between save()
+                    # and WAL truncation) — replaying it would double-apply.
+                    skipped += 1
+                    continue
             response = self._send_recv(worker, "apply_updates", {
                 "events": [tuple(event) for event in record["events"]],
                 "duplicates": record.get("duplicates"),
@@ -804,8 +858,14 @@ class ProcessShardFleet:
             }, self.request_timeout_s)
             self._absorb_apply_response(worker, response)
             worker.last_replay_result = response
+            if seq is not None:
+                worker.applied_seq = max(worker.applied_seq, seq)
             replayed += 1
+        # Sequence numbers must stay monotone across restarts even when
+        # the tail of the log was only skimmed, never replayed.
+        worker.next_seq = max(worker.next_seq, top_seq + 1)
         worker.replayed_batches += replayed
+        worker.skipped_replay_batches += skipped
         return replayed
 
     # -- routing state ---------------------------------------------------------
@@ -995,6 +1055,24 @@ class ProcessShardFleet:
     def replayed_batches(self) -> int:
         """Lifetime WAL batches replayed into restarted workers."""
         return sum(worker.replayed_batches for worker in self._workers)
+
+    @property
+    def skipped_replay_batches(self) -> int:
+        """Lifetime WAL batches skipped at replay because the boot
+        checkpoint already contained them (``extra.wal_seq`` floor)."""
+        return sum(worker.skipped_replay_batches for worker in self._workers)
+
+    @property
+    def last_restart_s(self) -> float | None:
+        """Wall seconds of the fleet's most recent successful restart
+        (kill detection → replayed replacement), or ``None`` before any."""
+        latest = None
+        for worker in self._workers:
+            if worker.last_restart_s is None:
+                continue
+            if latest is None or worker.last_restart_at > latest.last_restart_at:
+                latest = worker
+        return None if latest is None else latest.last_restart_s
 
     def shard_of_user(self, user: int) -> int:
         self._check_user(user)
@@ -1212,6 +1290,8 @@ class ProcessShardFleet:
         report.seconds = timer.elapsed
         report.restarts = self.restarts
         report.replayed_batches = self.replayed_batches
+        report.skipped_replay_batches = self.skipped_replay_batches
+        report.last_restart_s = self.last_restart_s
         report.shard_health = self.health()["shards"]
         return report
 
@@ -1302,7 +1382,9 @@ class ProcessShardFleet:
         """
         worker = self._workers[shard]
         with worker.lock:
-            self._wal_append(shard, shard_events, duplicates)
+            seq = worker.next_seq
+            worker.next_seq += 1
+            self._wal_append(shard, shard_events, duplicates, seq)
             worker.last_replay_result = None
             result = self._request_locked(worker, "apply_updates", {
                 "events": shard_events,
@@ -1313,7 +1395,8 @@ class ProcessShardFleet:
             if result is _REPLAYED:
                 # The restart's WAL replay applied this batch (it was the
                 # log's tail); its reply was parked on the handle, and the
-                # replay already absorbed the labels.
+                # replay already absorbed the labels and advanced
+                # ``applied_seq`` past this record.
                 response = worker.last_replay_result
                 if response is None:  # pragma: no cover - defensive
                     raise ShardUnavailableError(
@@ -1321,6 +1404,7 @@ class ProcessShardFleet:
                     )
             else:
                 response = result
+                worker.applied_seq = max(worker.applied_seq, seq)
                 self._absorb_apply_response(worker, response)
         return response["report"]
 
@@ -1477,20 +1561,38 @@ class ProcessShardFleet:
         Every shard saves first; only when *all* succeed are the WALs
         truncated and the restart artifacts re-pointed at the checkpoint
         — a failed save leaves every WAL (and the old restart points)
-        intact. Reload with :meth:`from_directory` or hand the directory
-        to :meth:`ShardedEngine.from_directory` (the formats are shared).
+        intact. Each shard's checkpoint records the last WAL seqno it
+        contains (``extra.wal_seq`` in the artifact header), so even a
+        supervisor killed *between* a shard's save and its WAL truncation
+        cannot double-apply: the next boot reads the seqno in O(open) and
+        skips the already-checkpointed batches. Reload with
+        :meth:`from_directory` or hand the directory to
+        :meth:`ShardedEngine.from_directory` (the formats are shared).
         """
         with self._update_lock:
             os.makedirs(path, exist_ok=True)
             self.plan.save(os.path.join(path, _PLAN_FILENAME))
-            written: list[tuple[int, str]] = []
+            written: list[tuple[int, str, int]] = []
             for shard in range(self.n_shards):
+                worker = self._workers[shard]
                 target = os.path.join(path, _shard_artifact_name(shard))
-                self._request(shard, "save", {"path": target})
-                written.append((shard, target))
-            for shard, target in written:
-                self._wal_truncate(shard)
-                self._workers[shard].artifact_path = target
+                with worker.lock:
+                    seq = worker.applied_seq
+                    self._request_locked(worker, "save",
+                                         {"path": target, "wal_seq": seq},
+                                         retryable=True)
+                written.append((shard, target, seq))
+            for shard, target, seq in written:
+                worker = self._workers[shard]
+                # Truncation, the restart re-point and the seqno floor move
+                # together under the worker lock: a read-triggered restart
+                # racing this loop either replays the full WAL onto the old
+                # artifact or boots the checkpoint with the floor in place
+                # — never a mix.
+                with worker.lock:
+                    self._wal_truncate(shard)
+                    worker.artifact_path = target
+                    worker.checkpoint_seq = seq
         return path
 
     # -- lifecycle / introspection ---------------------------------------------
@@ -1551,19 +1653,27 @@ class ProcessShardFleet:
                 "model_version": worker.model_version,
                 "restarts": worker.restarts,
                 "replayed_batches": worker.replayed_batches,
+                "skipped_replay_batches": worker.skipped_replay_batches,
                 "pid": process.pid if alive else None,
             }
+            if worker.last_restart_s is not None:
+                entry["last_restart_s"] = round(worker.last_restart_s, 4)
             if state != "up":
                 status = "degraded"
                 if worker.down_reason:
                     entry["reason"] = worker.down_reason
             shards.append(entry)
-        return {
+        report = {
             "status": status,
             "shards": shards,
             "restarts": self.restarts,
             "replayed_batches": self.replayed_batches,
+            "skipped_replay_batches": self.skipped_replay_batches,
         }
+        last_restart_s = self.last_restart_s
+        if last_restart_s is not None:
+            report["last_restart_s"] = round(last_restart_s, 4)
+        return report
 
     def stats(self) -> dict:
         """Fleet shape, row-cache and supervision counters + worker stats."""
@@ -1577,6 +1687,7 @@ class ProcessShardFleet:
                 "row_misses": self.row_cache_misses,
                 "restarts": self.restarts,
                 "replayed_batches": self.replayed_batches,
+                "skipped_replay_batches": self.skipped_replay_batches,
             }
         shards = []
         for shard in range(self.n_shards):

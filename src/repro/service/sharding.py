@@ -87,6 +87,7 @@ from repro.exceptions import (
 from repro.graph.bipartite import UserItemGraph
 from repro.service.engine import EngineReport, ServingEngine, UpdateReport
 from repro.service.serving import _label_array, rows_from_ranked_arrays
+from repro.utils.atomic import atomic_savez
 from repro.utils.timer import Timer, per_second
 from repro.utils.validation import (
     as_exclude_array,
@@ -801,23 +802,25 @@ class ShardPlan:
         path = self._npz_path(path)
         ghost_user_values, ghost_user_offsets = _concat_ragged(self._ghost_users)
         ghost_item_values, ghost_item_offsets = _concat_ragged(self._ghost_items)
-        np.savez_compressed(
-            path,
-            format_version=np.array(SHARD_PLAN_FORMAT_VERSION, dtype=np.int64),
-            n_shards=np.array(self.n_shards, dtype=np.int64),
-            user_shard=self.user_shard,
-            item_shard=self.item_shard,
-            partitioner=np.array(PARTITIONERS.index(self.partitioner),
-                                 dtype=np.int64),
-            halo_hops=np.array(
+        # Atomic (temp + os.replace): a fleet supervisor boots from this
+        # file, and a crash mid-save must leave the previous plan intact.
+        atomic_savez(path, {
+            "format_version": np.array(SHARD_PLAN_FORMAT_VERSION,
+                                       dtype=np.int64),
+            "n_shards": np.array(self.n_shards, dtype=np.int64),
+            "user_shard": self.user_shard,
+            "item_shard": self.item_shard,
+            "partitioner": np.array(PARTITIONERS.index(self.partitioner),
+                                    dtype=np.int64),
+            "halo_hops": np.array(
                 -1 if self.halo_hops is None else self.halo_hops,
                 dtype=np.int64,
             ),
-            ghost_user_values=ghost_user_values,
-            ghost_user_offsets=ghost_user_offsets,
-            ghost_item_values=ghost_item_values,
-            ghost_item_offsets=ghost_item_offsets,
-        )
+            "ghost_user_values": ghost_user_values,
+            "ghost_user_offsets": ghost_user_offsets,
+            "ghost_item_values": ghost_item_values,
+            "ghost_item_offsets": ghost_item_offsets,
+        }, compressed=True)
         return path
 
     @classmethod
@@ -897,6 +900,16 @@ class FleetReport:
     #: ``shard_health`` is populated, so in-process summaries are unchanged.
     restarts: int = 0
     replayed_batches: int = 0
+    #: WAL batches skipped on replay because a checkpoint's recorded seqno
+    #: already contained them (supervisor died between checkpoint and WAL
+    #: truncation; see DESIGN.md §13/§14).
+    skipped_replay_batches: int = 0
+    #: Wall-clock seconds of the fleet's most recent successful worker
+    #: restart (kill detection through replayed-and-healthy), ``None``
+    #: until a restart has happened. First-class here so the
+    #: restart-to-healthy latency the mmap artifacts buy is observable in
+    #: production reports, not only in benchmarks.
+    last_restart_s: float | None = None
     shard_health: list = field(default_factory=list)
 
     @property
@@ -946,6 +959,9 @@ class FleetReport:
         if self.shard_health:
             row["restarts"] = self.restarts
             row["replayed_batches"] = self.replayed_batches
+            row["skipped_replay_batches"] = self.skipped_replay_batches
+            if self.last_restart_s is not None:
+                row["last_restart_s"] = round(self.last_restart_s, 4)
             row["shards_down"] = sum(
                 1 for entry in self.shard_health
                 if entry.get("state") != "up"
@@ -1214,6 +1230,9 @@ class ShardedEngine:
         Expects ``plan.npz`` plus one ``shard-NNN.npz`` model artifact per
         shard (loaded through :func:`repro.core.artifacts.load_artifact`
         via :meth:`ServingEngine.from_artifact` — no refitting).
+        ``engine_kwargs`` reach every shard's
+        :meth:`ServingEngine.from_artifact`; pass ``mmap=True`` to
+        memory-map all shard artifacts instead of materialising them.
         """
         plan_path = os.path.join(path, _PLAN_FILENAME)
         if not os.path.exists(plan_path):

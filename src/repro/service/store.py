@@ -22,15 +22,20 @@ import numpy as np
 from repro.core.base import Recommendation, Recommender
 from repro.data.dataset import labels_from_json, labels_to_json
 from repro.exceptions import ArtifactError, ConfigError, NotFittedError, UnknownUserError
+from repro.utils.atomic import atomic_savez
 from repro.utils.validation import as_exclude_array, check_positive_int, is_index
 
 __all__ = ["TopKStore", "STORE_FORMAT_VERSION"]
 
 #: On-disk format version of saved stores; bump on any layout change. A
-#: loaded store whose version is absent or different raises
+#: loaded store whose version is absent or unsupported raises
 #: :class:`~repro.exceptions.ArtifactError` — serving stale indices from an
-#: incompatible precompute must fail loudly, never silently.
-STORE_FORMAT_VERSION = 1
+#: incompatible precompute must fail loudly, never silently. Version 2
+#: stores members uncompressed so :meth:`TopKStore.load` can memory-map
+#: the ranked arrays; version-1 (compressed) stores still load eagerly.
+STORE_FORMAT_VERSION = 2
+
+_LEGACY_STORE_FORMAT_VERSION = 1
 
 
 class TopKStore:
@@ -188,30 +193,35 @@ class TopKStore:
         return path if path.endswith(".npz") else path + ".npz"
 
     def save(self, path: str) -> str:
-        """Persist the store as a compressed ``.npz`` archive.
+        """Persist the store as an uncompressed, mappable ``.npz`` archive.
 
         The file carries :data:`STORE_FORMAT_VERSION`; :meth:`load` refuses
-        any other version. Returns the path written (``.npz`` appended when
-        missing).
+        any version it cannot read. The write is atomic (temp path +
+        ``os.replace``), so a crash mid-save never leaves a torn cache.
+        Returns the path written (``.npz`` appended when missing).
         """
         path = self._npz_path(path)
-        np.savez_compressed(
-            path,
-            format_version=np.array(STORE_FORMAT_VERSION, dtype=np.int64),
-            items=self._items,
-            scores=self._scores,
-            item_labels=labels_to_json(self.item_labels),
-        )
+        atomic_savez(path, {
+            "format_version": np.array(STORE_FORMAT_VERSION, dtype=np.int64),
+            "items": self._items,
+            "scores": self._scores,
+            "item_labels": labels_to_json(self.item_labels),
+        })
         return path
 
     @classmethod
-    def load(cls, path: str) -> "TopKStore":
+    def load(cls, path: str, mmap: bool = False) -> "TopKStore":
         """Reload a store written by :meth:`save`.
 
-        Raises :class:`~repro.exceptions.ArtifactError` when the file lacks a
-        format version (pre-versioning cache) or carries a different one —
-        a stale precompute must be rebuilt, not served. Labels are
-        JSON-encoded, so loading never unpickles anything.
+        ``mmap=True`` maps the ranked ``items``/``scores`` arrays
+        copy-on-write instead of materialising them (version-2 stores
+        only; a compressed version-1 store loads eagerly either way) —
+        engines across processes then share one physical copy of the
+        precompute. Raises :class:`~repro.exceptions.ArtifactError` when
+        the file lacks a format version (pre-versioning cache) or carries
+        one this build cannot read — a stale precompute must be rebuilt,
+        not served. Labels are JSON-encoded, so loading never unpickles
+        anything.
         """
         npz_path = cls._npz_path(path)
         try:
@@ -231,11 +241,18 @@ class TopKStore:
                     "cache?); rebuild it with TopKStore.from_recommender"
                 )
             version = int(archive["format_version"])
-            if version != STORE_FORMAT_VERSION:
+            if version not in (STORE_FORMAT_VERSION,
+                               _LEGACY_STORE_FORMAT_VERSION):
                 raise ArtifactError(
                     f"{path!r} has store format version {version}; this build "
                     f"reads {STORE_FORMAT_VERSION} — rebuild the cache"
                 )
+            if mmap and version == STORE_FORMAT_VERSION:
+                from repro.core.artifacts import _map_members
+
+                members = _map_members(npz_path, archive.zip)
+                return cls(members["items"], members["scores"],
+                           labels_from_json(members["item_labels"]))
             return cls(archive["items"], archive["scores"],
                        labels_from_json(archive["item_labels"]))
 

@@ -1,5 +1,6 @@
 """Shared low-level utilities: validation, sparse helpers, sampling, timing."""
 
+from repro.utils.atomic import atomic_savez
 from repro.utils.sampling import AliasSampler, sample_without_replacement, zipf_weights
 from repro.utils.sparse import (
     binarize,
@@ -24,6 +25,7 @@ from repro.utils.validation import (
 
 __all__ = [
     "AliasSampler",
+    "atomic_savez",
     "sample_without_replacement",
     "zipf_weights",
     "binarize",

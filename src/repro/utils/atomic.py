@@ -1,0 +1,64 @@
+"""Crash-safe file writes: temp path + ``os.replace`` + directory fsync.
+
+Every on-disk format in the project (model artifacts, shard plans, top-K
+stores) is a single file that some later process boots from — a fleet
+supervisor validates shard artifacts up front and *restarts workers from
+them* mid-incident. A torn file at that moment turns one crashed worker
+into an unrestartable shard, so writers must never expose a
+partially-written archive under the final name. The pattern here is the
+standard one: write the full payload to a sibling temp path, fsync the
+file, atomically rename over the target, then fsync the directory so the
+rename itself survives a power cut.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["atomic_savez"]
+
+
+def _fsync_dir(directory: str) -> None:
+    """Flush a directory entry (best-effort on filesystems without it)."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_savez(path: str, payload: dict, compressed: bool = False) -> str:
+    """Write ``payload`` as an ``.npz`` archive that appears atomically.
+
+    ``compressed=False`` (the default) stores members uncompressed —
+    the layout :func:`repro.core.artifacts.load_artifact` can memory-map.
+    The temp file lives next to the target so ``os.replace`` never
+    crosses a filesystem boundary. On any failure the temp file is
+    removed and the previous file at ``path`` is left untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp = f"{path}.tmp-{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            if compressed:
+                np.savez_compressed(handle, **payload)
+            else:
+                np.savez(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(directory)
+    return path

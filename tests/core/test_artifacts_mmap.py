@@ -1,0 +1,194 @@
+"""Zero-copy artifact loading (format v3): mmap parity, copy-on-write
+isolation, atomic writes and legacy (v1) migration.
+
+The contract under test: ``load_artifact(path, mmap=True)`` must be
+*indistinguishable* from the eager load at the ranking level for every
+registered recommender, while never writing through to the file and
+never pickling anything.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import AbsorbingTimeRecommender
+from repro.core.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    LEGACY_ARTIFACT_FORMAT_VERSION,
+    load_artifact,
+    peek_artifact,
+    registered_recommenders,
+    save_artifact,
+)
+from repro.exceptions import ArtifactError
+from repro.service.engine import ServingEngine
+from repro.utils.atomic import atomic_savez
+
+REGISTRY = registered_recommenders()
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    return np.arange(0, 120, 11, dtype=np.int64)
+
+
+@pytest.mark.parametrize("cls", [REGISTRY[name] for name in sorted(REGISTRY)],
+                         ids=sorted(REGISTRY))
+class TestMmapParity:
+    """Every registered recommender: mapped load == eager load, bit for bit."""
+
+    def test_rankings_bit_identical(self, cls, small_synth, cohort, tmp_path):
+        fitted = cls().fit(small_synth.dataset)
+        path = save_artifact(fitted, str(tmp_path / "model"))
+        eager = load_artifact(path)
+        mapped = load_artifact(path, mmap=True)
+        assert type(mapped) is cls and mapped.is_fitted
+        np.testing.assert_array_equal(
+            eager.score_users(cohort), mapped.score_users(cohort)
+        )
+        for original, restored in zip(eager.recommend_batch(cohort, k=8),
+                                      mapped.recommend_batch(cohort, k=8)):
+            assert [r.item for r in original] == [r.item for r in restored]
+            assert [r.score for r in original] == [r.score for r in restored]
+
+    def test_dataset_and_labels_intact(self, cls, small_synth, tmp_path):
+        fitted = cls().fit(small_synth.dataset)
+        path = save_artifact(fitted, str(tmp_path / "model"))
+        mapped = load_artifact(path, mmap=True)
+        original = small_synth.dataset
+        assert mapped.dataset.n_users == original.n_users
+        assert mapped.dataset.user_labels == original.user_labels
+        assert mapped.dataset.item_labels == original.item_labels
+        # Label -> index lookups (built lazily on a trusted load) agree.
+        assert mapped.dataset.user_id(original.user_labels[3]) == 3
+        np.testing.assert_array_equal(
+            mapped.dataset.matrix.toarray(), original.matrix.toarray()
+        )
+
+
+class TestCopyOnWrite:
+    def test_mutation_never_writes_through(self, small_synth, cohort,
+                                           tmp_path):
+        fitted = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        path = save_artifact(fitted, str(tmp_path / "model"))
+        before = open(path, "rb").read()
+        mapped = load_artifact(path, mmap=True)
+        reference = mapped.score_users(cohort).copy()
+        # Stomp directly on the mapped arrays: ratings and graph adjacency.
+        mapped.dataset.matrix.data[:] += 1.0
+        mapped.graph.adjacency.data[:] = 0.0
+        assert open(path, "rb").read() == before
+        # A fresh load still sees the original, unmutated state.
+        np.testing.assert_array_equal(
+            load_artifact(path, mmap=True).score_users(cohort), reference
+        )
+
+    def test_mapped_engine_serves_identically(self, small_synth, tmp_path):
+        fitted = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        path = save_artifact(fitted, str(tmp_path / "model"))
+        eager = ServingEngine.from_artifact(path)
+        mapped = ServingEngine.from_artifact(path, mmap=True)
+        users = np.arange(0, small_synth.dataset.n_users, 9)
+        ours = mapped.serve_cohort(users, k=10)
+        theirs = eager.serve_cohort(users, k=10)
+        assert [(r["user"], r["item"], r["score"]) for r in ours.rows] \
+            == [(r["user"], r["item"], r["score"]) for r in theirs.rows]
+
+
+class TestLegacyFormat:
+    def test_v1_round_trips_and_mmap_falls_back(self, small_synth, cohort,
+                                                tmp_path):
+        fitted = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        legacy = save_artifact(fitted, str(tmp_path / "legacy"),
+                               version=LEGACY_ARTIFACT_FORMAT_VERSION)
+        assert peek_artifact(legacy)["format_version"] \
+            == LEGACY_ARTIFACT_FORMAT_VERSION
+        # mmap=True on a compressed archive silently loads eagerly — the
+        # request is a performance hint, not a format assertion.
+        loaded = load_artifact(legacy, mmap=True)
+        np.testing.assert_array_equal(
+            fitted.score_users(cohort), loaded.score_users(cohort)
+        )
+
+    def test_resave_migrates_to_current(self, small_synth, tmp_path):
+        fitted = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        legacy = save_artifact(fitted, str(tmp_path / "legacy"),
+                               version=LEGACY_ARTIFACT_FORMAT_VERSION)
+        migrated = save_artifact(load_artifact(legacy),
+                                 str(tmp_path / "migrated"))
+        assert peek_artifact(migrated)["format_version"] \
+            == ARTIFACT_FORMAT_VERSION
+        load_artifact(migrated, mmap=True)  # now mappable
+
+    def test_unknown_write_version_rejected(self, small_synth, tmp_path):
+        fitted = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        with pytest.raises(ArtifactError, match="format version"):
+            save_artifact(fitted, str(tmp_path / "x"), version=2)
+
+
+class TestExtraMeta:
+    def test_peek_round_trips_extra_header(self, small_synth, tmp_path):
+        fitted = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        path = save_artifact(fitted, str(tmp_path / "model"),
+                             extra_meta={"wal_seq": 41})
+        assert peek_artifact(path)["extra"] == {"wal_seq": 41}
+        # Absent by default — consumers must treat it as optional.
+        plain = save_artifact(fitted, str(tmp_path / "plain"))
+        assert "extra" not in peek_artifact(plain)
+
+    def test_unserializable_extra_rejected(self, small_synth, tmp_path):
+        fitted = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        with pytest.raises(ArtifactError, match="JSON"):
+            save_artifact(fitted, str(tmp_path / "x"),
+                          extra_meta={"bad": object()})
+
+
+class TestAtomicWrites:
+    def test_failed_write_leaves_original_and_no_temp(self, small_synth,
+                                                      tmp_path, monkeypatch):
+        fitted = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        path = save_artifact(fitted, str(tmp_path / "model"))
+        before = open(path, "rb").read()
+
+        real_replace = os.replace
+
+        def boom(src, dst):
+            raise OSError("disk detached mid-replace")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            save_artifact(fitted, path)
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert open(path, "rb").read() == before
+        leftovers = [name for name in os.listdir(tmp_path) if ".tmp-" in name]
+        assert leftovers == []
+
+    def test_atomic_savez_replaces_not_appends(self, tmp_path):
+        path = str(tmp_path / "blob.npz")
+        atomic_savez(path, {"a": np.arange(4)})
+        atomic_savez(path, {"a": np.arange(2)})
+        with np.load(path) as archive:
+            np.testing.assert_array_equal(archive["a"], np.arange(2))
+
+
+class TestSharedHeaderValidation:
+    """peek / eager load / mmap load reject bad headers identically."""
+
+    def _corrupt(self, path, tmp_path):
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        del payload["meta"]
+        out = str(tmp_path / "headerless.npz")
+        np.savez(out, **payload)
+        return out
+
+    def test_all_readers_reject_missing_header(self, small_synth, tmp_path):
+        fitted = AbsorbingTimeRecommender().fit(small_synth.dataset)
+        path = save_artifact(fitted, str(tmp_path / "model"))
+        bad = self._corrupt(path, tmp_path)
+        for reader in (peek_artifact,
+                       load_artifact,
+                       lambda p: load_artifact(p, mmap=True)):
+            with pytest.raises(ArtifactError, match="not a model artifact"):
+                reader(bad)

@@ -1,0 +1,193 @@
+"""Checkpoint seqnos close the supervisor-death double-replay window.
+
+The scenario (DESIGN.md §13/§14): a supervisor checkpoints every shard
+(``save()``) and is SIGKILL'd *between* the checkpoint hitting disk and
+the WAL truncation that follows it. The WAL still holds every batch the
+checkpoint already contains; a seqno-less fleet would replay them all on
+the next boot, double-applying acknowledged updates. The checkpoint's
+``extra.wal_seq`` header must make that reboot skip them instead —
+bit-identical rankings, zero replays, the skip visible in telemetry.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import AbsorbingTimeRecommender, ShardedEngine, ShardPlan
+from repro.core.artifacts import peek_artifact
+from repro.data.synthetic import federated_dataset
+from repro.service import ProcessShardFleet
+
+N_SHARDS = 2
+
+
+@pytest.fixture(scope="module")
+def federated():
+    return federated_dataset(4, scale=0.1, seed=7)
+
+
+@pytest.fixture(scope="module")
+def artifacts_dir(federated, tmp_path_factory):
+    plan = ShardPlan.build(federated, N_SHARDS)
+    sharded = ShardedEngine.fit(federated, AbsorbingTimeRecommender,
+                                plan=plan)
+    path = str(tmp_path_factory.mktemp("ckpt-artifacts"))
+    sharded.save(path)
+    return path
+
+
+def _events(federated, n=6):
+    events = []
+    for index in range(n):
+        events.append((federated.user_labels[index],
+                       federated.item_labels[index], float(1 + index % 5)))
+    return events
+
+
+def _checkpoint_then_die(artifacts_dir, wal_dir, checkpoint_dir, events,
+                         pid_file):
+    """Child process: apply updates, checkpoint, SIGKILL self pre-truncate."""
+    fleet = ProcessShardFleet.from_directory(artifacts_dir, wal_dir=wal_dir)
+    for event in events:
+        fleet.apply_updates([event], duplicates="last")
+    # The supervisor dies hard, so nothing reaps its workers; leave their
+    # pids behind for the test to clean up.
+    with open(pid_file, "w") as handle:
+        handle.write("\n".join(str(fleet.worker_pid(shard))
+                               for shard in range(N_SHARDS)))
+    fleet._wal_truncate = \
+        lambda shard: os.kill(os.getpid(), signal.SIGKILL)
+    fleet.save(checkpoint_dir)  # never returns
+
+
+class TestSupervisorDeathWindow:
+    @pytest.fixture(scope="class")
+    def crashed(self, federated, artifacts_dir, tmp_path_factory):
+        """Run the crash scenario once; yield the on-disk aftermath."""
+        base = tmp_path_factory.mktemp("supervisor-death")
+        wal_dir = str(base / "wal")
+        checkpoint_dir = str(base / "checkpoint")
+        pid_file = str(base / "worker-pids")
+        events = _events(federated)
+        ctx = multiprocessing.get_context("fork")
+        supervisor = ctx.Process(
+            target=_checkpoint_then_die,
+            args=(artifacts_dir, wal_dir, checkpoint_dir, events, pid_file),
+        )
+        supervisor.start()
+        # Not join(timeout): the supervisor's orphaned workers inherit its
+        # sentinel pipe, so the sentinel never signals — poll the exitcode
+        # (waitpid WNOHANG) instead.
+        deadline = time.monotonic() + 120
+        while supervisor.exitcode is None and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert supervisor.exitcode == -signal.SIGKILL
+        # Reap the dead supervisor's orphaned workers (no clean shutdown
+        # ever reached them; SIGKILL skips the daemon-reaper too).
+        if os.path.exists(pid_file):
+            with open(pid_file) as handle:
+                for pid in handle.read().split():
+                    try:
+                        os.kill(int(pid), signal.SIGKILL)
+                    except (OSError, ValueError):
+                        pass
+        yield {"wal_dir": wal_dir, "checkpoint_dir": checkpoint_dir,
+               "events": events}
+
+    def test_checkpoint_headers_carry_seqnos(self, crashed):
+        total = 0
+        for shard in range(N_SHARDS):
+            path = os.path.join(crashed["checkpoint_dir"],
+                                f"shard-{shard:03d}.npz")
+            meta = peek_artifact(path)
+            total += meta["extra"]["wal_seq"]
+        # Each single-event batch took one seqno on its owning shard.
+        assert total == len(crashed["events"])
+
+    def test_wal_survived_the_crash_untruncated(self, crashed):
+        lines = 0
+        for name in os.listdir(crashed["wal_dir"]):
+            with open(os.path.join(crashed["wal_dir"], name)) as handle:
+                lines += sum(1 for line in handle if line.strip())
+        assert lines == len(crashed["events"])
+
+    def test_reboot_skips_checkpointed_batches_bit_identically(
+            self, crashed, artifacts_dir, tmp_path):
+        # Reference: a never-crashed supervisor — boot the *pre-update*
+        # artifacts against the surviving WAL, which replays every batch.
+        with ProcessShardFleet.from_directory(
+                artifacts_dir, wal_dir=crashed["wal_dir"]) as reference:
+            assert reference.replayed_batches == len(crashed["events"])
+            assert reference.skipped_replay_batches == 0
+            cohort = np.arange(reference.n_users)
+            expected = reference.serve_cohort(cohort, k=10)
+
+        # System under test: the checkpoint + the same WAL. Every WAL
+        # record is at or below the checkpoint seqno floor — replaying
+        # any of them would double-apply.
+        with ProcessShardFleet.from_directory(
+                crashed["checkpoint_dir"],
+                wal_dir=crashed["wal_dir"]) as rebooted:
+            assert rebooted.replayed_batches == 0
+            assert rebooted.skipped_replay_batches == len(crashed["events"])
+            health = rebooted.health()
+            assert health["skipped_replay_batches"] == len(crashed["events"])
+            assert rebooted.stats()["skipped_replay_batches"] \
+                == len(crashed["events"])
+            # No double-apply: model_version counts per-incarnation applies,
+            # so a boot that (correctly) replayed nothing sits at the
+            # artifact floor on every shard — any overshoot is a replay.
+            assert all(row["model_version"] == 1
+                       for row in health["shards"])
+            got = rebooted.serve_cohort(np.arange(rebooted.n_users), k=10)
+            assert got.skipped_replay_batches == len(crashed["events"])
+            assert [(r["user"], r["item"], r["score"]) for r in got.rows] \
+                == [(r["user"], r["item"], r["score"])
+                    for r in expected.rows]
+
+    def test_post_reboot_updates_resume_the_sequence(self, crashed, federated):
+        with ProcessShardFleet.from_directory(
+                crashed["checkpoint_dir"],
+                wal_dir=crashed["wal_dir"]) as rebooted:
+            before = rebooted.skipped_replay_batches
+            rebooted.apply_updates(
+                [(federated.user_labels[0], federated.item_labels[1], 2.0)],
+                duplicates="last",
+            )
+            # New batches append *above* the checkpoint floor: kill + restart
+            # must replay exactly the new batch, never re-skip into it.
+            victim = rebooted.shard_of_user(0)
+            pid = rebooted.worker_pid(victim)
+            os.kill(pid, signal.SIGKILL)
+            row = rebooted.restart_shard(victim)
+            assert row["state"] == "up"
+            assert row["replayed_batches"] == 1
+            # The restart re-scanned the whole WAL: the below-floor records
+            # were skipped once more (not replayed), the new batch exactly
+            # once.
+            assert rebooted.skipped_replay_batches \
+                == before + len(crashed["events"])
+
+
+class TestRestartLatencyStat:
+    def test_restart_wall_time_is_first_class(self, artifacts_dir, tmp_path):
+        with ProcessShardFleet.from_directory(
+                artifacts_dir, wal_dir=str(tmp_path / "wal")) as fleet:
+            assert fleet.last_restart_s is None
+            assert "last_restart_s" not in fleet.health()
+            os.kill(fleet.worker_pid(0), signal.SIGKILL)
+            row = fleet.restart_shard(0)
+            assert row["last_restart_s"] > 0
+            health = fleet.health()
+            assert health["last_restart_s"] == row["last_restart_s"]
+            assert fleet.last_restart_s == pytest.approx(
+                row["last_restart_s"], abs=1e-4
+            )
+            report = fleet.serve_cohort(np.arange(8), k=5)
+            assert report.last_restart_s == fleet.last_restart_s
+            assert report.summary()["last_restart_s"] \
+                == health["last_restart_s"]
