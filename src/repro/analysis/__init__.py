@@ -1,0 +1,38 @@
+"""Repo-specific static analysis and runtime lock checking.
+
+This package is the machine-checked counterpart of the concurrency
+conventions documented in DESIGN.md §15:
+
+* :func:`run_lint` / ``python -m repro.analysis lint src`` — an
+  AST-based lint engine over ``src/repro`` with four checkers
+  (lock-order, guarded-attribute, blocking-under-lock,
+  exception-taxonomy), driven by the declarative ``analysis.toml`` and
+  gated by a committed baseline so CI fails only on *new* findings.
+* :mod:`repro.analysis.sanitizer` — an opt-in runtime
+  :class:`LockOrderSanitizer` that wraps ``threading`` locks, records
+  per-thread acquisition stacks, and raises on hierarchy violations or
+  potential-deadlock witnesses during the concurrency test suites.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import AnalysisConfig, LockSpec, load_config
+from repro.analysis.engine import run_lint
+from repro.analysis.findings import Baseline, Finding
+from repro.analysis.sanitizer import (
+    LockOrderSanitizer,
+    LockOrderViolation,
+    instrument,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "Baseline",
+    "Finding",
+    "LockOrderSanitizer",
+    "LockOrderViolation",
+    "LockSpec",
+    "instrument",
+    "load_config",
+    "run_lint",
+]

@@ -1,0 +1,109 @@
+"""Command-line front end: ``python -m repro.analysis lint src``.
+
+Exit codes: 0 = clean against the baseline, 1 = new findings (or a
+baseline refresh that still needs justifications), 2 = usage/config
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.config import BASELINE_NAME, load_config
+from repro.analysis.engine import run_lint
+from repro.analysis.findings import Baseline, findings_to_document
+from repro.exceptions import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific static analysis for the repro package.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    lint = sub.add_parser(
+        "lint", help="run the concurrency/taxonomy checkers")
+    lint.add_argument(
+        "paths", nargs="+", help="files or directories to lint")
+    lint.add_argument(
+        "--config", default=None,
+        help="analysis.toml (default: nearest ancestor of cwd)")
+    lint.add_argument(
+        "--baseline", default=None,
+        help=f"baseline file (default: {BASELINE_NAME} next to the "
+             "config, when present)")
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring any baseline file")
+    lint.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable JSON document on stdout")
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline to cover current findings "
+             "(taxonomy findings are never baselineable)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _lint(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _lint(args) -> int:
+    config = load_config(args.config)
+    baseline = None
+    baseline_path = None
+    if not args.no_baseline:
+        if args.baseline is not None:
+            baseline_path = Path(args.baseline)
+        elif config.path is not None:
+            default = config.path.parent / BASELINE_NAME
+            if default.is_file():
+                baseline_path = default
+        if baseline_path is not None and baseline_path.is_file():
+            baseline = Baseline.load(baseline_path)
+
+    result = run_lint(args.paths, config=config, baseline=baseline)
+
+    if args.write_baseline:
+        target = baseline_path or (
+            (config.path.parent if config.path else Path.cwd())
+            / BASELINE_NAME)
+        fresh = Baseline.from_findings(result.findings, previous=baseline)
+        fresh.save(target)
+        print(f"wrote {len(fresh.entries)} baseline entries to {target}")
+        taxonomy_left = [
+            f for f in result.findings if f.rule == "exception-taxonomy"]
+        for finding in taxonomy_left:
+            print(finding.render())
+        if taxonomy_left:
+            print(f"{len(taxonomy_left)} exception-taxonomy finding(s) "
+                  "cannot be baselined — fix them")
+            return 1
+        return 0
+
+    if args.as_json:
+        print(json.dumps(findings_to_document(result.findings), indent=2))
+    else:
+        for finding in result.new:
+            print(finding.render())
+        n_baselined = sum(1 for f in result.findings if f.baselined)
+        summary = (
+            f"{len(result.findings)} finding(s): "
+            f"{len(result.new)} new, {n_baselined} baselined"
+        )
+        print(summary)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Lint orchestrator: parse → run checkers → suppress → baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import blocking, guarded, lock_order, taxonomy
+from repro.analysis.config import AnalysisConfig, load_config
+from repro.analysis.findings import Baseline, Finding
+from repro.analysis.model import Program, build_program
+
+CHECKERS = (
+    lock_order.check,
+    guarded.check,
+    blocking.check,
+    taxonomy.check,
+)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    program: Program
+    #: Every finding, inline-suppressions already removed; findings
+    #: covered by the baseline carry ``baselined=True``.
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings NOT covered by the baseline — what CI fails on.
+    new: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def run_lint(paths, config: AnalysisConfig | None = None,
+             baseline: Baseline | None = None,
+             root: Path | None = None) -> LintResult:
+    """Lint ``paths`` (files or directories) and apply the baseline."""
+    if config is None:
+        config = load_config()
+    program = build_program([Path(p) for p in paths], config, root=root)
+    findings: list[Finding] = []
+    for checker in CHECKERS:
+        findings.extend(checker(program))
+    findings = [
+        f for f in findings
+        if not program.suppressed(f.file, f.line, f.rule)
+    ]
+    findings.sort(key=Finding.sort_key)
+    new = baseline.apply(findings) if baseline is not None else findings
+    return LintResult(program=program, findings=findings, new=new)

@@ -1,0 +1,140 @@
+"""Finding and baseline machinery shared by every checker.
+
+A finding's ``key`` deliberately excludes line numbers: it names the
+rule, file, symbol, and detail, so a committed baseline entry keeps
+suppressing the same known issue as unrelated edits shift the file.
+The exception-taxonomy rule is *not* baselineable — raw raises must be
+fixed, never suppressed (see ISSUE 10 acceptance criteria).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ConfigError
+
+JSON_VERSION = 1
+
+#: Rules whose findings a baseline may never suppress.
+NON_BASELINEABLE = frozenset({"exception-taxonomy"})
+
+
+@dataclass
+class Finding:
+    """One checker hit, in the stable machine-readable shape."""
+
+    rule: str
+    file: str
+    line: int
+    message: str
+    key: str
+    #: Acquisition / call chain as ``[{"file", "line", "note"}, ...]``,
+    #: outermost hop first.  Empty for single-site rules.
+    chain: list[dict] = field(default_factory=list)
+    baselined: bool = False
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "key": self.key,
+            "chain": self.chain,
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        lines = [f"{self.file}:{self.line}: {self.rule}: {self.message}"]
+        for hop in self.chain:
+            lines.append(
+                f"    via {hop['file']}:{hop['line']}  {hop['note']}"
+            )
+        return "\n".join(lines)
+
+    def sort_key(self) -> tuple:
+        return (self.file, self.line, self.rule, self.key)
+
+
+def findings_to_document(findings: list[Finding]) -> dict:
+    """The stable JSON document ``--json`` emits."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    return {
+        "version": JSON_VERSION,
+        "n_findings": len(ordered),
+        "n_new": sum(1 for f in ordered if not f.baselined),
+        "n_baselined": sum(1 for f in ordered if f.baselined),
+        "findings": [f.to_json() for f in ordered],
+    }
+
+
+@dataclass
+class Baseline:
+    """Committed suppression list: finding key -> justification."""
+
+    entries: dict[str, str] = field(default_factory=dict)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except FileNotFoundError:
+            raise ConfigError(f"baseline file not found: {path}") from None
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"malformed baseline {path}: {exc}") from None
+        entries = {}
+        for entry in raw.get("entries", []):
+            entries[entry["key"]] = entry.get("justification", "")
+        return cls(entries=entries, path=path)
+
+    def save(self, path: str | Path) -> None:
+        doc = {
+            "version": JSON_VERSION,
+            "entries": [
+                {"key": key, "justification": why}
+                for key, why in sorted(self.entries.items())
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2)
+            handle.write("\n")
+
+    def apply(self, findings: list[Finding]) -> list[Finding]:
+        """Mark baselined findings; returns the NEW (unsuppressed) ones.
+
+        Taxonomy findings are never suppressed, even if a key for them
+        was smuggled into the baseline file.
+        """
+        fresh = []
+        for finding in findings:
+            if (finding.rule not in NON_BASELINEABLE
+                    and finding.key in self.entries):
+                finding.baselined = True
+            else:
+                fresh.append(finding)
+        return fresh
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding],
+                      previous: "Baseline | None" = None) -> "Baseline":
+        """Build a baseline covering every (baselineable) finding.
+
+        Justifications from ``previous`` are carried over for keys that
+        survive; new keys get a TODO placeholder that a reviewer must
+        replace with a real justification before committing.
+        """
+        entries = {}
+        for finding in findings:
+            if finding.rule in NON_BASELINEABLE:
+                continue
+            carried = (previous.entries.get(finding.key)
+                       if previous else None)
+            entries[finding.key] = carried or (
+                "TODO: justify or fix (auto-added by --write-baseline)"
+            )
+        return cls(entries=entries)

@@ -1,0 +1,99 @@
+"""Exception-taxonomy checker.
+
+Every ``raise`` in ``src/repro`` must throw a :class:`ReproError`
+subclass, so the CLI and API boundaries can catch one base class and
+print one clean ``error:`` line.  Allowed exceptions: bare re-raises,
+raising a caught variable, module-private signal classes (leading
+underscore, e.g. the fleet's ``_WorkerCrashed`` control-flow markers),
+and names listed in ``[taxonomy].allowed``.  Findings from this rule
+can never be baselined — raw raises get fixed, not suppressed.
+"""
+
+from __future__ import annotations
+
+import builtins
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import Program
+
+RULE = "exception-taxonomy"
+
+_ROOT = "ReproError"
+
+
+def _builtin_exceptions() -> set[str]:
+    out = set()
+    for name in dir(builtins):
+        obj = getattr(builtins, name)
+        if isinstance(obj, type) and issubclass(obj, BaseException):
+            out.add(name)
+    return out
+
+
+def _repro_exception_names() -> set[str]:
+    """Names of the real :mod:`repro.exceptions` tree, so linting a
+    single module still recognises imported ReproError subclasses."""
+    try:
+        from repro import exceptions as exc_mod
+    except Exception:  # pragma: no cover - repro is always importable here
+        return {_ROOT}
+    base = getattr(exc_mod, _ROOT, None)
+    if base is None:  # pragma: no cover
+        return {_ROOT}
+    return {
+        name for name, obj in vars(exc_mod).items()
+        if isinstance(obj, type) and issubclass(obj, base)
+    }
+
+
+def check(program: Program) -> list[Finding]:
+    allowed = set(program.config.taxonomy_allowed)
+    builtins_set = _builtin_exceptions()
+    repro_names = _repro_exception_names()
+
+    def is_repro(name: str) -> bool:
+        seen: set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current == _ROOT or current in repro_names:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(program.classes.get(current, ()))
+        return False
+
+    findings: list[Finding] = []
+    seen_keys: set[str] = set()
+    for func in program.functions:
+        for site in func.raises:
+            name = site.exc_name
+            if name is None:
+                continue  # bare `raise` re-raise
+            if name.startswith("_"):
+                continue  # module-private signal class
+            if name in allowed or is_repro(name):
+                continue
+            known_class = name in program.classes
+            if not known_class and name not in builtins_set:
+                # `raise exc` / `raise exc_factory(...)` on a lowercase
+                # variable is a re-raise; an unknown capitalised callee
+                # is still suspicious enough to flag.
+                if not (site.is_call and name[:1].isupper()):
+                    continue
+            key = f"{RULE}:{func.file}:{func.qualname}:{name}"
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            findings.append(Finding(
+                rule=RULE, file=func.file, line=site.line,
+                message=(
+                    f"{func.qualname}: raises {name}, which is not a "
+                    f"ReproError subclass — use the taxonomy in "
+                    f"repro/exceptions.py (e.g. ConfigError, DataError, "
+                    f"ArtifactError) so API boundaries catch one base "
+                    f"class; this rule cannot be baselined"
+                ),
+                key=key))
+    return findings

@@ -243,7 +243,12 @@ def _map_members(path: str, zf: zipfile.ZipFile) -> dict:
                     shape, fortran, dtype = \
                         np.lib.format.read_array_header_2_0(raw)
                 else:
-                    raise ValueError(f"npy format version {version}")
+                    # Not a ValueError: sails through the rewrap below
+                    # with the full context already in the message.
+                    raise ArtifactError(
+                        f"cannot map member {name!r} of artifact {path!r}: "
+                        f"unsupported npy format version {version}"
+                    )
             except ValueError as exc:
                 raise ArtifactError(
                     f"cannot map member {name!r} of artifact {path!r}: {exc}"

@@ -98,6 +98,7 @@ class RandomWalkRecommender(Recommender):
         self.set_serving_dtype(dtype)
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
         self.graph: UserItemGraph | None = None
+        # guarded-by: _cache_build_lock
         self._transition_cache: TransitionCache | None = None
         self._cache_build_lock = threading.Lock()
         # user -> component-group key ("solo" = µ-truncated BFS path). The

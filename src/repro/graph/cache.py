@@ -50,6 +50,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.exceptions import ConfigError
 from repro.graph.bipartite import GraphUpdate, UserItemGraph
 from repro.graph.subgraph import LocalSubgraph, bfs_subgraph
 from repro.solver import WalkOperator
@@ -123,21 +124,23 @@ class TransitionCache:
             node_entropy = np.zeros(graph.n_nodes)
         node_entropy = np.asarray(node_entropy, dtype=np.float64).ravel()
         if node_entropy.shape[0] != graph.n_nodes:
-            raise ValueError(
+            raise ConfigError(
                 f"node_entropy length {node_entropy.shape[0]} != n_nodes {graph.n_nodes}"
             )
         self.node_entropy = node_entropy
         self.max_entries = check_positive_int(max_entries, "max_entries")
         self.max_bfs_entries = check_positive_int(max_bfs_entries, "max_bfs_entries")
-        self._groups: OrderedDict[tuple, TransitionGroup] = OrderedDict()
-        self._bfs: OrderedDict[tuple, tuple] = OrderedDict()
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.invalidated_groups = 0
-        self.invalidated_bfs = 0
-        self.retained_groups = 0
-        self.retained_bfs = 0
+        self._groups: OrderedDict[tuple, TransitionGroup] = OrderedDict()  # guarded-by: cache._lock
+        self._bfs: OrderedDict[tuple, tuple] = OrderedDict()  # guarded-by: cache._lock
+        # Reentrant so stats() can aggregate via operator_stats()/len()
+        # under one consistent snapshot.
+        self._lock = threading.RLock()
+        self.hits = 0  # guarded-by: cache._lock
+        self.misses = 0  # guarded-by: cache._lock
+        self.invalidated_groups = 0  # guarded-by: cache._lock
+        self.invalidated_bfs = 0  # guarded-by: cache._lock
+        self.retained_groups = 0  # guarded-by: cache._lock
+        self.retained_bfs = 0  # guarded-by: cache._lock
 
     # -- generic LRU ---------------------------------------------------------
 
@@ -291,7 +294,7 @@ class TransitionCache:
         ratings. Returns the eviction/retention counts of this update.
         """
         if not isinstance(update, GraphUpdate):
-            raise ValueError(
+            raise ConfigError(
                 f"apply_update expects a GraphUpdate; got {type(update).__name__}"
             )
         new_graph = update.graph
@@ -299,7 +302,7 @@ class TransitionCache:
             node_entropy = np.zeros(new_graph.n_nodes)
         node_entropy = np.asarray(node_entropy, dtype=np.float64).ravel()
         if node_entropy.shape[0] != new_graph.n_nodes:
-            raise ValueError(
+            raise ConfigError(
                 f"node_entropy length {node_entropy.shape[0]} != n_nodes "
                 f"{new_graph.n_nodes}"
             )
@@ -353,12 +356,14 @@ class TransitionCache:
     # -- introspection -------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._groups) + len(self._bfs)
+        with self._lock:
+            return len(self._groups) + len(self._bfs)
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def operator_stats(self) -> dict:
         """Aggregate counters across every cached prepared operator.
@@ -380,7 +385,11 @@ class TransitionCache:
         }
 
     def stats(self) -> dict:
-        """Counters for serving reports."""
+        """Counters for serving reports (one consistent snapshot)."""
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> dict:
         stats = {
             "entries": len(self),
             "group_entries": len(self._groups),
@@ -410,8 +419,9 @@ class TransitionCache:
             self.retained_bfs = 0
 
     def __repr__(self) -> str:
-        return (
-            f"TransitionCache(group_entries={len(self._groups)}, "
-            f"bfs_entries={len(self._bfs)}, hits={self.hits}, "
-            f"misses={self.misses}, max_entries={self.max_entries})"
-        )
+        with self._lock:
+            return (
+                f"TransitionCache(group_entries={len(self._groups)}, "
+                f"bfs_entries={len(self._bfs)}, hits={self.hits}, "
+                f"misses={self.misses}, max_entries={self.max_entries})"
+            )

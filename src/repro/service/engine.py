@@ -323,12 +323,12 @@ class ServingEngine:
         self.model_version = 1
         self.pending_events = 0
         self.last_update: UpdateReport | None = None
-        self._results: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        self._results: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()  # guarded-by: engine._lock
         self._labels = _label_array(recommender.dataset.item_labels)
-        self.result_cache_hits = 0
-        self.result_cache_misses = 0
+        self.result_cache_hits = 0  # guarded-by: engine._lock
+        self.result_cache_misses = 0  # guarded-by: engine._lock
         self._stage_seconds: dict[str, float] = {}
-        self._solves = 0
+        self._solves = 0  # guarded-by: engine._lock
         self._pool = None  # lazy persistent worker pool (see close())
         # Guards the result cache and its counters so concurrent recommend /
         # invalidate_user callers never corrupt the OrderedDict or lose
@@ -625,9 +625,12 @@ class ServingEngine:
         users = as_index_array(users, dataset.n_users, "users")
         report = EngineReport(n_users=int(users.size), k=k,
                               n_workers=self.n_workers)
-        hits_before = self.result_cache_hits
-        misses_before = self.result_cache_misses
-        solves_before = self._solves
+        with self._lock:
+            # One consistent snapshot: a concurrent cohort bumping the
+            # counters mid-read must not skew this report's deltas.
+            hits_before = self.result_cache_hits
+            misses_before = self.result_cache_misses
+            solves_before = self._solves
         self._stage_seconds = {}
         items = np.full((users.size, k), -1, dtype=np.int64)
         scores = np.full((users.size, k), -np.inf)
@@ -638,10 +641,12 @@ class ServingEngine:
                     self._cached_arrays(chunk, k, exclude_rated)
                 )
         report.seconds = timer.elapsed
-        report.n_solves = self._solves - solves_before
-        report.result_cache_hits = self.result_cache_hits - hits_before
-        report.result_cache_misses = self.result_cache_misses - misses_before
-        report.result_cache_entries = len(self._results)
+        with self._lock:
+            report.n_solves = self._solves - solves_before
+            report.result_cache_hits = self.result_cache_hits - hits_before
+            report.result_cache_misses = (
+                self.result_cache_misses - misses_before)
+            report.result_cache_entries = len(self._results)
         report.scoring_cache = self.recommender.scoring_cache_stats() or {}
         report.scoring_cache_entries = report.scoring_cache.get("entries", 0)
         report.model_version = self.model_version
@@ -846,9 +851,11 @@ class ServingEngine:
             }
 
     def __repr__(self) -> str:
+        with self._lock:
+            cached = len(self._results)
         return (
             f"ServingEngine(algorithm={self.recommender.name!r}, "
-            f"cached_results={len(self._results)}, "
+            f"cached_results={cached}, "
             f"workers={self.n_workers}, "
             f"store={'yes' if self.store is not None else 'no'})"
         )

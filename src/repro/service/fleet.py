@@ -311,27 +311,27 @@ class _ShardWorker:
         self.process = None
         self.conn = None
         self.lock = threading.Lock()
-        self.state = "down"
+        self.state = "down"  # guarded-by: worker.lock
         self.down_reason = ""
         self.incarnation = 0
         self.restarts = 0
         self.replayed_batches = 0
         self.request_failures = 0
-        self.model_version = 0
+        self.model_version = 0  # guarded-by: worker.lock
         self.n_users = 0
         self.n_items = 0
         self.n_ratings = 0
-        self.user_labels: list = []
-        self.item_labels: list = []
-        self.last_replay_result: dict | None = None
+        self.user_labels: list = []  # guarded-by: worker.lock
+        self.item_labels: list = []  # guarded-by: worker.lock
+        self.last_replay_result: dict | None = None  # guarded-by: worker.lock
         # WAL sequencing: ``checkpoint_seq`` is the last seqno the shard's
         # boot artifact contains (from its header; 0 for a fresh fit),
         # ``applied_seq`` the last seqno applied to the live worker,
         # ``next_seq`` the number the next appended batch takes. Replay
         # skips records with seq <= checkpoint_seq.
-        self.checkpoint_seq = checkpoint_seq
-        self.applied_seq = checkpoint_seq
-        self.next_seq = checkpoint_seq + 1
+        self.checkpoint_seq = checkpoint_seq  # guarded-by: worker.lock
+        self.applied_seq = checkpoint_seq  # guarded-by: worker.lock
+        self.next_seq = checkpoint_seq + 1  # guarded-by: worker.lock
         self.skipped_replay_batches = 0
         # Most recent successful restart: wall seconds and a monotonic
         # stamp (for "latest across the fleet" in health()).
@@ -458,9 +458,9 @@ class ProcessShardFleet:
         os.makedirs(self.wal_dir, exist_ok=True)
         self._ctx = multiprocessing.get_context(start_method)
         self._closed = False
-        self._rows: OrderedDict[tuple, list] = OrderedDict()
-        self.row_cache_hits = 0
-        self.row_cache_misses = 0
+        self._rows: OrderedDict[tuple, list] = OrderedDict()  # guarded-by: fleet._lock
+        self.row_cache_hits = 0  # guarded-by: fleet._lock
+        self.row_cache_misses = 0  # guarded-by: fleet._lock
         self._lock = threading.RLock()       # row cache + counters
         self._update_lock = threading.RLock()  # serialises updates/saves
         # Innermost lock guarding the fleet routing tables (_user_shard,
@@ -856,7 +856,7 @@ class ProcessShardFleet:
                 "known_users": len(worker.user_labels),
                 "known_items": len(worker.item_labels),
             }, self.request_timeout_s)
-            self._absorb_apply_response(worker, response)
+            self._absorb_apply_response_locked(worker, response)
             worker.last_replay_result = response
             if seq is not None:
                 worker.applied_seq = max(worker.applied_seq, seq)
@@ -884,24 +884,25 @@ class ProcessShardFleet:
                     f"{base_users} × {base_items} (owned + ghosts) — "
                     "artifact/plan mismatch"
                 )
-        self._user_shard = plan.user_shard.copy()
-        self._user_local = plan.user_local.copy()
-        self._item_shard = plan.item_shard.copy()
-        self._item_local = plan.item_local.copy()
-        self._user_global = [plan.shard_users(s) for s in range(plan.n_shards)]
-        self._item_global = [plan.shard_items(s) for s in range(plan.n_shards)]
-        self._item_labels = np.empty(plan.n_items, dtype=object)
+        self._user_shard = plan.user_shard.copy()  # guarded-by: _routing_lock
+        self._user_local = plan.user_local.copy()  # guarded-by: _routing_lock
+        self._item_shard = plan.item_shard.copy()  # guarded-by: _routing_lock
+        self._item_local = plan.item_local.copy()  # guarded-by: _routing_lock
+        self._user_global = [plan.shard_users(s) for s in range(plan.n_shards)]  # guarded-by: _routing_lock
+        self._item_global = [plan.shard_items(s) for s in range(plan.n_shards)]  # guarded-by: _routing_lock
+        self._item_labels = np.empty(plan.n_items, dtype=object)  # guarded-by: _routing_lock
         for shard, worker in enumerate(self._workers):
             base = self._item_global[shard]
             self._item_labels[base] = _label_array(
                 worker.item_labels[:base.size]
             )
+        # guarded-by: _routing_lock
         self._item_local_in_shard: list[np.ndarray] | None = (
             [np.empty(0, dtype=np.int64)] * plan.n_shards
             if plan.has_halos else None
         )
-        self._user_shard_by_label: dict = {}
-        self._item_shard_by_label: dict = {}
+        self._user_shard_by_label: dict = {}  # guarded-by: _routing_lock
+        self._item_shard_by_label: dict = {}  # guarded-by: _routing_lock
         for shard in range(plan.n_shards):
             self._absorb_new_labels(shard)
         for shard, worker in enumerate(self._workers):
@@ -942,19 +943,19 @@ class ProcessShardFleet:
                                 "plan/artifact mismatch"
                             )
             for shard in range(plan.n_shards):
-                self._rebuild_item_map(shard)
+                self._rebuild_item_map_locked(shard)
         # Halo routing needs "which shards hold this label at all" (owned
         # or ghost); the in-process tier probes each engine's dataset, the
         # fleet keeps explicit holder sets fed by hellos + absorbed labels.
-        self._user_label_shards: dict = {}
-        self._item_label_shards: dict = {}
+        self._user_label_shards: dict = {}  # guarded-by: _routing_lock
+        self._item_label_shards: dict = {}  # guarded-by: _routing_lock
         for shard, worker in enumerate(self._workers):
             for label in worker.user_labels:
                 self._user_label_shards.setdefault(label, set()).add(shard)
             for label in worker.item_labels:
                 self._item_label_shards.setdefault(label, set()).add(shard)
 
-    def _rebuild_item_map(self, shard: int) -> None:
+    def _rebuild_item_map_locked(self, shard: int) -> None:
         lookup = np.full(self.n_items, -1, dtype=np.int64)
         lookup[self._item_global[shard]] = np.arange(
             self._item_global[shard].size, dtype=np.int64
@@ -1019,9 +1020,9 @@ class ProcessShardFleet:
                     self._item_label_shards.setdefault(label, set()).add(shard)
             if self._item_local_in_shard is not None:
                 for other in range(self.n_shards):
-                    self._rebuild_item_map(other)
+                    self._rebuild_item_map_locked(other)
 
-    def _absorb_apply_response(self, worker: _ShardWorker,
+    def _absorb_apply_response_locked(self, worker: _ShardWorker,
                                response: dict) -> None:
         """Fold one apply reply into the mirror + fleet routing state."""
         worker.user_labels.extend(response["new_user_labels"])
@@ -1090,7 +1091,7 @@ class ProcessShardFleet:
         if not is_index(user, self.n_users):
             raise UnknownUserError(user)
 
-    def _translate_exclusions(self, shard: int,
+    def _translate_exclusions_locked(self, shard: int,
                               banned: np.ndarray) -> np.ndarray:
         in_range = banned[(banned >= 0) & (banned < self.n_items)]
         if self._item_local_in_shard is not None:
@@ -1113,7 +1114,7 @@ class ProcessShardFleet:
             shard = int(self._user_shard[user])
             local = int(self._user_local[user])
             if banned.size:
-                banned = self._translate_exclusions(shard, banned)
+                banned = self._translate_exclusions_locked(shard, banned)
         ranked = self._request(shard, "recommend", {
             "user": local,
             "k": k,
@@ -1157,7 +1158,7 @@ class ProcessShardFleet:
                 shard = int(self._user_shard[user])
                 banned = as_exclude_array(exclude)
                 if banned.size:
-                    banned = self._translate_exclusions(shard, banned)
+                    banned = self._translate_exclusions_locked(shard, banned)
                 positions, local_users, local_bans = by_shard.setdefault(
                     shard, ([], [], [])
                 )
@@ -1331,9 +1332,9 @@ class ProcessShardFleet:
                 # worker lock, not _update_lock).
                 with self._routing_lock:
                     if self.plan.has_halos:
-                        routed, stale = self._route_events_halo(events)
+                        routed, stale = self._route_events_halo_locked(events)
                     else:
-                        routed = self._route_events_component(events)
+                        routed = self._route_events_component_locked(events)
                         stale = 0
                 touched = [shard for shard in range(self.n_shards)
                            if routed[shard]]
@@ -1405,10 +1406,10 @@ class ProcessShardFleet:
             else:
                 response = result
                 worker.applied_seq = max(worker.applied_seq, seq)
-                self._absorb_apply_response(worker, response)
+                self._absorb_apply_response_locked(worker, response)
         return response["report"]
 
-    def _route_events_component(self, events) -> list[list]:
+    def _route_events_component_locked(self, events) -> list[list]:
         """Union-find batch routing — the in-process tier's policy verbatim
         (see :meth:`ShardedEngine.apply_updates`), with shard load read
         from the worker handles."""
@@ -1442,7 +1443,7 @@ class ProcessShardFleet:
                 group_label.setdefault(root, label)
                 if owner != known:
                     raise ConfigError(
-                        self._cross_shard_message(
+                        self._cross_shard_message_locked(
                             events, group_label[root], owner, label, known
                         )
                     )
@@ -1458,7 +1459,7 @@ class ProcessShardFleet:
             routed[shard].append(event)
         return routed
 
-    def _cross_shard_message(self, events, label_a, shard_a, label_b,
+    def _cross_shard_message_locked(self, events, label_a, shard_a, label_b,
                              shard_b) -> str:
         for user_label, item_label, _ in events:
             user_owner = self._user_shard_by_label.get(user_label)
@@ -1479,7 +1480,7 @@ class ProcessShardFleet:
             f"tier — {EDGE_CUT_HINT}"
         )
 
-    def _route_events_halo(self, events) -> tuple[list[list], int]:
+    def _route_events_halo_locked(self, events) -> tuple[list[list], int]:
         """Per-event replica routing for edge-cut plans — the in-process
         tier's policy verbatim, with label-holder sets standing in for
         probing each shard dataset."""
@@ -1490,8 +1491,8 @@ class ProcessShardFleet:
         stale = 0
         for event in events:
             user_label, item_label = event[0], event[1]
-            user_shards = self._shards_with(user_label, "user", pending_users)
-            item_shards = self._shards_with(item_label, "item", pending_items)
+            user_shards = self._shards_with_locked(user_label, "user", pending_users)
+            item_shards = self._shards_with_locked(item_label, "item", pending_items)
             if user_shards and item_shards:
                 both = sorted(user_shards & item_shards)
                 if not both:
@@ -1534,7 +1535,7 @@ class ProcessShardFleet:
                 pending_items[item_label] = shard
         return routed, stale
 
-    def _shards_with(self, label, axis: str, pending: dict) -> set:
+    def _shards_with_locked(self, label, axis: str, pending: dict) -> set:
         lookup = (self._user_label_shards if axis == "user"
                   else self._item_label_shards)
         shards = set(lookup.get(label, ()))

@@ -1118,9 +1118,9 @@ class ShardedEngine:
         self.result_cache_size = check_non_negative_int(
             result_cache_size, "result_cache_size"
         )
-        self._rows: OrderedDict[tuple, list] = OrderedDict()
-        self.row_cache_hits = 0
-        self.row_cache_misses = 0
+        self._rows: OrderedDict[tuple, list] = OrderedDict()  # guarded-by: sharded._lock
+        self.row_cache_hits = 0  # guarded-by: sharded._lock
+        self.row_cache_misses = 0  # guarded-by: sharded._lock
         self._lock = threading.RLock()
         self._user_shard = plan.user_shard.copy()
         self._user_local = plan.user_local.copy()

@@ -1,0 +1,18 @@
+"""True positive: a blocking pipe ``send`` reached transitively while
+holding the no-blocking routing lock — ``publish`` holds
+``route.lock`` and calls ``_push``, which performs the RPC."""
+
+import threading
+
+
+class Router:
+    def __init__(self, conn):
+        self._route_lock = threading.Lock()
+        self._conn = conn
+
+    def _push(self, payload):
+        self._conn.send(payload)
+
+    def publish(self, payload):
+        with self._route_lock:
+            self._push(payload)

@@ -1,0 +1,17 @@
+"""Near-miss negative: the same ``send`` call in the same function as
+blocking_bad's sink, but issued *after* the ``with`` block releases the
+routing lock — only staging happens under the lock."""
+
+import threading
+
+
+class Router:
+    def __init__(self, conn):
+        self._route_lock = threading.Lock()
+        self._conn = conn
+        self._staged = []
+
+    def publish(self, payload):
+        with self._route_lock:
+            self._staged.append(payload)
+        self._conn.send(payload)

@@ -1,0 +1,16 @@
+"""True positive: unlocked write to a ``# guarded-by:`` attribute.
+
+``bump`` mutates ``value`` without holding ``counter.lock`` and does
+not use the ``*_locked`` caller-holds-it naming convention.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: counter.lock
+
+    def bump(self):
+        self.value += 1

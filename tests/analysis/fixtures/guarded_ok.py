@@ -1,0 +1,19 @@
+"""Near-miss negatives for the guarded-attribute rule: the same
+attribute and the same accesses as guarded_bad, but ``bump`` holds the
+declared lock and ``peek_locked`` uses the caller-holds-the-lock
+naming convention."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: counter.lock
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def peek_locked(self):
+        return self.value

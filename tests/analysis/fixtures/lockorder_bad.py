@@ -1,0 +1,25 @@
+"""True positive: a lock-order inversion reached through a helper call.
+
+The fixture config ranks ``outer`` before ``inner``; ``backwards``
+takes ``inner`` and then calls ``_take_outer``, which acquires
+``outer``.  The finding must carry the full acquisition chain with
+file:line for both edges (the ``with self._inner`` in ``backwards``
+and the ``with self._outer`` in ``_take_outer``).
+"""
+
+import threading
+
+
+class Widget:
+    def __init__(self):
+        self._outer = threading.Lock()
+        self._inner = threading.Lock()
+        self.total = 0
+
+    def _take_outer(self):
+        with self._outer:
+            self.total += 1
+
+    def backwards(self):
+        with self._inner:
+            self._take_outer()

@@ -1,0 +1,20 @@
+"""Near-miss negative: the same nested shape as lockorder_bad, but the
+helper acquires the *later*-ranked lock, so the edge runs forward
+through the declared order and nothing may be flagged."""
+
+import threading
+
+
+class Widget:
+    def __init__(self):
+        self._outer = threading.Lock()
+        self._inner = threading.Lock()
+        self.total = 0
+
+    def _take_inner(self):
+        with self._inner:
+            self.total += 1
+
+    def forwards(self):
+        with self._outer:
+            self._take_inner()

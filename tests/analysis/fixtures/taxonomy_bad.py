@@ -1,0 +1,8 @@
+"""True positive: a raw ``ValueError`` raise outside the ReproError
+taxonomy (the exact pattern graph/cache.py used to have)."""
+
+
+def parse_scale(value):
+    if value <= 0:
+        raise ValueError(f"scale must be positive, got {value!r}")
+    return value

@@ -1,0 +1,26 @@
+"""Near-miss negatives for the exception-taxonomy rule: a raise of a
+locally defined ReproError subclass, an allowed-list builtin, and a
+bare re-raise — none may be flagged."""
+
+from repro.exceptions import ReproError
+
+
+class FixtureError(ReproError):
+    """Fixture-local member of the repo taxonomy."""
+
+
+def parse_scale(value):
+    if value <= 0:
+        raise FixtureError(f"scale must be positive, got {value!r}")
+    return value
+
+
+def todo():
+    raise NotImplementedError("deliberately unimplemented")
+
+
+def reraise():
+    try:
+        return parse_scale(-1)
+    except FixtureError:
+        raise

@@ -1,0 +1,133 @@
+"""Baseline suppression round-trip, justification carry-over, and the
+taxonomy-is-never-baselineable guarantee — plus CLI exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.config import load_config
+from repro.analysis.engine import run_lint
+from repro.analysis.findings import Baseline
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def config():
+    return load_config(FIXTURES / "analysis.toml")
+
+
+class TestRoundTrip:
+    def test_baseline_suppresses_known_finding_after_save_load(
+            self, config, tmp_path):
+        first = run_lint([FIXTURES / "lockorder_bad.py"],
+                         config=config, root=FIXTURES)
+        assert len(first.new) == 1
+
+        baseline = Baseline.from_findings(first.findings)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        reloaded = Baseline.load(path)
+        assert reloaded.entries == baseline.entries
+
+        second = run_lint([FIXTURES / "lockorder_bad.py"],
+                          config=config, baseline=reloaded, root=FIXTURES)
+        assert second.new == []
+        assert [f.baselined for f in second.findings] == [True]
+
+    def test_saved_file_shape_is_stable(self, config, tmp_path):
+        result = run_lint([FIXTURES / "lockorder_bad.py"],
+                          config=config, root=FIXTURES)
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(result.findings).save(path)
+        raw = json.loads(path.read_text())
+        assert raw["version"] == 1
+        assert [sorted(entry) for entry in raw["entries"]] \
+            == [["justification", "key"]]
+
+    def test_justifications_carry_over_on_refresh(self, config):
+        result = run_lint([FIXTURES / "lockorder_bad.py"],
+                          config=config, root=FIXTURES)
+        key = result.findings[0].key
+        previous = Baseline(entries={key: "known seeded inversion"})
+        refreshed = Baseline.from_findings(result.findings,
+                                           previous=previous)
+        assert refreshed.entries[key] == "known seeded inversion"
+
+    def test_new_keys_get_todo_placeholder(self, config):
+        result = run_lint([FIXTURES / "lockorder_bad.py"],
+                          config=config, root=FIXTURES)
+        fresh = Baseline.from_findings(result.findings)
+        assert all(why.startswith("TODO") for why in fresh.entries.values())
+
+
+class TestTaxonomyNotBaselineable:
+    def test_smuggled_baseline_key_does_not_suppress(self, config):
+        result = run_lint([FIXTURES / "taxonomy_bad.py"],
+                          config=config, root=FIXTURES)
+        key = result.findings[0].key
+        smuggled = Baseline(entries={key: "please ignore"})
+        again = run_lint([FIXTURES / "taxonomy_bad.py"], config=config,
+                         baseline=smuggled, root=FIXTURES)
+        assert [f.key for f in again.new] == [key]
+        assert not again.findings[0].baselined
+
+    def test_write_baseline_never_records_taxonomy_keys(self, config):
+        result = run_lint([FIXTURES / "taxonomy_bad.py"],
+                          config=config, root=FIXTURES)
+        assert Baseline.from_findings(result.findings).entries == {}
+
+
+class TestCli:
+    CONFIG = str(FIXTURES / "analysis.toml")
+
+    def test_new_findings_exit_1(self, capsys):
+        code = main(["lint", str(FIXTURES / "lockorder_bad.py"),
+                     "--config", self.CONFIG, "--no-baseline"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "lock-order" in out
+        assert "1 new" in out
+
+    def test_clean_module_exits_0(self, capsys):
+        code = main(["lint", str(FIXTURES / "lockorder_ok.py"),
+                     "--config", self.CONFIG, "--no-baseline"])
+        assert code == 0
+        assert "0 new" in capsys.readouterr().out
+
+    def test_json_flag_emits_the_document(self, capsys):
+        code = main(["lint", str(FIXTURES / "guarded_bad.py"),
+                     "--config", self.CONFIG, "--no-baseline", "--json"])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["n_new"] == 1
+        assert document["findings"][0]["rule"] == "guarded-attribute"
+
+    def test_config_error_exits_2_with_error_line(self, capsys, tmp_path):
+        code = main(["lint", str(FIXTURES / "lockorder_ok.py"),
+                     "--config", str(tmp_path / "absent.toml")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_write_baseline_then_lint_clean(self, capsys, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", str(FIXTURES / "lockorder_bad.py"),
+                     "--config", self.CONFIG, "--baseline", baseline,
+                     "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(FIXTURES / "lockorder_bad.py"),
+                     "--config", self.CONFIG,
+                     "--baseline", baseline]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_write_baseline_still_fails_on_taxonomy(self, capsys, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        code = main(["lint", str(FIXTURES / "taxonomy_bad.py"),
+                     "--config", self.CONFIG, "--baseline", baseline,
+                     "--write-baseline"])
+        assert code == 1
+        assert "cannot be baselined" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""Golden test for the machine-readable JSON document.
+
+The ``--json`` shape (rule id, file:line, message, key, lock chain) is
+a stable interface for CI tooling; any change to it must show up as a
+deliberate golden update in review.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.config import load_config
+from repro.analysis.engine import run_lint
+from repro.analysis.findings import findings_to_document
+
+HERE = Path(__file__).resolve().parent
+FIXTURES = HERE / "fixtures"
+GOLDEN = HERE / "golden_lint.json"
+
+BAD_MODULES = [
+    "blocking_bad.py",
+    "guarded_bad.py",
+    "lockorder_bad.py",
+    "taxonomy_bad.py",
+]
+
+
+def test_json_document_matches_golden():
+    config = load_config(FIXTURES / "analysis.toml")
+    result = run_lint([FIXTURES / name for name in BAD_MODULES],
+                      config=config, root=FIXTURES)
+    document = findings_to_document(result.findings)
+    expected = json.loads(GOLDEN.read_text())
+    assert document == expected
+
+
+def test_document_counts_are_consistent():
+    expected = json.loads(GOLDEN.read_text())
+    assert expected["version"] == 1
+    assert expected["n_findings"] == len(expected["findings"])
+    assert expected["n_new"] + expected["n_baselined"] \
+        == expected["n_findings"]
+    # One true positive per rule, deterministically ordered.
+    assert [f["rule"] for f in expected["findings"]] == [
+        "blocking-under-lock", "guarded-attribute",
+        "lock-order", "exception-taxonomy",
+    ]

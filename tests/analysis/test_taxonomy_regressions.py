@@ -1,0 +1,80 @@
+"""Regression tests for the raises the taxonomy checker converted:
+graph/cache.py's three ValueError sites are now ConfigError, the
+artifact mmap reader's npy-version check is now ArtifactError, and the
+CLI boundary reports them as one clean ``error:`` line."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.artifacts import load_artifact
+from repro.exceptions import ArtifactError, ConfigError, ReproError
+from repro.graph.bipartite import UserItemGraph
+from repro.graph.cache import TransitionCache
+
+
+class TestCacheConfigErrors:
+    """The three converted cache raises are ConfigError (a ReproError),
+    so the ``except ReproError`` boundary in cli.main catches them."""
+
+    def test_bad_entropy_length_on_init(self, small_synth):
+        graph = UserItemGraph(small_synth.dataset)
+        with pytest.raises(ConfigError, match="n_nodes"):
+            TransitionCache(graph, node_entropy=np.zeros(graph.n_nodes + 1))
+
+    def test_apply_update_rejects_non_update(self, small_synth):
+        cache = TransitionCache(UserItemGraph(small_synth.dataset))
+        with pytest.raises(ConfigError, match="GraphUpdate"):
+            cache.apply_update("not-an-update")
+
+    def test_config_error_is_repro_error(self):
+        assert issubclass(ConfigError, ReproError)
+
+
+def _tamper_npy_version(path: str) -> None:
+    """Rewrite one array member's npy magic to claim format 7.0.
+
+    The first member is ``meta.npy``, which is read eagerly through
+    zipfile (CRC-checked), so tamper the *second* member — one of the
+    arrays the mmap reader maps from the raw local headers.
+    """
+    raw = Path(path).read_bytes()
+    marker = b"\x93NUMPY\x01\x00"
+    second = raw.find(marker, raw.find(marker) + 1)
+    assert second != -1, "expected at least two v1.0 npy members"
+    Path(path).write_bytes(
+        raw[:second] + b"\x93NUMPY\x07\x00" + raw[second + len(marker):])
+
+
+class TestArtifactNpyVersion:
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("artifact") / "model.npz")
+        assert main(["fit", "--algorithm", "AT", "--scale", "0.15",
+                     "--out", path]) == 0
+        return path
+
+    def test_unsupported_version_raises_artifact_error(
+            self, artifact, tmp_path):
+        tampered = str(tmp_path / "tampered.npz")
+        Path(tampered).write_bytes(Path(artifact).read_bytes())
+        _tamper_npy_version(tampered)
+        with pytest.raises(ArtifactError,
+                           match="unsupported npy format version"):
+            load_artifact(tampered, mmap=True)
+
+    def test_cli_prints_one_clean_error_line(
+            self, artifact, tmp_path, capsys):
+        tampered = str(tmp_path / "tampered.npz")
+        Path(tampered).write_bytes(Path(artifact).read_bytes())
+        _tamper_npy_version(tampered)
+        capsys.readouterr()
+        code = main(["serve", "--artifact", tampered, "--mmap",
+                     "--n-users", "2", "--k", "2"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "unsupported npy format version" in captured.err
+        assert "Traceback" not in captured.err

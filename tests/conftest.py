@@ -6,12 +6,41 @@ session-scoped; tests must not mutate them.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.data.dataset import RatingDataset
 from repro.data.synthetic import SyntheticConfig, generate_dataset
 from repro.data.toy import chain_dataset, figure2_dataset, two_community_dataset
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lock_order_sanitizer():
+    """Opt-in runtime lock-order sanitizer (``REPRO_SANITIZE_LOCKS=1``).
+
+    When enabled, every ServingEngine / ShardedEngine / fleet /
+    TransitionCache instance created during the run gets its locks
+    wrapped in SanitizedLock proxies; any acquisition that inverts the
+    hierarchy declared in ``analysis.toml`` raises LockOrderViolation
+    with a readable witness report instead of deadlocking the suite.
+    """
+    if os.environ.get("REPRO_SANITIZE_LOCKS") != "1":
+        yield None
+        return
+    from pathlib import Path
+
+    from repro.analysis.config import load_config
+    from repro.analysis.sanitizer import LockOrderSanitizer, auto_instrument
+
+    config_path = Path(__file__).resolve().parents[1] / "analysis.toml"
+    sanitizer = LockOrderSanitizer(load_config(config_path))
+    restore = auto_instrument(sanitizer)
+    try:
+        yield sanitizer
+    finally:
+        restore()
 
 
 @pytest.fixture(scope="session")

@@ -5,6 +5,7 @@ import pytest
 
 from repro import AbsorbingTimeRecommender
 from repro.graph.bipartite import UserItemGraph
+from repro.exceptions import ConfigError
 from repro.graph.cache import TransitionCache
 from repro.utils.sparse import row_normalize
 
@@ -65,7 +66,7 @@ class TestGroupEntries:
         np.testing.assert_array_equal(entry.node_entropy, entropy)
 
     def test_entropy_length_validated(self, graph):
-        with pytest.raises(ValueError, match="n_nodes"):
+        with pytest.raises(ConfigError, match="n_nodes"):
             TransitionCache(graph, node_entropy=np.ones(3))
 
 
@@ -268,13 +269,13 @@ class TestTargetedInvalidation:
         dataset, graph = multi_component
         cache = TransitionCache(graph)
         _, update = self._update(dataset, graph, [("u00", "i01", 3.0)])
-        with pytest.raises(ValueError, match="n_nodes"):
+        with pytest.raises(ConfigError, match="n_nodes"):
             cache.apply_update(update, node_entropy=np.ones(3))
         entropy = np.arange(update.graph.n_nodes, dtype=np.float64)
         cache.apply_update(update, node_entropy=entropy)
         assert cache.graph is update.graph
         np.testing.assert_array_equal(cache.node_entropy, entropy)
-        with pytest.raises(ValueError, match="GraphUpdate"):
+        with pytest.raises(ConfigError, match="GraphUpdate"):
             cache.apply_update("nope")
 
 

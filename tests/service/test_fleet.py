@@ -317,12 +317,13 @@ class TestHaloHint:
         sharded.save(path)
         with ProcessShardFleet.from_directory(path) as fleet:
             target = None
-            for user in range(giant.n_users):
-                label = giant.user_labels[user]
-                owner = fleet._user_shard_by_label[label]
-                if fleet._shards_with(label, "user", {}) - {owner}:
-                    target = (label, owner)
-                    break
+            with fleet._routing_lock:
+                for user in range(giant.n_users):
+                    label = giant.user_labels[user]
+                    owner = fleet._user_shard_by_label[label]
+                    if fleet._shards_with_locked(label, "user", {}) - {owner}:
+                        target = (label, owner)
+                        break
             assert target is not None, "2-hop halos should replicate users"
             label, owner = target
             report = fleet.apply_updates([(label, "fresh-item", 4.0)])
